@@ -1,0 +1,71 @@
+//! Ablation — DFS vs BFS heap traversal (§4.3).
+//!
+//! BFS makes the reference-processing order deterministic (good for
+//! prefetch timeliness) but, as the paper notes citing Moon's classic
+//! result, it scatters related objects and hurts locality. The paper
+//! therefore keeps G1's DFS with prefetch-on-push. This harness runs
+//! both orders, with and without prefetching.
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::{GcConfig, Traversal};
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    order: String,
+    prefetch: bool,
+    gc_ms: f64,
+    prefetch_useful_rate: f64,
+}
+
+fn main() {
+    banner("abl_bfs_traversal", "§4.3 DFS-vs-BFS design choice");
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["order", "prefetch", "gc(ms)", "useful prefetches"]);
+    for (order, label) in [(Traversal::Dfs, "dfs"), (Traversal::Bfs, "bfs")] {
+        for prefetch in [true, false] {
+            let mut cfg = sized_config(app("page-rank"), GcConfig::plus_all(PAPER_THREADS, 0));
+            cfg.gc.traversal = order;
+            cfg.gc.prefetch = prefetch;
+            let r = run_app(&cfg).expect("run succeeds");
+            let useful = r.mem_stats.prefetch_useful as f64
+                / r.mem_stats.prefetch_issued.max(1) as f64;
+            table.row(vec![
+                label.to_owned(),
+                prefetch.to_string(),
+                format!("{:.1}", r.gc_seconds() * 1e3),
+                format!("{:.0}%", useful * 100.0),
+            ]);
+            rows.push(Row {
+                order: label.to_owned(),
+                prefetch,
+                gc_ms: r.gc_seconds() * 1e3,
+                prefetch_useful_rate: useful,
+            });
+        }
+    }
+    println!("{}", table.render());
+    let get = |o: &str, p: bool| {
+        rows.iter()
+            .find(|r| r.order == o && r.prefetch == p)
+            .expect("row")
+            .gc_ms
+    };
+    println!(
+        "prefetch gain: DFS {:+.1}%, BFS {:+.1}%; DFS+prefetch vs BFS+prefetch: {:+.1}%",
+        (get("dfs", false) / get("dfs", true) - 1.0) * 100.0,
+        (get("bfs", false) / get("bfs", true) - 1.0) * 100.0,
+        (get("bfs", true) / get("dfs", true) - 1.0) * 100.0,
+    );
+    println!("(paper keeps DFS: BFS's deterministic prefetch distance does not repay its locality loss)");
+    let report = ExperimentReport {
+        id: "abl_bfs_traversal".to_owned(),
+        paper_ref: "§4.3 (traversal order)".to_owned(),
+        notes: "page-rank, +all base".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Ablation — the header-map activation threshold.
+//!
+//! Paper §3.3: "the header map is only enabled when the number of GC
+//! threads exceeds a threshold (8 by default)" — with few threads the
+//! read bandwidth is unsaturated and the map's extra DRAM lookups cost
+//! more than the NVM writes they save. This sweep runs the map forced ON
+//! and forced OFF across thread counts to expose the crossover.
+
+use nvmgc_bench::{banner, results_dir, sized_config, THREAD_SWEEP};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    map_on_ms: f64,
+    map_off_ms: f64,
+    map_helps: bool,
+}
+
+fn main() {
+    banner("abl_headermap_threshold", "§3.3 activation threshold");
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["threads", "map on (ms)", "map off (ms)", "helps?"]);
+    for &t in &THREAD_SWEEP {
+        let gc_ms = |map_on: bool| -> f64 {
+            let mut cfg = sized_config(app("page-rank"), GcConfig::plus_all(t, 0));
+            // Force the threshold out of the way.
+            cfg.gc.header_map.min_threads = if map_on { 0 } else { usize::MAX };
+            run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
+        };
+        let on = gc_ms(true);
+        let off = gc_ms(false);
+        table.row(vec![
+            t.to_string(),
+            format!("{on:.1}"),
+            format!("{off:.1}"),
+            if on < off { "yes" } else { "no" }.to_owned(),
+        ]);
+        rows.push(Row {
+            threads: t,
+            map_on_ms: on,
+            map_off_ms: off,
+            map_helps: on < off,
+        });
+    }
+    println!("{}", table.render());
+    let crossover = rows
+        .iter()
+        .find(|r| r.map_helps)
+        .map(|r| r.threads.to_string())
+        .unwrap_or_else(|| "none".to_owned());
+    println!(
+        "map starts helping at {crossover} threads (paper: beyond 8) — below that, probe traffic outweighs the saved NVM header writes"
+    );
+    let report = ExperimentReport {
+        id: "abl_headermap_threshold".to_owned(),
+        paper_ref: "§3.3 (threshold design choice)".to_owned(),
+        notes: "page-rank; map forced on/off across thread counts".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

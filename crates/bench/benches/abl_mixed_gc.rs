@@ -1,0 +1,97 @@
+//! Ablation — mixed collections (paper §2.1).
+//!
+//! The paper's evaluation is young-GC dominated ("mixed GC happens much
+//! more rarely than the young GC"), so the figure harnesses run young
+//! collections only. This harness enables the G1-like adaptive trigger
+//! (mixed collections once old occupancy crosses the IHOP threshold) on a
+//! promotion-heavy workload and shows what mixed GCs buy: a bounded old
+//! generation at the price of occasional longer pauses, with the
+//! NVM-aware optimizations applying to the mixed evacuations too.
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::runner::GcTrigger;
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    trigger: String,
+    gc_ms: f64,
+    mixed_cycles: usize,
+    peak_old_regions: usize,
+    final_old_regions_estimate: usize,
+    max_pause_ms: f64,
+}
+
+fn main() {
+    banner("abl_mixed_gc", "§2.1 mixed collections (adaptive IHOP trigger)");
+    // A promotion-heavy variant: survivors live long enough to tenure.
+    let mut spec = app("scala-stm-bench7");
+    spec.keep_gcs = 4; // beyond the tenure age → heavy promotion
+    spec.alloc_young_multiple = 16.0;
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec![
+        "config",
+        "trigger",
+        "gc(ms)",
+        "mixed GCs",
+        "peak old (regions)",
+        "max pause (ms)",
+    ]);
+    for (gc_label, gc) in [
+        ("vanilla", GcConfig::vanilla(PAPER_THREADS)),
+        ("+all", GcConfig::plus_all(PAPER_THREADS, 0)),
+    ] {
+        for (t_label, trigger) in [
+            ("young-only", GcTrigger::YoungOnly),
+            ("adaptive", GcTrigger::Adaptive { ihop: 0.25 }),
+        ] {
+            let mut cfg = sized_config(spec.clone(), gc.clone());
+            cfg.trigger = trigger;
+            let r = run_app(&cfg).expect("run succeeds");
+            let row = Row {
+                config: gc_label.to_owned(),
+                trigger: t_label.to_owned(),
+                gc_ms: r.gc_seconds() * 1e3,
+                mixed_cycles: r.mixed_cycles,
+                peak_old_regions: r.peak_old_regions,
+                final_old_regions_estimate: r.peak_old_regions,
+                max_pause_ms: r.gc.max_pause_ns() as f64 / 1e6,
+            };
+            table.row(vec![
+                row.config.clone(),
+                row.trigger.clone(),
+                format!("{:.1}", row.gc_ms),
+                row.mixed_cycles.to_string(),
+                row.peak_old_regions.to_string(),
+                format!("{:.2}", row.max_pause_ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("{}", table.render());
+    let find = |c: &str, t: &str| {
+        rows.iter()
+            .find(|r| r.config == c && r.trigger == t)
+            .expect("row")
+    };
+    let yo = find("+all", "young-only");
+    let ad = find("+all", "adaptive");
+    println!(
+        "adaptive trigger ran {} mixed GCs and cut the peak old footprint {} → {} regions \
+         (max pause {:.2} → {:.2} ms)",
+        ad.mixed_cycles, yo.peak_old_regions, ad.peak_old_regions, yo.max_pause_ms, ad.max_pause_ms
+    );
+    let report = ExperimentReport {
+        id: "abl_mixed_gc".to_owned(),
+        paper_ref: "§2.1 (mixed GC)".to_owned(),
+        notes: "promotion-heavy scala-stm-bench7 variant; IHOP 0.25".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,63 @@
+//! Ablation — non-temporal vs regular stores for write-back (§4.1/§4.2).
+//!
+//! The paper reports NT stores as what makes asynchronous flushing viable
+//! (prior work found async data movement with regular stores
+//! counterproductive). This harness runs the write cache in all four
+//! combinations of {sync, async} × {NT, regular stores}.
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    gc_ms: f64,
+    writeback_share: f64,
+}
+
+fn main() {
+    banner("abl_ntstore", "§4.1/§4.2 NT-store design choice");
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["config", "gc(ms)", "write-back share"]);
+    for (nt, asyncf, label) in [
+        (true, false, "sync + nt-store"),
+        (false, false, "sync + regular"),
+        (true, true, "async + nt-store"),
+        (false, true, "async + regular"),
+    ] {
+        let mut cfg = sized_config(app("page-rank"), GcConfig::plus_all(PAPER_THREADS, 0));
+        cfg.gc.write_cache.nt_store = nt;
+        cfg.gc.write_cache.async_flush = asyncf;
+        let r = run_app(&cfg).expect("run succeeds");
+        let wb: u64 = r.cycles.iter().map(|c| c.phases.writeback_ns).sum();
+        let row = Row {
+            config: label.to_owned(),
+            gc_ms: r.gc_seconds() * 1e3,
+            writeback_share: wb as f64 / r.gc.total_pause_ns().max(1) as f64,
+        };
+        table.row(vec![
+            row.config.clone(),
+            format!("{:.1}", row.gc_ms),
+            format!("{:.1}%", row.writeback_share * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    let get = |label: &str| rows.iter().find(|r| r.config == label).expect("row").gc_ms;
+    println!(
+        "NT stores save {:.1}% in sync mode and {:.1}% in async mode (paper: NT stores are what make async flushing pay off)",
+        (get("sync + regular") / get("sync + nt-store") - 1.0) * 100.0,
+        (get("async + regular") / get("async + nt-store") - 1.0) * 100.0,
+    );
+    let report = ExperimentReport {
+        id: "abl_ntstore".to_owned(),
+        paper_ref: "§4.1/§4.2".to_owned(),
+        notes: "page-rank, +all base, write-back store type toggled".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

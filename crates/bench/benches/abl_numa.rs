@@ -1,0 +1,68 @@
+//! Ablation — why the paper binds to one NUMA socket (§5.1).
+//!
+//! "Since cross-NUMA NVM accesses will induce prohibitive overhead, all
+//! experiments are bound to run on a single CPU with the numactl
+//! command." This harness swaps the local-Optane parameters for the
+//! remote-socket set (UPI-limited bandwidth, higher latency) and measures
+//! the damage.
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_memsim::DeviceParams;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    socket: String,
+    gc_ms: f64,
+    app_ms: f64,
+}
+
+fn main() {
+    banner("abl_numa", "§5.1 single-socket binding rationale");
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["config", "NVM socket", "gc (ms)", "total (ms)"]);
+    for (gc_label, gc) in [
+        ("vanilla", GcConfig::vanilla(PAPER_THREADS)),
+        ("+all", GcConfig::plus_all(PAPER_THREADS, 0)),
+    ] {
+        for (socket, params) in [
+            ("local", DeviceParams::optane()),
+            ("remote", DeviceParams::optane_remote()),
+        ] {
+            let mut cfg = sized_config(app("page-rank"), gc.clone());
+            cfg.mem.nvm = params;
+            let r = run_app(&cfg).expect("run succeeds");
+            table.row(vec![
+                gc_label.to_owned(),
+                socket.to_owned(),
+                format!("{:.1}", r.gc_seconds() * 1e3),
+                format!("{:.1}", r.total_seconds() * 1e3),
+            ]);
+            rows.push(Row {
+                config: gc_label.to_owned(),
+                socket: socket.to_owned(),
+                gc_ms: r.gc_seconds() * 1e3,
+                app_ms: r.total_seconds() * 1e3,
+            });
+        }
+    }
+    println!("{}", table.render());
+    let find = |c: &str, s: &str| rows.iter().find(|r| r.config == c && r.socket == s).expect("row");
+    println!(
+        "remote-socket NVM inflates vanilla GC {:.2}x and whole-run {:.2}x — the paper's reason for numactl binding",
+        find("vanilla", "remote").gc_ms / find("vanilla", "local").gc_ms,
+        find("vanilla", "remote").app_ms / find("vanilla", "local").app_ms,
+    );
+    let report = ExperimentReport {
+        id: "abl_numa".to_owned(),
+        paper_ref: "§5.1 (NUMA binding)".to_owned(),
+        notes: "page-rank; remote parameters = UPI-limited Optane".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

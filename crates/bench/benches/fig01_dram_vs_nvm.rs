@@ -1,0 +1,90 @@
+//! Figure 1 — application and GC time when replacing DRAM with NVM.
+//!
+//! Six applications (als, kmeans, log-regression, movie-lens, page-rank,
+//! scala-stm-bench7) run under vanilla G1 with the whole heap on DRAM and
+//! then on NVM. The paper reports GC pause time inflating 2.02×–8.25×
+//! (avg 6.53×) while non-GC application time inflates far less (avg
+//! 2.68×, some apps near 1×).
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{fig1_apps, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    dram_app_ms: f64,
+    dram_gc_ms: f64,
+    nvm_app_ms: f64,
+    nvm_gc_ms: f64,
+    gc_slowdown: f64,
+    app_slowdown: f64,
+    nvm_gc_share: f64,
+}
+
+fn main() {
+    banner("fig01_dram_vs_nvm", "Figure 1 + §2.2 findings");
+    let mut table = TextTable::new(vec![
+        "app",
+        "dram app(ms)",
+        "dram gc(ms)",
+        "nvm app(ms)",
+        "nvm gc(ms)",
+        "gc x",
+        "app x",
+        "nvm gc%",
+    ]);
+    let mut rows = Vec::new();
+    for spec in fig1_apps() {
+        let run = |placement: DevicePlacement| {
+            let mut cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));
+            cfg.heap.placement = placement;
+            run_app(&cfg).expect("run succeeds")
+        };
+        let dram = run(DevicePlacement::all_dram());
+        let nvm = run(DevicePlacement::all_nvm());
+        let row = Row {
+            app: spec.name.to_owned(),
+            dram_app_ms: dram.mutator_seconds() * 1e3,
+            dram_gc_ms: dram.gc_seconds() * 1e3,
+            nvm_app_ms: nvm.mutator_seconds() * 1e3,
+            nvm_gc_ms: nvm.gc_seconds() * 1e3,
+            gc_slowdown: nvm.gc_seconds() / dram.gc_seconds().max(1e-12),
+            app_slowdown: nvm.mutator_seconds() / dram.mutator_seconds().max(1e-12),
+            nvm_gc_share: nvm.gc_share(),
+        };
+        table.row(vec![
+            row.app.clone(),
+            format!("{:.1}", row.dram_app_ms),
+            format!("{:.1}", row.dram_gc_ms),
+            format!("{:.1}", row.nvm_app_ms),
+            format!("{:.1}", row.nvm_gc_ms),
+            format!("{:.2}", row.gc_slowdown),
+            format!("{:.2}", row.app_slowdown),
+            format!("{:.1}%", row.nvm_gc_share * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    let gc_slowdowns: Vec<f64> = rows.iter().map(|r| r.gc_slowdown).collect();
+    let app_slowdowns: Vec<f64> = rows.iter().map(|r| r.app_slowdown).collect();
+    println!(
+        "GC slowdown DRAM→NVM: avg {:.2}x (paper: 6.53x avg, 2.02–8.25x range)",
+        geomean(&gc_slowdowns)
+    );
+    println!(
+        "non-GC app slowdown:  avg {:.2}x (paper: 2.68x avg)",
+        geomean(&app_slowdowns)
+    );
+    let report = ExperimentReport {
+        id: "fig01_dram_vs_nvm".to_owned(),
+        paper_ref: "Figure 1".to_owned(),
+        notes: format!("vanilla G1, {PAPER_THREADS} threads, scaled heaps"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,139 @@
+//! Figure 2a/2b — read/write/total bandwidth timeline for page-rank on
+//! DRAM vs NVM, with GC intervals marked.
+//!
+//! The paper's key observation: on DRAM, total bandwidth *rises* during
+//! GC (copying adds write bandwidth on top of reads); on NVM, total
+//! bandwidth *collapses* during GC because writes destroy the effective
+//! device bandwidth.
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::{mean, write_json, BandwidthSeries, ExperimentReport};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Timeline {
+    device: String,
+    bin_ms: f64,
+    read_mbps: Vec<f64>,
+    write_mbps: Vec<f64>,
+    gc_intervals_ms: Vec<(f64, f64)>,
+    mean_gc_total_mbps: f64,
+    mean_mutator_total_mbps: f64,
+}
+
+fn run(placement: DevicePlacement, device_label: &str) -> Timeline {
+    let mut cfg = sized_config(app("page-rank"), GcConfig::vanilla(PAPER_THREADS));
+    cfg.heap.placement = placement;
+    cfg.sample_series = true;
+    let r = run_app(&cfg).expect("run succeeds");
+    // The heap device carries the interesting traffic.
+    let series = if device_label == "dram" {
+        &r.dram_series
+    } else {
+        &r.nvm_series
+    };
+    let bw = BandwidthSeries::from_bins(series, r.bin_ns);
+    let (gc_read, gc_write) = if device_label == "dram" {
+        // For the DRAM run the sampler's DRAM phase bandwidth is what the
+        // paper's PCM trace shows.
+        (0.0, 0.0)
+    } else {
+        r.gc_nvm_bandwidth
+    };
+    let _ = (gc_read, gc_write);
+    let gc_bins: Vec<bool> = mark_bins(&r.pause_intervals, r.bin_ns, bw.len());
+    let totals = bw.total();
+    let gc_total: Vec<f64> = totals
+        .iter()
+        .zip(&gc_bins)
+        .filter(|(_, &g)| g)
+        .map(|(t, _)| *t)
+        .collect();
+    let mu_total: Vec<f64> = totals
+        .iter()
+        .zip(&gc_bins)
+        .filter(|(_, &g)| !g)
+        .map(|(t, _)| *t)
+        .collect();
+    Timeline {
+        device: device_label.to_owned(),
+        bin_ms: bw.bin_ms,
+        read_mbps: bw.read.clone(),
+        write_mbps: bw.write.clone(),
+        gc_intervals_ms: r
+            .pause_intervals
+            .iter()
+            .map(|&(s, e)| (s as f64 / 1e6, e as f64 / 1e6))
+            .collect(),
+        mean_gc_total_mbps: mean(&gc_total),
+        mean_mutator_total_mbps: mean(&mu_total),
+    }
+}
+
+fn mark_bins(pauses: &[(u64, u64)], bin_ns: u64, bins: usize) -> Vec<bool> {
+    let mut v = vec![false; bins];
+    for &(s, e) in pauses {
+        let first = (s / bin_ns) as usize;
+        let last = ((e.saturating_sub(1)) / bin_ns) as usize;
+        for b in v.iter_mut().take(last + 1).skip(first) {
+            *b = true;
+        }
+    }
+    v
+}
+
+fn print_timeline(t: &Timeline) {
+    println!("--- page-rank on {} (bin {:.1} ms) ---", t.device, t.bin_ms);
+    println!(
+        "mean total bandwidth: GC {:.0} MB/s vs mutator {:.0} MB/s ({})",
+        t.mean_gc_total_mbps,
+        t.mean_mutator_total_mbps,
+        if t.mean_gc_total_mbps > t.mean_mutator_total_mbps {
+            "GC raises total bandwidth"
+        } else {
+            "GC collapses total bandwidth"
+        }
+    );
+    // Compact sparkline-style printout (first 60 bins).
+    let n = t.read_mbps.len().min(60);
+    println!("{:>6}  {:>10} {:>10} {:>10}  gc", "ms", "read", "write", "total");
+    for i in 0..n {
+        let gc = t
+            .gc_intervals_ms
+            .iter()
+            .any(|&(s, e)| (i as f64 + 0.5) * t.bin_ms >= s && (i as f64 + 0.5) * t.bin_ms < e);
+        println!(
+            "{:>6.1}  {:>10.0} {:>10.0} {:>10.0}  {}",
+            i as f64 * t.bin_ms,
+            t.read_mbps[i],
+            t.write_mbps[i],
+            t.read_mbps[i] + t.write_mbps[i],
+            if gc { "|GC|" } else { "" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    banner("fig02_bandwidth_timeline", "Figure 2a/2b");
+    let dram = run(DevicePlacement::all_dram(), "dram");
+    let nvm = run(DevicePlacement::all_nvm(), "nvm");
+    print_timeline(&dram);
+    print_timeline(&nvm);
+    println!(
+        "shape check: DRAM GC/mutator bandwidth ratio {:.2} (paper: >1), NVM ratio {:.2} (paper: <1)",
+        dram.mean_gc_total_mbps / dram.mean_mutator_total_mbps.max(1e-9),
+        nvm.mean_gc_total_mbps / nvm.mean_mutator_total_mbps.max(1e-9),
+    );
+    let report = ExperimentReport {
+        id: "fig02_bandwidth_timeline".to_owned(),
+        paper_ref: "Figure 2a/2b".to_owned(),
+        notes: format!("page-rank, vanilla G1, {PAPER_THREADS} threads"),
+        data: vec![dram, nvm],
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,103 @@
+//! Figure 2c/2d — consumed bandwidth and GC time vs number of GC threads,
+//! NVM vs DRAM (page-rank, vanilla G1).
+//!
+//! On NVM, bandwidth barely changes past 8 threads and GC time stops
+//! improving; on DRAM, both keep scaling.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, THREAD_SWEEP};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    threads: usize,
+    gc_ms: f64,
+    gc_bandwidth_mbps: f64,
+}
+
+fn main() {
+    banner("fig02_scalability", "Figure 2c/2d");
+    let threads = maybe_trim(THREAD_SWEEP.to_vec(), 3);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["device", "threads", "gc(ms)", "gc bw (MB/s)"]);
+    for (placement, label) in [
+        (DevicePlacement::all_nvm(), "nvm"),
+        (DevicePlacement::all_dram(), "dram"),
+    ] {
+        for &t in &threads {
+            let mut cfg = sized_config(app("page-rank"), GcConfig::vanilla(t));
+            cfg.heap.placement = placement;
+            cfg.sample_series = true;
+            let r = run_app(&cfg).expect("run succeeds");
+            let dev_bw = if label == "dram" {
+                // The DRAM run's traffic all lands on DRAM; compute its
+                // in-GC bandwidth from the DRAM series + pause marks.
+                phase_bw(&r.dram_series, &r.pause_intervals, r.bin_ns)
+            } else {
+                r.gc_nvm_bandwidth.0 + r.gc_nvm_bandwidth.1
+            };
+            table.row(vec![
+                label.to_owned(),
+                t.to_string(),
+                format!("{:.1}", r.gc_seconds() * 1e3),
+                format!("{:.0}", dev_bw),
+            ]);
+            rows.push(Row {
+                device: label.to_owned(),
+                threads: t,
+                gc_ms: r.gc_seconds() * 1e3,
+                gc_bandwidth_mbps: dev_bw,
+            });
+        }
+    }
+    println!("{}", table.render());
+    // Shape checks against the paper.
+    let bw_at = |dev: &str, t: usize| {
+        rows.iter()
+            .find(|r| r.device == dev && r.threads == t)
+            .map(|r| r.gc_bandwidth_mbps)
+            .unwrap_or(0.0)
+    };
+    if threads.contains(&8) && threads.contains(&56) {
+        println!(
+            "NVM bandwidth 8→56 threads: {:.0} → {:.0} MB/s (paper: barely changes)",
+            bw_at("nvm", 8),
+            bw_at("nvm", 56)
+        );
+        println!(
+            "DRAM bandwidth 8→56 threads: {:.0} → {:.0} MB/s (paper: keeps growing)",
+            bw_at("dram", 8),
+            bw_at("dram", 56)
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig02_scalability".to_owned(),
+        paper_ref: "Figure 2c/2d".to_owned(),
+        notes: "page-rank, vanilla G1, thread sweep".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}
+
+fn phase_bw(series: &[(u64, u64)], pauses: &[(u64, u64)], bin_ns: u64) -> f64 {
+    let mut bytes = 0u64;
+    let mut dur = 0u64;
+    for &(s, e) in pauses {
+        dur += e - s;
+        let first = (s / bin_ns) as usize;
+        let last = ((e.saturating_sub(1)) / bin_ns) as usize;
+        for b in series.iter().take(last + 1).skip(first) {
+            bytes += b.0 + b.1;
+        }
+    }
+    if dur == 0 {
+        0.0
+    } else {
+        bytes as f64 / dur as f64 * 1000.0
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 3 — bandwidth timeline for als on DRAM vs NVM.
+//!
+//! als is the contrast case to page-rank: its GC-phase bandwidth demand
+//! exceeds its application-phase demand even on NVM (the application does
+//! not saturate the device), so — unlike page-rank — the application time
+//! is barely hurt by NVM (§2.3).
+
+use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::{write_json, ExperimentReport};
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Timeline {
+    device: String,
+    bin_ms: f64,
+    read_mbps: Vec<f64>,
+    write_mbps: Vec<f64>,
+    gc_total_mbps: f64,
+    mutator_total_mbps: f64,
+}
+
+fn phase_bw(series: &[(u64, u64)], pauses: &[(u64, u64)], bin_ns: u64) -> (f64, f64) {
+    let (mut rd, mut wr, mut dur) = (0u64, 0u64, 0u64);
+    for &(s, e) in pauses {
+        dur += e - s;
+        let first = (s / bin_ns) as usize;
+        let last = ((e.saturating_sub(1)) / bin_ns) as usize;
+        for b in series.iter().take(last + 1).skip(first) {
+            rd += b.0;
+            wr += b.1;
+        }
+    }
+    if dur == 0 {
+        (0.0, 0.0)
+    } else {
+        (rd as f64 / dur as f64 * 1000.0, wr as f64 / dur as f64 * 1000.0)
+    }
+}
+
+fn totals(series: &[(u64, u64)]) -> (u64, u64) {
+    series.iter().fold((0, 0), |(r, w), &(a, b)| (r + a, w + b))
+}
+
+fn main() {
+    banner("fig03_als_bandwidth", "Figure 3");
+    let mut out = Vec::new();
+    for (placement, label) in [
+        (DevicePlacement::all_dram(), "dram"),
+        (DevicePlacement::all_nvm(), "nvm"),
+    ] {
+        let mut cfg = sized_config(app("als"), GcConfig::vanilla(PAPER_THREADS));
+        cfg.heap.placement = placement;
+        cfg.sample_series = true;
+        let r = run_app(&cfg).expect("run succeeds");
+        let series = if label == "dram" {
+            &r.dram_series
+        } else {
+            &r.nvm_series
+        };
+        let to_mbps = |b: u64| b as f64 / r.bin_ns as f64 * 1000.0;
+        let (gc_r, gc_w) = if label == "nvm" {
+            r.gc_nvm_bandwidth
+        } else {
+            phase_bw(series, &r.pause_intervals, r.bin_ns)
+        };
+        let (mu_r, mu_w) = if label == "nvm" {
+            r.app_nvm_bandwidth
+        } else {
+            let (tr, tw) = totals(series);
+            let gc_ns = r.gc.total_pause_ns();
+            let mu_ns = r.total_ns.saturating_sub(gc_ns).max(1);
+            let (gr, gw) = phase_bw(series, &r.pause_intervals, r.bin_ns);
+            // Mutator-phase traffic = total − in-GC traffic.
+            let gc_bytes_r = gr / 1000.0 * gc_ns as f64;
+            let gc_bytes_w = gw / 1000.0 * gc_ns as f64;
+            (
+                (tr as f64 - gc_bytes_r).max(0.0) / mu_ns as f64 * 1000.0,
+                (tw as f64 - gc_bytes_w).max(0.0) / mu_ns as f64 * 1000.0,
+            )
+        };
+        let t = Timeline {
+            device: label.to_owned(),
+            bin_ms: r.bin_ns as f64 / 1e6,
+            read_mbps: series.iter().map(|&(rd, _)| to_mbps(rd)).collect(),
+            write_mbps: series.iter().map(|&(_, wr)| to_mbps(wr)).collect(),
+            gc_total_mbps: gc_r + gc_w,
+            mutator_total_mbps: mu_r + mu_w,
+        };
+        println!(
+            "als on {:>4}: GC-phase total {:.0} MB/s, mutator-phase total {:.0} MB/s",
+            label, t.gc_total_mbps, t.mutator_total_mbps
+        );
+        out.push(t);
+    }
+    let nvm = &out[1];
+    println!();
+    println!(
+        "shape check (paper §2.3): als GC bandwidth {} mutator bandwidth on NVM ({:.0} vs {:.0} MB/s)",
+        if nvm.gc_total_mbps > nvm.mutator_total_mbps {
+            "exceeds"
+        } else {
+            "does NOT exceed"
+        },
+        nvm.gc_total_mbps,
+        nvm.mutator_total_mbps
+    );
+    let report = ExperimentReport {
+        id: "fig03_als_bandwidth".to_owned(),
+        paper_ref: "Figure 3".to_owned(),
+        notes: format!("als, vanilla G1, {PAPER_THREADS} threads"),
+        data: out,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

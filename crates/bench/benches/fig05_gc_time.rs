@@ -1,0 +1,115 @@
+//! Figure 5 — GC time across 26 applications under five configurations:
+//! `+all`, `+writecache`, `vanilla`, `vanilla-dram`, `young-gen-dram`.
+//!
+//! Paper headlines reproduced here (§5.2): 23/26 applications improve;
+//! average speedup 1.69× (up to 2.69×); write cache alone averages 1.17×
+//! (up to 2.08×); the DRAM:NVM GC gap shrinks from 4.21× to 2.28×;
+//! young-gen-dram beats the optimizations for most applications.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{all_apps, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    all_ms: f64,
+    writecache_ms: f64,
+    vanilla_ms: f64,
+    vanilla_dram_ms: f64,
+    young_gen_dram_ms: f64,
+}
+
+fn main() {
+    banner("fig05_gc_time", "Figure 5 + §5.2 statistics");
+    let apps = maybe_trim(all_apps(), 4);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = TextTable::new(vec![
+        "app",
+        "+all",
+        "+writecache",
+        "vanilla",
+        "vanilla-dram",
+        "young-dram",
+        "speedup(+all)",
+    ]);
+    for spec in apps {
+        let gc_ms = |gc: GcConfig, placement: DevicePlacement| -> f64 {
+            let mut cfg = sized_config(spec.clone(), gc);
+            cfg.heap.placement = placement;
+            run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
+        };
+        let nvm = DevicePlacement::all_nvm();
+        let row = Row {
+            app: spec.name.to_owned(),
+            all_ms: gc_ms(GcConfig::plus_all(PAPER_THREADS, 0), nvm),
+            writecache_ms: gc_ms(GcConfig::plus_writecache(PAPER_THREADS, 0), nvm),
+            vanilla_ms: gc_ms(GcConfig::vanilla(PAPER_THREADS), nvm),
+            vanilla_dram_ms: gc_ms(GcConfig::vanilla(PAPER_THREADS), DevicePlacement::all_dram()),
+            young_gen_dram_ms: gc_ms(
+                GcConfig::vanilla(PAPER_THREADS),
+                DevicePlacement::young_dram(),
+            ),
+        };
+        table.row(vec![
+            row.app.clone(),
+            format!("{:.1}", row.all_ms),
+            format!("{:.1}", row.writecache_ms),
+            format!("{:.1}", row.vanilla_ms),
+            format!("{:.1}", row.vanilla_dram_ms),
+            format!("{:.1}", row.young_gen_dram_ms),
+            format!("{:.2}x", row.vanilla_ms / row.all_ms.max(1e-9)),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    // §5.2 aggregate statistics.
+    let speedup_all: Vec<f64> = rows.iter().map(|r| r.vanilla_ms / r.all_ms).collect();
+    let speedup_wc: Vec<f64> = rows.iter().map(|r| r.vanilla_ms / r.writecache_ms).collect();
+    let gap_vanilla: Vec<f64> = rows
+        .iter()
+        .map(|r| r.vanilla_ms / r.vanilla_dram_ms)
+        .collect();
+    let gap_opt: Vec<f64> = rows.iter().map(|r| r.all_ms / r.vanilla_dram_ms).collect();
+    let improved = speedup_all.iter().filter(|&&s| s > 1.02).count();
+    let max_all = speedup_all.iter().cloned().fold(0.0f64, f64::max);
+    let max_wc = speedup_wc.iter().cloned().fold(0.0f64, f64::max);
+    println!("improved apps: {}/{} (paper: 23/26)", improved, rows.len());
+    println!(
+        "+all speedup: avg {:.2}x, max {:.2}x (paper: 1.69x avg, 2.69x max)",
+        geomean(&speedup_all),
+        max_all
+    );
+    println!(
+        "+writecache speedup: avg {:.2}x, max {:.2}x (paper: 1.17x avg, 2.08x max)",
+        geomean(&speedup_wc),
+        max_wc
+    );
+    println!(
+        "DRAM:NVM GC gap: vanilla {:.2}x → optimized {:.2}x (paper: 4.21x → 2.28x)",
+        geomean(&gap_vanilla),
+        geomean(&gap_opt)
+    );
+    let ygd_wins = rows
+        .iter()
+        .filter(|r| r.young_gen_dram_ms < r.all_ms)
+        .count();
+    println!(
+        "young-gen-dram beats +all on {}/{} apps (paper: most)",
+        ygd_wins,
+        rows.len()
+    );
+
+    let report = ExperimentReport {
+        id: "fig05_gc_time".to_owned(),
+        paper_ref: "Figure 5".to_owned(),
+        notes: format!("{PAPER_THREADS} GC threads, scaled heaps"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Figure 6 — average NVM bandwidth during GC, G1-Opt vs G1-Vanilla,
+//! across all 26 applications at 56 GC threads.
+//!
+//! The paper reports the optimizations raising in-GC NVM bandwidth by
+//! 55 % on average, with Spark applications gaining more (69.3 %) than
+//! Renaissance ones.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{all_apps, run_app, spark_apps};
+use serde::Serialize;
+
+/// The paper saturates the device with 56 GC threads for this figure.
+const THREADS: usize = 56;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    opt_mbps: f64,
+    vanilla_mbps: f64,
+    improvement: f64,
+}
+
+fn main() {
+    banner("fig06_gc_bandwidth", "Figure 6");
+    let apps = maybe_trim(all_apps(), 4);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["app", "G1-Opt (MB/s)", "G1-Vanilla (MB/s)", "gain"]);
+    for spec in apps {
+        let bw = |gc: GcConfig| -> f64 {
+            let mut cfg = sized_config(spec.clone(), gc);
+            cfg.sample_series = true;
+            let r = run_app(&cfg).expect("run succeeds");
+            r.gc_nvm_bandwidth.0 + r.gc_nvm_bandwidth.1
+        };
+        let opt = bw(GcConfig::plus_all(THREADS, 0));
+        let vanilla = bw(GcConfig::vanilla(THREADS));
+        table.row(vec![
+            spec.name.to_owned(),
+            format!("{opt:.0}"),
+            format!("{vanilla:.0}"),
+            format!("{:+.1}%", (opt / vanilla - 1.0) * 100.0),
+        ]);
+        rows.push(Row {
+            app: spec.name.to_owned(),
+            opt_mbps: opt,
+            vanilla_mbps: vanilla,
+            improvement: opt / vanilla,
+        });
+    }
+    println!("{}", table.render());
+    let gains: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
+    println!(
+        "average in-GC NVM bandwidth gain: {:+.1}% (paper: +55.0%)",
+        (geomean(&gains) - 1.0) * 100.0
+    );
+    let spark_names: Vec<&str> = spark_apps().iter().map(|s| s.name).collect();
+    let spark_gains: Vec<f64> = rows
+        .iter()
+        .filter(|r| spark_names.contains(&r.app.as_str()))
+        .map(|r| r.improvement)
+        .collect();
+    if !spark_gains.is_empty() {
+        println!(
+            "Spark-only gain: {:+.1}% (paper: +69.3%)",
+            (geomean(&spark_gains) - 1.0) * 100.0
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig06_gc_bandwidth".to_owned(),
+        paper_ref: "Figure 6".to_owned(),
+        notes: format!("{THREADS} GC threads"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,103 @@
+//! Figure 8 — Cassandra p95/p99 tail latency vs offered throughput,
+//! optimized vs vanilla G1, for a write phase and a read phase.
+//!
+//! The paper's best case (130 kqps): p95/p99 read latency improves
+//! 5.09×/4.88×; writes improve 2.74×/2.54×. The mechanism is pause
+//! shortening: requests no longer queue behind long STW pauses.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::cassandra::{server_spec, simulate_client, CassandraPhase};
+use nvmgc_workloads::run_app;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    phase: String,
+    config: String,
+    throughput_kqps: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    banner("fig08_tail_latency", "Figure 8");
+    let throughputs = maybe_trim(vec![10_000.0, 30_000.0, 60_000.0, 100_000.0, 130_000.0], 2);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["phase", "config", "kqps", "p95 (ms)", "p99 (ms)"]);
+    for phase in [CassandraPhase::Write, CassandraPhase::Read] {
+        let phase_name = match phase {
+            CassandraPhase::Write => "write",
+            CassandraPhase::Read => "read",
+        };
+        // Per-request service time: writes are heavier than reads.
+        let service_ns = match phase {
+            CassandraPhase::Write => 5_500.0,
+            CassandraPhase::Read => 4_000.0,
+        };
+        for (gc, label) in [
+            (GcConfig::plus_all(PAPER_THREADS, 0), "opt"),
+            (GcConfig::vanilla(PAPER_THREADS), "vanilla"),
+        ] {
+            let cfg = sized_config(server_spec(phase), gc);
+            let server = run_app(&cfg).expect("server run succeeds");
+            for &tput in &throughputs {
+                let lat = simulate_client(
+                    &server.pause_intervals,
+                    server.total_ns,
+                    service_ns,
+                    tput,
+                    42,
+                );
+                table.row(vec![
+                    phase_name.to_owned(),
+                    label.to_owned(),
+                    format!("{:.0}", tput / 1e3),
+                    format!("{:.2}", lat.p95_ms),
+                    format!("{:.2}", lat.p99_ms),
+                ]);
+                rows.push(Row {
+                    phase: phase_name.to_owned(),
+                    config: label.to_owned(),
+                    throughput_kqps: tput / 1e3,
+                    p95_ms: lat.p95_ms,
+                    p99_ms: lat.p99_ms,
+                });
+            }
+        }
+    }
+    println!("{}", table.render());
+    // Improvement at the highest throughput.
+    let top = rows
+        .iter()
+        .map(|r| r.throughput_kqps)
+        .fold(0.0f64, f64::max);
+    for phase in ["read", "write"] {
+        let find = |config: &str, pct: fn(&Row) -> f64| {
+            rows.iter()
+                .find(|r| r.phase == phase && r.config == config && r.throughput_kqps == top)
+                .map(pct)
+                .unwrap_or(0.0)
+        };
+        let p95x = find("vanilla", |r| r.p95_ms) / find("opt", |r| r.p95_ms).max(1e-9);
+        let p99x = find("vanilla", |r| r.p99_ms) / find("opt", |r| r.p99_ms).max(1e-9);
+        let paper = if phase == "read" {
+            "5.09x / 4.88x"
+        } else {
+            "2.74x / 2.54x"
+        };
+        println!(
+            "{phase}: p95 {:.2}x, p99 {:.2}x better at {top:.0} kqps (paper: {paper})",
+            p95x, p99x
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig08_tail_latency".to_owned(),
+        paper_ref: "Figure 8".to_owned(),
+        notes: "open-loop Poisson client over simulated pause schedules".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

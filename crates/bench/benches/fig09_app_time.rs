@@ -1,0 +1,75 @@
+//! Figure 9 — application completion time, G1-Opt vs G1-Vanilla.
+//!
+//! Renaissance applications mostly change little (GC is a small share of
+//! their time); GC-intensive ones (e.g. scala-stm-bench7) improve; all
+//! four Spark applications improve, 3.2 % (cc) to 6.9 % (sssp).
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{all_apps, run_app, spark_apps};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    opt_ms: f64,
+    vanilla_ms: f64,
+    improvement_pct: f64,
+}
+
+fn main() {
+    banner("fig09_app_time", "Figure 9");
+    let apps = maybe_trim(all_apps(), 4);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["app", "G1-Opt (ms)", "G1-Vanilla (ms)", "gain"]);
+    for spec in apps {
+        let total_ms = |gc: GcConfig| -> f64 {
+            let cfg = sized_config(spec.clone(), gc);
+            run_app(&cfg).expect("run succeeds").total_seconds() * 1e3
+        };
+        let opt = total_ms(GcConfig::plus_all(PAPER_THREADS, 0));
+        let vanilla = total_ms(GcConfig::vanilla(PAPER_THREADS));
+        let gain = (1.0 - opt / vanilla) * 100.0;
+        table.row(vec![
+            spec.name.to_owned(),
+            format!("{opt:.1}"),
+            format!("{vanilla:.1}"),
+            format!("{gain:+.1}%"),
+        ]);
+        rows.push(Row {
+            app: spec.name.to_owned(),
+            opt_ms: opt,
+            vanilla_ms: vanilla,
+            improvement_pct: gain,
+        });
+    }
+    println!("{}", table.render());
+    let spark_names: Vec<&str> = spark_apps().iter().map(|s| s.name).collect();
+    let spark_rows: Vec<&Row> = rows
+        .iter()
+        .filter(|r| spark_names.contains(&r.app.as_str()))
+        .collect();
+    if !spark_rows.is_empty() {
+        let lo = spark_rows
+            .iter()
+            .map(|r| r.improvement_pct)
+            .fold(f64::INFINITY, f64::min);
+        let hi = spark_rows
+            .iter()
+            .map(|r| r.improvement_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "Spark completion-time gains: {lo:.1}%..{hi:.1}% (paper: 3.2%..6.9%), all positive: {}",
+            spark_rows.iter().all(|r| r.improvement_pct > 0.0)
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig09_app_time".to_owned(),
+        paper_ref: "Figure 9".to_owned(),
+        notes: format!("{PAPER_THREADS} GC threads"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

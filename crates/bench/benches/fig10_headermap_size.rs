@@ -1,0 +1,97 @@
+//! Figure 10 — GC time as the header-map budget varies.
+//!
+//! The paper sweeps 512 MB / 1 GB / 2 GB maps against a 16 GB Renaissance
+//! heap (1/32, 1/16 and 1/8 of the heap); scaled here proportionally.
+//! Renaissance apps gain little past the smallest size (3.3 % average);
+//! Spark apps keep gaining (21.1 %) and fill the largest map nearly to
+//! 100 % occupancy.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{all_apps, run_app, spark_apps};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    /// GC time per map-size label, ms.
+    gc_ms: Vec<f64>,
+    /// Peak map occupancy (entries used / capacity) per size.
+    occupancy: Vec<f64>,
+}
+
+fn main() {
+    banner("fig10_headermap_size", "Figure 10");
+    // Heap fractions matching the paper's 512M/1G/2G on 16 GB.
+    let fractions: [(u32, &str); 3] = [(32, "512M~"), (16, "1G~"), (8, "2G~")];
+    let apps = maybe_trim(all_apps(), 4);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["app", "512M~", "1G~", "2G~", "occ@2G~"]);
+    for spec in apps {
+        let mut gc_ms = Vec::new();
+        let mut occupancy = Vec::new();
+        let is_spark = ["page-rank", "kmeans", "cc", "sssp"].contains(&spec.name);
+        for &(div, _) in &fractions {
+            let mut cfg = sized_config(spec.clone(), GcConfig::plus_all(PAPER_THREADS, 0));
+            if is_spark {
+                // The paper's Spark runs use a young:heap ratio of 1:4
+                // (64 GB of 256 GB), which is what makes their header maps
+                // fill up; mirror that geometry so map pressure scales the
+                // same way.
+                cfg.heap.young_regions = cfg.heap.heap_regions / 3;
+            }
+            cfg.gc.header_map.max_bytes = cfg.heap_bytes() / div as u64;
+            let r = run_app(&cfg).expect("run succeeds");
+            gc_ms.push(r.gc_seconds() * 1e3);
+            let cap = (cfg.gc.header_map.max_bytes / 16).next_power_of_two() / 2;
+            let peak_occ = r
+                .cycles
+                .iter()
+                .map(|c| c.hm_occupancy as f64 / cap.max(1) as f64)
+                .fold(0.0f64, f64::max);
+            occupancy.push(peak_occ);
+        }
+        table.row(vec![
+            spec.name.to_owned(),
+            format!("{:.1}", gc_ms[0]),
+            format!("{:.1}", gc_ms[1]),
+            format!("{:.1}", gc_ms[2]),
+            format!("{:.0}%", occupancy[2] * 100.0),
+        ]);
+        rows.push(Row {
+            app: spec.name.to_owned(),
+            gc_ms,
+            occupancy,
+        });
+    }
+    println!("{}", table.render());
+    let spark_names: Vec<&str> = spark_apps().iter().map(|s| s.name).collect();
+    let gain = |rs: Vec<&Row>| -> f64 {
+        let ratios: Vec<f64> = rs.iter().map(|r| r.gc_ms[0] / r.gc_ms[2]).collect();
+        (geomean(&ratios) - 1.0) * 100.0
+    };
+    let (spark, ren): (Vec<&Row>, Vec<&Row>) = rows
+        .iter()
+        .partition(|r| spark_names.contains(&r.app.as_str()));
+    if !ren.is_empty() {
+        println!(
+            "Renaissance gain from 4x larger map: {:+.1}% (paper: +3.3% — already enough at 512M)",
+            gain(ren)
+        );
+    }
+    if !spark.is_empty() {
+        println!(
+            "Spark gain from 4x larger map: {:+.1}% (paper: +21.1%, occupancy near 100%)",
+            gain(spark)
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig10_headermap_size".to_owned(),
+        paper_ref: "Figure 10".to_owned(),
+        notes: "map sized at 1/32, 1/16, 1/8 of the heap".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,93 @@
+//! Figure 12 — cost-efficiency: GC-improvement-per-dollar of the
+//! NVM-aware optimizations vs simply buying DRAM for the whole heap.
+//!
+//! Baseline: vanilla G1 on an all-NVM heap. The optimizations add a
+//! little DRAM (write cache + header map, 1/32 of the heap each); the
+//! all-DRAM alternative replaces the whole heap at 7.81 $/GB vs
+//! 3.01 $/GB. The paper reports the optimizations being ~9.58× more
+//! cost-effective for Spark.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::cost::{dram_cost, nvm_cost};
+use nvmgc_metrics::{gc_improvement_per_dollar, geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{all_apps, run_app, spark_apps};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    opt_gipd: f64,
+    dram_gipd: f64,
+    ratio: f64,
+}
+
+fn main() {
+    banner("fig12_cost_efficiency", "Figure 12");
+    let apps = maybe_trim(all_apps(), 4);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["app", "opt s/$", "dram s/$", "opt/dram"]);
+    for spec in apps {
+        let vanilla_cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));
+        let heap_bytes = vanilla_cfg.heap_bytes();
+        let vanilla = run_app(&vanilla_cfg).expect("run succeeds");
+
+        let opt_cfg = sized_config(spec.clone(), GcConfig::plus_all(PAPER_THREADS, 0));
+        let extra_dram =
+            opt_cfg.gc.write_cache.max_bytes + opt_cfg.gc.header_map.max_bytes;
+        let opt = run_app(&opt_cfg).expect("run succeeds");
+
+        let mut dram_cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));
+        dram_cfg.heap.placement = DevicePlacement::all_dram();
+        let dram = run_app(&dram_cfg).expect("run succeeds");
+
+        // Extra dollars over the all-NVM baseline.
+        let opt_dollars = dram_cost(extra_dram);
+        let dram_dollars = dram_cost(heap_bytes) - nvm_cost(heap_bytes);
+        let opt_gipd =
+            gc_improvement_per_dollar(vanilla.gc_seconds(), opt.gc_seconds(), opt_dollars);
+        let dram_gipd =
+            gc_improvement_per_dollar(vanilla.gc_seconds(), dram.gc_seconds(), dram_dollars);
+        let row = Row {
+            app: spec.name.to_owned(),
+            opt_gipd,
+            dram_gipd,
+            ratio: opt_gipd / dram_gipd.max(1e-12),
+        };
+        table.row(vec![
+            row.app.clone(),
+            format!("{:.3}", row.opt_gipd),
+            format!("{:.3}", row.dram_gipd),
+            format!("{:.2}x", row.ratio),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    let better = rows.iter().filter(|r| r.ratio > 1.0).count();
+    println!(
+        "optimizations more cost-effective than all-DRAM on {}/{} apps (paper: most)",
+        better,
+        rows.len()
+    );
+    let spark_names: Vec<&str> = spark_apps().iter().map(|s| s.name).collect();
+    let spark_ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| spark_names.contains(&r.app.as_str()) && r.ratio > 0.0)
+        .map(|r| r.ratio)
+        .collect();
+    if !spark_ratios.is_empty() {
+        println!(
+            "Spark GC-improvement-per-dollar advantage: {:.2}x (paper: 9.58x)",
+            geomean(&spark_ratios)
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig12_cost_efficiency".to_owned(),
+        paper_ref: "Figure 12".to_owned(),
+        notes: "prices: DRAM 7.81 $/GB, NVM 3.01 $/GB (paper §5.5)".to_owned(),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! Figure 13 — accumulated GC time vs GC thread count (1, 2, 4, 8, 20,
+//! 28, 56) for all 26 applications under vanilla, +writecache and +all.
+//!
+//! The paper's shape: vanilla stops scaling at ~8 threads (NVM bandwidth
+//! saturated); +writecache scales to ~20; +all scales to 56 logical
+//! cores for most applications.
+//!
+//! This is the largest sweep (26 apps × 7 thread counts × 3 configs);
+//! expect several minutes, or set `NVMGC_FAST=1`.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, THREAD_SWEEP};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport};
+use nvmgc_workloads::{all_apps, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppCurve {
+    app: String,
+    threads: Vec<usize>,
+    vanilla_ms: Vec<f64>,
+    writecache_ms: Vec<f64>,
+    all_ms: Vec<f64>,
+}
+
+fn main() {
+    banner("fig13_thread_scaling", "Figure 13 (a–z)");
+    let apps = maybe_trim(all_apps(), 2);
+    let threads = maybe_trim(THREAD_SWEEP.to_vec(), 3);
+    let mut curves = Vec::new();
+    for spec in apps {
+        let mut curve = AppCurve {
+            app: spec.name.to_owned(),
+            threads: threads.clone(),
+            vanilla_ms: Vec::new(),
+            writecache_ms: Vec::new(),
+            all_ms: Vec::new(),
+        };
+        for &t in &threads {
+            let gc_ms = |gc: GcConfig| -> f64 {
+                let cfg = sized_config(spec.clone(), gc);
+                run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
+            };
+            curve.vanilla_ms.push(gc_ms(GcConfig::vanilla(t)));
+            curve.writecache_ms.push(gc_ms(GcConfig::plus_writecache(t, 0)));
+            curve.all_ms.push(gc_ms(GcConfig::plus_all(t, 0)));
+        }
+        println!("--- {} ---", curve.app);
+        println!(
+            "{:>8} {:>10} {:>12} {:>10}",
+            "threads", "vanilla", "+writecache", "+all"
+        );
+        for (i, &t) in threads.iter().enumerate() {
+            println!(
+                "{:>8} {:>10.1} {:>12.1} {:>10.1}",
+                t, curve.vanilla_ms[i], curve.writecache_ms[i], curve.all_ms[i]
+            );
+        }
+        curves.push(curve);
+    }
+    // Shape summary: where does each configuration stop improving?
+    if threads.len() >= 2 {
+        let knee = |series: &[f64]| -> usize {
+            let mut best = 0;
+            for i in 1..series.len() {
+                // Still improving if at least 5% better than the best so far.
+                if series[i] < series[best] * 0.95 {
+                    best = i;
+                }
+            }
+            threads[best]
+        };
+        let mut v_knees = Vec::new();
+        let mut w_knees = Vec::new();
+        let mut a_knees = Vec::new();
+        for c in &curves {
+            v_knees.push(knee(&c.vanilla_ms) as f64);
+            w_knees.push(knee(&c.writecache_ms) as f64);
+            a_knees.push(knee(&c.all_ms) as f64);
+        }
+        let med = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v[v.len() / 2]
+        };
+        println!();
+        println!(
+            "median scaling knee: vanilla {} threads (paper ~8), +writecache {} (paper ~20), +all {} (paper up to 56)",
+            med(v_knees), med(w_knees), med(a_knees)
+        );
+    }
+    let report = ExperimentReport {
+        id: "fig13_thread_scaling".to_owned(),
+        paper_ref: "Figure 13".to_owned(),
+        notes: "GC threads swept over {1,2,4,8,20,28,56}".to_owned(),
+        data: curves,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

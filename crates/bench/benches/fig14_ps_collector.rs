@@ -1,0 +1,80 @@
+//! Figure 14 — the optimizations migrated to Parallel Scavenge:
+//! GC time for Renaissance under `+all`, `no-prefetch` (+all minus the
+//! added prefetching) and `vanilla` PS.
+//!
+//! Paper findings: PS also improves (0.61×–2.26× across apps, i.e. a few
+//! regress), but less than G1 because PS's irregular direct copies bypass
+//! the write cache; the added prefetching contributes ~4.8 % on average.
+
+use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::{renaissance_apps, run_app};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    all_ms: f64,
+    no_prefetch_ms: f64,
+    vanilla_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    banner("fig14_ps_collector", "Figure 14");
+    let apps = maybe_trim(renaissance_apps(), 4);
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["app", "+all", "no-prefetch", "vanilla", "speedup"]);
+    for spec in apps {
+        let gc_ms = |gc: GcConfig| -> f64 {
+            let cfg = sized_config(spec.clone(), gc);
+            run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
+        };
+        let all = gc_ms(GcConfig::ps_plus_all(PAPER_THREADS, 0));
+        let nopf = {
+            let mut c = GcConfig::ps_plus_all(PAPER_THREADS, 0);
+            c.prefetch = false;
+            gc_ms(c)
+        };
+        let vanilla = gc_ms(GcConfig::ps_vanilla(PAPER_THREADS));
+        let row = Row {
+            app: spec.name.to_owned(),
+            all_ms: all,
+            no_prefetch_ms: nopf,
+            vanilla_ms: vanilla,
+            speedup: vanilla / all,
+        };
+        table.row(vec![
+            row.app.clone(),
+            format!("{:.1}", row.all_ms),
+            format!("{:.1}", row.no_prefetch_ms),
+            format!("{:.1}", row.vanilla_ms),
+            format!("{:.2}x", row.speedup),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "PS speedup range {:.2}x..{:.2}x, avg {:.2}x (paper: 0.61x..2.26x)",
+        lo,
+        hi,
+        geomean(&speedups)
+    );
+    let pf_gain: Vec<f64> = rows.iter().map(|r| r.no_prefetch_ms / r.all_ms).collect();
+    println!(
+        "prefetching contribution: {:+.1}% average (paper: +4.8%)",
+        (geomean(&pf_gain) - 1.0) * 100.0
+    );
+    let report = ExperimentReport {
+        id: "fig14_ps_collector".to_owned(),
+        paper_ref: "Figure 14".to_owned(),
+        notes: format!("PS collector, {PAPER_THREADS} GC threads, Renaissance"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,216 @@
+//! Criterion microbenchmarks for the core data structures.
+//!
+//! Wall-clock throughput of the pieces the simulated collector is built
+//! from: header-map put/get under real threads, write-cache region
+//! translation, remembered-set insertion, the LLC model, bandwidth-ledger
+//! grants and the whole-heap object copy path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nvmgc_core::header_map::HeaderMap;
+use nvmgc_core::marking::MarkState;
+use nvmgc_core::write_cache::WriteCachePool;
+use nvmgc_core::WriteCacheConfig;
+use nvmgc_heap::{
+    Addr, CardTable, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind, RememberedSet,
+};
+use nvmgc_memsim::{AccessKind, DeviceParams, Ledger, LlcModel, Pattern};
+use std::hint::black_box;
+
+fn classes() -> ClassTable {
+    let mut t = ClassTable::new();
+    t.register("pair", 2, 16);
+    t
+}
+
+fn heap() -> Heap {
+    Heap::new(
+        HeapConfig {
+            region_size: 64 << 10,
+            heap_regions: 64,
+            young_regions: 32,
+            placement: DevicePlacement::all_nvm(),
+            card_table: false,
+        },
+        classes(),
+    )
+}
+
+fn bench_header_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("header_map");
+    g.bench_function("put_1m_single_thread", |b| {
+        b.iter_batched(
+            || HeaderMap::new(32 << 20, 16),
+            |m| {
+                for i in 1..=1_000_000u64 {
+                    black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096)));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("get_hit", |b| {
+        let m = HeaderMap::new(32 << 20, 16);
+        for i in 1..=100_000u64 {
+            m.put(Addr(i * 8), Addr(i * 8 + 4096));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i % 100_000 + 1;
+            black_box(m.get(Addr(i * 8)))
+        })
+    });
+    g.bench_function("get_miss", |b| {
+        let m = HeaderMap::new(32 << 20, 16);
+        for i in 1..=100_000u64 {
+            m.put(Addr(i * 8), Addr(i * 8 + 4096));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 8;
+            black_box(m.get(Addr(0x7000_0000 + i)))
+        })
+    });
+    g.bench_function("put_contended_8_threads", |b| {
+        b.iter_batched(
+            || HeaderMap::new(32 << 20, 16),
+            |m| {
+                std::thread::scope(|s| {
+                    for t in 0..8u64 {
+                        let m = &m;
+                        s.spawn(move || {
+                            for i in 1..=50_000u64 {
+                                black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096 + t)));
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_write_cache(c: &mut Criterion) {
+    c.bench_function("write_cache_translate", |b| {
+        let mut h = heap();
+        let mut pool = WriteCachePool::new(WriteCacheConfig {
+            enabled: true,
+            max_bytes: 1 << 20,
+            async_flush: false,
+            nt_store: true,
+        });
+        let (cache, _) = pool.alloc_pair(&mut h).expect("pair");
+        let addr = h.addr_of(cache, 0x1000);
+        b.iter(|| black_box(WriteCachePool::translate(&h, addr)))
+    });
+}
+
+fn bench_remset(c: &mut Criterion) {
+    c.bench_function("remset_insert_100k", |b| {
+        b.iter_batched(
+            RememberedSet::new,
+            |mut rs| {
+                for i in 0..100_000u64 {
+                    rs.insert(Addr(i * 8));
+                }
+                black_box(rs.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    c.bench_function("llc_access", |b| {
+        let mut llc = LlcModel::new(2 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(llc.access(i & 0xFF_FFFF))
+        })
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    c.bench_function("ledger_grant", |b| {
+        let mut l = Ledger::new(DeviceParams::optane(), 20_000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(l.grant(t, AccessKind::Read, Pattern::Rand, 64))
+        })
+    });
+}
+
+fn bench_heap_copy(c: &mut Criterion) {
+    c.bench_function("heap_copy_object", |b| {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).expect("region");
+        let obj = h.alloc_object(eden, 0).expect("object");
+        b.iter(|| {
+            let s = h.take_region(RegionKind::Survivor).expect("region");
+            // Fill the survivor region with copies.
+            while let Some(copy) = h.copy_object(obj, s) {
+                black_box(copy);
+            }
+            h.release_region(s);
+        })
+    });
+}
+
+fn bench_mark_bitmap(c: &mut Criterion) {
+    c.bench_function("mark_bitmap_mark", |b| {
+        let h = heap();
+        b.iter_batched(
+            || MarkState::new(&h),
+            |mut st| {
+                // Mark every 40-byte granule of 8 regions.
+                for r in 0..8u32 {
+                    let mut off = 0;
+                    while off + 40 <= 64 << 10 {
+                        black_box(st.mark(h.addr_of(r, off), 40));
+                        off += 40;
+                    }
+                }
+                black_box(st.total_live_bytes())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_card_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("card_table");
+    g.bench_function("dirty", |b| {
+        let mut ct = CardTable::new(1024, 16);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            ct.dirty(Addr::from_parts(i, (i * 64) % (1 << 16), 16));
+        })
+    });
+    g.bench_function("clear_region", |b| {
+        let mut ct = CardTable::new(64, 16);
+        b.iter(|| {
+            for card in 0..128u32 {
+                ct.dirty(Addr::from_parts(3, card * 512, 16));
+            }
+            black_box(ct.clear_region(3))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_header_map,
+    bench_write_cache,
+    bench_remset,
+    bench_llc,
+    bench_ledger,
+    bench_heap_copy,
+    bench_mark_bitmap,
+    bench_card_table
+);
+criterion_main!(benches);

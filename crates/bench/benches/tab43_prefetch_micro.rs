@@ -1,0 +1,83 @@
+//! §4.3 table — the software-prefetch microbenchmark.
+//!
+//! Random read-modify-write over a large array, DRAM/NVM × with/without
+//! prefetching. The paper (40 M accesses) reports:
+//!
+//! | Configuration    | Result (s) |
+//! |------------------|-----------:|
+//! | DRAM-noprefetch  | 1.513      |
+//! | DRAM-prefetch    | 0.958      |
+//! | NVM-noprefetch   | 4.171      |
+//! | NVM-prefetch     | 1.369      |
+//!
+//! i.e. 1.58× speedup on DRAM and 3.05× on NVM. This harness runs a
+//! scaled access count; the speedup ratios are the reproduced shape.
+
+use nvmgc_bench::{banner, fast_mode, results_dir};
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::prefetch_micro::{MicroConfig, MicroTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    accesses: u64,
+    dram_noprefetch_ms: f64,
+    dram_prefetch_ms: f64,
+    nvm_noprefetch_ms: f64,
+    nvm_prefetch_ms: f64,
+    dram_speedup: f64,
+    nvm_speedup: f64,
+}
+
+fn main() {
+    banner("tab43_prefetch_micro", "the §4.3 prefetch table");
+    let cfg = MicroConfig {
+        accesses: if fast_mode() { 200_000 } else { 4_000_000 },
+        ..MicroConfig::default()
+    };
+    let t = MicroTable::run(&cfg);
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut table = TextTable::new(vec!["configuration", "result (ms)", "paper (s)"]);
+    table.row(vec![
+        "DRAM-noprefetch".to_owned(),
+        format!("{:.2}", ms(t.dram_nopf)),
+        "1.513".to_owned(),
+    ]);
+    table.row(vec![
+        "DRAM-prefetch".to_owned(),
+        format!("{:.2}", ms(t.dram_pf)),
+        "0.958".to_owned(),
+    ]);
+    table.row(vec![
+        "NVM-noprefetch".to_owned(),
+        format!("{:.2}", ms(t.nvm_nopf)),
+        "4.171".to_owned(),
+    ]);
+    table.row(vec![
+        "NVM-prefetch".to_owned(),
+        format!("{:.2}", ms(t.nvm_pf)),
+        "1.369".to_owned(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "prefetch speedup: DRAM {:.2}x (paper 1.58x), NVM {:.2}x (paper 3.05x)",
+        t.dram_speedup(),
+        t.nvm_speedup()
+    );
+    let report = ExperimentReport {
+        id: "tab43_prefetch_micro".to_owned(),
+        paper_ref: "§4.3 microbenchmark table".to_owned(),
+        notes: format!("{} accesses (paper: 40M)", cfg.accesses),
+        data: Out {
+            accesses: cfg.accesses,
+            dram_noprefetch_ms: ms(t.dram_nopf),
+            dram_prefetch_ms: ms(t.dram_pf),
+            nvm_noprefetch_ms: ms(t.nvm_nopf),
+            nvm_prefetch_ms: ms(t.nvm_pf),
+            dram_speedup: t.dram_speedup(),
+            nvm_speedup: t.nvm_speedup(),
+        },
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

@@ -1,0 +1,246 @@
+//! Metered heap access.
+//!
+//! The heap itself is cost-agnostic; every actor (GC workers, the mutator)
+//! goes through [`Gx`], which performs the real heap operation *and*
+//! charges the corresponding traffic to the memory model, returning the
+//! actor's advanced clock. Keeping the pairing in one place guarantees no
+//! heap operation escapes accounting.
+
+use nvmgc_heap::{Addr, ClassId, Header, Heap, RegionId};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern};
+
+/// A heap + memory-model execution context.
+///
+/// Borrowed mutably for the duration of one simulated operation; the
+/// naming is short because it appears on nearly every line of the
+/// collectors.
+pub struct Gx<'a> {
+    /// The managed heap.
+    pub heap: &'a mut Heap,
+    /// The memory timing model.
+    pub mem: &'a mut MemorySystem,
+}
+
+impl<'a> Gx<'a> {
+    /// Creates a context.
+    pub fn new(heap: &'a mut Heap, mem: &'a mut MemorySystem) -> Self {
+        Gx { heap, mem }
+    }
+
+    /// Reads a reference slot, charging a word read on the slot's device.
+    pub fn read_ref(&mut self, tid: usize, slot: Addr, now: Ns) -> (Addr, Ns) {
+        let dev = self.heap.device_of(slot);
+        let t = self.mem.read_word(tid, dev, slot.raw(), now);
+        (self.heap.read_ref(slot), t)
+    }
+
+    /// Writes a reference slot through the write barrier, charging the
+    /// word write plus a small DRAM update when a remembered-set entry is
+    /// recorded.
+    pub fn write_ref(&mut self, tid: usize, slot: Addr, value: Addr, now: Ns) -> Ns {
+        let dev = self.heap.device_of(slot);
+        let mut t = self.mem.write_word(tid, dev, slot.raw(), now);
+        if self.heap.write_ref_with_barrier(slot, value) {
+            // Remset insertion: card-table-like DRAM metadata update.
+            t = self.mem.write_word(tid, DeviceId::Dram, 0x6000_0000_0000_0000 | slot.raw(), t);
+        }
+        t
+    }
+
+    /// Reads an object header, charging a word read.
+    pub fn read_header(&mut self, tid: usize, obj: Addr, now: Ns) -> (Header, Ns) {
+        let dev = self.heap.device_of(obj);
+        let t = self.mem.read_word(tid, dev, obj.raw(), now);
+        (self.heap.header(obj), t)
+    }
+
+    /// Overwrites an object header, charging a word write. Used both for
+    /// forwarding-pointer installation (a random NVM write the header map
+    /// exists to avoid) and for ageing the new copy's header.
+    pub fn write_header(&mut self, tid: usize, obj: Addr, h: Header, now: Ns) -> Ns {
+        let dev = self.heap.device_of(obj);
+        self.heap.set_header(obj, h);
+        self.mem.write_word(tid, dev, obj.raw(), now)
+    }
+
+    /// Installs a forwarding pointer with an atomic compare-and-swap on
+    /// the header, charging the word write plus CAS overhead. Returns the
+    /// winning forwarding target (ours, or a racer's).
+    ///
+    /// Under the deterministic engine the CAS never loses; the cost model
+    /// still reflects the atomic's extra latency.
+    pub fn cas_forward(&mut self, tid: usize, obj: Addr, new: Addr, now: Ns) -> (Addr, Ns) {
+        let (h, t) = self.read_header(tid, obj, now);
+        if let Some(existing) = h.forwardee() {
+            return (existing, t);
+        }
+        let t = self.write_header(tid, obj, Header::forwarding(new), t);
+        // Atomic RMW overhead beyond the plain store.
+        (new, t + 15)
+    }
+
+    /// Copies the object at `from` into `to_region`, charging a streaming
+    /// read from the source device and a streaming write to the target
+    /// device (overlapped). The copy's lines are installed in the LLC —
+    /// a regular-store memcpy leaves the destination cache-hot.
+    ///
+    /// Returns the copy address (or `None` when `to_region` is full).
+    pub fn copy_object(
+        &mut self,
+        from: Addr,
+        to_region: RegionId,
+        now: Ns,
+    ) -> (Option<Addr>, Ns) {
+        let size = self.heap.object_size(from) as u64;
+        let src_dev = self.heap.device_of(from);
+        let dst_dev = self.heap.region(to_region).device();
+        match self.heap.copy_object(from, to_region) {
+            Some(copy) => {
+                let tr = self.mem.bulk_read(src_dev, Pattern::Seq, size, now);
+                let tw = self.mem.bulk_write(dst_dev, Pattern::Seq, size, now);
+                self.mem.install_range(copy.raw(), size);
+                (Some(copy), tr.max(tw))
+            }
+            None => (None, now),
+        }
+    }
+
+    /// Allocates and zero-initializes an object for the mutator, charging
+    /// a streaming write of the object's size.
+    pub fn alloc_object(
+        &mut self,
+        region: RegionId,
+        class: ClassId,
+        now: Ns,
+    ) -> (Option<Addr>, Ns) {
+        let dev = self.heap.region(region).device();
+        match self.heap.alloc_object(region, class) {
+            Some(obj) => {
+                let size = self.heap.object_size(obj) as u64;
+                let t = self.mem.bulk_write(dev, Pattern::Seq, size, now);
+                self.mem.install_range(obj.raw(), size);
+                (Some(obj), t)
+            }
+            None => (None, now),
+        }
+    }
+
+    /// Reads a payload word of an object (mutator work), charging a word
+    /// read.
+    pub fn read_data(&mut self, tid: usize, obj: Addr, w: u32, now: Ns) -> (u64, Ns) {
+        let dev = self.heap.device_of(obj);
+        let t = self.mem.read_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now);
+        (self.heap.read_data(obj, w), t)
+    }
+
+    /// Writes a payload word of an object, charging a word write.
+    pub fn write_data(&mut self, tid: usize, obj: Addr, w: u32, value: u64, now: Ns) -> Ns {
+        let dev = self.heap.device_of(obj);
+        self.heap.write_data(obj, w, value);
+        self.mem.write_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now)
+    }
+
+    /// Issues a software prefetch for the object at `addr`.
+    pub fn prefetch_obj(&mut self, tid: usize, addr: Addr, now: Ns) -> Ns {
+        if addr.is_null() {
+            return now;
+        }
+        let dev = self.heap.device_of(addr);
+        self.mem.prefetch(tid, dev, addr.raw(), now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmgc_heap::{ClassTable, DevicePlacement, HeapConfig, RegionKind};
+    use nvmgc_memsim::MemConfig;
+
+    fn setup() -> (Heap, MemorySystem) {
+        let mut classes = ClassTable::new();
+        classes.register("pair", 2, 16);
+        let heap = Heap::new(
+            HeapConfig {
+                region_size: 1 << 12,
+                heap_regions: 8,
+                young_regions: 4,
+                placement: DevicePlacement::all_nvm(),
+                card_table: false,
+            },
+            classes,
+        );
+        let mut mem = MemorySystem::new(MemConfig::default());
+        mem.set_threads(2);
+        (heap, mem)
+    }
+
+    #[test]
+    fn ref_roundtrip_advances_time() {
+        let (mut heap, mut mem) = setup();
+        let e = heap.take_region(RegionKind::Eden).unwrap();
+        let a = heap.alloc_object(e, 0).unwrap();
+        let b = heap.alloc_object(e, 0).unwrap();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        let slot = gx.heap.ref_slot(a, 0);
+        let t1 = gx.write_ref(0, slot, b, 0);
+        assert!(t1 > 0);
+        let (v, t2) = gx.read_ref(0, slot, t1);
+        assert_eq!(v, b);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn barrier_cost_charged_for_old_to_young() {
+        let (mut heap, mut mem) = setup();
+        let e = heap.take_region(RegionKind::Eden).unwrap();
+        let o = heap.take_region(RegionKind::Old).unwrap();
+        let young = heap.alloc_object(e, 0).unwrap();
+        let old = heap.alloc_object(o, 0).unwrap();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        let slot = gx.heap.ref_slot(old, 0);
+        gx.write_ref(0, slot, young, 0);
+        let yr = young.region(gx.heap.shift());
+        assert_eq!(gx.heap.region(yr).remset.len(), 1);
+    }
+
+    #[test]
+    fn copy_object_charges_both_devices() {
+        let (mut heap, mut mem) = setup();
+        let e = heap.take_region(RegionKind::Eden).unwrap();
+        let s = heap.take_region(RegionKind::Survivor).unwrap();
+        let a = heap.alloc_object(e, 0).unwrap();
+        heap.write_data(a, 0, 7);
+        let nvm = DeviceId::Nvm.index();
+        let before = mem.stats();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        let (copy, t) = gx.copy_object(a, s, 0);
+        let copy = copy.unwrap();
+        assert!(t > 0);
+        assert_eq!(heap.read_data(copy, 0), 7);
+        let after = mem.stats();
+        assert!(after.read_bytes[nvm] > before.read_bytes[nvm]);
+        assert!(after.write_bytes[nvm] > before.write_bytes[nvm]);
+    }
+
+    #[test]
+    fn cas_forward_returns_existing_winner() {
+        let (mut heap, mut mem) = setup();
+        let e = heap.take_region(RegionKind::Eden).unwrap();
+        let s = heap.take_region(RegionKind::Survivor).unwrap();
+        let a = heap.alloc_object(e, 0).unwrap();
+        let c1 = heap.alloc_object(s, 0).unwrap();
+        let c2 = heap.alloc_object(s, 0).unwrap();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        let (w1, t) = gx.cas_forward(0, a, c1, 0);
+        assert_eq!(w1, c1);
+        let (w2, _) = gx.cas_forward(1, a, c2, t);
+        assert_eq!(w2, c1, "second CAS observes the first forwarding");
+    }
+
+    #[test]
+    fn prefetch_null_is_noop() {
+        let (mut heap, mut mem) = setup();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        assert_eq!(gx.prefetch_obj(0, Addr::NULL, 55), 55);
+    }
+}

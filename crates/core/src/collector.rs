@@ -1,0 +1,873 @@
+//! The parallel copy-and-traverse worker.
+//!
+//! Each simulated GC thread repeats the four steps of the paper's §3.1:
+//!
+//! 1. fetch a reference from its work stack and find the referent
+//!    (random read);
+//! 2. copy the referent to the survivor space (sequential read/write) —
+//!    into a DRAM cache region when the write cache is enabled;
+//! 3. install the forwarding pointer — into the DRAM header map when
+//!    active, else a random NVM header write;
+//! 4. update the reference with the referent's new address (random write
+//!    — absorbed by DRAM when the slot lives in a cache region) and push
+//!    the referent's own references.
+//!
+//! Work stealing, promotion (ageing), PS-style LABs, asynchronous region
+//! flushing and the final write-back / header-map-cleanup phases all live
+//! here. Workers never touch wall-clock time: every operation advances
+//! the worker's simulated clock through the memory model.
+
+use crate::access::Gx;
+use crate::config::{CollectorKind, GcConfig, Traversal};
+use crate::header_map::{HeaderMap, PutOutcome};
+use crate::stack::{Task, WorkPool};
+use crate::stats::GcStats;
+use crate::write_cache::WriteCachePool;
+use nvmgc_heap::{Addr, Header, Heap, HeapError, RegionId, RegionKind};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern};
+use std::collections::VecDeque;
+
+/// Synthetic DRAM address base for the mutator root array.
+pub const ROOT_ARRAY_BASE: u64 = 0x5000_0000_0000_0000;
+
+/// Extra latency of an atomic RMW beyond a plain store, ns.
+const CAS_EXTRA_NS: u64 = 15;
+
+/// Cost of a successful steal (queue synchronization), ns.
+const STEAL_NS: u64 = 120;
+
+/// Cost of acquiring a shared region / LAB chunk, ns.
+const REGION_SYNC_NS: u64 = 60;
+
+/// An in-progress region flush (chunked so other work interleaves).
+#[derive(Debug, Clone, Copy)]
+struct FlushTask {
+    region: RegionId,
+    cursor: u32,
+}
+
+/// A PS local allocation buffer carved out of a shared region.
+#[derive(Debug, Clone, Copy)]
+struct Lab {
+    region: RegionId,
+    cursor: u32,
+    end: u32,
+    cached: bool,
+}
+
+/// Per-worker counters merged into [`GcStats`] at the end of a cycle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerStats {
+    slots: u64,
+    filtered: u64,
+    copied_objects: u64,
+    copied_bytes: u64,
+    promoted_bytes: u64,
+    hm_hits: u64,
+    hm_installs: u64,
+    hm_full: u64,
+    overflow_copies: u64,
+    evac_failures: u64,
+}
+
+/// One simulated GC worker thread.
+#[derive(Debug)]
+pub struct Worker {
+    /// Worker id (also the memory-model thread id).
+    pub id: usize,
+    /// The worker's simulated clock.
+    pub clock: Ns,
+    /// Set when the worker has finished the current phase.
+    pub done: bool,
+    stats: WorkerStats,
+    flush: Option<FlushTask>,
+    cache_pair: Option<(RegionId, RegionId)>,
+    survivor: Option<RegionId>,
+    lab: Option<Lab>,
+    slots_since_flush_check: u32,
+    clear_range: Option<(usize, usize)>,
+}
+
+impl Worker {
+    /// Takes the worker's current (cache, nvm) region pair, leaving none.
+    pub fn take_cache_pair(&mut self) -> Option<(RegionId, RegionId)> {
+        self.cache_pair.take()
+    }
+
+    /// Clears per-phase allocation state (between cycles/phases).
+    pub fn reset_alloc_state(&mut self) {
+        self.survivor = None;
+        self.lab = None;
+        self.slots_since_flush_check = 0;
+    }
+
+    /// Creates a worker starting at simulated time `start`.
+    pub fn new(id: usize, start: Ns) -> Worker {
+        Worker {
+            id,
+            clock: start,
+            done: false,
+            stats: WorkerStats::default(),
+            flush: None,
+            cache_pair: None,
+            survivor: None,
+            lab: None,
+            slots_since_flush_check: 0,
+            clear_range: None,
+        }
+    }
+}
+
+/// State shared by all workers for one GC cycle.
+pub struct CycleShared<'a> {
+    /// The managed heap.
+    pub heap: &'a mut Heap,
+    /// The memory timing model.
+    pub mem: &'a mut MemorySystem,
+    /// Collector configuration.
+    pub cfg: &'a GcConfig,
+    /// Work stacks.
+    pub pool: WorkPool,
+    /// Write-cache state.
+    pub cache: WriteCachePool,
+    /// The header map, when active this cycle.
+    pub hmap: Option<&'a HeaderMap>,
+    /// Mutator roots; updated in place.
+    pub roots: &'a mut [Addr],
+    /// Shared promotion (old-space) allocation region, persisted across
+    /// cycles by the collector front-end.
+    pub promo_region: &'a mut Option<RegionId>,
+    /// PS: shared survivor region LABs are carved from.
+    pub ps_shared_survivor: Option<RegionId>,
+    /// PS with write cache: shared (cache, nvm) pair LABs are carved from.
+    pub ps_shared_cache: Option<(RegionId, RegionId)>,
+    /// Work list for the final write-back phase.
+    pub writeback_queue: VecDeque<RegionId>,
+    /// Cycle statistics under construction.
+    pub stats: GcStats,
+    /// Fatal error (heap exhaustion) encountered by any worker.
+    pub error: Option<HeapError>,
+    /// Objects left in place because evacuation ran out of space, with
+    /// their original headers (restored at cycle end).
+    pub self_forwarded: Vec<(Addr, Header)>,
+    /// Collection-set regions retained because they hold self-forwarded
+    /// objects (G1's evacuation-failure handling).
+    pub retained: Vec<RegionId>,
+}
+
+impl CycleShared<'_> {
+    fn gx(&mut self) -> Gx<'_> {
+        Gx {
+            heap: self.heap,
+            mem: self.mem,
+        }
+    }
+
+    /// Merges a worker's counters into the cycle stats.
+    pub fn absorb_worker(&mut self, w: &Worker) {
+        let s = &w.stats;
+        self.stats.slots_processed += s.slots;
+        self.stats.slots_filtered += s.filtered;
+        self.stats.copied_objects += s.copied_objects;
+        self.stats.copied_bytes += s.copied_bytes;
+        self.stats.promoted_bytes += s.promoted_bytes;
+        self.stats.hm_hits += s.hm_hits;
+        self.stats.hm_installs += s.hm_installs;
+        self.stats.hm_full += s.hm_full;
+        self.stats.cache_overflow_copies += s.overflow_copies;
+        self.stats.evac_failures += s.evac_failures;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan (copy-and-traverse) phase
+// ---------------------------------------------------------------------
+
+/// Executes one scan-phase step for `w`: an async-flush chunk, one task,
+/// one steal attempt, or an idle wait.
+pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
+    debug_assert!(!w.done);
+    if sh.error.is_some() {
+        w.done = true;
+        return;
+    }
+    // Continue or pick up an asynchronous flush.
+    if w.flush.is_some() {
+        flush_chunk(w, sh, true);
+        return;
+    }
+    if sh.cache.config().async_flush && sh.cache.has_ready() {
+        let due = sh.pool.depth(w.id) == 0
+            || w.slots_since_flush_check >= sh.cfg.flush_interleave;
+        if due {
+            w.slots_since_flush_check = 0;
+            let region = sh.cache.take_ready().expect("has_ready checked");
+            w.flush = Some(FlushTask { region, cursor: 0 });
+            flush_chunk(w, sh, true);
+            return;
+        }
+    }
+    // Normal work.
+    let task = match sh.cfg.traversal {
+        Traversal::Dfs => sh.pool.pop(w.id),
+        Traversal::Bfs => sh.pool.pop_front(w.id),
+    };
+    if let Some(task) = task {
+        w.slots_since_flush_check += 1;
+        process_task(w, sh, task);
+        return;
+    }
+    // Steal.
+    if let Some((task, _victim)) = sh.pool.steal(w.id) {
+        w.clock += STEAL_NS;
+        if let Task::Slot(a) = task {
+            let rid = a.region(sh.heap.shift());
+            if sh.heap.region(rid).kind() == RegionKind::Cache {
+                sh.heap.region_mut(rid).stolen = true;
+            }
+        }
+        process_task(w, sh, task);
+        return;
+    }
+    if sh.pool.outstanding() == 0 {
+        // No live work anywhere: the phase is over for this worker.
+        w.done = true;
+        return;
+    }
+    w.clock += sh.cfg.idle_step_ns;
+}
+
+/// Processes one reference location (paper §3.1 steps 1–4).
+fn process_task(w: &mut Worker, sh: &mut CycleShared<'_>, task: Task) {
+    if let Task::CardRegion(region) = task {
+        scan_card_region(w, sh, region);
+        return;
+    }
+    w.stats.slots += 1;
+    w.clock += sh.cfg.cpu_slot_ns as Ns;
+    // Step 1: load the reference.
+    let (slot, referent) = match task {
+        Task::Root(i) => {
+            w.clock = sh.mem.read_word(
+                w.id,
+                DeviceId::Dram,
+                ROOT_ARRAY_BASE + (i as u64) * 8,
+                w.clock,
+            );
+            (None, sh.roots[i as usize])
+        }
+        Task::Slot(a) => {
+            let rid = a.region(sh.heap.shift());
+            let is_cache = sh.heap.region(rid).kind() == RegionKind::Cache;
+            let id = w.id;
+            let clock = w.clock;
+            let (v, t) = sh.gx().read_ref(id, a, clock);
+            w.clock = t;
+            if is_cache {
+                sh.cache.note_slot_done(sh.heap, rid);
+            }
+            (Some((a, rid)), v)
+        }
+        Task::CardRegion(_) => unreachable!("handled above"),
+    };
+    // Filter dead/stale entries: null references, references that no
+    // longer point into the collection set (stale remset entries).
+    let in_cset = !referent.is_null()
+        && sh
+            .heap
+            .region_of(referent)
+            .map(|r| sh.heap.region(r).in_cset)
+            .unwrap_or(false);
+    if !in_cset {
+        w.stats.filtered += 1;
+        return;
+    }
+    // Steps 2–3: forward (copying if we are first).
+    let Some(new_addr) = resolve_forward(w, sh, referent) else {
+        return; // fatal error recorded
+    };
+    // Step 4: update the reference.
+    match slot {
+        None => {
+            if let Task::Root(i) = task {
+                sh.roots[i as usize] = new_addr;
+                w.clock = sh.mem.write_word(
+                    w.id,
+                    DeviceId::Dram,
+                    ROOT_ARRAY_BASE + (i as u64) * 8,
+                    w.clock,
+                );
+            }
+        }
+        Some((a, _rid)) => {
+            let id = w.id;
+            let clock = w.clock;
+            w.clock = sh.gx().write_ref(id, a, new_addr, clock);
+        }
+    }
+}
+
+/// Returns the referent's final (public NVM) address, copying it if it has
+/// not been copied yet. `None` means a fatal heap error was recorded.
+fn resolve_forward(w: &mut Worker, sh: &mut CycleShared<'_>, obj: Addr) -> Option<Addr> {
+    // Header-map lookup first (paper §3.3).
+    if let Some(map) = sh.hmap {
+        let (found, probes) = map.get(obj);
+        charge_map_probes(w, sh, map, obj, probes);
+        if let Some(addr) = found {
+            w.stats.hm_hits += 1;
+            return Some(addr);
+        }
+        // Fall through: must still check the NVM header (the map may have
+        // been full when the forwarding pointer was installed).
+    }
+    let id = w.id;
+    let clock = w.clock;
+    let (hdr, t) = sh.gx().read_header(id, obj, clock);
+    w.clock = t;
+    if let Some(fwd) = hdr.forwardee() {
+        return Some(fwd);
+    }
+    copy_and_forward(w, sh, obj, hdr)
+}
+
+/// Copies `obj` to the survivor space (or promotes it), installs the
+/// forwarding pointer, and pushes the copy's reference slots.
+fn copy_and_forward(
+    w: &mut Worker,
+    sh: &mut CycleShared<'_>,
+    obj: Addr,
+    hdr: Header,
+) -> Option<Addr> {
+    let class = hdr.class_id();
+    let size = sh.heap.classes().get(class).size();
+    let age = hdr.age().saturating_add(1);
+    let from_old = sh.heap.region(obj.region(sh.heap.shift())).kind() == RegionKind::Old;
+    let promote = age >= sh.cfg.tenure_age || from_old;
+    w.clock += sh.cfg.cpu_copy_ns as Ns;
+
+    let (copy, cached) = match copy_into_dest(w, sh, obj, size, promote) {
+        Ok(pair) => pair,
+        Err(HeapError::OutOfRegions) => {
+            // Evacuation failure: leave the object in place, self-forward
+            // it (G1's handling), and retain its region at cycle end.
+            w.stats.evac_failures += 1;
+            sh.self_forwarded.push((obj, hdr));
+            let region = obj.region(sh.heap.shift());
+            if !sh.retained.contains(&region) {
+                sh.retained.push(region);
+            }
+            (obj, false)
+        }
+        Err(e) => {
+            sh.error = Some(e);
+            w.done = true;
+            return None;
+        }
+    };
+    // The copy's public address: cache regions translate through the
+    // region mapping; direct copies are already at their final address.
+    let public = if cached {
+        WriteCachePool::translate(sh.heap, copy)
+    } else {
+        copy
+    };
+    // Refresh the copy's header with the new age (cheap: the copy is
+    // cache-hot after the memcpy).
+    {
+        let id = w.id;
+        let clock = w.clock;
+        let t = sh.gx().write_header(id, copy, Header::new(class, age), clock);
+        w.clock = t;
+    }
+    // Install the forwarding pointer (paper §3.1 step 3 / Algorithm 1).
+    if let Some(map) = sh.hmap {
+        let (outcome, probes) = map.put(obj, public);
+        charge_map_probes(w, sh, map, obj, probes);
+        match outcome {
+            PutOutcome::Installed => {
+                w.stats.hm_installs += 1;
+            }
+            PutOutcome::Existing(other) => {
+                // Another worker won (cannot happen under the DES, but the
+                // algorithm handles it): our copy is wasted, use theirs.
+                w.stats.hm_hits += 1;
+                return Some(other);
+            }
+            PutOutcome::Full => {
+                // Bounded probing failed: install into the NVM header.
+                w.stats.hm_full += 1;
+                let id = w.id;
+                let clock = w.clock;
+                let t = sh
+                    .gx()
+                    .write_header(id, obj, Header::forwarding(public), clock);
+                w.clock = t + CAS_EXTRA_NS;
+            }
+        }
+    } else {
+        let id = w.id;
+        let clock = w.clock;
+        let t = sh
+            .gx()
+            .write_header(id, obj, Header::forwarding(public), clock);
+        w.clock = t + CAS_EXTRA_NS;
+    }
+
+    w.stats.copied_objects += 1;
+    if promote {
+        w.stats.promoted_bytes += size as u64;
+    } else {
+        w.stats.copied_bytes += size as u64;
+    }
+
+    // Push the copy's reference slots (paper §3.1 step 4, second half).
+    let nrefs = sh.heap.classes().get(class).num_refs;
+    let shift = sh.heap.shift();
+    let copy_rid = copy.region(shift);
+    let copy_is_cache = sh.heap.region(copy_rid).kind() == RegionKind::Cache;
+    let copy_is_old = sh.heap.region(copy_rid).kind() == RegionKind::Old;
+    for i in 0..nrefs {
+        let child_slot = sh.heap.ref_slot(copy, i);
+        // Reading the just-copied slot is cheap (cache-hot).
+        let id = w.id;
+        let clock = w.clock;
+        let (child, t) = sh.gx().read_ref(id, child_slot, clock);
+        w.clock = t;
+        if child.is_null() {
+            continue;
+        }
+        let child_in_cset = sh
+            .heap
+            .region_of(child)
+            .map(|r| sh.heap.region(r).in_cset)
+            .unwrap_or(false);
+        if !child_in_cset {
+            // Promotion remset maintenance: an old-located slot now holds
+            // a cross-region reference to a non-collected region; record
+            // it so a future mixed collection of that region finds it
+            // (real G1 enqueues these for remset refinement).
+            if copy_is_old {
+                if let Ok(child_region) = sh.heap.region_of(child) {
+                    if child_region != copy_rid
+                        && sh.heap.region_mut(child_region).remset.insert(child_slot)
+                    {
+                        w.clock = sh.mem.write_word(
+                            w.id,
+                            DeviceId::Dram,
+                            0x6000_0000_0000_0000 | child_slot.raw(),
+                            w.clock,
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        sh.pool.push(w.id, Task::Slot(child_slot));
+        if copy_is_cache {
+            sh.heap.region_mut(copy_rid).pending_slots += 1;
+        }
+        if sh.cfg.prefetch {
+            let id = w.id;
+            let clock = w.clock;
+            let t = sh.gx().prefetch_obj(id, child, clock);
+            w.clock = t;
+            // Extended prefetching: warm the header-map probe line for
+            // the child (paper §4.3).
+            if let Some(map) = sh.hmap {
+                let entry = map.entry_addr(map.probe_base(child));
+                w.clock = sh.mem.prefetch(w.id, DeviceId::Dram, entry, w.clock);
+            }
+        }
+    }
+    Some(public)
+}
+
+/// Charges DRAM traffic for `probes` header-map probes.
+fn charge_map_probes(
+    w: &mut Worker,
+    sh: &mut CycleShared<'_>,
+    map: &HeaderMap,
+    obj: Addr,
+    probes: u32,
+) {
+    let base = map.probe_base(obj);
+    for k in 0..probes as u64 {
+        let addr = map.entry_addr(base.wrapping_add(k));
+        w.clock = sh.mem.read_word(w.id, DeviceId::Dram, addr, w.clock);
+    }
+}
+
+/// Scans the dirty cards of an old/humongous region (card-table remset
+/// mode): walk the region's objects, and for every reference slot whose
+/// card is dirty and whose target is in the collection set, process the
+/// slot. Cards are cleared first; slots that still point to young objects
+/// after the update are re-dirtied by the write barrier.
+fn scan_card_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: u32) {
+    let Some(ct) = sh.heap.card_table_mut() else {
+        return;
+    };
+    let dirty = ct.clear_region(region);
+    if dirty == 0 {
+        return;
+    }
+    // Charge: read the region's card bytes + stream over the used part of
+    // the region to find reference slots (the card-scanning cost that the
+    // precise remset avoids).
+    let dev = sh.heap.region(region).device();
+    let used = sh.heap.region(region).used() as u64;
+    w.clock = sh
+        .mem
+        .bulk_read(DeviceId::Dram, Pattern::Seq, ct_cards_bytes(sh.heap, region), w.clock);
+    w.clock = sh.mem.bulk_read(dev, Pattern::Seq, used, w.clock);
+
+    // Collect the interesting slots first (cheap pass over real memory),
+    // then process each like a remset entry.
+    let mut slots: Vec<Addr> = Vec::new();
+    let heap = &mut *sh.heap;
+    let shift = heap.shift();
+    let mut scan_offsets: Vec<(Addr, u32)> = Vec::new();
+    heap.walk_region(region, |obj, class| {
+        let nrefs = heap.classes().get(class).num_refs;
+        if nrefs > 0 {
+            scan_offsets.push((obj, nrefs));
+        }
+    });
+    for (obj, nrefs) in scan_offsets {
+        for i in 0..nrefs {
+            let slot = heap.ref_slot(obj, i);
+            let value = heap.read_ref(slot);
+            if value.is_null() {
+                continue;
+            }
+            let vr = value.region(shift);
+            if heap.region(vr).in_cset {
+                slots.push(slot);
+            }
+        }
+    }
+    for slot in slots {
+        process_task(w, sh, Task::Slot(slot));
+    }
+}
+
+fn ct_cards_bytes(heap: &Heap, _region: u32) -> u64 {
+    heap.card_table()
+        .map(|ct| ct.cards_per_region() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Copy destinations (G1 survivor regions, PS LABs, promotion)
+// ---------------------------------------------------------------------
+
+/// Copies `obj` into an appropriate destination, returning the physical
+/// copy address and whether it lives in a DRAM cache region.
+fn copy_into_dest(
+    w: &mut Worker,
+    sh: &mut CycleShared<'_>,
+    obj: Addr,
+    size: u32,
+    promote: bool,
+) -> Result<(Addr, bool), HeapError> {
+    if promote {
+        let region = promo_region(w, sh)?;
+        if let Some(copy) = do_copy(w, sh, obj, region) {
+            return Ok((copy, false));
+        }
+        // Shared promotion region full: take a fresh one and retry.
+        *sh.promo_region = Some(sh.heap.take_region(RegionKind::Old)?);
+        w.clock += REGION_SYNC_NS;
+        let region = sh.promo_region.expect("just set");
+        let copy = do_copy(w, sh, obj, region).ok_or(HeapError::ObjectTooLarge {
+            size: size as usize,
+        })?;
+        return Ok((copy, false));
+    }
+    match sh.cfg.collector {
+        CollectorKind::G1 => g1_survivor_copy(w, sh, obj, size),
+        CollectorKind::Ps => ps_survivor_copy(w, sh, obj, size),
+    }
+}
+
+fn promo_region(w: &mut Worker, sh: &mut CycleShared<'_>) -> Result<RegionId, HeapError> {
+    if let Some(r) = *sh.promo_region {
+        return Ok(r);
+    }
+    let r = sh.heap.take_region(RegionKind::Old)?;
+    *sh.promo_region = Some(r);
+    w.clock += REGION_SYNC_NS;
+    Ok(r)
+}
+
+/// Bump-copies `obj` into `region`, charging the streaming traffic.
+fn do_copy(w: &mut Worker, sh: &mut CycleShared<'_>, obj: Addr, region: RegionId) -> Option<Addr> {
+    let clock = w.clock;
+    let (copy, t) = sh.gx().copy_object(obj, region, clock);
+    if copy.is_some() {
+        w.clock = t;
+    }
+    copy
+}
+
+/// G1: per-worker survivor region, cache-backed when enabled.
+fn g1_survivor_copy(
+    w: &mut Worker,
+    sh: &mut CycleShared<'_>,
+    obj: Addr,
+    size: u32,
+) -> Result<(Addr, bool), HeapError> {
+    // Try the worker's cache region first.
+    if sh.cache.enabled() {
+        loop {
+            if let Some((cache, _nvm)) = w.cache_pair {
+                if let Some(copy) = do_copy(w, sh, obj, cache) {
+                    return Ok((copy, true));
+                }
+                // Retire the full cache region.
+                sh.cache.note_retired(sh.heap, cache);
+                w.cache_pair = None;
+            }
+            match sh.cache.alloc_pair(sh.heap) {
+                Some(pair) => {
+                    w.cache_pair = Some(pair);
+                    w.clock += REGION_SYNC_NS;
+                }
+                None => {
+                    // Budget exhausted: fall back to a direct NVM copy.
+                    w.stats.overflow_copies += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Direct copy into a per-worker NVM survivor region (vanilla path).
+    loop {
+        if let Some(region) = w.survivor {
+            if let Some(copy) = do_copy(w, sh, obj, region) {
+                return Ok((copy, false));
+            }
+        }
+        w.survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
+        w.clock += REGION_SYNC_NS;
+        if sh.heap.region(w.survivor.expect("just set")).capacity() < size {
+            return Err(HeapError::ObjectTooLarge {
+                size: size as usize,
+            });
+        }
+    }
+}
+
+/// PS: LABs carved from shared regions; large objects copy directly.
+fn ps_survivor_copy(
+    w: &mut Worker,
+    sh: &mut CycleShared<'_>,
+    obj: Addr,
+    size: u32,
+) -> Result<(Addr, bool), HeapError> {
+    // Direct (un-LAB'd, uncached) copy for large objects — PS copies these
+    // straight to the target space, so the write cache cannot absorb them
+    // (paper §4.4: only address-contiguous buffers are cached). Anything
+    // that cannot fit a LAB must also go direct, whatever the threshold.
+    let lab_bytes = sh.cfg.lab_bytes.min(sh.heap.config().region_size);
+    if size >= sh.cfg.direct_copy_bytes || size > lab_bytes {
+        if size > sh.heap.config().region_size {
+            return Err(HeapError::ObjectTooLarge {
+                size: size as usize,
+            });
+        }
+        loop {
+            if let Some(region) = sh.ps_shared_survivor {
+                w.clock += REGION_SYNC_NS; // shared bump is synchronized
+                if let Some(copy) = do_copy(w, sh, obj, region) {
+                    return Ok((copy, false));
+                }
+            }
+            sh.ps_shared_survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
+        }
+    }
+    // LAB allocation.
+    loop {
+        if let Some(lab) = &mut w.lab {
+            if lab.cursor + size <= lab.end {
+                let off = lab.cursor;
+                lab.cursor += size;
+                let region = lab.region;
+                let cached = lab.cached;
+                let id = w.id;
+                let clock = w.clock;
+                let gx = Gx {
+                    heap: sh.heap,
+                    mem: sh.mem,
+                };
+                let copy = gx.heap.copy_object_to_offset(obj, region, off);
+                let src_dev = gx.heap.device_of(obj);
+                let dst_dev = gx.heap.region(region).device();
+                let tr = gx.mem.bulk_read(src_dev, Pattern::Seq, size as u64, clock);
+                let tw = gx.mem.bulk_write(dst_dev, Pattern::Seq, size as u64, clock);
+                gx.mem.install_range(copy.raw(), size as u64);
+                let _ = id;
+                w.clock = tr.max(tw);
+                return Ok((copy, cached));
+            }
+            let closed = *lab;
+            w.lab = None;
+            if closed.cached {
+                sh.cache.note_lab_closed(sh.heap, closed.region);
+            }
+        }
+        // Carve a new LAB from a shared (cache or survivor) region.
+        w.clock += REGION_SYNC_NS;
+        if sh.cache.enabled() {
+            if let Some((cache, _nvm)) = sh.ps_shared_cache {
+                if let Some(off) = sh.heap.region_mut(cache).bump(lab_bytes) {
+                    sh.heap.region_mut(cache).open_labs += 1;
+                    w.lab = Some(Lab {
+                        region: cache,
+                        cursor: off,
+                        end: off + lab_bytes,
+                        cached: true,
+                    });
+                    continue;
+                }
+                sh.cache.note_retired(sh.heap, cache);
+                sh.ps_shared_cache = None;
+            }
+            if let Some(pair) = sh.cache.alloc_pair(sh.heap) {
+                sh.ps_shared_cache = Some(pair);
+                continue;
+            }
+            w.stats.overflow_copies += 1;
+        }
+        // Uncached LAB from the shared survivor region.
+        loop {
+            if let Some(region) = sh.ps_shared_survivor {
+                if let Some(off) = sh.heap.region_mut(region).bump(lab_bytes) {
+                    w.lab = Some(Lab {
+                        region,
+                        cursor: off,
+                        end: off + lab_bytes,
+                        cached: false,
+                    });
+                    break;
+                }
+            }
+            sh.ps_shared_survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-back and cleanup phases
+// ---------------------------------------------------------------------
+
+/// Executes one write-back-phase step: flush a chunk of a cache region or
+/// pick up the next one; fence and finish when the queue drains.
+pub fn step_writeback(w: &mut Worker, sh: &mut CycleShared<'_>) {
+    debug_assert!(!w.done);
+    if w.flush.is_some() {
+        flush_chunk(w, sh, false);
+        return;
+    }
+    match sh.writeback_queue.pop_front() {
+        Some(region) => {
+            w.flush = Some(FlushTask { region, cursor: 0 });
+            flush_chunk(w, sh, false);
+        }
+        None => {
+            // One fence before GC ends covers all NT stores (paper §4.1).
+            w.clock = sh.mem.fence(w.clock);
+            w.done = true;
+        }
+    }
+}
+
+/// Streams one chunk of a cache region back to its mapped NVM region.
+fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
+    let task = w.flush.expect("flush task present");
+    let region = task.region;
+    let used = sh.heap.region(region).used();
+    let chunk = sh.cfg.flush_chunk_bytes.min(used - task.cursor);
+    if chunk > 0 {
+        let tr = sh
+            .mem
+            .bulk_read(DeviceId::Dram, Pattern::Seq, chunk as u64, w.clock);
+        let nvm = sh.heap.region(region).device_of_mapped(sh.heap);
+        let tw = if sh.cache.config().nt_store {
+            sh.mem.nt_write(nvm, chunk as u64, w.clock)
+        } else {
+            sh.mem
+                .bulk_write(nvm, Pattern::Seq, chunk as u64, w.clock)
+        };
+        w.clock = tr.max(tw);
+    }
+    let cursor = task.cursor + chunk;
+    if cursor < used {
+        w.flush = Some(FlushTask { region, cursor });
+        return;
+    }
+    // Chunk done: materialize the bytes in the NVM region and release the
+    // DRAM cache region.
+    let nvm_region = sh
+        .heap
+        .region(region)
+        .mapped_to
+        .expect("cache region is mapped");
+    sh.heap.blit_region(region, nvm_region);
+    sh.cache.note_flushed(sh.heap, region, during_scan);
+    let base = sh.heap.addr_of(region, 0).raw();
+    let len = sh.heap.config().region_size as u64;
+    sh.heap.release_region(region);
+    sh.mem.invalidate_range(base, len);
+    w.flush = None;
+}
+
+/// Executes one header-map-cleanup step (parallel zeroing, paper §3.3).
+pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
+    debug_assert!(!w.done);
+    let Some(map) = sh.hmap else {
+        w.done = true;
+        return;
+    };
+    let Some((start, end)) = w.clear_range else {
+        w.done = true;
+        return;
+    };
+    // Zero up to 4096 entries (64 KiB) per step.
+    let step_entries = 4096.min(end - start);
+    map.clear_range(start, start + step_entries);
+    let bytes = (step_entries as u64) * crate::header_map::ENTRY_BYTES;
+    w.clock = sh
+        .mem
+        .bulk_write(DeviceId::Dram, Pattern::Seq, bytes, w.clock);
+    let next = start + step_entries;
+    w.clear_range = if next < end { Some((next, end)) } else { None };
+    if w.clear_range.is_none() {
+        w.done = true;
+    }
+}
+
+/// Assigns header-map clear ranges to workers.
+pub fn assign_clear_ranges(workers: &mut [Worker], capacity: usize) {
+    let n = workers.len().max(1);
+    let per = capacity.div_ceil(n);
+    for (i, w) in workers.iter_mut().enumerate() {
+        let start = (i * per).min(capacity);
+        let end = ((i + 1) * per).min(capacity);
+        w.clear_range = if start < end { Some((start, end)) } else { None };
+    }
+}
+
+/// Helper trait to find the device of a cache region's mapped NVM region.
+trait MappedDevice {
+    fn device_of_mapped(&self, heap: &Heap) -> DeviceId;
+}
+
+impl MappedDevice for nvmgc_heap::Region {
+    fn device_of_mapped(&self, heap: &Heap) -> DeviceId {
+        match self.mapped_to {
+            Some(nvm) => heap.region(nvm).device(),
+            None => self.device(),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Collector configuration and the paper's evaluation presets.
+
+/// Which collector algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorKind {
+    /// Regional, G1-like young collection (per-worker survivor regions).
+    G1,
+    /// Parallel-Scavenge-like young collection (small LABs within shared
+    /// regions, direct copy for large objects).
+    Ps,
+}
+
+/// Heap-traversal order (ablation; the paper discusses and rejects BFS in
+/// §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traversal {
+    /// Stack-based depth-first search — what HotSpot collectors use.
+    Dfs,
+    /// Queue-based breadth-first search — deterministic prefetch distance
+    /// but poor object locality.
+    Bfs,
+}
+
+/// Write-cache settings (paper §3.2, §4.2 and Fig. 11).
+#[derive(Debug, Clone, Copy)]
+pub struct WriteCacheConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Maximum bytes of DRAM the cache may hold; `u64::MAX` is the
+    /// "sync-unlimited" setting of Fig. 11. The paper's default is 1/32 of
+    /// the heap.
+    pub max_bytes: u64,
+    /// Flush full, fully-updated cache regions during the read-mostly
+    /// sub-phase ("async" in Fig. 11) instead of only at the end.
+    pub async_flush: bool,
+    /// Use non-temporal stores for write-back (paper §4.1).
+    pub nt_store: bool,
+}
+
+impl WriteCacheConfig {
+    /// Disabled write cache (vanilla collectors).
+    pub fn disabled() -> Self {
+        WriteCacheConfig {
+            enabled: false,
+            max_bytes: 0,
+            async_flush: false,
+            nt_store: false,
+        }
+    }
+}
+
+/// Header-map settings (paper §3.3 and Fig. 10).
+#[derive(Debug, Clone, Copy)]
+pub struct HeaderMapConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// DRAM bytes for the closed-hashing table (16 bytes per entry).
+    pub max_bytes: u64,
+    /// Bounded-probing limit (`SEARCH_BOUND` in Algorithm 1).
+    pub search_bound: u32,
+    /// The map only activates when the GC thread count *exceeds* this
+    /// threshold — with few threads the read bandwidth is unsaturated and
+    /// the map's extra lookups cost more than they save (paper §3.3;
+    /// default 8).
+    pub min_threads: usize,
+}
+
+impl HeaderMapConfig {
+    /// Disabled header map.
+    pub fn disabled() -> Self {
+        HeaderMapConfig {
+            enabled: false,
+            max_bytes: 0,
+            search_bound: 16,
+            min_threads: 8,
+        }
+    }
+}
+
+/// Full collector configuration.
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// Collector algorithm.
+    pub collector: CollectorKind,
+    /// Number of parallel GC worker threads.
+    pub threads: usize,
+    /// Write-cache settings.
+    pub write_cache: WriteCacheConfig,
+    /// Header-map settings.
+    pub header_map: HeaderMapConfig,
+    /// Software prefetching on work-stack pushes and header-map probes.
+    pub prefetch: bool,
+    /// Traversal order.
+    pub traversal: Traversal,
+    /// Objects surviving this many collections are promoted to the old
+    /// generation.
+    pub tenure_age: u8,
+    /// PS only: LAB size in bytes for survivor-space allocation.
+    pub lab_bytes: u32,
+    /// PS only: objects at least this large bypass LABs (direct copy).
+    pub direct_copy_bytes: u32,
+    /// Fixed CPU cost per processed reference slot, ns.
+    pub cpu_slot_ns: f64,
+    /// Fixed CPU cost per copied object (allocation + bookkeeping), ns.
+    pub cpu_copy_ns: f64,
+    /// Fixed stop-the-world entry overhead per collection, ns: safepoint
+    /// arming, thread handshakes, phase setup/teardown. This floor is why
+    /// applications with tiny, infrequent pauses gain little from the
+    /// bandwidth optimizations (the three unimproved apps of Fig. 5).
+    pub safepoint_ns: u64,
+    /// Clock advance when a worker finds no work and spins, ns.
+    pub idle_step_ns: u64,
+    /// During async flushing, a busy worker services one flush chunk every
+    /// this many processed slots.
+    pub flush_interleave: u32,
+    /// Async-flush chunk size in bytes.
+    pub flush_chunk_bytes: u32,
+}
+
+impl GcConfig {
+    /// Vanilla G1: the unmodified copy-and-traverse baseline.
+    pub fn vanilla(threads: usize) -> Self {
+        GcConfig {
+            collector: CollectorKind::G1,
+            threads,
+            write_cache: WriteCacheConfig::disabled(),
+            header_map: HeaderMapConfig::disabled(),
+            // Vanilla G1 already prefetches on push (paper §4.3).
+            prefetch: true,
+            traversal: Traversal::Dfs,
+            tenure_age: 3,
+            lab_bytes: 16 << 10,
+            direct_copy_bytes: 4 << 10,
+            cpu_slot_ns: 6.0,
+            cpu_copy_ns: 14.0,
+            safepoint_ns: 250_000,
+            idle_step_ns: 1_000,
+            flush_interleave: 24,
+            flush_chunk_bytes: 64 << 10,
+        }
+    }
+
+    /// "+writecache": vanilla plus the DRAM write cache with NT
+    /// write-back. `heap_bytes` sizes the cache at the paper's default of
+    /// 1/32 of the heap.
+    pub fn plus_writecache(threads: usize, heap_bytes: u64) -> Self {
+        let mut c = GcConfig::vanilla(threads);
+        c.write_cache = WriteCacheConfig {
+            enabled: true,
+            max_bytes: (heap_bytes / 32).max(1 << 20),
+            async_flush: false,
+            nt_store: true,
+        };
+        c
+    }
+
+    /// "+all": write cache + header map + extended prefetching.
+    ///
+    /// `headermap_bytes` follows the paper's ratios (512 MB for a 16 GB
+    /// heap ⇒ 1/32 of the heap, like the write cache).
+    pub fn plus_all(threads: usize, heap_bytes: u64) -> Self {
+        let mut c = GcConfig::plus_writecache(threads, heap_bytes);
+        c.header_map = HeaderMapConfig {
+            enabled: true,
+            max_bytes: (heap_bytes / 32).max(1 << 20),
+            search_bound: 16,
+            min_threads: 8,
+        };
+        c
+    }
+
+    /// Vanilla PS (no software prefetching — the stock PS collector does
+    /// not prefetch during young GC, paper §4.4).
+    pub fn ps_vanilla(threads: usize) -> Self {
+        let mut c = GcConfig::vanilla(threads);
+        c.collector = CollectorKind::Ps;
+        c.prefetch = false;
+        c
+    }
+
+    /// PS with all optimizations including added prefetching.
+    pub fn ps_plus_all(threads: usize, heap_bytes: u64) -> Self {
+        let mut c = GcConfig::plus_all(threads, heap_bytes);
+        c.collector = CollectorKind::Ps;
+        c
+    }
+
+    /// Whether the header map is active for the configured thread count.
+    pub fn header_map_active(&self) -> bool {
+        self.header_map.enabled && self.threads > self.header_map.min_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_has_no_optimizations() {
+        let c = GcConfig::vanilla(8);
+        assert!(!c.write_cache.enabled);
+        assert!(!c.header_map.enabled);
+        assert_eq!(c.collector, CollectorKind::G1);
+    }
+
+    #[test]
+    fn writecache_preset_sizes_at_a_thirty_second() {
+        let c = GcConfig::plus_writecache(8, 64 << 20);
+        assert!(c.write_cache.enabled);
+        assert_eq!(c.write_cache.max_bytes, 2 << 20);
+        assert!(c.write_cache.nt_store);
+        assert!(!c.header_map.enabled);
+    }
+
+    #[test]
+    fn all_preset_enables_header_map() {
+        let c = GcConfig::plus_all(20, 64 << 20);
+        assert!(c.header_map.enabled);
+        assert!(c.header_map_active());
+    }
+
+    #[test]
+    fn header_map_threshold_requires_exceeding_eight_threads() {
+        // Paper §3.3: enabled only when the thread count *exceeds* the
+        // threshold (8 by default).
+        let c = GcConfig::plus_all(8, 64 << 20);
+        assert!(c.header_map.enabled);
+        assert!(!c.header_map_active(), "at the threshold, not above it");
+        assert!(!GcConfig::plus_all(4, 64 << 20).header_map_active());
+    }
+
+    #[test]
+    fn ps_vanilla_disables_prefetch() {
+        let c = GcConfig::ps_vanilla(8);
+        assert_eq!(c.collector, CollectorKind::Ps);
+        assert!(!c.prefetch);
+        assert!(GcConfig::ps_plus_all(8, 1 << 30).prefetch);
+    }
+}

@@ -1,0 +1,107 @@
+//! The deterministic discrete-event engine.
+//!
+//! Simulated worker threads each carry a clock; the engine repeatedly
+//! steps the worker with the smallest clock until every worker reports
+//! done. Because steps are totally ordered by (clock, worker id), a given
+//! configuration and workload always produces the same interleaving — the
+//! property that makes every experiment in this reproduction exactly
+//! repeatable, which real threads on shared hardware cannot offer.
+
+use crate::collector::Worker;
+use nvmgc_memsim::Ns;
+
+/// Upper bound on steps per phase; exceeding it indicates a stuck worker
+/// (a step that neither advances the clock nor finishes).
+const STEP_LIMIT: u64 = 2_000_000_000;
+
+/// Runs one phase to completion and returns the phase end time (the
+/// maximum worker clock).
+///
+/// `step` is invoked for the minimum-clock unfinished worker; ties break
+/// toward the lower worker id.
+///
+/// # Panics
+///
+/// Panics if the phase fails to terminate within the step limit.
+pub fn run_phase<F>(workers: &mut [Worker], mut step: F) -> Ns
+where
+    F: FnMut(&mut Worker),
+{
+    let mut steps = 0u64;
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, w) in workers.iter().enumerate() {
+            if w.done {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if w.clock < workers[b].clock => best = Some(i),
+                _ => {}
+            }
+        }
+        let Some(i) = best else { break };
+        step(&mut workers[i]);
+        steps += 1;
+        assert!(steps < STEP_LIMIT, "phase did not terminate");
+    }
+    workers.iter().map(|w| w.clock).max().unwrap_or(0)
+}
+
+/// Resets workers for a follow-on phase: clears `done`, aligns every clock
+/// to the given start time (a phase begins only after all workers reached
+/// its barrier).
+pub fn rebarrier(workers: &mut [Worker], start: Ns) {
+    for w in workers.iter_mut() {
+        w.done = false;
+        w.clock = w.clock.max(start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_lowest_clock_first() {
+        let mut workers = vec![Worker::new(0, 100), Worker::new(1, 50)];
+        let mut order = Vec::new();
+        run_phase(&mut workers, |w| {
+            order.push(w.id);
+            w.clock += 200;
+            if w.clock > 300 {
+                w.done = true;
+            }
+        });
+        // Worker 1 (t=50) runs first, then worker 0 (t=100).
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 0);
+    }
+
+    #[test]
+    fn returns_max_clock() {
+        let mut workers = vec![Worker::new(0, 0), Worker::new(1, 0)];
+        let end = run_phase(&mut workers, |w| {
+            w.clock += if w.id == 0 { 10 } else { 99 };
+            w.done = true;
+        });
+        assert_eq!(end, 99);
+    }
+
+    #[test]
+    fn empty_worker_set_ends_immediately() {
+        let mut workers: Vec<Worker> = Vec::new();
+        assert_eq!(run_phase(&mut workers, |_| unreachable!()), 0);
+    }
+
+    #[test]
+    fn rebarrier_aligns_clocks_forward_only() {
+        let mut workers = vec![Worker::new(0, 10), Worker::new(1, 500)];
+        workers[0].done = true;
+        workers[1].done = true;
+        rebarrier(&mut workers, 100);
+        assert_eq!(workers[0].clock, 100);
+        assert_eq!(workers[1].clock, 500);
+        assert!(!workers[0].done && !workers[1].done);
+    }
+}

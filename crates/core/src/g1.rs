@@ -1,0 +1,448 @@
+//! Young-generation collection orchestration (G1-like front end).
+//!
+//! A collection cycle runs up to three sub-phases under the deterministic
+//! engine:
+//!
+//! 1. **copy-and-traverse** (read-mostly when the write cache is active):
+//!    roots and remembered-set entries are distributed over per-worker
+//!    stacks; workers copy live objects out of the collection set,
+//!    stealing work when idle, optionally flushing ready cache regions
+//!    asynchronously;
+//! 2. **write-back** (write-only): remaining cache regions stream to their
+//!    mapped NVM survivor regions (non-temporal stores + one fence);
+//! 3. **header-map cleanup**: all workers zero the map in parallel.
+//!
+//! The same front end also drives the PS-like collector (see [`crate::ps`])
+//! — the two differ in survivor-space allocation and prefetch policy, which
+//! live in [`crate::collector`].
+
+use crate::collector::{self, CycleShared, Worker};
+use crate::config::GcConfig;
+use crate::engine;
+use crate::header_map::HeaderMap;
+use crate::marking;
+use crate::stack::{Task, WorkPool};
+use crate::stats::{GcStats, RunGcStats};
+use crate::write_cache::WriteCachePool;
+use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern, PhaseKind};
+use std::collections::VecDeque;
+
+/// Result of one collection cycle.
+#[derive(Debug)]
+pub struct GcCycleOutcome {
+    /// Cycle statistics (pause length, copy volume, optimization counters).
+    pub stats: GcStats,
+    /// Simulated time at which mutators resume.
+    pub end_ns: Ns,
+}
+
+/// A young-generation copying collector with the paper's NVM-aware
+/// optimizations, usable in either G1 or PS mode (see
+/// [`GcConfig::collector`]).
+///
+/// The collector persists across cycles: it owns the header map (a
+/// long-lived DRAM structure) and the shared promotion region.
+#[derive(Debug)]
+pub struct G1Collector {
+    cfg: GcConfig,
+    hmap: Option<HeaderMap>,
+    promo_region: Option<RegionId>,
+    /// Accumulated statistics over all cycles.
+    pub run_stats: RunGcStats,
+}
+
+impl G1Collector {
+    /// Creates a collector for the given configuration.
+    ///
+    /// The header map is allocated once here when the configuration
+    /// activates it (enabled and at or above the thread threshold).
+    pub fn new(cfg: GcConfig) -> Self {
+        let hmap = if cfg.header_map_active() {
+            Some(HeaderMap::new(
+                cfg.header_map.max_bytes,
+                cfg.header_map.search_bound,
+            ))
+        } else {
+            None
+        };
+        G1Collector {
+            cfg,
+            hmap,
+            promo_region: None,
+            run_stats: RunGcStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.cfg
+    }
+
+    /// The header map, if active (exposed for tests and diagnostics).
+    pub fn header_map(&self) -> Option<&HeaderMap> {
+        self.hmap.as_ref()
+    }
+
+    /// Runs one stop-the-world young collection starting at simulated time
+    /// `start`. `roots` are the mutator's root references, updated in
+    /// place.
+    ///
+    /// Evacuation failures (no space for a copy) are handled like G1's:
+    /// the object is self-forwarded in place and its region retained for
+    /// the next collection. An error is returned only when even the GC's
+    /// own bookkeeping cannot proceed.
+    pub fn collect(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+        roots: &mut [Addr],
+        start: Ns,
+    ) -> Result<GcCycleOutcome, HeapError> {
+        self.collect_with_cset(heap, mem, roots, start, &[])
+    }
+
+    /// Runs a *mixed* collection (paper §2.1): a stop-the-world marking
+    /// pass computes per-region liveness, the garbage-first heuristic
+    /// selects the old regions with the most reclaimable space (up to a
+    /// quarter of the old generation, liveness below 85 %), dead
+    /// humongous regions are freed whole, and the young collection
+    /// evacuates the combined collection set.
+    ///
+    /// The marking time is reported in `stats.mark_ns` and excluded from
+    /// the pause (real G1 marks concurrently with the mutator).
+    pub fn collect_mixed(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+        roots: &mut [Addr],
+        start: Ns,
+    ) -> Result<GcCycleOutcome, HeapError> {
+        assert!(
+            heap.card_table().is_none(),
+            "mixed collections require precise remembered sets"
+        );
+        let threads = self.cfg.threads.max(1);
+        let mark = marking::mark_heap(heap, mem, threads, roots, start);
+
+        // Reclaim dead humongous regions immediately (G1's eager reclaim).
+        let mut humongous_freed = 0u64;
+        let dead_humongous: Vec<RegionId> = heap
+            .humongous()
+            .iter()
+            .copied()
+            .filter(|&r| mark.state.live_bytes(r) == 0)
+            .collect();
+        let region_size = heap.config().region_size as u64;
+        let mut freed: std::collections::HashSet<RegionId> = std::collections::HashSet::new();
+        for r in dead_humongous {
+            let base = heap.addr_of(r, 0).raw();
+            heap.release_region(r);
+            mem.invalidate_range(base, region_size);
+            humongous_freed += 1;
+            freed.insert(r);
+        }
+        heap.scrub_remset_sources(&freed);
+
+        // Retire the shared promotion region so it is selectable (a fresh
+        // one is taken on the first promotion of the evacuation phase).
+        self.promo_region = None;
+
+        // Garbage-first selection of old regions.
+        let mut candidates: Vec<(RegionId, f64)> = heap
+            .old()
+            .iter()
+            .copied()
+            .map(|r| (r, mark.state.liveness(heap, r)))
+            .filter(|&(_, live)| live < 0.85)
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN liveness"));
+        let budget = (heap.old().len() / 4).max(1);
+        let old_cset: Vec<RegionId> =
+            candidates.iter().take(budget).map(|&(r, _)| r).collect();
+
+        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
+        out.stats.mark_ns = mark.end_ns - start;
+        out.stats.humongous_freed = humongous_freed;
+        Ok(out)
+    }
+
+    /// Runs the bottom-line *full* collection (paper §2.1): a
+    /// stop-the-world mark over the whole heap followed by evacuation of
+    /// every young and old region, compacting all live data into fresh
+    /// regions and freeing everything else. Dead humongous regions are
+    /// reclaimed whole.
+    ///
+    /// Unlike [`G1Collector::collect_mixed`], the marking time *is* part
+    /// of the pause (full GC is fully stop-the-world); it is still
+    /// reported in `stats.mark_ns`, so `pause = mark_ns + phases.total()`.
+    ///
+    /// If the free space cannot hold all live data, the remainder is
+    /// self-forwarded in place and the affected regions are retained —
+    /// a degraded but safe partial compaction.
+    pub fn collect_full(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+        roots: &mut [Addr],
+        start: Ns,
+    ) -> Result<GcCycleOutcome, HeapError> {
+        let threads = self.cfg.threads.max(1);
+        let mark = marking::mark_heap(heap, mem, threads, roots, start);
+
+        let mut humongous_freed = 0u64;
+        let dead_humongous: Vec<RegionId> = heap
+            .humongous()
+            .iter()
+            .copied()
+            .filter(|&r| mark.state.live_bytes(r) == 0)
+            .collect();
+        let region_size = heap.config().region_size as u64;
+        let mut freed: std::collections::HashSet<RegionId> = std::collections::HashSet::new();
+        for r in dead_humongous {
+            let base = heap.addr_of(r, 0).raw();
+            heap.release_region(r);
+            mem.invalidate_range(base, region_size);
+            humongous_freed += 1;
+            freed.insert(r);
+        }
+        heap.scrub_remset_sources(&freed);
+
+        self.promo_region = None;
+        let old_cset: Vec<RegionId> = heap.old().to_vec();
+        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
+        out.stats.mark_ns = mark.end_ns - start;
+        out.stats.humongous_freed = humongous_freed;
+        Ok(out)
+    }
+
+    fn collect_with_cset(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+        roots: &mut [Addr],
+        start: Ns,
+        extra_old: &[RegionId],
+    ) -> Result<GcCycleOutcome, HeapError> {
+        let threads = self.cfg.threads.max(1);
+
+        // --- Collection set: every young region + selected old regions. ----
+        let cset: Vec<RegionId> = heap
+            .eden()
+            .iter()
+            .chain(heap.survivor().iter())
+            .chain(extra_old.iter())
+            .copied()
+            .collect();
+        for &r in &cset {
+            heap.region_mut(r).in_cset = true;
+        }
+
+        // --- Gather initial work: roots + remembered sets / dirty cards. ---
+        let mut tasks: Vec<Task> = (0..roots.len() as u32).map(Task::Root).collect();
+        let mut remset_bytes = 0u64;
+        if heap.card_table().is_some() {
+            // Card-table mode (stock PS design): one scan task per old or
+            // humongous region with dirty cards. Mixed collections need
+            // precise remsets, so extra_old must be empty here.
+            assert!(
+                extra_old.is_empty(),
+                "mixed collections require precise remembered sets"
+            );
+            let dirty: Vec<RegionId> = heap
+                .old()
+                .iter()
+                .chain(heap.humongous().iter())
+                .copied()
+                .filter(|&r| heap.card_table().expect("checked").region_dirty(r))
+                .collect();
+            for r in dirty {
+                tasks.push(Task::CardRegion(r));
+            }
+        } else {
+            for &r in &cset {
+                remset_bytes += heap.region(r).remset.approx_bytes();
+                for slot in heap.region_mut(r).remset.drain_sorted() {
+                    tasks.push(Task::Slot(slot));
+                }
+            }
+            // Scrub stale entries: a recorded slot is only valid while its
+            // containing region is still old-like and the slot lies below
+            // the allocation watermark — regions freed by earlier mixed
+            // collections may have been recycled for anything (G1 scrubs
+            // remsets during cleanup for the same reason).
+            let shift = heap.shift();
+            tasks.retain(|t| match *t {
+                Task::Slot(slot) => {
+                    let region = slot.region(shift);
+                    let r = heap.region(region);
+                    // Slots in collection-set regions are doomed locations:
+                    // their containing objects are being evacuated and the
+                    // copies' slots are handled by tracing (processing the
+                    // doomed slot would also re-record it into a remset,
+                    // where it would dangle after the region is freed).
+                    matches!(r.kind(), RegionKind::Old | RegionKind::Humongous)
+                        && !r.in_cset
+                        && slot.offset(shift) + 8 <= r.used()
+                }
+                _ => true,
+            });
+        }
+
+        let mut pool = WorkPool::new(threads);
+        for (i, t) in tasks.into_iter().enumerate() {
+            pool.push(i % threads, t);
+        }
+
+        // --- Workers. ------------------------------------------------------
+        // All workers begin after the fixed STW entry overhead (safepoint
+        // + phase setup); it is part of the pause.
+        let work_start = start + self.cfg.safepoint_ns;
+        let mut workers: Vec<Worker> =
+            (0..threads).map(|i| Worker::new(i, work_start)).collect();
+        // Charge the remembered-set scan (DRAM metadata) split over workers.
+        let share = remset_bytes / threads as u64;
+        for w in workers.iter_mut() {
+            w.clock = mem.bulk_read(DeviceId::Dram, Pattern::Seq, share, w.clock);
+        }
+
+        let mut sh = CycleShared {
+            heap,
+            mem,
+            cfg: &self.cfg,
+            pool,
+            cache: WriteCachePool::new(self.cfg.write_cache),
+            hmap: self.hmap.as_ref(),
+            roots,
+            promo_region: &mut self.promo_region,
+            ps_shared_survivor: None,
+            ps_shared_cache: None,
+            writeback_queue: VecDeque::new(),
+            stats: GcStats::default(),
+            error: None,
+            self_forwarded: Vec::new(),
+            retained: Vec::new(),
+        };
+
+        // --- Phase 1: copy-and-traverse. -----------------------------------
+        let scan_end = engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh));
+        if let Some(e) = sh.error {
+            return Err(e);
+        }
+        debug_assert_eq!(sh.pool.outstanding(), 0);
+
+        // Retire workers' still-open cache regions and queue everything
+        // unflushed for write-back.
+        for w in &mut workers {
+            if let Some((cache, _)) = w.take_cache_pair() {
+                sh.cache.note_retired(sh.heap, cache);
+            }
+            w.reset_alloc_state();
+        }
+        if let Some((cache, _)) = sh.ps_shared_cache.take() {
+            sh.cache.note_retired(sh.heap, cache);
+        }
+        sh.writeback_queue = sh.cache.unflushed().into();
+
+        // --- Phase 2: write-back (write-only sub-phase). --------------------
+        // Skipped entirely for vanilla collectors (no cache regions, no NT
+        // stores to fence).
+        let wb_end = if self.cfg.write_cache.enabled {
+            engine::rebarrier(&mut workers, scan_end);
+            engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))
+        } else {
+            scan_end
+        };
+
+        // Header-map occupancy is measured before cleanup.
+        sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
+
+        // --- Phase 3: header-map cleanup. -----------------------------------
+        let clear_end = if let Some(map) = self.hmap.as_ref() {
+            collector::assign_clear_ranges(&mut workers, map.capacity());
+            engine::rebarrier(&mut workers, wb_end);
+            engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))
+        } else {
+            wb_end
+        };
+
+        // --- Post-processing. ------------------------------------------------
+        for w in &workers {
+            sh.absorb_worker(w);
+        }
+        sh.stats.steals = sh.pool.steals();
+        sh.stats.cache_regions = sh.cache.regions_allocated();
+        sh.stats.cache_peak_bytes = sh.cache.peak_bytes();
+        sh.stats.async_flushed = sh.cache.async_flushed();
+        sh.stats.phases.scan_ns = scan_end - start;
+        sh.stats.phases.writeback_ns = wb_end - scan_end;
+        sh.stats.phases.clear_ns = clear_end - wb_end;
+        sh.stats.old_regions_collected = extra_old
+            .iter()
+            .filter(|r| !sh.retained.contains(r))
+            .count() as u64;
+
+        // Restore the original headers of self-forwarded objects (G1's
+        // "remove self-forwards" step) before the regions are reused.
+        let self_forwarded = std::mem::take(&mut sh.self_forwarded);
+        for (obj, hdr) in self_forwarded {
+            sh.heap.set_header(obj, hdr);
+        }
+
+        // Free the collection set — except retained regions, which hold
+        // self-forwarded objects and stay live for the next collection.
+        let region_size = sh.heap.config().region_size as u64;
+        let retained = std::mem::take(&mut sh.retained);
+        // Old regions about to be freed were remset *sources*; their
+        // entries in other regions' remsets must be scrubbed before the
+        // regions are recycled.
+        let freed_old: std::collections::HashSet<RegionId> = cset
+            .iter()
+            .copied()
+            .filter(|r| !retained.contains(r))
+            .filter(|&r| {
+                matches!(
+                    sh.heap.region(r).kind(),
+                    RegionKind::Old | RegionKind::Humongous
+                )
+            })
+            .collect();
+        sh.heap.scrub_remset_sources(&freed_old);
+        for &r in &cset {
+            debug_assert_eq!(sh.heap.region(r).pending_slots, 0);
+            if retained.contains(&r) {
+                let region = sh.heap.region_mut(r);
+                region.in_cset = false;
+                if region.kind() == RegionKind::Eden {
+                    // Retained eden becomes survivor so the next young
+                    // collection re-evacuates it.
+                    region.set_kind(RegionKind::Survivor);
+                    sh.heap.eden_to_survivor(r);
+                }
+                continue;
+            }
+            let base = sh.heap.addr_of(r, 0).raw();
+            sh.heap.release_region(r);
+            sh.mem.invalidate_range(base, region_size);
+        }
+        sh.heap.survivors_to_young();
+
+        // Phase marks for the bandwidth figures.
+        let sampler = sh.mem.sampler_mut();
+        if self.cfg.write_cache.enabled {
+            sampler.mark_phase(start, scan_end, PhaseKind::GcReadMostly);
+            sampler.mark_phase(scan_end, wb_end, PhaseKind::GcWriteBack);
+        }
+        sampler.mark_phase(start, clear_end, PhaseKind::Gc);
+
+        // Allow the bandwidth ledgers to forget the distant past.
+        sh.mem.retire_before(start.saturating_sub(1_000_000));
+
+        let stats = sh.stats.clone();
+        self.run_stats.absorb(&stats);
+        Ok(GcCycleOutcome {
+            stats,
+            end_ns: clear_end,
+        })
+    }
+}

@@ -1,0 +1,326 @@
+//! The header map — paper §3.3 and Algorithm 1.
+//!
+//! A global lock-free closed-hashing table in DRAM that stores forwarding
+//! pointers (old address → new address) during a GC cycle, so the two
+//! random NVM header writes per copied object are replaced by DRAM
+//! traffic. The table uses bounded linear probing so its footprint is
+//! fixed; when a `put` cannot find a slot within the probe bound it fails
+//! and the caller installs the forwarding pointer into the NVM header as
+//! usual.
+//!
+//! The implementation uses real atomics and follows the paper's Algorithm 1
+//! faithfully: keys are claimed with a compare-and-swap, and a thread that
+//! loses the race for a key it is also trying to install spins until the
+//! winner publishes the value. Under the deterministic discrete-event
+//! engine no contention occurs (steps are atomic), but the map is also
+//! exercised by genuinely multi-threaded stress tests, so the published
+//! synchronization algorithm itself is what runs.
+
+use nvmgc_heap::Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of a [`HeaderMap::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// This thread installed the forwarding pointer.
+    Installed,
+    /// Another thread had already installed a forwarding pointer for the
+    /// same object; its value is returned.
+    Existing(Addr),
+    /// No free entry within the probe bound — the caller must fall back
+    /// to the NVM header.
+    Full,
+}
+
+/// The global forwarding-pointer map.
+#[derive(Debug)]
+pub struct HeaderMap {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    mask: u64,
+    search_bound: u32,
+}
+
+/// Bytes of DRAM per map entry (key + value).
+pub const ENTRY_BYTES: u64 = 16;
+
+impl HeaderMap {
+    /// Creates a map using approximately `max_bytes` of storage.
+    ///
+    /// The entry count is rounded down to a power of two (at least 8
+    /// entries). `search_bound` is the probe limit of Algorithm 1.
+    pub fn new(max_bytes: u64, search_bound: u32) -> Self {
+        let entries = (max_bytes / ENTRY_BYTES).max(8);
+        let cap = if entries.is_power_of_two() {
+            entries
+        } else {
+            // Round down to a power of two.
+            1 << (63 - entries.leading_zeros())
+        } as usize;
+        HeaderMap {
+            keys: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            values: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: (cap - 1) as u64,
+            search_bound,
+        }
+    }
+
+    /// Number of entries in the table.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The probe bound.
+    pub fn search_bound(&self) -> u32 {
+        self.search_bound
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        // Fibonacci hashing over the address; addresses are 8-aligned so
+        // shift the dead bits out first.
+        ((key >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) & self.mask
+    }
+
+    /// The initial probe index for a key (exposed so callers can charge
+    /// probe traffic at the right pseudo-addresses).
+    pub fn probe_base(&self, old: Addr) -> u64 {
+        self.hash(old.raw())
+    }
+
+    /// A pseudo-address for entry `idx`, used to charge DRAM traffic for
+    /// probes in the memory model. The map notionally lives in a reserved
+    /// high address range.
+    pub fn entry_addr(&self, idx: u64) -> u64 {
+        0x4000_0000_0000_0000 | (idx * ENTRY_BYTES)
+    }
+
+    /// Tries to install `old → new`, following Algorithm 1.
+    ///
+    /// Returns the outcome plus the number of entries probed (the caller
+    /// charges one DRAM access per probe to the memory model).
+    pub fn put(&self, old: Addr, new: Addr) -> (PutOutcome, u32) {
+        debug_assert!(!old.is_null() && !new.is_null());
+        let mut idx = self.hash(old.raw());
+        let mut probes = 0u32;
+        loop {
+            probes += 1;
+            if probes > self.search_bound {
+                return (PutOutcome::Full, probes);
+            }
+            idx = (idx + 1) & self.mask;
+            let slot = &self.keys[idx as usize];
+            let probed = slot.load(Ordering::Acquire);
+            if probed != old.raw() {
+                if probed != 0 {
+                    // Occupied by another object: keep probing.
+                    continue;
+                }
+                // Empty: try to claim it.
+                match slot.compare_exchange(
+                    0,
+                    old.raw(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.values[idx as usize].store(new.raw(), Ordering::Release);
+                        return (PutOutcome::Installed, probes);
+                    }
+                    Err(winner) if winner == old.raw() => {
+                        // Lost the race for our own key: wait for the value.
+                        let v = self.spin_value(idx as usize);
+                        return (PutOutcome::Existing(Addr(v)), probes);
+                    }
+                    Err(_) => {
+                        // Someone claimed it for a different object.
+                        continue;
+                    }
+                }
+            } else {
+                // Key already present: wait for / read the value.
+                let v = self.spin_value(idx as usize);
+                return (PutOutcome::Existing(Addr(v)), probes);
+            }
+        }
+    }
+
+    /// Looks up the forwarding pointer for `old`.
+    ///
+    /// Returns the value (if installed) plus the number of probes. A
+    /// `None` result does **not** mean the object is unforwarded — the
+    /// caller must still check the NVM header (the map may have been full
+    /// when the pointer was installed).
+    pub fn get(&self, old: Addr) -> (Option<Addr>, u32) {
+        let mut idx = self.hash(old.raw());
+        let mut probes = 0u32;
+        loop {
+            probes += 1;
+            if probes > self.search_bound {
+                return (None, probes);
+            }
+            idx = (idx + 1) & self.mask;
+            let probed = self.keys[idx as usize].load(Ordering::Acquire);
+            if probed == old.raw() {
+                let v = self.spin_value(idx as usize);
+                return (Some(Addr(v)), probes);
+            }
+            if probed == 0 {
+                // An empty slot terminates the probe chain: the key was
+                // never inserted.
+                return (None, probes);
+            }
+        }
+    }
+
+    fn spin_value(&self, idx: usize) -> u64 {
+        loop {
+            let v = self.values[idx].load(Ordering::Acquire);
+            if v != 0 {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Clears the entry range `[start, end)` — the parallel cleanup run by
+    /// all GC workers when a cycle ends (paper §3.3).
+    pub fn clear_range(&self, start: usize, end: usize) {
+        for i in start..end.min(self.keys.len()) {
+            self.keys[i].store(0, Ordering::Relaxed);
+            self.values[i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of occupied entries (linear scan; used for the Fig. 10
+    /// occupancy statistic, not on hot paths).
+    pub fn occupancy(&self) -> usize {
+        self.keys
+            .iter()
+            .filter(|k| k.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(x: u64) -> Addr {
+        Addr(x * 8 + 0x10_0000)
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let m = HeaderMap::new(1 << 12, 16);
+        let (o, p) = m.put(addr(1), addr(2));
+        assert_eq!(o, PutOutcome::Installed);
+        assert!(p >= 1);
+        let (got, _) = m.get(addr(1));
+        assert_eq!(got, Some(addr(2)));
+    }
+
+    #[test]
+    fn get_of_absent_key_returns_none() {
+        let m = HeaderMap::new(1 << 12, 16);
+        m.put(addr(1), addr(2));
+        let (got, _) = m.get(addr(99));
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn duplicate_put_returns_existing_value() {
+        let m = HeaderMap::new(1 << 12, 16);
+        m.put(addr(1), addr(2));
+        let (o, _) = m.put(addr(1), addr(3));
+        assert_eq!(o, PutOutcome::Existing(addr(2)), "first install wins");
+    }
+
+    #[test]
+    fn full_map_reports_full() {
+        // Tiny map (8 entries) with a small bound fills quickly.
+        let m = HeaderMap::new(0, 4);
+        assert_eq!(m.capacity(), 8);
+        let mut fulls = 0;
+        for i in 1..=64 {
+            if let (PutOutcome::Full, _) = m.put(addr(i), addr(i + 1000)) {
+                fulls += 1;
+            }
+        }
+        assert!(fulls > 0, "bounded probing must eventually fail");
+        assert!(m.occupancy() <= 8);
+    }
+
+    #[test]
+    fn probes_bounded_by_search_bound() {
+        let m = HeaderMap::new(0, 4);
+        for i in 1..=64 {
+            let (_, p) = m.put(addr(i), addr(i + 1000));
+            assert!(p <= 5, "probes {p} exceed bound+1");
+            let (_, p) = m.get(addr(i));
+            assert!(p <= 5);
+        }
+    }
+
+    #[test]
+    fn clear_range_empties_entries() {
+        let m = HeaderMap::new(1 << 12, 16);
+        for i in 1..=32 {
+            m.put(addr(i), addr(i + 1000));
+        }
+        assert_eq!(m.occupancy(), 32);
+        let cap = m.capacity();
+        m.clear_range(0, cap / 2);
+        m.clear_range(cap / 2, cap);
+        assert_eq!(m.occupancy(), 0);
+        let (got, _) = m.get(addr(1));
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn capacity_rounds_down_to_power_of_two() {
+        let m = HeaderMap::new(100 * ENTRY_BYTES, 16);
+        assert_eq!(m.capacity(), 64);
+    }
+
+    #[test]
+    fn concurrent_puts_agree_on_one_winner() {
+        use std::sync::Arc;
+        let m = Arc::new(HeaderMap::new(1 << 16, 16));
+        let threads = 8;
+        let keys: Vec<Addr> = (1..200).map(addr).collect();
+        let results: Vec<Vec<Option<Addr>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let m = Arc::clone(&m);
+                    let keys = keys.clone();
+                    s.spawn(move || {
+                        keys.iter()
+                            .map(|&k| {
+                                // Each thread proposes its own value.
+                                let mine = Addr(k.raw() + 1_000_000 + t as u64 * 8);
+                                match m.put(k, mine).0 {
+                                    PutOutcome::Installed => Some(mine),
+                                    PutOutcome::Existing(v) => Some(v),
+                                    PutOutcome::Full => None,
+                                }
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // For every key, all threads that got a value must agree.
+        for (ki, &k) in keys.iter().enumerate() {
+            let seen: Vec<Addr> = results.iter().filter_map(|r| r[ki]).collect();
+            assert!(!seen.is_empty());
+            assert!(
+                seen.windows(2).all(|w| w[0] == w[1]),
+                "divergent forwarding for key {k:?}: {seen:?}"
+            );
+            let (got, _) = m.get(k);
+            assert_eq!(got, Some(seen[0]));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-cycle and accumulated GC statistics.
+
+use nvmgc_memsim::Ns;
+
+/// Simulated durations of the pause's sub-phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcPhaseTimes {
+    /// Copy-and-traverse (the read-mostly sub-phase when the write cache
+    /// is enabled).
+    pub scan_ns: Ns,
+    /// Write-back of cache regions (the write-only sub-phase); zero for
+    /// vanilla collectors.
+    pub writeback_ns: Ns,
+    /// Parallel header-map cleanup; zero when the map is inactive.
+    pub clear_ns: Ns,
+}
+
+impl GcPhaseTimes {
+    /// Total pause length.
+    pub fn total(&self) -> Ns {
+        self.scan_ns + self.writeback_ns + self.clear_ns
+    }
+}
+
+/// Statistics for one young-GC cycle.
+#[derive(Debug, Clone, Default)]
+pub struct GcStats {
+    /// Sub-phase durations; `phases.total()` is the pause.
+    pub phases: GcPhaseTimes,
+    /// Live objects copied (survivor + promoted).
+    pub copied_objects: u64,
+    /// Bytes copied to the survivor space.
+    pub copied_bytes: u64,
+    /// Bytes promoted to the old generation.
+    pub promoted_bytes: u64,
+    /// Reference slots processed (roots + remset + traversal).
+    pub slots_processed: u64,
+    /// Stale remembered-set/root entries filtered.
+    pub slots_filtered: u64,
+    /// Successful work steals.
+    pub steals: u64,
+    /// Header-map installs that succeeded.
+    pub hm_installs: u64,
+    /// Header-map lookups that found a forwarding pointer.
+    pub hm_hits: u64,
+    /// Header-map puts that overflowed to the NVM header.
+    pub hm_full: u64,
+    /// Header-map occupancy at end of cycle (entries).
+    pub hm_occupancy: u64,
+    /// Cache regions allocated this cycle.
+    pub cache_regions: u64,
+    /// Peak bytes of DRAM held by the write cache.
+    pub cache_peak_bytes: u64,
+    /// Cache regions flushed asynchronously (during the scan sub-phase).
+    pub async_flushed: u64,
+    /// Copies that bypassed the (full) write cache straight to NVM.
+    pub cache_overflow_copies: u64,
+    /// Objects left in place (self-forwarded) because the heap could not
+    /// hold their copy — G1's evacuation-failure handling.
+    pub evac_failures: u64,
+    /// Old regions evacuated by this (mixed) collection.
+    pub old_regions_collected: u64,
+    /// Humongous regions reclaimed whole by this (mixed/full) collection.
+    pub humongous_freed: u64,
+    /// Marking time preceding a mixed/full collection, ns. Real G1 marks
+    /// concurrently; this reproduction runs it stop-the-world but reports
+    /// it separately from the evacuation pause.
+    pub mark_ns: Ns,
+}
+
+impl GcStats {
+    /// The pause duration.
+    pub fn pause_ns(&self) -> Ns {
+        self.phases.total()
+    }
+}
+
+/// Accumulated statistics across an application run.
+#[derive(Debug, Clone, Default)]
+pub struct RunGcStats {
+    /// Individual pause durations in cycle order.
+    pub pauses_ns: Vec<Ns>,
+    /// Sum of per-cycle stats.
+    pub copied_bytes: u64,
+    /// Total promoted bytes.
+    pub promoted_bytes: u64,
+    /// Total slots processed.
+    pub slots_processed: u64,
+    /// Total steals.
+    pub steals: u64,
+}
+
+impl RunGcStats {
+    /// Adds one cycle's stats.
+    pub fn absorb(&mut self, s: &GcStats) {
+        self.pauses_ns.push(s.pause_ns());
+        self.copied_bytes += s.copied_bytes;
+        self.promoted_bytes += s.promoted_bytes;
+        self.slots_processed += s.slots_processed;
+        self.steals += s.steals;
+    }
+
+    /// Number of GC cycles.
+    pub fn cycles(&self) -> usize {
+        self.pauses_ns.len()
+    }
+
+    /// Accumulated GC pause time.
+    pub fn total_pause_ns(&self) -> Ns {
+        self.pauses_ns.iter().sum()
+    }
+
+    /// The longest single pause.
+    pub fn max_pause_ns(&self) -> Ns {
+        self.pauses_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_sums() {
+        let p = GcPhaseTimes {
+            scan_ns: 10,
+            writeback_ns: 5,
+            clear_ns: 1,
+        };
+        assert_eq!(p.total(), 16);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut run = RunGcStats::default();
+        let mut s = GcStats::default();
+        s.phases.scan_ns = 100;
+        s.copied_bytes = 64;
+        run.absorb(&s);
+        s.phases.scan_ns = 50;
+        s.copied_bytes = 32;
+        run.absorb(&s);
+        assert_eq!(run.cycles(), 2);
+        assert_eq!(run.total_pause_ns(), 150);
+        assert_eq!(run.max_pause_ns(), 100);
+        assert_eq!(run.copied_bytes, 96);
+    }
+
+    #[test]
+    fn empty_run_has_zero_max_pause() {
+        assert_eq!(RunGcStats::default().max_pause_ns(), 0);
+    }
+}

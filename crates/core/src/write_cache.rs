@@ -1,0 +1,335 @@
+//! The write cache — paper §3.2.
+//!
+//! Survivor allocation is redirected to DRAM *cache regions*, each mapped
+//! 1:1 to a reserved NVM survivor region at identical offsets. References
+//! to copied objects are updated with their final NVM addresses
+//! immediately (the region mapping makes the translation a constant-time
+//! offset calculation), so nothing needs re-walking at write-back time.
+//! The cache is bounded: when the budget is exhausted the collector copies
+//! directly to NVM, exactly as the paper's fallback does.
+//!
+//! With asynchronous flushing enabled (§4.2), a cache region becomes
+//! *ready* once it is full and every reference slot inside it has been
+//! processed (tracked by the per-region pending-slot counter, our precise
+//! implementation of the paper's Fig. 4 LIFO tracking), unless a reference
+//! in it was stolen by another worker — stolen regions opt out and wait
+//! for the final write-back phase.
+
+use crate::config::WriteCacheConfig;
+use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
+use nvmgc_memsim::DeviceId;
+use std::collections::VecDeque;
+
+/// Manages the DRAM cache regions of one GC cycle.
+#[derive(Debug)]
+pub struct WriteCachePool {
+    cfg: WriteCacheConfig,
+    /// All cache regions allocated this cycle that are not yet flushed.
+    active: Vec<RegionId>,
+    /// Regions ready for asynchronous flushing.
+    ready: VecDeque<RegionId>,
+    /// Regions retired from allocation (full); eligibility gate for async
+    /// flushing.
+    retired: std::collections::HashSet<RegionId>,
+    bytes_in_use: u64,
+    peak_bytes: u64,
+    regions_allocated: u64,
+    async_flushed: u64,
+}
+
+impl WriteCachePool {
+    /// Creates an empty pool.
+    pub fn new(cfg: WriteCacheConfig) -> Self {
+        WriteCachePool {
+            cfg,
+            active: Vec::new(),
+            ready: VecDeque::new(),
+            retired: std::collections::HashSet::new(),
+            bytes_in_use: 0,
+            peak_bytes: 0,
+            regions_allocated: 0,
+            async_flushed: 0,
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &WriteCacheConfig {
+        &self.cfg
+    }
+
+    /// Whether the write cache is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Current DRAM bytes held.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.bytes_in_use
+    }
+
+    /// Peak DRAM bytes held this cycle.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Cache regions allocated this cycle.
+    pub fn regions_allocated(&self) -> u64 {
+        self.regions_allocated
+    }
+
+    /// Regions flushed asynchronously this cycle.
+    pub fn async_flushed(&self) -> u64 {
+        self.async_flushed
+    }
+
+    /// Allocates a (DRAM cache region, NVM survivor region) pair, or
+    /// `None` when the budget is exhausted (the caller then copies
+    /// directly to NVM) or the heap is out of survivor regions.
+    pub fn alloc_pair(&mut self, heap: &mut Heap) -> Option<(RegionId, RegionId)> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        let rsize = heap.config().region_size as u64;
+        if self.bytes_in_use + rsize > self.cfg.max_bytes {
+            return None;
+        }
+        let nvm = match heap.take_region(RegionKind::Survivor) {
+            Ok(r) => r,
+            Err(HeapError::OutOfRegions) => return None,
+            Err(_) => unreachable!(),
+        };
+        let cache = heap.alloc_aux_region(DeviceId::Dram);
+        heap.region_mut(cache).mapped_to = Some(nvm);
+        self.bytes_in_use += rsize;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_in_use);
+        self.regions_allocated += 1;
+        self.active.push(cache);
+        Some((cache, nvm))
+    }
+
+    /// Translates an address inside a cache region to its final NVM
+    /// address via the region mapping.
+    pub fn translate(heap: &Heap, cache_addr: Addr) -> Addr {
+        let shift = heap.shift();
+        let region = cache_addr.region(shift);
+        let nvm = heap
+            .region(region)
+            .mapped_to
+            .expect("translate called on an unmapped region");
+        heap.addr_of(nvm, cache_addr.offset(shift))
+    }
+
+    /// Reports that a pending slot in `region` was processed; enqueues the
+    /// region for async flushing when it has become ready (retired, no
+    /// pending slots, never stolen).
+    pub fn note_slot_done(&mut self, heap: &mut Heap, region: RegionId) {
+        let retired = self.retired.contains(&region);
+        let r = heap.region_mut(region);
+        debug_assert!(r.pending_slots > 0);
+        r.pending_slots -= 1;
+        if self.cfg.async_flush
+            && retired
+            && r.pending_slots == 0
+            && r.open_labs == 0
+            && !r.stolen
+            && !r.flushed
+            && r.mapped_to.is_some()
+        {
+            self.ready.push_back(region);
+        }
+    }
+
+    /// Reports that a PS local allocation buffer carved from `region` has
+    /// been closed; the region may become flushable.
+    pub fn note_lab_closed(&mut self, heap: &mut Heap, region: RegionId) {
+        let retired = self.retired.contains(&region);
+        let r = heap.region_mut(region);
+        debug_assert!(r.open_labs > 0);
+        r.open_labs -= 1;
+        if self.cfg.async_flush
+            && retired
+            && r.pending_slots == 0
+            && r.open_labs == 0
+            && !r.stolen
+            && !r.flushed
+            && r.mapped_to.is_some()
+        {
+            self.ready.push_back(region);
+        }
+    }
+
+    /// Marks a region retired from allocation (full); it may become
+    /// flushable immediately if it has no pending slots.
+    pub fn note_retired(&mut self, heap: &Heap, region: RegionId) {
+        self.retired.insert(region);
+        let r = heap.region(region);
+        if self.cfg.async_flush
+            && r.pending_slots == 0
+            && r.open_labs == 0
+            && !r.stolen
+            && !r.flushed
+        {
+            self.ready.push_back(region);
+        }
+    }
+
+    /// Whether a region has been retired from allocation.
+    pub fn is_retired(&self, region: RegionId) -> bool {
+        self.retired.contains(&region)
+    }
+
+    /// Takes the next region ready for asynchronous flushing.
+    pub fn take_ready(&mut self) -> Option<RegionId> {
+        self.ready.pop_front()
+    }
+
+    /// Whether any region awaits asynchronous flushing.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Marks a region flushed, releasing its DRAM budget, and removes it
+    /// from the active list.
+    pub fn note_flushed(&mut self, heap: &mut Heap, region: RegionId, during_scan: bool) {
+        let rsize = heap.config().region_size as u64;
+        let r = heap.region_mut(region);
+        debug_assert!(!r.flushed);
+        r.flushed = true;
+        self.bytes_in_use = self.bytes_in_use.saturating_sub(rsize);
+        self.active.retain(|&x| x != region);
+        // The region id may be recycled for a fresh cache region; it must
+        // not inherit this life's retirement.
+        self.retired.remove(&region);
+        if during_scan {
+            self.async_flushed += 1;
+        }
+    }
+
+    /// The cache regions still holding unflushed data (the write-back
+    /// phase work list).
+    pub fn unflushed(&self) -> Vec<RegionId> {
+        self.active.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmgc_heap::{ClassTable, DevicePlacement, HeapConfig};
+
+    fn heap() -> Heap {
+        let mut classes = ClassTable::new();
+        classes.register("x", 1, 8);
+        Heap::new(
+            HeapConfig {
+                region_size: 1 << 12,
+                heap_regions: 8,
+                young_regions: 8,
+                placement: DevicePlacement::all_nvm(),
+                card_table: false,
+            },
+            classes,
+        )
+    }
+
+    fn cfg(max: u64, async_flush: bool) -> WriteCacheConfig {
+        WriteCacheConfig {
+            enabled: true,
+            max_bytes: max,
+            async_flush,
+            nt_store: true,
+        }
+    }
+
+    #[test]
+    fn alloc_pair_maps_cache_to_nvm() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, false));
+        let (c, n) = p.alloc_pair(&mut h).unwrap();
+        assert_eq!(h.region(c).device(), DeviceId::Dram);
+        assert_eq!(h.region(n).device(), DeviceId::Nvm);
+        assert_eq!(h.region(c).mapped_to, Some(n));
+        assert_eq!(h.region(n).kind(), RegionKind::Survivor);
+        assert_eq!(p.bytes_in_use(), 1 << 12);
+    }
+
+    #[test]
+    fn budget_limits_allocation() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(2 << 12, false));
+        assert!(p.alloc_pair(&mut h).is_some());
+        assert!(p.alloc_pair(&mut h).is_some());
+        assert!(p.alloc_pair(&mut h).is_none(), "budget exhausted");
+        assert_eq!(p.regions_allocated(), 2);
+    }
+
+    #[test]
+    fn disabled_pool_never_allocates() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(WriteCacheConfig::disabled());
+        assert!(p.alloc_pair(&mut h).is_none());
+    }
+
+    #[test]
+    fn translate_maps_offsets_identically() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, false));
+        let (c, n) = p.alloc_pair(&mut h).unwrap();
+        let cache_addr = h.addr_of(c, 0x128);
+        let nvm_addr = WriteCachePool::translate(&h, cache_addr);
+        assert_eq!(nvm_addr, h.addr_of(n, 0x128));
+    }
+
+    #[test]
+    fn readiness_requires_retired_zero_pending_unstolen() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        h.region_mut(c).pending_slots = 2;
+        p.note_slot_done(&mut h, c); // not retired yet
+        assert!(!p.has_ready());
+        p.note_retired(&h, c); // retired but one slot pending
+        assert!(!p.has_ready());
+        p.note_slot_done(&mut h, c); // pending now 0
+        assert!(p.has_ready());
+        assert_eq!(p.take_ready(), Some(c));
+        assert!(!p.has_ready());
+    }
+
+    #[test]
+    fn stolen_regions_never_become_ready() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        h.region_mut(c).pending_slots = 1;
+        h.region_mut(c).stolen = true;
+        p.note_retired(&h, c);
+        p.note_slot_done(&mut h, c);
+        assert!(!p.has_ready());
+        assert_eq!(p.unflushed(), vec![c], "still awaits final write-back");
+    }
+
+    #[test]
+    fn flush_releases_budget() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 12, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        assert!(p.alloc_pair(&mut h).is_none());
+        p.note_flushed(&mut h, c, true);
+        assert_eq!(p.async_flushed(), 1);
+        assert_eq!(p.bytes_in_use(), 0);
+        assert!(p.alloc_pair(&mut h).is_some(), "budget reclaimed");
+        assert!(p.peak_bytes() >= 1 << 12);
+    }
+
+    #[test]
+    fn sync_mode_never_queues_ready() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, false));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        h.region_mut(c).pending_slots = 1;
+        p.note_retired(&h, c);
+        p.note_slot_done(&mut h, c);
+        assert!(!p.has_ready());
+    }
+}

@@ -1,0 +1,178 @@
+//! Young collection with the card-table remembered set (stock PS design).
+
+use nvmgc_core::{G1Collector, GcConfig};
+use nvmgc_heap::verify::verify_heap;
+use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind};
+use nvmgc_memsim::{MemConfig, MemorySystem};
+
+const CLS_PAIR: u32 = 0;
+const CLS_LEAF: u32 = 1;
+
+fn classes() -> ClassTable {
+    let mut t = ClassTable::new();
+    t.register("pair", 2, 16);
+    t.register("leaf", 0, 24);
+    t
+}
+
+fn heap(card_table: bool) -> Heap {
+    Heap::new(
+        HeapConfig {
+            region_size: 1 << 13,
+            heap_regions: 96,
+            young_regions: 48,
+            placement: DevicePlacement::all_nvm(),
+            card_table,
+        },
+        classes(),
+    )
+}
+
+fn mem(threads: usize) -> MemorySystem {
+    let mut m = MemorySystem::new(MemConfig {
+        llc_bytes: 64 << 10,
+        ..MemConfig::default()
+    });
+    m.set_threads(threads + 1);
+    m
+}
+
+#[test]
+fn card_table_keeps_remset_only_objects_alive() {
+    let mut h = heap(true);
+    let mut m = mem(2);
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let anchor = h.alloc_object(old, CLS_PAIR).unwrap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let young = h.alloc_object(eden, CLS_LEAF).unwrap();
+    h.write_data(young, 0, 314);
+    let slot = h.ref_slot(anchor, 0);
+    assert!(
+        h.write_ref_with_barrier(slot, young),
+        "barrier dirties the card"
+    );
+    assert!(h.card_table().unwrap().is_dirty(slot));
+
+    let mut roots = vec![anchor];
+    let mut gc = G1Collector::new(GcConfig::ps_vanilla(2));
+    gc.collect(&mut h, &mut m, &mut roots, 0).unwrap();
+    let moved = h.read_ref(slot);
+    assert_ne!(moved, young, "object evacuated via card scan");
+    assert_eq!(h.read_data(moved, 0), 314);
+    // The slot still points at a young object, so its card must be dirty
+    // again for the next collection.
+    assert!(h.card_table().unwrap().is_dirty(slot));
+}
+
+#[test]
+fn card_table_and_precise_remsets_agree_on_the_graph() {
+    let build_and_collect = |card_table: bool| {
+        let mut h = heap(card_table);
+        let mut m = mem(4);
+        let old = h.take_region(RegionKind::Old).unwrap();
+        let mut anchors = Vec::new();
+        for _ in 0..20 {
+            anchors.push(h.alloc_object(old, CLS_PAIR).unwrap());
+        }
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let mut roots = Vec::new();
+        for (i, &a) in anchors.iter().enumerate() {
+            let y = h.alloc_object(eden, CLS_LEAF).unwrap();
+            h.write_data(y, 0, i as u64 + 1);
+            h.write_ref_with_barrier(h.ref_slot(a, 0), y);
+            if i % 3 == 0 {
+                let extra = h.alloc_object(eden, CLS_PAIR).unwrap();
+                h.write_data(extra, 0, 1000 + i as u64);
+                h.write_ref_with_barrier(h.ref_slot(a, 1), extra);
+                roots.push(extra);
+            }
+        }
+        roots.extend(anchors.iter().copied());
+        let before = verify_heap(&h, &roots).unwrap();
+        let mut gc = G1Collector::new(GcConfig::ps_vanilla(4));
+        let out = gc.collect(&mut h, &mut m, &mut roots, 0).unwrap();
+        let after = verify_heap(&h, &roots).unwrap();
+        assert_eq!(before, after);
+        (after.checksum, out.stats.copied_objects)
+    };
+    let (digest_ct, copied_ct) = build_and_collect(true);
+    let (digest_rs, copied_rs) = build_and_collect(false);
+    assert_eq!(digest_ct, digest_rs, "both mechanisms preserve the graph");
+    assert_eq!(copied_ct, copied_rs, "both find the same live set");
+}
+
+#[test]
+fn repeated_collections_work_with_card_table() {
+    let mut h = heap(true);
+    let mut m = mem(4);
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let anchor = h.alloc_object(old, CLS_PAIR).unwrap();
+    let mut gc = G1Collector::new(GcConfig::ps_vanilla(4));
+    let mut roots = vec![anchor];
+    let mut t = 0;
+    for round in 0..6u64 {
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let y = h.alloc_object(eden, CLS_LEAF).unwrap();
+        h.write_data(y, 0, round + 1);
+        h.write_ref_with_barrier(h.ref_slot(anchor, 0), y);
+        let out = gc.collect(&mut h, &mut m, &mut roots, t).unwrap();
+        t = out.end_ns + 1000;
+        let cur = h.read_ref(h.ref_slot(anchor, 0));
+        assert_eq!(h.read_data(cur, 0), round + 1, "latest referent survives");
+        verify_heap(&h, &roots).unwrap();
+    }
+}
+
+#[test]
+fn clean_cards_cost_nothing() {
+    // No old-to-young refs: collection must not scan any region.
+    let mut h = heap(true);
+    let mut m = mem(2);
+    let _old = h.take_region(RegionKind::Old).unwrap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let a = h.alloc_object(eden, CLS_LEAF).unwrap();
+    let mut roots = vec![a];
+    let mut gc = G1Collector::new(GcConfig::ps_vanilla(2));
+    let out = gc.collect(&mut h, &mut m, &mut roots, 0).unwrap();
+    assert_eq!(out.stats.copied_objects, 1);
+    verify_heap(&h, &roots).unwrap();
+}
+
+#[test]
+#[should_panic(expected = "mixed collections require precise remembered sets")]
+fn mixed_gc_rejects_card_table_mode() {
+    let mut h = heap(true);
+    let mut m = mem(2);
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let anchor = h.alloc_object(old, CLS_PAIR).unwrap();
+    let mut roots = vec![anchor];
+    let mut gc = G1Collector::new(GcConfig::vanilla(2));
+    // Force old regions to exist so selection is non-empty.
+    let _ = gc.collect_mixed(&mut h, &mut m, &mut roots, 0);
+}
+
+#[test]
+fn write_cache_composes_with_card_table() {
+    let mut h = heap(true);
+    let mut m = mem(12);
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let anchor = h.alloc_object(old, CLS_PAIR).unwrap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let mut roots = vec![anchor];
+    let mut prev = Addr::NULL;
+    for i in 0..100 {
+        let o = h.alloc_object(eden, CLS_PAIR).unwrap();
+        h.write_data(o, 0, i + 1);
+        if !prev.is_null() {
+            h.write_ref(h.ref_slot(o, 0), prev);
+        }
+        prev = o;
+    }
+    h.write_ref_with_barrier(h.ref_slot(anchor, 0), prev);
+    let before = verify_heap(&h, &roots).unwrap();
+    let mut gc = G1Collector::new(GcConfig::ps_plus_all(12, 1 << 20));
+    let out = gc.collect(&mut h, &mut m, &mut roots, 0).unwrap();
+    assert_eq!(before, verify_heap(&h, &roots).unwrap());
+    // The 100-object chain is copied; the old anchor stays in place.
+    assert_eq!(out.stats.copied_objects, 100);
+}

@@ -1,0 +1,146 @@
+//! The full-GC bottom line: whole-heap mark + evacuate.
+
+use nvmgc_core::{G1Collector, GcConfig};
+use nvmgc_heap::verify::verify_heap;
+use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind};
+use nvmgc_memsim::{MemConfig, MemorySystem};
+
+const CLS_PAIR: u32 = 0;
+const CLS_HUGE: u32 = 1;
+
+fn classes() -> ClassTable {
+    let mut t = ClassTable::new();
+    t.register("pair", 2, 16);
+    t.register("huge", 0, 5000);
+    t
+}
+
+fn setup(regions: u32) -> (Heap, MemorySystem) {
+    let heap = Heap::new(
+        HeapConfig {
+            region_size: 1 << 13,
+            heap_regions: regions,
+            young_regions: regions / 2,
+            placement: DevicePlacement::all_nvm(),
+            card_table: false,
+        },
+        classes(),
+    );
+    let mut mem = MemorySystem::new(MemConfig {
+        llc_bytes: 64 << 10,
+        ..MemConfig::default()
+    });
+    mem.set_threads(8);
+    (heap, mem)
+}
+
+/// Fills old space with a mix of live and dead promoted data.
+fn churn(
+    h: &mut Heap,
+    m: &mut MemorySystem,
+    gc: &mut G1Collector,
+    roots: &mut Vec<Addr>,
+) -> u64 {
+    let mut t = 0;
+    for round in 0..8u64 {
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        for i in 0..25 {
+            let o = h.alloc_object(eden, CLS_PAIR).unwrap();
+            h.write_data(o, 0, round * 1000 + i + 1);
+            roots.push(o);
+        }
+        let n = roots.len() / 2;
+        for r in roots.iter_mut().take(n) {
+            *r = Addr::NULL;
+        }
+        let out = gc.collect(h, m, roots, t).unwrap();
+        t = out.end_ns + 1000;
+    }
+    t
+}
+
+#[test]
+fn full_gc_compacts_the_whole_heap() {
+    let (mut h, mut m) = setup(192);
+    let mut gc = G1Collector::new(GcConfig::vanilla(4));
+    let mut roots = Vec::new();
+    let t = churn(&mut h, &mut m, &mut gc, &mut roots);
+    // Kill most of the remaining live set (keep the newest five): the
+    // promoted copies become old garbage only a full (or mixed)
+    // collection can reclaim.
+    let n = roots.len();
+    for r in roots.iter_mut().take(n - 5) {
+        *r = Addr::NULL;
+    }
+    assert!(roots.iter().any(|r| !r.is_null()), "some roots stay live");
+    let before = verify_heap(&h, &roots).unwrap();
+    let occupied_before = h.old().len() + h.survivor().len() + h.eden().len();
+
+    let out = gc.collect_full(&mut h, &mut m, &mut roots, t).unwrap();
+    assert!(out.stats.mark_ns > 0);
+    assert_eq!(out.stats.evac_failures, 0, "plenty of headroom");
+    let after = verify_heap(&h, &roots).unwrap();
+    assert_eq!(before, after, "full GC preserves the reachable graph");
+
+    let occupied_after = h.old().len() + h.survivor().len() + h.eden().len();
+    assert!(
+        occupied_after < occupied_before,
+        "full GC must compact: {occupied_before} -> {occupied_after}"
+    );
+    // Everything live fits in a minimal set of regions.
+    let live_regions_needed =
+        (after.bytes / h.config().region_size as u64 + 2) as usize;
+    assert!(
+        occupied_after <= live_regions_needed + 2,
+        "occupied {occupied_after} vs ~{live_regions_needed} needed"
+    );
+}
+
+#[test]
+fn full_gc_reclaims_dead_humongous() {
+    let (mut h, mut m) = setup(64);
+    let mut gc = G1Collector::new(GcConfig::vanilla(2));
+    let live = h.alloc_humongous(CLS_HUGE).unwrap();
+    let _dead = h.alloc_humongous(CLS_HUGE).unwrap();
+    let mut roots = vec![live];
+    let out = gc.collect_full(&mut h, &mut m, &mut roots, 0).unwrap();
+    assert_eq!(out.stats.humongous_freed, 1);
+    assert_eq!(roots[0], live, "humongous objects never move");
+    verify_heap(&h, &roots).unwrap();
+}
+
+#[test]
+fn full_gc_after_mixed_gcs_is_consistent() {
+    let (mut h, mut m) = setup(192);
+    let mut gc = G1Collector::new(GcConfig::plus_all(12, 1 << 20));
+    let mut roots = Vec::new();
+    let mut t = churn(&mut h, &mut m, &mut gc, &mut roots);
+    let before = verify_heap(&h, &roots).unwrap();
+    let out = gc.collect_mixed(&mut h, &mut m, &mut roots, t).unwrap();
+    t = out.end_ns + 1000;
+    assert_eq!(before, verify_heap(&h, &roots).unwrap());
+    let out = gc.collect_full(&mut h, &mut m, &mut roots, t).unwrap();
+    t = out.end_ns + 1000;
+    assert_eq!(before, verify_heap(&h, &roots).unwrap());
+    // And young GC still works after a full compaction.
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let extra = h.alloc_object(eden, CLS_PAIR).unwrap();
+    h.write_data(extra, 0, 42);
+    roots.push(extra);
+    gc.collect(&mut h, &mut m, &mut roots, t).unwrap();
+    let final_digest = verify_heap(&h, &roots).unwrap();
+    assert_eq!(final_digest.objects, before.objects + 1);
+}
+
+#[test]
+fn full_gc_is_deterministic() {
+    let run = || {
+        let (mut h, mut m) = setup(160);
+        let mut gc = G1Collector::new(GcConfig::vanilla(4));
+        let mut roots = Vec::new();
+        let t = churn(&mut h, &mut m, &mut gc, &mut roots);
+        let out = gc.collect_full(&mut h, &mut m, &mut roots, t).unwrap();
+        (out.stats.pause_ns(), out.stats.mark_ns, out.stats.copied_bytes)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,108 @@
+//! Heap addresses.
+//!
+//! A heap address is a 64-bit value encoding a region index and a byte
+//! offset within that region. Region indices start at 1 so that the all-
+//! zero address is never valid — it serves as the null reference. The
+//! region size (and therefore the offset width) is fixed per heap and
+//! passed in by callers; it is always a power of two.
+
+use std::fmt;
+
+/// A heap address: `(region_index + 1) << region_shift | offset`.
+///
+/// `Addr::NULL` (zero) is the null reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null reference.
+    pub const NULL: Addr = Addr(0);
+
+    /// Builds an address from a region index and an in-region offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset` does not fit in the region.
+    pub fn from_parts(region: u32, offset: u32, region_shift: u32) -> Addr {
+        debug_assert!((offset as u64) < (1 << region_shift));
+        Addr(((region as u64 + 1) << region_shift) | offset as u64)
+    }
+
+    /// Whether this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The region index this address points into.
+    #[inline]
+    pub fn region(self, region_shift: u32) -> u32 {
+        debug_assert!(!self.is_null());
+        ((self.0 >> region_shift) - 1) as u32
+    }
+
+    /// The byte offset within the region.
+    #[inline]
+    pub fn offset(self, region_shift: u32) -> u32 {
+        (self.0 & ((1u64 << region_shift) - 1)) as u32
+    }
+
+    /// The address `bytes` past this one (stays within the same region in
+    /// valid usage).
+    #[inline]
+    pub fn offset_by(self, bytes: u32) -> Addr {
+        Addr(self.0 + bytes as u64)
+    }
+
+    /// The raw 64-bit representation.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(null)")
+        } else {
+            write!(f, "Addr({:#x})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHIFT: u32 = 20;
+
+    #[test]
+    fn roundtrip_region_and_offset() {
+        let a = Addr::from_parts(7, 0x1234, SHIFT);
+        assert_eq!(a.region(SHIFT), 7);
+        assert_eq!(a.offset(SHIFT), 0x1234);
+        assert!(!a.is_null());
+    }
+
+    #[test]
+    fn region_zero_offset_zero_is_not_null() {
+        let a = Addr::from_parts(0, 0, SHIFT);
+        assert!(!a.is_null());
+        assert_eq!(a.region(SHIFT), 0);
+        assert_eq!(a.offset(SHIFT), 0);
+    }
+
+    #[test]
+    fn add_advances_offset() {
+        let a = Addr::from_parts(3, 100, SHIFT);
+        let b = a.offset_by(28);
+        assert_eq!(b.region(SHIFT), 3);
+        assert_eq!(b.offset(SHIFT), 128);
+    }
+
+    #[test]
+    fn null_formats_clearly() {
+        assert_eq!(format!("{:?}", Addr::NULL), "Addr(null)");
+    }
+}

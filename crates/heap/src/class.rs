@@ -1,0 +1,138 @@
+//! Object class descriptions.
+//!
+//! Every object carries a class id in its header; the class table maps the
+//! id to a layout: how many reference slots the object has and how many
+//! payload (non-reference) bytes follow them. Array-like objects are
+//! modeled as classes generated per size bucket, so the layout stays fully
+//! static — the GC never needs a per-object length field.
+
+use crate::object::HEADER_BYTES;
+
+/// Index into the [`ClassTable`].
+pub type ClassId = u32;
+
+/// Layout description for one class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Number of reference slots (8 bytes each) following the header.
+    pub num_refs: u32,
+    /// Payload bytes following the reference slots.
+    pub data_bytes: u32,
+}
+
+impl ClassInfo {
+    /// Total object size in bytes (header + refs + payload), 8-byte
+    /// aligned.
+    pub fn size(&self) -> u32 {
+        let raw = HEADER_BYTES + self.num_refs * 8 + self.data_bytes;
+        (raw + 7) & !7
+    }
+}
+
+/// The table of all classes known to a heap.
+///
+/// Class ids are dense indices; the table is append-only.
+#[derive(Debug, Default, Clone)]
+pub struct ClassTable {
+    classes: Vec<ClassInfo>,
+}
+
+impl ClassTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ClassTable::default()
+    }
+
+    /// Registers a class and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` classes are registered.
+    pub fn register(&mut self, name: &str, num_refs: u32, data_bytes: u32) -> ClassId {
+        let id = u32::try_from(self.classes.len()).expect("class table overflow");
+        self.classes.push(ClassInfo {
+            name: name.to_owned(),
+            num_refs,
+            data_bytes,
+        });
+        id
+    }
+
+    /// Looks up a class by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never registered.
+    #[inline]
+    pub fn get(&self, id: ClassId) -> &ClassInfo {
+        &self.classes[id as usize]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as ClassId, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_includes_header_refs_and_payload() {
+        let c = ClassInfo {
+            name: "node".into(),
+            num_refs: 2,
+            data_bytes: 16,
+        };
+        assert_eq!(c.size(), 8 + 16 + 16);
+    }
+
+    #[test]
+    fn size_is_eight_byte_aligned() {
+        let c = ClassInfo {
+            name: "odd".into(),
+            num_refs: 1,
+            data_bytes: 3,
+        };
+        assert_eq!(c.size() % 8, 0);
+        assert!(c.size() >= 8 + 8 + 3);
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut t = ClassTable::new();
+        let a = t.register("a", 0, 8);
+        let b = t.register("b", 4, 0);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(t.get(a).data_bytes, 8);
+        assert_eq!(t.get(b).num_refs, 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let mut t = ClassTable::new();
+        t.register("x", 0, 0);
+        t.register("y", 1, 0);
+        let ids: Vec<_> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,71 @@
+//! A region-based managed heap with a Java-like object model.
+//!
+//! This crate is the substrate standing in for the HotSpot heap: it gives
+//! the collectors in `nvmgc-core` real objects to trace and copy. Objects
+//! live in fixed-size regions; each region is placed on a simulated memory
+//! device (DRAM or NVM). The heap performs no timing itself — the metered
+//! accessors in `nvmgc-core` charge every read/write to the `nvmgc-memsim`
+//! model.
+//!
+//! Key pieces:
+//!
+//! - [`addr`] — 64-bit heap addresses encoding (region, offset).
+//! - [`class`] — a class table describing object layouts (reference slot
+//!   count + payload size), including array-like classes.
+//! - [`object`] — header encoding: class id, GC age, forwarding pointers.
+//! - [`region`] — fixed-size regions with a bump pointer, a kind
+//!   (eden/survivor/old/free) and flush-tracking state used by the
+//!   asynchronous region flushing optimization.
+//! - [`heap`] — the region table, allocation entry points and space
+//!   management (young/old generations, device placement policy).
+//! - [`remset`] — per-region remembered sets populated by the mutator
+//!   write barrier.
+//! - [`verify`] — a tracing verifier used by tests to check heap
+//!   integrity after collections.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cardtable;
+pub mod class;
+pub mod heap;
+pub mod object;
+pub mod region;
+pub mod remset;
+pub mod verify;
+
+pub use addr::Addr;
+pub use cardtable::CardTable;
+pub use class::{ClassId, ClassInfo, ClassTable};
+pub use heap::{DevicePlacement, Heap, HeapConfig};
+pub use object::Header;
+pub use region::{Region, RegionId, RegionKind};
+pub use remset::RememberedSet;
+
+/// Errors surfaced by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free region is available for the requested purpose.
+    OutOfRegions,
+    /// An object larger than a region was requested.
+    ObjectTooLarge {
+        /// The requested object size in bytes.
+        size: usize,
+    },
+    /// An address did not decode to a live region.
+    BadAddress(Addr),
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfRegions => write!(f, "out of free regions"),
+            HeapError::ObjectTooLarge { size } => {
+                write!(f, "object of {size} bytes exceeds region size")
+            }
+            HeapError::BadAddress(a) => write!(f, "bad heap address {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}

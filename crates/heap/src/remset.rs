@@ -1,0 +1,102 @@
+//! Remembered sets.
+//!
+//! G1 keeps, per region, the set of locations outside the region that
+//! contain references into it. For young collection the relevant entries
+//! are old-space slots pointing at young objects; the mutator write
+//! barrier inserts them, and the GC treats the referenced objects as
+//! roots (paper §2.1). Entries may go stale (the slot was overwritten);
+//! the collector filters them when scanning, as HotSpot does.
+
+use crate::addr::Addr;
+use std::collections::HashSet;
+
+/// A per-region remembered set of slot addresses.
+#[derive(Debug, Default)]
+pub struct RememberedSet {
+    slots: HashSet<u64>,
+}
+
+impl RememberedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RememberedSet::default()
+    }
+
+    /// Records that `slot` (an address of a reference field in the old
+    /// space) points into this region. Returns `true` if newly inserted.
+    pub fn insert(&mut self, slot: Addr) -> bool {
+        self.slots.insert(slot.raw())
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over the recorded slots in arbitrary (but deterministic
+    /// for a given insertion history) order.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.slots.iter().map(|&s| Addr(s))
+    }
+
+    /// Drains the set into a sorted vector (sorted for determinism).
+    pub fn drain_sorted(&mut self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self.slots.drain().map(Addr).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Keeps only the slots satisfying the predicate (remset scrubbing).
+    pub fn retain<F: FnMut(Addr) -> bool>(&mut self, mut f: F) {
+        self.slots.retain(|&s| f(Addr(s)));
+    }
+
+    /// Approximate memory footprint in bytes (for access-cost charging).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.slots.len() * 16) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut rs = RememberedSet::new();
+        assert!(rs.insert(Addr(8)));
+        assert!(!rs.insert(Addr(8)));
+        assert!(rs.insert(Addr(16)));
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn drain_sorted_is_sorted_and_empties() {
+        let mut rs = RememberedSet::new();
+        for a in [40u64, 8, 24, 16] {
+            rs.insert(Addr(a));
+        }
+        let v = rs.drain_sorted();
+        assert_eq!(v, vec![Addr(8), Addr(16), Addr(24), Addr(40)]);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut rs = RememberedSet::new();
+        rs.insert(Addr(8));
+        rs.clear();
+        assert!(rs.is_empty());
+        assert_eq!(rs.approx_bytes(), 0);
+    }
+}

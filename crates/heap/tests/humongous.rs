@@ -1,0 +1,86 @@
+//! Humongous-region allocation and lifecycle edge cases.
+
+use nvmgc_heap::verify::verify_heap;
+use nvmgc_heap::{ClassTable, DevicePlacement, Heap, HeapConfig, HeapError, RegionKind};
+
+fn classes() -> ClassTable {
+    let mut t = ClassTable::new();
+    t.register("pair", 2, 16);
+    t.register("big", 1, 6000); // > half of an 8 KiB region
+    t.register("too-big", 0, 9000); // > a whole region
+    t
+}
+
+fn heap(regions: u32) -> Heap {
+    Heap::new(
+        HeapConfig {
+            region_size: 1 << 13,
+            heap_regions: regions,
+            young_regions: regions / 2,
+            placement: DevicePlacement::all_nvm(),
+            card_table: false,
+        },
+        classes(),
+    )
+}
+
+#[test]
+fn humongous_allocation_takes_a_dedicated_region() {
+    let mut h = heap(8);
+    let free_before = h.free_count();
+    let big = h.alloc_humongous(1).unwrap();
+    assert_eq!(h.free_count(), free_before - 1);
+    assert_eq!(h.humongous().len(), 1);
+    let region = big.region(h.shift());
+    assert_eq!(h.region(region).kind(), RegionKind::Humongous);
+    assert!(!h.is_young(big));
+    // The object is fully usable.
+    h.write_data(big, 0, 0xCAFE);
+    assert_eq!(h.read_data(big, 0), 0xCAFE);
+    verify_heap(&h, &[big]).unwrap();
+}
+
+#[test]
+fn oversized_objects_are_rejected() {
+    let mut h = heap(8);
+    match h.alloc_humongous(2) {
+        Err(HeapError::ObjectTooLarge { size }) => assert!(size > 1 << 13),
+        other => panic!("expected ObjectTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn humongous_allocation_fails_cleanly_when_out_of_regions() {
+    let mut h = heap(2);
+    h.alloc_humongous(1).unwrap();
+    h.alloc_humongous(1).unwrap();
+    assert!(matches!(h.alloc_humongous(1), Err(HeapError::OutOfRegions)));
+}
+
+#[test]
+fn releasing_a_humongous_region_returns_it_to_the_free_list() {
+    let mut h = heap(4);
+    let big = h.alloc_humongous(1).unwrap();
+    let region = big.region(h.shift());
+    let free_before = h.free_count();
+    h.release_region(region);
+    assert_eq!(h.free_count(), free_before + 1);
+    assert!(h.humongous().is_empty());
+    assert_eq!(h.region(region).kind(), RegionKind::Free);
+}
+
+#[test]
+fn humongous_counts_as_barrier_source_and_target() {
+    let mut h = heap(8);
+    let big = h.alloc_humongous(1).unwrap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let young = h.alloc_object(eden, 0).unwrap();
+    // humongous -> young: recorded (humongous is old-like).
+    assert!(h.write_ref_with_barrier(h.ref_slot(big, 0), young));
+    // old -> humongous: recorded (humongous is a tracked target).
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let anchor = h.alloc_object(old, 0).unwrap();
+    assert!(h.write_ref_with_barrier(h.ref_slot(anchor, 0), big));
+    let hr = big.region(h.shift());
+    assert_eq!(h.region(hr).remset.len(), 1);
+}

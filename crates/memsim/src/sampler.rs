@@ -1,0 +1,244 @@
+//! Traffic sampling — the reproduction's stand-in for Intel PCM.
+//!
+//! Every grant at a device is recorded into fixed-width time bins, split by
+//! device and read/write direction. Experiments pull the resulting series
+//! to plot the bandwidth timelines of Figs. 2, 3 and 7, and phase marks
+//! (GC active intervals) reproduce the vertical demarcation lines in those
+//! figures.
+
+use crate::device::{AccessKind, DeviceId};
+use crate::Ns;
+use serde::Serialize;
+
+/// What a phase mark denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PhaseKind {
+    /// Mutator (application) execution.
+    Mutator,
+    /// A stop-the-world GC pause.
+    Gc,
+    /// The read-mostly sub-phase of an NVM-aware GC.
+    GcReadMostly,
+    /// The write-only (write-back) sub-phase of an NVM-aware GC.
+    GcWriteBack,
+}
+
+/// A labeled simulated-time interval.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Phase {
+    /// Interval start, ns.
+    pub start: Ns,
+    /// Interval end, ns.
+    pub end: Ns,
+    /// What ran during the interval.
+    pub kind: PhaseKind,
+}
+
+/// One bin of the sampled bandwidth series.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TrafficSample {
+    /// Bytes read from the device within the bin.
+    pub read_bytes: u64,
+    /// Bytes written to the device within the bin.
+    pub write_bytes: u64,
+}
+
+impl TrafficSample {
+    /// Read bandwidth over a bin of `bin_ns`, in MB/s.
+    pub fn read_mbps(&self, bin_ns: Ns) -> f64 {
+        bytes_to_mbps(self.read_bytes, bin_ns)
+    }
+
+    /// Write bandwidth over a bin of `bin_ns`, in MB/s.
+    pub fn write_mbps(&self, bin_ns: Ns) -> f64 {
+        bytes_to_mbps(self.write_bytes, bin_ns)
+    }
+
+    /// Total bandwidth over a bin of `bin_ns`, in MB/s.
+    pub fn total_mbps(&self, bin_ns: Ns) -> f64 {
+        bytes_to_mbps(self.read_bytes + self.write_bytes, bin_ns)
+    }
+}
+
+fn bytes_to_mbps(bytes: u64, bin_ns: Ns) -> f64 {
+    if bin_ns == 0 {
+        return 0.0;
+    }
+    // bytes/ns = GB/s; ×1000 for MB/s.
+    bytes as f64 / bin_ns as f64 * 1000.0
+}
+
+/// Records per-bin traffic for both devices plus phase marks.
+#[derive(Debug)]
+pub struct TrafficSampler {
+    bin_ns: Ns,
+    /// Indexed `[device][bin]`.
+    bins: [Vec<TrafficSample>; 2],
+    phases: Vec<Phase>,
+    enabled: bool,
+}
+
+impl TrafficSampler {
+    /// Creates a sampler with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_ns` is zero.
+    pub fn new(bin_ns: Ns) -> Self {
+        assert!(bin_ns > 0, "bin width must be positive");
+        TrafficSampler {
+            bin_ns,
+            bins: [Vec::new(), Vec::new()],
+            phases: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// The sampling bin width in nanoseconds.
+    pub fn bin_ns(&self) -> Ns {
+        self.bin_ns
+    }
+
+    /// Enables or disables recording (disabled sampling saves memory in
+    /// sweeps that only need aggregate statistics).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records `bytes` of traffic of `kind` at `dev`, attributed to the bin
+    /// containing `at`.
+    pub fn record(&mut self, dev: DeviceId, kind: AccessKind, bytes: u64, at: Ns) {
+        if !self.enabled || bytes == 0 {
+            return;
+        }
+        let bin = (at / self.bin_ns) as usize;
+        let series = &mut self.bins[dev.index()];
+        if series.len() <= bin {
+            series.resize(bin + 1, TrafficSample::default());
+        }
+        if kind.is_write() {
+            series[bin].write_bytes += bytes;
+        } else {
+            series[bin].read_bytes += bytes;
+        }
+    }
+
+    /// Marks a phase interval.
+    pub fn mark_phase(&mut self, start: Ns, end: Ns, kind: PhaseKind) {
+        if self.enabled {
+            self.phases.push(Phase { start, end, kind });
+        }
+    }
+
+    /// The recorded series for a device.
+    pub fn series(&self, dev: DeviceId) -> &[TrafficSample] {
+        &self.bins[dev.index()]
+    }
+
+    /// All recorded phase marks in insertion order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Average bandwidth (MB/s) at `dev` across the bins overlapping the
+    /// recorded phases of `kind`, split into (read, write).
+    ///
+    /// This is how Fig. 6 ("NVM bandwidth during GC") is computed: only
+    /// traffic that lands inside GC pauses counts.
+    pub fn phase_bandwidth(&self, dev: DeviceId, kind: PhaseKind) -> (f64, f64) {
+        let mut read = 0u64;
+        let mut write = 0u64;
+        let mut dur = 0u64;
+        let series = self.series(dev);
+        for ph in self.phases.iter().filter(|p| p.kind == kind) {
+            dur += ph.end.saturating_sub(ph.start);
+            let first = (ph.start / self.bin_ns) as usize;
+            let last = (ph.end.saturating_sub(1) / self.bin_ns) as usize;
+            for bin in series.iter().skip(first).take(last + 1 - first) {
+                read += bin.read_bytes;
+                write += bin.write_bytes;
+            }
+        }
+        (bytes_to_mbps(read, dur), bytes_to_mbps(write, dur))
+    }
+
+    /// Total (read, write) bytes recorded for a device.
+    pub fn totals(&self, dev: DeviceId) -> (u64, u64) {
+        self.series(dev)
+            .iter()
+            .fold((0, 0), |(r, w), s| (r + s.read_bytes, w + s.write_bytes))
+    }
+
+    /// Clears all samples and phases.
+    pub fn reset(&mut self) {
+        self.bins = [Vec::new(), Vec::new()];
+        self.phases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut s = TrafficSampler::new(1000);
+        s.record(DeviceId::Nvm, AccessKind::Read, 100, 0);
+        s.record(DeviceId::Nvm, AccessKind::Write, 50, 1500);
+        s.record(DeviceId::Dram, AccessKind::NtWrite, 10, 10);
+        let nvm = s.series(DeviceId::Nvm);
+        assert_eq!(nvm[0].read_bytes, 100);
+        assert_eq!(nvm[1].write_bytes, 50);
+        assert_eq!(s.series(DeviceId::Dram)[0].write_bytes, 10);
+    }
+
+    #[test]
+    fn bandwidth_units_are_mbps() {
+        // 1000 bytes over a 1000 ns bin = 1 B/ns = 1 GB/s = 1000 MB/s.
+        let s = TrafficSample {
+            read_bytes: 1000,
+            write_bytes: 0,
+        };
+        assert!((s.read_mbps(1000) - 1000.0).abs() < 1e-9);
+        assert!((s.total_mbps(1000) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_bandwidth_only_counts_marked_intervals() {
+        let mut s = TrafficSampler::new(1000);
+        s.record(DeviceId::Nvm, AccessKind::Read, 4000, 500); // bin 0
+        s.record(DeviceId::Nvm, AccessKind::Read, 8000, 5500); // bin 5
+        s.mark_phase(0, 1000, PhaseKind::Gc);
+        let (read, write) = s.phase_bandwidth(DeviceId::Nvm, PhaseKind::Gc);
+        assert!((read - 4000.0).abs() < 1e-9, "read {read}");
+        assert_eq!(write, 0.0);
+    }
+
+    #[test]
+    fn disabled_sampler_records_nothing() {
+        let mut s = TrafficSampler::new(1000);
+        s.set_enabled(false);
+        s.record(DeviceId::Nvm, AccessKind::Read, 100, 0);
+        s.mark_phase(0, 10, PhaseKind::Gc);
+        assert!(s.series(DeviceId::Nvm).is_empty());
+        assert!(s.phases().is_empty());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut s = TrafficSampler::new(1000);
+        s.record(DeviceId::Nvm, AccessKind::Read, 100, 0);
+        s.record(DeviceId::Nvm, AccessKind::Write, 7, 99_000);
+        assert_eq!(s.totals(DeviceId::Nvm), (100, 7));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = TrafficSampler::new(1000);
+        s.record(DeviceId::Nvm, AccessKind::Read, 100, 0);
+        s.mark_phase(0, 10, PhaseKind::Gc);
+        s.reset();
+        assert!(s.series(DeviceId::Nvm).is_empty());
+        assert!(s.phases().is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! The `MemorySystem` facade: LLC + prefetch tables + per-device ledgers.
+//!
+//! All simulated actors (mutator threads, GC workers, the async flusher)
+//! funnel their memory operations through this type. Each operation takes
+//! the actor's current simulated time and returns the completion time; the
+//! discrete-event engine in `nvmgc-core` uses those clocks to interleave
+//! actors deterministically.
+
+use crate::bus::Ledger;
+use crate::cache::LlcModel;
+use crate::device::{AccessKind, DeviceId, DeviceParams, Pattern};
+use crate::prefetch::PrefetchTable;
+use crate::sampler::TrafficSampler;
+use crate::{Ns, CACHE_LINE};
+use serde::Serialize;
+
+/// Configuration of the simulated memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Bandwidth-arbitration epoch length, ns.
+    pub epoch_ns: Ns,
+    /// Traffic-sampler bin width, ns.
+    pub sample_bin_ns: Ns,
+    /// Modeled LLC capacity in bytes (scaled with the heap; see DESIGN.md).
+    pub llc_bytes: u64,
+    /// Cost of an access served by the LLC, ns.
+    pub llc_hit_ns: f64,
+    /// Outstanding software-prefetch slots per thread.
+    pub prefetch_slots: usize,
+    /// Cost of issuing a prefetch instruction, ns.
+    pub prefetch_issue_ns: f64,
+    /// Cost of a full memory fence, ns.
+    pub fence_ns: f64,
+    /// DRAM device parameters.
+    pub dram: DeviceParams,
+    /// NVM device parameters.
+    pub nvm: DeviceParams,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            epoch_ns: 20_000,
+            sample_bin_ns: 1_000_000,
+            llc_bytes: 2 << 20,
+            llc_hit_ns: 14.0,
+            prefetch_slots: 48,
+            prefetch_issue_ns: 1.5,
+            fence_ns: 30.0,
+            dram: DeviceParams::dram(),
+            nvm: DeviceParams::optane(),
+        }
+    }
+}
+
+/// Aggregate access counters, exported with experiment results.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MemStats {
+    /// Word/bulk read operations per device.
+    pub reads: [u64; 2],
+    /// Word/bulk write operations per device.
+    pub writes: [u64; 2],
+    /// Bytes read per device.
+    pub read_bytes: [u64; 2],
+    /// Bytes written per device.
+    pub write_bytes: [u64; 2],
+    /// LLC demand hits.
+    pub llc_hits: u64,
+    /// LLC demand misses.
+    pub llc_misses: u64,
+    /// Prefetches issued.
+    pub prefetch_issued: u64,
+    /// Prefetches that serviced a later demand access.
+    pub prefetch_useful: u64,
+}
+
+/// The simulated hybrid DRAM + NVM memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    ledgers: [Ledger; 2],
+    llc: LlcModel,
+    tables: Vec<PrefetchTable>,
+    sampler: TrafficSampler,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from a configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        let ledgers = [
+            Ledger::new(cfg.dram.clone(), cfg.epoch_ns),
+            Ledger::new(cfg.nvm.clone(), cfg.epoch_ns),
+        ];
+        let llc = LlcModel::new(cfg.llc_bytes);
+        let sampler = TrafficSampler::new(cfg.sample_bin_ns);
+        MemorySystem {
+            cfg,
+            ledgers,
+            llc,
+            tables: Vec::new(),
+            sampler,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Sizes the per-thread prefetch tables for `n` simulated threads.
+    ///
+    /// Thread ids passed to accessors must be `< n` (ids beyond the sized
+    /// range simply skip prefetch-table interaction).
+    pub fn set_threads(&mut self, n: usize) {
+        self.tables = (0..n)
+            .map(|_| PrefetchTable::new(self.cfg.prefetch_slots))
+            .collect();
+    }
+
+    /// Device parameters for `dev`.
+    pub fn device(&self, dev: DeviceId) -> &DeviceParams {
+        self.ledgers[dev.index()].params()
+    }
+
+    /// The traffic sampler (read access).
+    pub fn sampler(&self) -> &TrafficSampler {
+        &self.sampler
+    }
+
+    /// The traffic sampler (mutable, for phase marks and reset).
+    pub fn sampler_mut(&mut self) -> &mut TrafficSampler {
+        &mut self.sampler
+    }
+
+    /// Aggregate statistics snapshot (LLC and prefetch counters included).
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.llc_hits = self.llc.hits();
+        s.llc_misses = self.llc.misses();
+        for t in &self.tables {
+            s.prefetch_issued += t.issued();
+            s.prefetch_useful += t.useful();
+        }
+        s
+    }
+
+    /// Drops bandwidth accounting for epochs before `ns` (safe once every
+    /// simulated clock has passed that point).
+    pub fn retire_before(&mut self, ns: Ns) {
+        for l in &mut self.ledgers {
+            l.retire_before(ns);
+        }
+    }
+
+    fn charge(
+        &mut self,
+        dev: DeviceId,
+        kind: AccessKind,
+        pattern: Pattern,
+        bytes: u64,
+        now: Ns,
+    ) -> Ns {
+        let done = self.ledgers[dev.index()].grant(now, kind, pattern, bytes);
+        self.sampler.record(dev, kind, bytes, now);
+        let di = dev.index();
+        if kind.is_write() {
+            self.stats.writes[di] += 1;
+            self.stats.write_bytes[di] += bytes;
+        } else {
+            self.stats.reads[di] += 1;
+            self.stats.read_bytes[di] += bytes;
+        }
+        done
+    }
+
+    /// Completion time respecting both the shared-device queue and the
+    /// per-thread bandwidth ceiling, plus latency.
+    fn finish(
+        &self,
+        dev: DeviceId,
+        kind: AccessKind,
+        pattern: Pattern,
+        bytes: u64,
+        now: Ns,
+        queued_done: Ns,
+    ) -> Ns {
+        let p = self.device(dev);
+        let floor_ns = bytes as f64 / p.thread_bandwidth(kind).max(1e-9);
+        let transfer = (queued_done - now).max(floor_ns as Ns);
+        now + transfer + p.latency(kind, pattern) as Ns
+    }
+
+    /// Reads one word (treated as one cache line of traffic on a miss).
+    ///
+    /// Checks the thread's software-prefetch table first, then the LLC,
+    /// then pays the device's random-read cost.
+    pub fn read_word(&mut self, tid: usize, dev: DeviceId, addr: u64, now: Ns) -> Ns {
+        if let Some(table) = self.tables.get_mut(tid) {
+            if let Some(ready_at) = table.consume(addr) {
+                self.llc.install(addr);
+                let start = now.max(ready_at);
+                return start + self.cfg.llc_hit_ns as Ns;
+            }
+        }
+        if self.llc.access(addr) {
+            return now + self.cfg.llc_hit_ns as Ns;
+        }
+        let done = self.charge(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now);
+        self.finish(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now, done)
+    }
+
+    /// Writes one word.
+    ///
+    /// The dirtied line is eventually written back to the device, so the
+    /// store always charges one line of write bandwidth — this is how
+    /// random reference/header updates poison the NVM bandwidth for every
+    /// concurrent reader (the paper's §2.3 observation). An LLC hit hides
+    /// the store's *latency* (write-allocate + store buffer), a miss
+    /// stalls for the device write path.
+    pub fn write_word(&mut self, tid: usize, dev: DeviceId, addr: u64, now: Ns) -> Ns {
+        let _ = tid;
+        let hit = self.llc.access(addr);
+        let done = self.charge(dev, AccessKind::Write, Pattern::Rand, CACHE_LINE, now);
+        if hit {
+            now + self.cfg.llc_hit_ns as Ns
+        } else {
+            self.finish(dev, AccessKind::Write, Pattern::Rand, CACHE_LINE, now, done)
+        }
+    }
+
+    /// Streams `bytes` of reads with the given pattern, bypassing the LLC.
+    pub fn bulk_read(
+        &mut self,
+        dev: DeviceId,
+        pattern: Pattern,
+        bytes: u64,
+        now: Ns,
+    ) -> Ns {
+        let done = self.charge(dev, AccessKind::Read, pattern, bytes, now);
+        self.finish(dev, AccessKind::Read, pattern, bytes, now, done)
+    }
+
+    /// Streams `bytes` of regular stores with the given pattern.
+    pub fn bulk_write(
+        &mut self,
+        dev: DeviceId,
+        pattern: Pattern,
+        bytes: u64,
+        now: Ns,
+    ) -> Ns {
+        let done = self.charge(dev, AccessKind::Write, pattern, bytes, now);
+        self.finish(dev, AccessKind::Write, pattern, bytes, now, done)
+    }
+
+    /// Streams `bytes` of non-temporal stores (sequential, cache-bypassing).
+    pub fn nt_write(&mut self, dev: DeviceId, bytes: u64, now: Ns) -> Ns {
+        let done = self.charge(dev, AccessKind::NtWrite, Pattern::Seq, bytes, now);
+        self.finish(dev, AccessKind::NtWrite, Pattern::Seq, bytes, now, done)
+    }
+
+    /// Issues a software prefetch for the line containing `addr`.
+    ///
+    /// Consumes bandwidth immediately but only costs the thread the issue
+    /// overhead; the fill completes asynchronously.
+    pub fn prefetch(&mut self, tid: usize, dev: DeviceId, addr: u64, now: Ns) -> Ns {
+        let issue_done = now + self.cfg.prefetch_issue_ns as Ns;
+        if self.tables.get(tid).is_none() {
+            return issue_done;
+        }
+        let queued = self.charge(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now);
+        let ready = self.finish(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now, queued);
+        self.tables[tid].issue(addr, ready);
+        issue_done
+    }
+
+    /// Installs all lines of `[addr, addr+len)` into the LLC without
+    /// charging traffic — used after an object copy with regular stores,
+    /// which leaves the copy cache-hot.
+    pub fn install_range(&mut self, addr: u64, len: u64) {
+        let mut a = addr & !(CACHE_LINE - 1);
+        while a < addr + len {
+            self.llc.install(a);
+            a += CACHE_LINE;
+        }
+    }
+
+    /// A full store fence (`SFENCE`-like), required after non-temporal
+    /// writes before data may be read by other threads.
+    pub fn fence(&mut self, now: Ns) -> Ns {
+        now + self.cfg.fence_ns as Ns
+    }
+
+    /// Clears per-thread prefetch state (e.g. at a GC phase boundary).
+    pub fn clear_prefetch(&mut self, tid: usize) {
+        if let Some(t) = self.tables.get_mut(tid) {
+            t.clear();
+        }
+    }
+
+    /// Invalidates cached lines for a recycled address range.
+    pub fn invalidate_range(&mut self, start: u64, len: u64) {
+        self.llc.invalidate_range(start, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.set_threads(4);
+        m
+    }
+
+    #[test]
+    fn nvm_random_read_slower_than_dram() {
+        let mut m = sys();
+        let d = m.read_word(0, DeviceId::Dram, 0x1000, 0);
+        let mut m2 = sys();
+        let n = m2.read_word(0, DeviceId::Nvm, 0x1000, 0);
+        assert!(n > 2 * d, "nvm {n} vs dram {d}");
+    }
+
+    #[test]
+    fn second_read_of_same_line_hits_llc() {
+        let mut m = sys();
+        let t1 = m.read_word(0, DeviceId::Nvm, 0x1000, 0);
+        let t2 = m.read_word(0, DeviceId::Nvm, 0x1000, t1);
+        assert_eq!(t2 - t1, m.config().llc_hit_ns as Ns);
+    }
+
+    #[test]
+    fn prefetched_read_is_cheap_after_fill_completes() {
+        let mut m = sys();
+        let addr = 0x8_0000;
+        m.prefetch(0, DeviceId::Nvm, addr, 0);
+        // Wait well past the fill time, then access.
+        let start = 100_000;
+        let done = m.read_word(0, DeviceId::Nvm, addr, start);
+        assert_eq!(done - start, m.config().llc_hit_ns as Ns);
+    }
+
+    #[test]
+    fn premature_access_waits_for_inflight_prefetch() {
+        let mut m = sys();
+        let addr = 0x8_0000;
+        m.prefetch(0, DeviceId::Nvm, addr, 0);
+        let done = m.read_word(0, DeviceId::Nvm, addr, 1);
+        // Must wait at least the NVM random latency (the fill in flight),
+        // but less than latency + a fresh demand miss.
+        let lat = m.config().nvm.lat_read_rand_ns as Ns;
+        assert!(done >= lat, "done {done} < lat {lat}");
+        assert!(done < 2 * lat + 100);
+    }
+
+    #[test]
+    fn prefetch_only_benefits_issuing_thread() {
+        let mut m = sys();
+        let addr = 0x8_0000;
+        m.prefetch(0, DeviceId::Nvm, addr, 0);
+        let done = m.read_word(1, DeviceId::Nvm, addr, 100_000);
+        let lat = m.config().nvm.lat_read_rand_ns as Ns;
+        assert!(done - 100_000 >= lat);
+    }
+
+    #[test]
+    fn bulk_nt_write_beats_bulk_regular_write_on_nvm() {
+        let mut m = sys();
+        let w = m.bulk_write(DeviceId::Nvm, Pattern::Seq, 1 << 20, 0);
+        let mut m2 = sys();
+        let nt = m2.nt_write(DeviceId::Nvm, 1 << 20, 0);
+        assert!(nt < w, "nt {nt} vs write {w}");
+    }
+
+    #[test]
+    fn many_threads_saturate_nvm_but_not_dram() {
+        // 16 threads each streaming 1 MB of reads concurrently.
+        let measure = |dev: DeviceId| {
+            let mut m = sys();
+            let mut worst: Ns = 0;
+            for _ in 0..16 {
+                let done = m.bulk_read(dev, Pattern::Seq, 1 << 20, 0);
+                worst = worst.max(done);
+            }
+            worst
+        };
+        let nvm = measure(DeviceId::Nvm);
+        let dram = measure(DeviceId::Dram);
+        // NVM total demand = 16 MB at ~38 GB/s ⇒ ≥ 440 µs; DRAM ≫ faster.
+        assert!(nvm > 5 * dram / 2, "nvm {nvm} dram {dram}");
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut m = sys();
+        m.bulk_read(DeviceId::Nvm, Pattern::Seq, 1000, 0);
+        m.nt_write(DeviceId::Nvm, 500, 0);
+        let s = m.stats();
+        assert_eq!(s.read_bytes[DeviceId::Nvm.index()], 1000);
+        assert_eq!(s.write_bytes[DeviceId::Nvm.index()], 500);
+    }
+
+    #[test]
+    fn sampler_sees_phase_traffic() {
+        let mut m = sys();
+        m.bulk_read(DeviceId::Nvm, Pattern::Seq, 1 << 16, 0);
+        m.sampler_mut()
+            .mark_phase(0, 1_000_000, crate::PhaseKind::Gc);
+        let (read, _) = m
+            .sampler()
+            .phase_bandwidth(DeviceId::Nvm, crate::PhaseKind::Gc);
+        assert!(read > 0.0);
+    }
+
+    #[test]
+    fn fence_advances_time() {
+        let mut m = sys();
+        assert!(m.fence(100) > 100);
+    }
+
+    #[test]
+    fn unknown_tid_skips_prefetch_table() {
+        let mut m = sys();
+        let t = m.prefetch(99, DeviceId::Nvm, 0x40, 0);
+        assert!(t >= 1);
+        // Does not panic and no table recorded it.
+        assert_eq!(m.stats().prefetch_issued, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Cost-efficiency analysis (paper §5.5, Fig. 12).
+//!
+//! The paper compares optimizations by *GC-improvement-per-dollar*: the
+//! seconds of GC time saved per dollar of extra memory cost relative to an
+//! all-NVM baseline. The NVM-aware optimizations add only a small amount
+//! of DRAM (write cache + header map); using DRAM for the whole heap saves
+//! more GC time but costs vastly more.
+
+/// Per-GB prices used by the paper (§5.5): DRAM 7.81 $/GB, NVM 3.01 $/GB.
+pub const DRAM_DOLLARS_PER_GB: f64 = 7.81;
+/// See [`DRAM_DOLLARS_PER_GB`].
+pub const NVM_DOLLARS_PER_GB: f64 = 3.01;
+
+/// Dollar cost of `bytes` of DRAM.
+pub fn dram_cost(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64 * DRAM_DOLLARS_PER_GB
+}
+
+/// Dollar cost of `bytes` of NVM.
+pub fn nvm_cost(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64 * NVM_DOLLARS_PER_GB
+}
+
+/// GC-improvement-per-dollar: seconds of GC saved per extra dollar spent
+/// versus the baseline configuration.
+///
+/// `baseline_gc_s` and `config_gc_s` are accumulated GC times in seconds;
+/// `extra_dollars` is the additional memory cost over the baseline.
+/// Returns zero when no extra money was spent (the baseline itself).
+pub fn gc_improvement_per_dollar(
+    baseline_gc_s: f64,
+    config_gc_s: f64,
+    extra_dollars: f64,
+) -> f64 {
+    if extra_dollars <= 0.0 {
+        return 0.0;
+    }
+    (baseline_gc_s - config_gc_s) / extra_dollars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_costs_more_than_nvm() {
+        let gb = 1u64 << 30;
+        assert!((dram_cost(gb) - 7.81).abs() < 1e-9);
+        assert!((nvm_cost(gb) - 3.01).abs() < 1e-9);
+        assert!(dram_cost(gb) / nvm_cost(gb) > 2.5);
+    }
+
+    #[test]
+    fn improvement_per_dollar() {
+        // Saved 10 s of GC for 2 extra dollars.
+        assert!((gc_improvement_per_dollar(30.0, 20.0, 2.0) - 5.0).abs() < 1e-12);
+        // No extra spend → zero by definition.
+        assert_eq!(gc_improvement_per_dollar(30.0, 20.0, 0.0), 0.0);
+        // A regression yields a negative value.
+        assert!(gc_improvement_per_dollar(20.0, 30.0, 2.0) < 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! JSON export of experiment results.
+//!
+//! Every bench harness writes a machine-readable record next to its
+//! printed table so EXPERIMENTS.md numbers can be regenerated and diffed.
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A generic experiment report: an id (e.g. `fig05_gc_time`), free-form
+/// metadata, and a serializable payload.
+#[derive(Debug, Serialize)]
+pub struct ExperimentReport<T: Serialize> {
+    /// Experiment id, matching the bench target name.
+    pub id: String,
+    /// The paper artifact this reproduces (e.g. "Figure 5").
+    pub paper_ref: String,
+    /// Scale/seed/config notes.
+    pub notes: String,
+    /// The result payload.
+    pub data: T,
+}
+
+/// Serializes `report` as pretty JSON into `dir/<id>.json`, creating the
+/// directory if needed. Returns the written path.
+pub fn write_json<T: Serialize>(
+    dir: &Path,
+    report: &ExperimentReport<T>,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", report.id));
+    let mut f = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_json_file() {
+        let dir = std::env::temp_dir().join("nvmgc_report_test");
+        let report = ExperimentReport {
+            id: "unit_test".to_owned(),
+            paper_ref: "none".to_owned(),
+            notes: String::new(),
+            data: vec![1, 2, 3],
+        };
+        let path = write_json(&dir, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"unit_test\""));
+        assert!(text.contains("[\n"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

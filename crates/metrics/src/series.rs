@@ -1,0 +1,103 @@
+//! Bandwidth time series reshaping for the timeline figures.
+
+use serde::Serialize;
+
+/// A read/write/total bandwidth series in MB/s over fixed-width bins — the
+/// shape of the paper's Figs. 2, 3 and 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct BandwidthSeries {
+    /// Bin width in milliseconds.
+    pub bin_ms: f64,
+    /// Read bandwidth per bin, MB/s.
+    pub read: Vec<f64>,
+    /// Write bandwidth per bin, MB/s.
+    pub write: Vec<f64>,
+}
+
+impl BandwidthSeries {
+    /// Builds a series from raw `(read_bytes, write_bytes)` bins.
+    pub fn from_bins(bins: &[(u64, u64)], bin_ns: u64) -> BandwidthSeries {
+        let to_mbps = |bytes: u64| bytes as f64 / bin_ns as f64 * 1000.0;
+        BandwidthSeries {
+            bin_ms: bin_ns as f64 / 1e6,
+            read: bins.iter().map(|&(r, _)| to_mbps(r)).collect(),
+            write: bins.iter().map(|&(_, w)| to_mbps(w)).collect(),
+        }
+    }
+
+    /// Total bandwidth per bin, MB/s.
+    pub fn total(&self) -> Vec<f64> {
+        self.read
+            .iter()
+            .zip(&self.write)
+            .map(|(r, w)| r + w)
+            .collect()
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.read.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.read.is_empty()
+    }
+
+    /// Mean total bandwidth over bins with any traffic, MB/s.
+    pub fn mean_active_total(&self) -> f64 {
+        let totals: Vec<f64> = self.total().into_iter().filter(|&t| t > 0.0).collect();
+        crate::stats::mean(&totals)
+    }
+
+    /// Downsamples by an integer factor (averaging), for compact printouts.
+    pub fn downsample(&self, factor: usize) -> BandwidthSeries {
+        let factor = factor.max(1);
+        let avg = |v: &[f64]| -> Vec<f64> {
+            v.chunks(factor)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect()
+        };
+        BandwidthSeries {
+            bin_ms: self.bin_ms * factor as f64,
+            read: avg(&self.read),
+            write: avg(&self.write),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bins_converts_units() {
+        // 1_000_000 bytes over 1 ms = 1 GB/s = 1000 MB/s.
+        let s = BandwidthSeries::from_bins(&[(1_000_000, 500_000)], 1_000_000);
+        assert!((s.read[0] - 1000.0).abs() < 1e-9);
+        assert!((s.write[0] - 500.0).abs() < 1e-9);
+        assert!((s.total()[0] - 1500.0).abs() < 1e-9);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn mean_active_ignores_idle_bins() {
+        let s = BandwidthSeries::from_bins(&[(0, 0), (1_000_000, 0), (0, 0)], 1_000_000);
+        assert!((s.mean_active_total() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let s = BandwidthSeries {
+            bin_ms: 1.0,
+            read: vec![1.0, 3.0, 5.0, 7.0],
+            write: vec![0.0; 4],
+        };
+        let d = s.downsample(2);
+        assert_eq!(d.read, vec![2.0, 6.0]);
+        assert_eq!(d.bin_ms, 2.0);
+        // Factor 0 behaves as 1.
+        assert_eq!(s.downsample(0).read.len(), 4);
+    }
+}

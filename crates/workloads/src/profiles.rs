@@ -1,0 +1,575 @@
+//! Per-application workload profiles.
+//!
+//! One profile per application in the paper's evaluation: the four Spark
+//! applications (page-rank, kmeans, cc, sssp — §5.1) and the 22
+//! Renaissance applications of Figs. 5/6/13, plus the two Cassandra
+//! phases (see [`crate::cassandra`]). Parameters encode each
+//! application's qualitative role in the paper:
+//!
+//! - Spark applications allocate huge numbers of small, pointer-rich,
+//!   high-survival RDD tuples — long GC traversals, large write-cache and
+//!   header-map benefit, near-full header-map occupancy (Fig. 10).
+//! - `naive-bayes` is dominated by primitive-array copies — sequential
+//!   NVM reads, big bandwidth numbers (Fig. 7c/d).
+//! - `akka-uct` carries a long serial chain — GC load imbalance and
+//!   moderate bandwidth even when optimized (Fig. 7e/f).
+//! - `movie-lens`, `rx-scrabble` and `scala-doku` run compute-heavy with
+//!   few short pauses — the three applications the paper reports as not
+//!   benefiting (Fig. 5).
+//! - The remaining Renaissance profiles vary size mixes, survival and
+//!   remset pressure across realistic ranges.
+
+use crate::spec::{ClassMix, WorkloadSpec};
+
+fn mix(entries: &[(u32, u32, u32)]) -> Vec<ClassMix> {
+    entries
+        .iter()
+        .map(|&(num_refs, data_bytes, weight)| ClassMix {
+            num_refs,
+            data_bytes,
+            weight,
+        })
+        .collect()
+}
+
+/// Builds the profile for a named application.
+///
+/// # Panics
+///
+/// Panics on an unknown application name; use [`all_apps`] for the roster.
+pub fn app(name: &str) -> WorkloadSpec {
+    let mut s = base(name);
+    s.name = leak_name(name);
+    s
+}
+
+// Workload names are 'static; intern the handful of dynamic lookups.
+fn leak_name(name: &str) -> &'static str {
+    // The roster is a fixed, small set — find the static string instead of
+    // leaking.
+    ALL_APPS
+        .iter()
+        .copied()
+        .find(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown application '{name}'"))
+}
+
+/// The full roster (4 Spark + 22 Renaissance), in the paper's naming.
+pub const ALL_APPS: [&str; 26] = [
+    "akka-uct",
+    "als",
+    "chi-square",
+    "dec-tree",
+    "dotty",
+    "finagle-chirper",
+    "finagle-http",
+    "fj-kmeans",
+    "future-genetic",
+    "gauss-mix",
+    "log-regression",
+    "mnemonics",
+    "movie-lens",
+    "naive-bayes",
+    "neo4j-analytics",
+    "par-mnemonics",
+    "philosophers",
+    "reactors",
+    "rx-scrabble",
+    "scala-doku",
+    "scala-stm-bench7",
+    "scrabble",
+    "page-rank",
+    "kmeans",
+    "cc",
+    "sssp",
+];
+
+/// All 26 application profiles.
+pub fn all_apps() -> Vec<WorkloadSpec> {
+    ALL_APPS.iter().map(|n| app(n)).collect()
+}
+
+/// The four Spark applications (§5.1).
+pub fn spark_apps() -> Vec<WorkloadSpec> {
+    ["page-rank", "kmeans", "cc", "sssp"]
+        .iter()
+        .map(|n| app(n))
+        .collect()
+}
+
+/// The 22 Renaissance applications.
+pub fn renaissance_apps() -> Vec<WorkloadSpec> {
+    ALL_APPS[..22].iter().map(|n| app(n)).collect()
+}
+
+/// The six applications of the motivation study (Fig. 1): als, kmeans,
+/// log-regression, movie-lens, page-rank, scala-stm-bench7.
+pub fn fig1_apps() -> Vec<WorkloadSpec> {
+    [
+        "als",
+        "kmeans",
+        "log-regression",
+        "movie-lens",
+        "page-rank",
+        "scala-stm-bench7",
+    ]
+    .iter()
+    .map(|n| app(n))
+    .collect()
+}
+
+fn base(name: &str) -> WorkloadSpec {
+    // Small pointer-rich tuple mix shared by the Spark profiles.
+    let spark_mix = mix(&[(2, 16, 50), (3, 24, 25), (1, 8, 15), (0, 160, 10)]);
+    match name {
+        // ---- Spark -----------------------------------------------------
+        "page-rank" => WorkloadSpec {
+            name: "page-rank",
+            alloc_young_multiple: 14.0,
+            mix: spark_mix,
+            survival: 0.38,
+            keep_gcs: 2,
+            old_link_fraction: 0.25,
+            chain_fraction: 0.02,
+            cpu_per_alloc_ns: 14.0,
+            touches_per_alloc: 22,
+            app_threads: 32,
+            share_fraction: 0.25,
+            old_anchor_bytes: 512 << 10,
+        },
+        "kmeans" => WorkloadSpec {
+            name: "kmeans",
+            alloc_young_multiple: 12.0,
+            mix: mix(&[(2, 16, 45), (1, 32, 30), (0, 256, 15), (3, 24, 10)]),
+            survival: 0.34,
+            keep_gcs: 2,
+            old_link_fraction: 0.2,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 18.0,
+            touches_per_alloc: 20,
+            app_threads: 32,
+            share_fraction: 0.2,
+            old_anchor_bytes: 384 << 10,
+        },
+        "cc" => WorkloadSpec {
+            name: "cc",
+            alloc_young_multiple: 11.0,
+            mix: mix(&[(2, 16, 50), (4, 16, 20), (0, 128, 15), (1, 8, 15)]),
+            survival: 0.3,
+            keep_gcs: 2,
+            old_link_fraction: 0.22,
+            chain_fraction: 0.03,
+            cpu_per_alloc_ns: 20.0,
+            touches_per_alloc: 18,
+            app_threads: 32,
+            share_fraction: 0.3,
+            old_anchor_bytes: 384 << 10,
+        },
+        "sssp" => WorkloadSpec {
+            name: "sssp",
+            alloc_young_multiple: 12.0,
+            mix: mix(&[(2, 16, 45), (3, 32, 25), (0, 96, 15), (1, 8, 15)]),
+            survival: 0.32,
+            keep_gcs: 2,
+            old_link_fraction: 0.24,
+            chain_fraction: 0.02,
+            cpu_per_alloc_ns: 16.0,
+            touches_per_alloc: 18,
+            app_threads: 32,
+            share_fraction: 0.28,
+            old_anchor_bytes: 384 << 10,
+        },
+        // ---- Renaissance -------------------------------------------------
+        "akka-uct" => WorkloadSpec {
+            name: "akka-uct",
+            // Long serial chain, small live set, many messages.
+            alloc_young_multiple: 10.0,
+            mix: mix(&[(2, 32, 50), (1, 48, 30), (3, 16, 20)]),
+            survival: 0.16,
+            keep_gcs: 1,
+            old_link_fraction: 0.05,
+            chain_fraction: 0.45,
+            cpu_per_alloc_ns: 30.0,
+            touches_per_alloc: 7,
+            app_threads: 16,
+            share_fraction: 0.1,
+            old_anchor_bytes: 128 << 10,
+        },
+        "als" => WorkloadSpec {
+            name: "als",
+            // Matrix-factorization: arrays + tuples; app phase itself is
+            // bandwidth-hungry (Fig. 3) but GC demand is higher still.
+            alloc_young_multiple: 10.0,
+            mix: mix(&[(0, 1024, 20), (2, 16, 45), (1, 64, 35)]),
+            survival: 0.3,
+            keep_gcs: 2,
+            old_link_fraction: 0.15,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 22.0,
+            touches_per_alloc: 22,
+            app_threads: 32,
+            share_fraction: 0.12,
+            old_anchor_bytes: 256 << 10,
+        },
+        "chi-square" => WorkloadSpec {
+            name: "chi-square",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(0, 512, 30), (2, 16, 40), (1, 32, 30)]),
+            survival: 0.24,
+            keep_gcs: 1,
+            old_link_fraction: 0.12,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 26.0,
+            touches_per_alloc: 10,
+            app_threads: 16,
+            share_fraction: 0.08,
+            old_anchor_bytes: 192 << 10,
+        },
+        "dec-tree" => WorkloadSpec {
+            name: "dec-tree",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(3, 24, 45), (0, 384, 25), (1, 16, 30)]),
+            survival: 0.26,
+            keep_gcs: 2,
+            old_link_fraction: 0.15,
+            chain_fraction: 0.02,
+            cpu_per_alloc_ns: 24.0,
+            touches_per_alloc: 10,
+            app_threads: 16,
+            share_fraction: 0.15,
+            old_anchor_bytes: 256 << 10,
+        },
+        "dotty" => WorkloadSpec {
+            name: "dotty",
+            // Compiler: many short-lived small objects (trees, symbols).
+            alloc_young_multiple: 10.0,
+            mix: mix(&[(3, 16, 45), (2, 24, 35), (1, 40, 20)]),
+            survival: 0.22,
+            keep_gcs: 1,
+            old_link_fraction: 0.1,
+            chain_fraction: 0.02,
+            cpu_per_alloc_ns: 28.0,
+            touches_per_alloc: 8,
+            app_threads: 12,
+            share_fraction: 0.22,
+            old_anchor_bytes: 192 << 10,
+        },
+        "finagle-chirper" => WorkloadSpec {
+            name: "finagle-chirper",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(2, 48, 40), (1, 96, 35), (3, 16, 25)]),
+            survival: 0.2,
+            keep_gcs: 1,
+            old_link_fraction: 0.08,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 32.0,
+            touches_per_alloc: 8,
+            app_threads: 16,
+            share_fraction: 0.1,
+            old_anchor_bytes: 128 << 10,
+        },
+        "finagle-http" => WorkloadSpec {
+            name: "finagle-http",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(1, 128, 40), (2, 48, 35), (0, 256, 25)]),
+            survival: 0.18,
+            keep_gcs: 1,
+            old_link_fraction: 0.06,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 34.0,
+            touches_per_alloc: 8,
+            app_threads: 16,
+            share_fraction: 0.08,
+            old_anchor_bytes: 128 << 10,
+        },
+        "fj-kmeans" => WorkloadSpec {
+            name: "fj-kmeans",
+            alloc_young_multiple: 10.0,
+            mix: mix(&[(2, 16, 45), (0, 192, 25), (1, 32, 30)]),
+            survival: 0.28,
+            keep_gcs: 2,
+            old_link_fraction: 0.15,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 22.0,
+            touches_per_alloc: 10,
+            app_threads: 16,
+            share_fraction: 0.15,
+            old_anchor_bytes: 256 << 10,
+        },
+        "future-genetic" => WorkloadSpec {
+            name: "future-genetic",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(2, 32, 40), (0, 128, 30), (1, 24, 30)]),
+            survival: 0.22,
+            keep_gcs: 1,
+            old_link_fraction: 0.1,
+            chain_fraction: 0.04,
+            cpu_per_alloc_ns: 26.0,
+            touches_per_alloc: 8,
+            app_threads: 16,
+            share_fraction: 0.12,
+            old_anchor_bytes: 192 << 10,
+        },
+        "gauss-mix" => WorkloadSpec {
+            name: "gauss-mix",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(0, 768, 30), (1, 64, 35), (2, 16, 35)]),
+            survival: 0.25,
+            keep_gcs: 2,
+            old_link_fraction: 0.12,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 24.0,
+            touches_per_alloc: 11,
+            app_threads: 16,
+            share_fraction: 0.08,
+            old_anchor_bytes: 256 << 10,
+        },
+        "log-regression" => WorkloadSpec {
+            name: "log-regression",
+            alloc_young_multiple: 11.0,
+            mix: mix(&[(2, 16, 40), (0, 512, 25), (1, 48, 35)]),
+            survival: 0.32,
+            keep_gcs: 2,
+            old_link_fraction: 0.18,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 20.0,
+            touches_per_alloc: 20,
+            app_threads: 32,
+            share_fraction: 0.18,
+            old_anchor_bytes: 320 << 10,
+        },
+        "mnemonics" => WorkloadSpec {
+            name: "mnemonics",
+            // String-crunching: high allocation rate, short lives.
+            alloc_young_multiple: 12.0,
+            mix: mix(&[(1, 40, 50), (0, 80, 30), (2, 24, 20)]),
+            survival: 0.2,
+            keep_gcs: 1,
+            old_link_fraction: 0.06,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 18.0,
+            touches_per_alloc: 7,
+            app_threads: 12,
+            share_fraction: 0.06,
+            old_anchor_bytes: 96 << 10,
+        },
+        "movie-lens" => WorkloadSpec {
+            name: "movie-lens",
+            // Compute-heavy, low survival: infrequent short pauses — one
+            // of the three applications the paper reports as unimproved.
+            alloc_young_multiple: 5.0,
+            mix: mix(&[(1, 64, 40), (0, 256, 30), (2, 24, 30)]),
+            survival: 0.03,
+            keep_gcs: 1,
+            old_link_fraction: 0.04,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 120.0,
+            touches_per_alloc: 8,
+            app_threads: 12,
+            share_fraction: 0.05,
+            old_anchor_bytes: 192 << 10,
+        },
+        "naive-bayes" => WorkloadSpec {
+            name: "naive-bayes",
+            // Primitive-array heavy: large sequential copies (Fig. 7c/d).
+            alloc_young_multiple: 11.0,
+            mix: mix(&[(0, 2048, 30), (0, 4096, 15), (1, 64, 30), (2, 16, 25)]),
+            survival: 0.28,
+            keep_gcs: 1,
+            old_link_fraction: 0.1,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 26.0,
+            touches_per_alloc: 10,
+            app_threads: 16,
+            share_fraction: 0.06,
+            old_anchor_bytes: 256 << 10,
+        },
+        "neo4j-analytics" => WorkloadSpec {
+            name: "neo4j-analytics",
+            alloc_young_multiple: 10.0,
+            mix: mix(&[(4, 24, 40), (2, 16, 35), (0, 192, 25)]),
+            survival: 0.28,
+            keep_gcs: 2,
+            old_link_fraction: 0.2,
+            chain_fraction: 0.03,
+            cpu_per_alloc_ns: 22.0,
+            touches_per_alloc: 11,
+            app_threads: 16,
+            share_fraction: 0.3,
+            old_anchor_bytes: 384 << 10,
+        },
+        "par-mnemonics" => WorkloadSpec {
+            name: "par-mnemonics",
+            alloc_young_multiple: 12.0,
+            mix: mix(&[(1, 40, 50), (0, 96, 30), (2, 24, 20)]),
+            survival: 0.22,
+            keep_gcs: 1,
+            old_link_fraction: 0.06,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 16.0,
+            touches_per_alloc: 7,
+            app_threads: 16,
+            share_fraction: 0.06,
+            old_anchor_bytes: 96 << 10,
+        },
+        "philosophers" => WorkloadSpec {
+            name: "philosophers",
+            alloc_young_multiple: 9.0,
+            mix: mix(&[(2, 16, 55), (1, 32, 30), (3, 8, 15)]),
+            survival: 0.18,
+            keep_gcs: 1,
+            old_link_fraction: 0.05,
+            chain_fraction: 0.05,
+            cpu_per_alloc_ns: 30.0,
+            touches_per_alloc: 6,
+            app_threads: 12,
+            share_fraction: 0.12,
+            old_anchor_bytes: 64 << 10,
+        },
+        "reactors" => WorkloadSpec {
+            name: "reactors",
+            alloc_young_multiple: 11.0,
+            mix: mix(&[(2, 24, 50), (1, 48, 30), (3, 16, 20)]),
+            survival: 0.2,
+            keep_gcs: 1,
+            old_link_fraction: 0.08,
+            chain_fraction: 0.1,
+            cpu_per_alloc_ns: 22.0,
+            touches_per_alloc: 7,
+            app_threads: 16,
+            share_fraction: 0.12,
+            old_anchor_bytes: 128 << 10,
+        },
+        "rx-scrabble" => WorkloadSpec {
+            name: "rx-scrabble",
+            // Short run, tiny live set: the pauses are rare and brief — an
+            // unimproved application in Fig. 5.
+            alloc_young_multiple: 4.0,
+            mix: mix(&[(1, 32, 50), (0, 64, 30), (2, 16, 20)]),
+            survival: 0.02,
+            keep_gcs: 1,
+            old_link_fraction: 0.02,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 90.0,
+            touches_per_alloc: 6,
+            app_threads: 12,
+            share_fraction: 0.05,
+            old_anchor_bytes: 64 << 10,
+        },
+        "scala-doku" => WorkloadSpec {
+            name: "scala-doku",
+            // Solver with heavy compute and little garbage churn — the
+            // third unimproved application.
+            alloc_young_multiple: 4.0,
+            mix: mix(&[(2, 16, 50), (1, 24, 35), (0, 48, 15)]),
+            survival: 0.035,
+            keep_gcs: 1,
+            old_link_fraction: 0.03,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 110.0,
+            touches_per_alloc: 7,
+            app_threads: 12,
+            share_fraction: 0.1,
+            old_anchor_bytes: 64 << 10,
+        },
+        "scala-stm-bench7" => WorkloadSpec {
+            name: "scala-stm-bench7",
+            // STM: GC-intensive with many medium-lived transaction logs.
+            alloc_young_multiple: 13.0,
+            mix: mix(&[(3, 24, 40), (2, 16, 35), (1, 64, 25)]),
+            survival: 0.36,
+            keep_gcs: 2,
+            old_link_fraction: 0.2,
+            chain_fraction: 0.02,
+            cpu_per_alloc_ns: 16.0,
+            touches_per_alloc: 16,
+            app_threads: 28,
+            share_fraction: 0.25,
+            old_anchor_bytes: 256 << 10,
+        },
+        "scrabble" => WorkloadSpec {
+            name: "scrabble",
+            alloc_young_multiple: 8.0,
+            mix: mix(&[(1, 32, 45), (0, 96, 30), (2, 16, 25)]),
+            survival: 0.16,
+            keep_gcs: 1,
+            old_link_fraction: 0.05,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 36.0,
+            touches_per_alloc: 6,
+            app_threads: 12,
+            share_fraction: 0.06,
+            old_anchor_bytes: 96 << 10,
+        },
+        other => panic!("unknown application '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_complete_and_unique() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 26);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26, "duplicate profile names");
+    }
+
+    #[test]
+    fn sub_rosters() {
+        assert_eq!(spark_apps().len(), 4);
+        assert_eq!(renaissance_apps().len(), 22);
+        assert_eq!(fig1_apps().len(), 6);
+        assert!(renaissance_apps().iter().all(|a| a.name != "page-rank"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        app("fortnite");
+    }
+
+    #[test]
+    fn profiles_have_sane_parameters() {
+        for a in all_apps() {
+            assert!(!a.mix.is_empty(), "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.survival), "{}", a.name);
+            assert!(
+                a.chain_fraction + a.old_link_fraction <= 1.0,
+                "{}: link fractions exceed 1",
+                a.name
+            );
+            assert!(a.alloc_young_multiple >= 2.0, "{}", a.name);
+            assert!(a.avg_object_bytes() > 0.0, "{}", a.name);
+            // Everything must fit a 64 KiB region.
+            for m in &a.mix {
+                assert!(m.data_bytes + m.num_refs * 8 + 8 < 64 << 10, "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unimproved_apps_are_compute_heavy() {
+        for name in ["movie-lens", "rx-scrabble", "scala-doku"] {
+            let a = app(name);
+            assert!(a.cpu_per_alloc_ns >= 80.0, "{name}");
+            assert!(a.survival <= 0.15, "{name}");
+        }
+    }
+
+    #[test]
+    fn naive_bayes_is_array_heavy() {
+        let a = app("naive-bayes");
+        assert!(a.mix.iter().any(|m| m.data_bytes >= 2048));
+    }
+
+    #[test]
+    fn akka_uct_has_chain_dominance() {
+        let a = app("akka-uct");
+        assert!(a.chain_fraction >= 0.4);
+    }
+}

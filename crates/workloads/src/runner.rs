@@ -1,0 +1,328 @@
+//! Application run orchestration.
+//!
+//! Runs one workload to completion against a collector configuration:
+//! mutator phases alternate with stop-the-world young collections, phase
+//! intervals are marked in the traffic sampler, and the result carries
+//! everything the experiment harnesses report — application time, GC
+//! pauses, per-phase bandwidth and raw memory-model counters.
+
+use crate::mutator::{Mutator, MutatorStep};
+use crate::spec::WorkloadSpec;
+use nvmgc_core::gclog::{GcKind, GcLog};
+use nvmgc_core::{G1Collector, GcConfig, GcStats};
+use nvmgc_core::stats::RunGcStats;
+use nvmgc_heap::{DevicePlacement, Heap, HeapConfig, HeapError};
+use nvmgc_memsim::{DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind};
+
+/// When collections beyond young GCs are triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GcTrigger {
+    /// Young collections only — the paper's evaluated mode (its workloads
+    /// never triggered a full GC and mixed GCs were rare, §2.1).
+    YoungOnly,
+    /// G1-like adaptive mode: a mixed collection replaces the young one
+    /// whenever old-generation occupancy exceeds the threshold fraction
+    /// of the heap (the initiating-heap-occupancy idea).
+    Adaptive {
+        /// Old-occupancy fraction of the heap that initiates mixed GCs.
+        ihop: f64,
+    },
+}
+
+/// Configuration of one application run.
+#[derive(Debug, Clone)]
+pub struct AppRunConfig {
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// Collector configuration.
+    pub gc: GcConfig,
+    /// Heap geometry and placement.
+    pub heap: HeapConfig,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Collection-triggering policy.
+    pub trigger: GcTrigger,
+    /// Keep a HotSpot-style GC log for the run.
+    pub keep_gc_log: bool,
+    /// Record full bandwidth time series (costs memory; timeline figures
+    /// only).
+    pub sample_series: bool,
+}
+
+impl AppRunConfig {
+    /// A standard scaled-down run: 64 KiB regions, 48 MiB heap with an
+    /// 8 MiB young generation, 512 KiB LLC, everything on NVM. The old
+    /// space is generous because this reproduction (like the paper's
+    /// evaluation) only runs young collections — promoted garbage is
+    /// reclaimed by mixed GCs in real G1, which are out of scope.
+    pub fn standard(spec: WorkloadSpec, gc: GcConfig) -> AppRunConfig {
+        AppRunConfig {
+            spec,
+            gc,
+            heap: HeapConfig {
+                region_size: 64 << 10,
+                heap_regions: 768,
+                young_regions: 128,
+                placement: DevicePlacement::all_nvm(),
+                card_table: false,
+            },
+            mem: MemConfig {
+                llc_bytes: 512 << 10,
+                ..MemConfig::default()
+            },
+            seed: 0x5EED,
+            trigger: GcTrigger::YoungOnly,
+            keep_gc_log: false,
+            sample_series: false,
+        }
+    }
+
+    /// Young-generation size in bytes.
+    pub fn young_bytes(&self) -> u64 {
+        self.heap.young_regions as u64 * self.heap.region_size as u64
+    }
+
+    /// Heap size in bytes (for sizing the write cache / header map like
+    /// the paper: 1/32 of the heap each).
+    pub fn heap_bytes(&self) -> u64 {
+        self.heap.heap_regions as u64 * self.heap.region_size as u64
+    }
+}
+
+/// The measurements from one application run.
+#[derive(Debug)]
+pub struct AppRunResult {
+    /// Workload name.
+    pub name: String,
+    /// Total simulated run time (mutator + GC pauses).
+    pub total_ns: Ns,
+    /// Simulated time spent in mutator phases (excludes pauses).
+    pub mutator_ns: Ns,
+    /// Accumulated GC statistics.
+    pub gc: RunGcStats,
+    /// Per-cycle statistics.
+    pub cycles: Vec<GcStats>,
+    /// Average NVM (read, write) bandwidth during GC pauses, MB/s.
+    pub gc_nvm_bandwidth: (f64, f64),
+    /// Average NVM (read, write) bandwidth during mutator phases, MB/s.
+    pub app_nvm_bandwidth: (f64, f64),
+    /// Raw memory-model counters.
+    pub mem_stats: MemStats,
+    /// Raw per-bin NVM (read, write) byte series (when sampling enabled).
+    pub nvm_series: Vec<(u64, u64)>,
+    /// Raw per-bin DRAM (read, write) byte series (when sampling enabled).
+    pub dram_series: Vec<(u64, u64)>,
+    /// Sampler bin width, ns.
+    pub bin_ns: Ns,
+    /// GC pause intervals `(start, end)` in simulated time.
+    pub pause_intervals: Vec<(Ns, Ns)>,
+    /// How many of the cycles were mixed collections.
+    pub mixed_cycles: usize,
+    /// The HotSpot-style GC log (empty unless requested).
+    pub gc_log: GcLog,
+    /// Peak old-generation footprint in regions.
+    pub peak_old_regions: usize,
+    /// Objects the mutator allocated.
+    pub allocated_objects: u64,
+}
+
+impl AppRunResult {
+    /// Accumulated GC time in seconds.
+    pub fn gc_seconds(&self) -> f64 {
+        self.gc.total_pause_ns() as f64 / 1e9
+    }
+
+    /// Total run time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mutator (non-GC) time in seconds.
+    pub fn mutator_seconds(&self) -> f64 {
+        self.mutator_ns as f64 / 1e9
+    }
+
+    /// Fraction of run time spent paused for GC.
+    pub fn gc_share(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.gc.total_pause_ns() as f64 / self.total_ns as f64
+        }
+    }
+}
+
+/// Runs one application to completion.
+///
+/// The memory model assigns thread ids `0..gc.threads` to GC workers and
+/// `gc.threads` to the mutator.
+pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, HeapError> {
+    let mut heap = Heap::new(cfg.heap.clone(), cfg.spec.build_classes());
+    let mut mem = MemorySystem::new(cfg.mem.clone());
+    let threads = cfg.gc.threads.max(1);
+    mem.set_threads(threads + 1);
+    mem.sampler_mut().set_enabled(cfg.sample_series);
+
+    let mut mutator = Mutator::new(cfg.spec.clone(), cfg.seed, threads, cfg.young_bytes());
+    mutator.setup(&mut heap, &mut mem)?;
+
+    let mut gc = G1Collector::new(cfg.gc.clone());
+    let mut cycles = Vec::new();
+    let mut pause_intervals = Vec::new();
+    let mut mixed_cycles = 0usize;
+    let mut peak_old_regions = 0usize;
+    let mut gc_log = GcLog::new();
+    let mut phase_start = mutator.clock;
+
+    loop {
+        let step = mutator.run(&mut heap, &mut mem)?;
+        let gc_start = mutator.clock;
+        mem.sampler_mut()
+            .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
+        match step {
+            MutatorStep::Done => break,
+            MutatorStep::NeedsGc => {
+                let old_frac = (heap.old().len() + heap.humongous().len()) as f64
+                    / cfg.heap.heap_regions as f64;
+                let mixed = matches!(cfg.trigger, GcTrigger::Adaptive { ihop } if old_frac > ihop);
+                let occupied = |h: &Heap| -> u64 {
+                    (h.eden().len() + h.survivor().len() + h.old().len()) as u64
+                        * h.config().region_size as u64
+                };
+                let before_bytes = occupied(&heap);
+                let outcome = if mixed {
+                    mixed_cycles += 1;
+                    gc.collect_mixed(&mut heap, &mut mem, &mut mutator.roots, gc_start)?
+                } else {
+                    gc.collect(&mut heap, &mut mem, &mut mutator.roots, gc_start)?
+                };
+                if cfg.keep_gc_log {
+                    let kind = if mixed { GcKind::Mixed } else { GcKind::Young };
+                    gc_log.record(kind, gc_start, &outcome.stats, before_bytes, occupied(&heap));
+                }
+                peak_old_regions = peak_old_regions.max(heap.old().len());
+                pause_intervals.push((gc_start, outcome.end_ns));
+                cycles.push(outcome.stats);
+                mutator.on_gc_complete(outcome.end_ns);
+                phase_start = outcome.end_ns;
+            }
+        }
+    }
+
+    let total_ns = mutator.clock;
+    let gc_ns = gc.run_stats.total_pause_ns();
+    let sampler = mem.sampler();
+    let gc_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Gc);
+    let app_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Mutator);
+    let to_pairs = |dev: DeviceId| -> Vec<(u64, u64)> {
+        sampler
+            .series(dev)
+            .iter()
+            .map(|s| (s.read_bytes, s.write_bytes))
+            .collect()
+    };
+    let nvm_series = to_pairs(DeviceId::Nvm);
+    let dram_series = to_pairs(DeviceId::Dram);
+    let bin_ns = sampler.bin_ns();
+
+    Ok(AppRunResult {
+        name: cfg.spec.name.to_owned(),
+        total_ns,
+        mutator_ns: total_ns.saturating_sub(gc_ns),
+        gc: gc.run_stats.clone(),
+        cycles,
+        gc_nvm_bandwidth,
+        app_nvm_bandwidth,
+        mem_stats: mem.stats(),
+        nvm_series,
+        dram_series,
+        bin_ns,
+        pause_intervals,
+        mixed_cycles,
+        gc_log,
+        peak_old_regions,
+        allocated_objects: mutator.allocated_objects(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClassMix;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "runner-unit",
+            alloc_young_multiple: 3.0,
+            mix: vec![ClassMix {
+                num_refs: 2,
+                data_bytes: 24,
+                weight: 1,
+            }],
+            survival: 0.4,
+            keep_gcs: 1,
+            old_link_fraction: 0.1,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 20.0,
+            touches_per_alloc: 1,
+            app_threads: 4,
+            share_fraction: 0.15,
+            old_anchor_bytes: 8 << 10,
+        }
+    }
+
+    fn small_cfg(gc: GcConfig) -> AppRunConfig {
+        let mut cfg = AppRunConfig::standard(small_spec(), gc);
+        cfg.heap.region_size = 16 << 10;
+        cfg.heap.heap_regions = 96;
+        cfg.heap.young_regions = 32;
+        cfg
+    }
+
+    #[test]
+    fn run_completes_with_multiple_gcs() {
+        let r = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
+        assert!(r.gc.cycles() >= 2, "expected several GCs, got {}", r.gc.cycles());
+        assert!(r.total_ns > 0);
+        assert!(r.mutator_ns > 0);
+        assert!(r.mutator_ns < r.total_ns);
+        assert_eq!(r.pause_intervals.len(), r.gc.cycles());
+        assert!(r.allocated_objects > 1000);
+    }
+
+    #[test]
+    fn optimized_config_also_completes() {
+        let mut cfg = small_cfg(GcConfig::plus_all(8, 1 << 20));
+        cfg.sample_series = true;
+        let r = run_app(&cfg).unwrap();
+        assert!(r.gc.cycles() >= 2);
+        assert!(r.gc_nvm_bandwidth.0 > 0.0, "GC reads NVM");
+        assert!(!r.nvm_series.is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
+        let b = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
+        assert_eq!(a.total_ns, b.total_ns);
+        assert_eq!(a.gc.pauses_ns, b.gc.pauses_ns);
+        assert_eq!(a.allocated_objects, b.allocated_objects);
+    }
+
+    #[test]
+    fn dram_placement_is_faster_than_nvm() {
+        let nvm = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
+        let mut cfg = small_cfg(GcConfig::vanilla(4));
+        cfg.heap.placement = DevicePlacement::all_dram();
+        let dram = run_app(&cfg).unwrap();
+        assert!(
+            nvm.gc.total_pause_ns() > dram.gc.total_pause_ns(),
+            "GC on NVM must be slower: nvm={} dram={}",
+            nvm.gc.total_pause_ns(),
+            dram.gc.total_pause_ns()
+        );
+        assert!(nvm.total_ns > dram.total_ns);
+    }
+}

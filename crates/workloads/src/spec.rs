@@ -1,0 +1,159 @@
+//! The workload parameter vocabulary.
+//!
+//! A [`WorkloadSpec`] captures the GC-visible signature of an application:
+//! what it allocates, how long objects live, how they are linked, and how
+//! much non-allocation work the application does per object. The mutator
+//! engine interprets these parameters against a real heap.
+
+use nvmgc_heap::ClassTable;
+
+/// One entry of an application's object-class mix.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassMix {
+    /// Reference slots per object.
+    pub num_refs: u32,
+    /// Payload bytes per object.
+    pub data_bytes: u32,
+    /// Relative allocation weight.
+    pub weight: u32,
+}
+
+/// The GC-visible signature of one application.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Application name (matches the paper's figures).
+    pub name: &'static str,
+    /// Total bytes the application allocates over its run, as a multiple
+    /// of the young-generation size (drives the number of GC cycles).
+    pub alloc_young_multiple: f64,
+    /// Object class mix.
+    pub mix: Vec<ClassMix>,
+    /// Probability an allocated object is reachable at the next GC
+    /// (approximately the young-generation survival rate).
+    pub survival: f64,
+    /// How many GCs a surviving object stays reachable before its root is
+    /// dropped. Values at or above the tenure age cause promotion.
+    pub keep_gcs: u32,
+    /// Fraction of surviving objects linked from old-generation anchors
+    /// (drives remembered-set volume).
+    pub old_link_fraction: f64,
+    /// Fraction of surviving objects appended to a single linked chain —
+    /// a serial traversal dependency that starves parallel GC workers
+    /// (akka-uct's load imbalance).
+    pub chain_fraction: f64,
+    /// CPU nanoseconds of non-memory work per allocation (compute
+    /// intensity: high values make the application less memory-bound, so
+    /// NVM barely affects its non-GC time).
+    pub cpu_per_alloc_ns: f64,
+    /// Random field reads+writes on live objects per allocation
+    /// (application-phase memory traffic). Memory-intensive applications
+    /// read far more bytes than they allocate, so this is the main
+    /// application-bandwidth knob.
+    pub touches_per_alloc: u32,
+    /// Application-level parallelism: the number of overlapping mutator
+    /// lanes. Real Spark/Cassandra servers run dozens of worker threads,
+    /// which is what lets the *application phase* saturate NVM bandwidth
+    /// (paper Fig. 2b); a single serial mutator never could.
+    pub app_threads: u32,
+    /// Probability (per allocation) of adding an extra cross-reference
+    /// between two live objects. Sharing is what makes forwarding-pointer
+    /// deduplication matter: a shared object is reached through several
+    /// slots, and every GC thread after the first must find the installed
+    /// forwarding pointer (header or header map) instead of re-copying.
+    pub share_fraction: f64,
+    /// Bytes of long-lived data pre-tenured into the old generation at
+    /// startup (Spark RDD caches, Cassandra memtables, ...).
+    pub old_anchor_bytes: u64,
+}
+
+impl WorkloadSpec {
+    /// Registers this workload's classes (plus the standard anchor class)
+    /// into a fresh class table. The anchor class is always id 0.
+    pub fn build_classes(&self) -> ClassTable {
+        let mut t = ClassTable::new();
+        t.register("anchor", 8, 16);
+        for (i, m) in self.mix.iter().enumerate() {
+            t.register(&format!("{}-c{}", self.name, i), m.num_refs, m.data_bytes);
+        }
+        t
+    }
+
+    /// The class id of mix entry `i` in the table built by
+    /// [`WorkloadSpec::build_classes`].
+    pub fn mix_class_id(&self, i: usize) -> u32 {
+        (i + 1) as u32
+    }
+
+    /// Average object size of the mix in bytes (weighted).
+    pub fn avg_object_bytes(&self) -> f64 {
+        let mut bytes = 0.0;
+        let mut weight = 0.0;
+        for m in &self.mix {
+            let size = (8 + m.num_refs * 8 + m.data_bytes + 7) & !7;
+            bytes += size as f64 * m.weight as f64;
+            weight += m.weight as f64;
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            bytes / weight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            alloc_young_multiple: 4.0,
+            mix: vec![
+                ClassMix {
+                    num_refs: 2,
+                    data_bytes: 16,
+                    weight: 3,
+                },
+                ClassMix {
+                    num_refs: 0,
+                    data_bytes: 56,
+                    weight: 1,
+                },
+            ],
+            survival: 0.5,
+            keep_gcs: 1,
+            old_link_fraction: 0.2,
+            chain_fraction: 0.0,
+            cpu_per_alloc_ns: 30.0,
+            touches_per_alloc: 2,
+            app_threads: 4,
+            share_fraction: 0.2,
+            old_anchor_bytes: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn build_classes_registers_anchor_plus_mix() {
+        let s = spec();
+        let t = s.build_classes();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0).num_refs, 8, "anchor class");
+        assert_eq!(t.get(s.mix_class_id(0)).num_refs, 2);
+        assert_eq!(t.get(s.mix_class_id(1)).data_bytes, 56);
+    }
+
+    #[test]
+    fn avg_object_bytes_weighted() {
+        let s = spec();
+        // pair: 8+16+16=40, leaf: 8+0+56=64; weights 3:1 → 46.
+        assert!((s.avg_object_bytes() - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_avg() {
+        let mut s = spec();
+        s.mix.clear();
+        assert_eq!(s.avg_object_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! nvmgc — umbrella crate for the EuroSys '21 NVM-friendly-GC
+//! reproduction.
+//!
+//! This crate re-exports the workspace members so downstream users can
+//! depend on one crate and reach everything:
+//!
+//! - [`memsim`] — the deterministic DRAM/NVM timing model;
+//! - [`heap`] — the region-based managed heap;
+//! - [`core`] — the collectors and the paper's NVM-aware optimizations;
+//! - [`workloads`] — the 26 application profiles and the run driver;
+//! - [`metrics`] — statistics and report rendering.
+//!
+//! The [`prelude`] gathers the handful of types most programs need. See
+//! the repository README for a quickstart, `DESIGN.md` for architecture,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use nvmgc_core as core;
+pub use nvmgc_heap as heap;
+pub use nvmgc_memsim as memsim;
+pub use nvmgc_metrics as metrics;
+pub use nvmgc_workloads as workloads;
+
+/// The types most programs start from.
+pub mod prelude {
+    pub use nvmgc_core::{CollectorKind, G1Collector, GcConfig, GcCycleOutcome};
+    pub use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind};
+    pub use nvmgc_memsim::{DeviceId, MemConfig, MemorySystem};
+    pub use nvmgc_workloads::runner::GcTrigger;
+    pub use nvmgc_workloads::{all_apps, app, run_app, AppRunConfig, AppRunResult};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_core_workflow() {
+        use crate::prelude::*;
+        let cfg = AppRunConfig::standard(app("scrabble"), GcConfig::vanilla(2));
+        assert_eq!(cfg.gc.collector, CollectorKind::G1);
+        assert!(cfg.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: full application runs through the
+//! workload engine, the collectors and the memory model together.
+
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_memsim::DeviceId;
+use nvmgc_workloads::{app, run_app, AppRunConfig};
+
+/// A downsized config so integration tests stay fast. Debug builds run
+/// ~10x slower than release, so they get a further-reduced scale — the
+/// assertions here are about ordering and invariants, not magnitudes.
+fn small(name: &str, gc: GcConfig) -> AppRunConfig {
+    let mut spec = app(name);
+    spec.alloc_young_multiple = if cfg!(debug_assertions) { 2.0 } else { 4.0 };
+    if cfg!(debug_assertions) {
+        spec.touches_per_alloc = spec.touches_per_alloc.min(3);
+    }
+    let mut cfg = AppRunConfig::standard(spec, gc);
+    cfg.heap.region_size = 32 << 10;
+    cfg.heap.heap_regions = 512;
+    cfg.heap.young_regions = if cfg!(debug_assertions) { 64 } else { 96 };
+    let heap_bytes = cfg.heap_bytes();
+    if cfg.gc.write_cache.enabled {
+        cfg.gc.write_cache.max_bytes = heap_bytes / 32;
+    }
+    if cfg.gc.header_map.enabled {
+        cfg.gc.header_map.max_bytes = heap_bytes / 32;
+    }
+    cfg
+}
+
+#[test]
+fn every_profile_runs_under_every_headline_config() {
+    // All 26 applications complete under vanilla, +writecache and +all.
+    for spec in nvmgc_workloads::all_apps() {
+        for gc in [
+            GcConfig::vanilla(4),
+            GcConfig::plus_writecache(4, 16 << 20),
+            GcConfig::plus_all(12, 16 << 20),
+        ] {
+            let mut cfg = small(spec.name, gc);
+            cfg.spec.alloc_young_multiple = if cfg!(debug_assertions) { 1.5 } else { 2.5 };
+            let r = run_app(&cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            assert!(r.total_ns > 0, "{}", spec.name);
+            assert!(r.gc.cycles() >= 1, "{} had no GC", spec.name);
+        }
+    }
+}
+
+#[test]
+fn optimizations_reduce_gc_time_on_nvm() {
+    let vanilla = run_app(&small("page-rank", GcConfig::vanilla(28))).unwrap();
+    let wc = run_app(&small("page-rank", GcConfig::plus_writecache(28, 0))).unwrap();
+    let all = run_app(&small("page-rank", GcConfig::plus_all(28, 0))).unwrap();
+    assert!(
+        wc.gc.total_pause_ns() < vanilla.gc.total_pause_ns(),
+        "write cache must help page-rank: {} vs {}",
+        wc.gc.total_pause_ns(),
+        vanilla.gc.total_pause_ns()
+    );
+    assert!(
+        all.gc.total_pause_ns() < wc.gc.total_pause_ns(),
+        "+all must beat +writecache at 28 threads"
+    );
+}
+
+#[test]
+fn nvm_gap_shrinks_with_optimizations() {
+    let mut dram_cfg = small("kmeans", GcConfig::vanilla(28));
+    dram_cfg.heap.placement = DevicePlacement::all_dram();
+    let dram = run_app(&dram_cfg).unwrap();
+    let nvm_vanilla = run_app(&small("kmeans", GcConfig::vanilla(28))).unwrap();
+    let nvm_all = run_app(&small("kmeans", GcConfig::plus_all(28, 0))).unwrap();
+    let gap_vanilla = nvm_vanilla.gc_seconds() / dram.gc_seconds();
+    let gap_all = nvm_all.gc_seconds() / dram.gc_seconds();
+    assert!(
+        gap_all < gap_vanilla,
+        "optimizations must shrink the DRAM gap: {gap_all:.2} vs {gap_vanilla:.2}"
+    );
+    assert!(gap_vanilla > 2.0, "NVM must hurt vanilla GC: {gap_vanilla:.2}");
+}
+
+#[test]
+fn vanilla_does_not_scale_past_eight_threads_but_all_does() {
+    let gc_at = |gc: GcConfig| run_app(&small("page-rank", gc)).unwrap().gc.total_pause_ns();
+    let v8 = gc_at(GcConfig::vanilla(8));
+    let v28 = gc_at(GcConfig::vanilla(28));
+    let a8 = gc_at(GcConfig::plus_all(8, 0));
+    let a28 = gc_at(GcConfig::plus_all(28, 0));
+    // Vanilla gains little past 8 threads (paper Fig. 2c/13).
+    assert!(
+        (v28 as f64) > 0.85 * v8 as f64,
+        "vanilla should be bandwidth-walled: {v8} -> {v28}"
+    );
+    // +all keeps scaling (paper Fig. 13).
+    assert!(
+        (a28 as f64) < 0.8 * a8 as f64,
+        "+all should keep scaling: {a8} -> {a28}"
+    );
+}
+
+#[test]
+fn young_gen_dram_beats_optimizations() {
+    let mut ygd = small("sssp", GcConfig::vanilla(28));
+    ygd.heap.placement = DevicePlacement::young_dram();
+    let ygd = run_app(&ygd).unwrap();
+    let all = run_app(&small("sssp", GcConfig::plus_all(28, 0))).unwrap();
+    // Paper §5.2: allocating the young gen in DRAM outperforms the
+    // NVM-aware GC for most applications (it removes NVM from the young
+    // path entirely) — it just costs far more DRAM (Fig. 12).
+    assert!(ygd.gc_seconds() < all.gc_seconds());
+}
+
+#[test]
+fn gc_writes_move_to_dram_with_write_cache() {
+    let vanilla = run_app(&small("cc", GcConfig::vanilla(12))).unwrap();
+    let cached = run_app(&small("cc", GcConfig::plus_writecache(12, 0))).unwrap();
+    let dram = DeviceId::Dram.index();
+    assert!(
+        cached.mem_stats.write_bytes[dram] > vanilla.mem_stats.write_bytes[dram],
+        "cache staging adds DRAM writes"
+    );
+    // Total NVM write volume stays comparable (everything still ends up
+    // on NVM), but it is issued as sequential NT streams instead of
+    // scattered stores — observable as shorter pauses.
+    assert!(cached.gc.total_pause_ns() <= vanilla.gc.total_pause_ns());
+}
+
+#[test]
+fn pause_intervals_are_ordered_and_disjoint() {
+    let r = run_app(&small("dotty", GcConfig::plus_all(12, 0))).unwrap();
+    let mut prev_end = 0;
+    for &(s, e) in &r.pause_intervals {
+        assert!(s >= prev_end, "pauses must not overlap");
+        assert!(e > s, "pauses have positive length");
+        prev_end = e;
+    }
+    assert!(prev_end <= r.total_ns);
+}
+
+#[test]
+fn mem_stats_and_series_are_consistent() {
+    let mut cfg = small("als", GcConfig::vanilla(8));
+    cfg.sample_series = true;
+    let r = run_app(&cfg).unwrap();
+    let series_read: u64 = r.nvm_series.iter().map(|&(rd, _)| rd).sum();
+    let series_write: u64 = r.nvm_series.iter().map(|&(_, wr)| wr).sum();
+    let nvm = DeviceId::Nvm.index();
+    assert_eq!(series_read, r.mem_stats.read_bytes[nvm]);
+    assert_eq!(series_write, r.mem_stats.write_bytes[nvm]);
+}
+
+#[test]
+fn ps_collector_runs_all_renaissance_profiles() {
+    for spec in nvmgc_workloads::renaissance_apps() {
+        let mut cfg = small(spec.name, GcConfig::ps_plus_all(12, 0));
+        cfg.spec.alloc_young_multiple = 2.0;
+        cfg.gc.write_cache.max_bytes = cfg.heap_bytes() / 32;
+        cfg.gc.header_map.max_bytes = cfg.heap_bytes() / 32;
+        run_app(&cfg).unwrap_or_else(|e| panic!("{} failed under PS: {e}", spec.name));
+    }
+}
+
+#[test]
+fn seeds_change_results_but_reruns_do_not() {
+    let base = small("gauss-mix", GcConfig::vanilla(4));
+    let mut other = base.clone();
+    other.seed = base.seed + 1;
+    let a1 = run_app(&base).unwrap();
+    let a2 = run_app(&base).unwrap();
+    let b = run_app(&other).unwrap();
+    assert_eq!(a1.total_ns, a2.total_ns, "same seed, same result");
+    assert_ne!(a1.total_ns, b.total_ns, "different seed, different run");
+}
+
+#[test]
+fn unlimited_cache_never_overflows() {
+    let mut cfg = small("page-rank", GcConfig::plus_writecache(12, 0));
+    cfg.gc.write_cache.max_bytes = u64::MAX;
+    let r = run_app(&cfg).unwrap();
+    let overflow: u64 = r.cycles.iter().map(|c| c.cache_overflow_copies).sum();
+    assert_eq!(overflow, 0);
+}
