@@ -6,7 +6,9 @@
 //! (up to 2.08×); the DRAM:NVM GC gap shrinks from 4.21× to 2.28×;
 //! young-gen-dram beats the optimizations for most applications.
 
-use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_bench::{
+    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, PAPER_THREADS,
+};
 use nvmgc_core::GcConfig;
 use nvmgc_heap::DevicePlacement;
 use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
@@ -26,6 +28,32 @@ struct Row {
 fn main() {
     banner("fig05_gc_time", "Figure 5 + §5.2 statistics");
     let apps = maybe_trim(all_apps(), 4);
+    // One cell per (app, config) grid point. Each cell builds its own
+    // heap/memory system/RNG, so the grid runs on the parallel runner
+    // with results byte-identical to a serial sweep.
+    let nvm = DevicePlacement::all_nvm();
+    let variants: [(GcConfig, DevicePlacement); 5] = [
+        (GcConfig::plus_all(PAPER_THREADS, 0), nvm),
+        (GcConfig::plus_writecache(PAPER_THREADS, 0), nvm),
+        (GcConfig::vanilla(PAPER_THREADS), nvm),
+        (GcConfig::vanilla(PAPER_THREADS), DevicePlacement::all_dram()),
+        (GcConfig::vanilla(PAPER_THREADS), DevicePlacement::young_dram()),
+    ];
+    let mut cells: Vec<Box<dyn FnOnce() -> (f64, u64) + Send>> = Vec::new();
+    for spec in &apps {
+        for (gc, placement) in variants.clone() {
+            let spec = spec.clone();
+            cells.push(Box::new(move || {
+                let mut cfg = sized_config(spec, gc);
+                cfg.heap.placement = placement;
+                let res = run_app(&cfg).expect("run succeeds");
+                (res.gc_seconds() * 1e3, res.total_ns)
+            }));
+        }
+    }
+    let (measured, pool) = run_cells(cells);
+    let simulated_ns: u64 = measured.iter().map(|&(_, ns)| ns).sum();
+
     let mut rows: Vec<Row> = Vec::new();
     let mut table = TextTable::new(vec![
         "app",
@@ -36,23 +64,14 @@ fn main() {
         "young-dram",
         "speedup(+all)",
     ]);
-    for spec in apps {
-        let gc_ms = |gc: GcConfig, placement: DevicePlacement| -> f64 {
-            let mut cfg = sized_config(spec.clone(), gc);
-            cfg.heap.placement = placement;
-            run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
-        };
-        let nvm = DevicePlacement::all_nvm();
+    for (spec, cell) in apps.iter().zip(measured.chunks_exact(variants.len())) {
         let row = Row {
             app: spec.name.to_owned(),
-            all_ms: gc_ms(GcConfig::plus_all(PAPER_THREADS, 0), nvm),
-            writecache_ms: gc_ms(GcConfig::plus_writecache(PAPER_THREADS, 0), nvm),
-            vanilla_ms: gc_ms(GcConfig::vanilla(PAPER_THREADS), nvm),
-            vanilla_dram_ms: gc_ms(GcConfig::vanilla(PAPER_THREADS), DevicePlacement::all_dram()),
-            young_gen_dram_ms: gc_ms(
-                GcConfig::vanilla(PAPER_THREADS),
-                DevicePlacement::young_dram(),
-            ),
+            all_ms: cell[0].0,
+            writecache_ms: cell[1].0,
+            vanilla_ms: cell[2].0,
+            vanilla_dram_ms: cell[3].0,
+            young_gen_dram_ms: cell[4].0,
         };
         table.row(vec![
             row.app.clone(),
@@ -112,4 +131,5 @@ fn main() {
     };
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
+    write_throughput("fig05_gc_time", &pool, simulated_ns).expect("write throughput");
 }

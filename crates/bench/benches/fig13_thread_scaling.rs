@@ -8,7 +8,9 @@
 //! This is the largest sweep (26 apps × 7 thread counts × 3 configs);
 //! expect several minutes, or set `NVMGC_FAST=1`.
 
-use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, THREAD_SWEEP};
+use nvmgc_bench::{
+    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, THREAD_SWEEP,
+};
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport};
 use nvmgc_workloads::{all_apps, run_app};
@@ -27,8 +29,33 @@ fn main() {
     banner("fig13_thread_scaling", "Figure 13 (a–z)");
     let apps = maybe_trim(all_apps(), 2);
     let threads = maybe_trim(THREAD_SWEEP.to_vec(), 3);
+    // Flatten the app × thread-count × config grid into independent cells
+    // for the parallel runner; results come back in declaration order so
+    // the curves (and the JSON) match a serial sweep byte for byte.
+    let mut cells: Vec<Box<dyn FnOnce() -> (f64, u64) + Send>> = Vec::new();
+    for spec in &apps {
+        for &t in &threads {
+            let configs = [
+                GcConfig::vanilla(t),
+                GcConfig::plus_writecache(t, 0),
+                GcConfig::plus_all(t, 0),
+            ];
+            for gc in configs {
+                let spec = spec.clone();
+                cells.push(Box::new(move || {
+                    let cfg = sized_config(spec, gc);
+                    let res = run_app(&cfg).expect("run succeeds");
+                    (res.gc_seconds() * 1e3, res.total_ns)
+                }));
+            }
+        }
+    }
+    let (measured, pool) = run_cells(cells);
+    let simulated_ns: u64 = measured.iter().map(|&(_, ns)| ns).sum();
+
     let mut curves = Vec::new();
-    for spec in apps {
+    let per_app = threads.len() * 3;
+    for (spec, app_cells) in apps.iter().zip(measured.chunks_exact(per_app)) {
         let mut curve = AppCurve {
             app: spec.name.to_owned(),
             threads: threads.clone(),
@@ -36,14 +63,10 @@ fn main() {
             writecache_ms: Vec::new(),
             all_ms: Vec::new(),
         };
-        for &t in &threads {
-            let gc_ms = |gc: GcConfig| -> f64 {
-                let cfg = sized_config(spec.clone(), gc);
-                run_app(&cfg).expect("run succeeds").gc_seconds() * 1e3
-            };
-            curve.vanilla_ms.push(gc_ms(GcConfig::vanilla(t)));
-            curve.writecache_ms.push(gc_ms(GcConfig::plus_writecache(t, 0)));
-            curve.all_ms.push(gc_ms(GcConfig::plus_all(t, 0)));
+        for point in app_cells.chunks_exact(3) {
+            curve.vanilla_ms.push(point[0].0);
+            curve.writecache_ms.push(point[1].0);
+            curve.all_ms.push(point[2].0);
         }
         println!("--- {} ---", curve.app);
         println!(
@@ -96,4 +119,5 @@ fn main() {
     };
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
+    write_throughput("fig13_thread_scaling", &pool, simulated_ns).expect("write throughput");
 }

@@ -6,6 +6,8 @@
 //! grants and the whole-heap object copy path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nvmgc_core::collector::Worker;
+use nvmgc_core::engine::{run_phase_heap, run_phase_scan};
 use nvmgc_core::header_map::HeaderMap;
 use nvmgc_core::marking::MarkState;
 use nvmgc_core::write_cache::WriteCachePool;
@@ -202,8 +204,42 @@ fn bench_card_table(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_scheduler(c: &mut Criterion) {
+    // Scan vs event-queue scheduling cost at the worker counts the
+    // experiments actually use (2/8 below HEAP_THRESHOLD, 56/256 above).
+    // Each worker takes 64 steps with varied increments, including ties.
+    let mut g = c.benchmark_group("engine_scheduler");
+    for n in [2usize, 8, 56, 256] {
+        let make_workers = move || -> Vec<Worker> {
+            (0..n).map(|i| Worker::new(i, (i as u64 * 97) % 13)).collect()
+        };
+        let step = |w: &mut Worker| {
+            w.clock += 1 + (w.clock ^ w.id as u64) % 28;
+            if w.clock > 1500 {
+                w.done = true;
+            }
+        };
+        g.bench_function(&format!("scan_{n}_workers"), |b| {
+            b.iter_batched(
+                make_workers,
+                |mut workers| black_box(run_phase_scan(&mut workers, step)),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(&format!("heap_{n}_workers"), |b| {
+            b.iter_batched(
+                make_workers,
+                |mut workers| black_box(run_phase_heap(&mut workers, step)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
+    bench_engine_scheduler,
     bench_header_map,
     bench_write_cache,
     bench_remset,

@@ -11,8 +11,15 @@
 //! - `NVMGC_RESULTS` — results directory (default `results/`).
 //! - `NVMGC_FAST=1` — shrink rosters/sweeps for a quick smoke pass.
 //! - `NVMGC_SEED` — override the workload seed.
+//! - `NVMGC_JOBS` — worker count for the parallel experiment runner
+//!   (default: available parallelism). Any value produces byte-identical
+//!   results; see [`runner`].
 
 #![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{jobs, run_cells, run_cells_with, write_throughput, PoolStats};
 
 use nvmgc_core::GcConfig;
 use nvmgc_workloads::{AppRunConfig, WorkloadSpec};

@@ -1,0 +1,222 @@
+//! Deterministic parallel experiment runner.
+//!
+//! The sweep harnesses (Figs. 5, 13, …) evaluate a grid of independent
+//! *cells* — one simulated run per (app, GC config, placement, thread
+//! count) point. Each cell builds its own `MemorySystem`, heap, and RNG
+//! from the cell parameters alone, so cells share no mutable state and
+//! their results do not depend on execution order. That makes the grid
+//! embarrassingly parallel *without* giving up the simulator's
+//! determinism guarantee: a cell computes the same value whether it runs
+//! first, last, or concurrently with every other cell.
+//!
+//! [`run_cells`] executes a cell list on a scoped-thread job pool
+//! (`NVMGC_JOBS` workers, default: available parallelism) and returns the
+//! values **in declaration order**, so harness output — including the
+//! JSON written under `results/` — is byte-identical for any job count.
+//!
+//! The pool also times itself; harnesses call [`write_throughput`] to
+//! publish a simulated-ns-per-wall-second self-benchmark to
+//! `results/sim_throughput.json`. The self-benchmark deliberately lives
+//! in its own file: wall-clock time varies run to run, and folding it
+//! into an experiment's JSON would break the bit-identical-results
+//! property the runner exists to preserve.
+
+use crate::results_dir;
+use nvmgc_metrics::{write_json, ExperimentReport};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of pool workers: `NVMGC_JOBS` override, else the host's
+/// available parallelism (minimum 1 either way).
+pub fn jobs() -> usize {
+    if let Ok(v) = std::env::var("NVMGC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Timing of one [`run_cells`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// Workers the pool actually used (capped at the cell count).
+    pub jobs: usize,
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Wall-clock time for the whole grid, seconds.
+    pub wall_seconds: f64,
+}
+
+impl PoolStats {
+    /// Simulated nanoseconds advanced per wall-clock second — the
+    /// simulator's throughput, given the total simulated time covered by
+    /// the cells.
+    pub fn sim_ns_per_wall_second(&self, simulated_ns: u64) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        simulated_ns as f64 / self.wall_seconds
+    }
+}
+
+/// Runs `cells` on a pool of [`jobs()`] workers; see [`run_cells_with`].
+pub fn run_cells<T, F>(cells: Vec<F>) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_cells_with(jobs(), cells)
+}
+
+/// Runs every cell exactly once on a pool of at most `jobs` scoped
+/// threads and returns the results in declaration order.
+///
+/// Workers claim cells through a shared atomic cursor, so the assignment
+/// of cells to threads is scheduling-dependent — but each result lands in
+/// the slot of the cell that produced it, and cells are self-contained,
+/// so the returned vector is identical for every `jobs` value.
+///
+/// A panicking cell propagates the panic to the caller (via scope join).
+pub fn run_cells_with<T, F>(jobs: usize, cells: Vec<F>) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    let jobs = jobs.min(n).max(1);
+    let start = Instant::now();
+    let values: Vec<T> = if jobs <= 1 {
+        cells.into_iter().map(|f| f()).collect()
+    } else {
+        // FnOnce cells are claimed (taken) exactly once each; results are
+        // written to the slot matching the cell's declaration index.
+        let tasks: Vec<Mutex<Option<F>>> =
+            cells.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = tasks[i]
+                        .lock()
+                        .expect("cell slot poisoned")
+                        .take()
+                        .expect("cell claimed twice");
+                    let value = cell();
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("cell completed")
+            })
+            .collect()
+    };
+    let stats = PoolStats {
+        jobs,
+        cells: n,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    };
+    (values, stats)
+}
+
+/// Payload of `results/sim_throughput.json`.
+#[derive(Serialize)]
+struct ThroughputRecord {
+    harness: String,
+    jobs: usize,
+    cells: usize,
+    wall_seconds: f64,
+    simulated_ns: u64,
+    sim_ns_per_wall_second: f64,
+}
+
+/// Writes the runner self-benchmark for `harness` to
+/// `results/sim_throughput.json` (latest harness run wins) and prints a
+/// one-line summary. `simulated_ns` is the total simulated time covered
+/// by the grid's cells.
+pub fn write_throughput(
+    harness: &str,
+    stats: &PoolStats,
+    simulated_ns: u64,
+) -> std::io::Result<PathBuf> {
+    let rate = stats.sim_ns_per_wall_second(simulated_ns);
+    println!(
+        "runner: {} cells on {} job(s) in {:.2} s — {:.3e} simulated ns / wall s",
+        stats.cells, stats.jobs, stats.wall_seconds, rate
+    );
+    let report = ExperimentReport {
+        id: "sim_throughput".to_owned(),
+        paper_ref: "simulator self-benchmark".to_owned(),
+        notes: "wall-clock varies run to run; kept out of experiment JSON on purpose".to_owned(),
+        data: ThroughputRecord {
+            harness: harness.to_owned(),
+            jobs: stats.jobs,
+            cells: stats.cells,
+            wall_seconds: stats.wall_seconds,
+            simulated_ns,
+            sim_ns_per_wall_second: rate,
+        },
+    };
+    write_json(&results_dir(), &report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_declaration_order() {
+        let cells: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        let (got, stats) = run_cells_with(4, cells);
+        assert_eq!(got, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(stats.cells, 37);
+        assert_eq!(stats.jobs, 4);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let make = || (0..20).map(|i| move || i * 3 + 1).collect::<Vec<_>>();
+        let (serial, _) = run_cells_with(1, make());
+        let (parallel, _) = run_cells_with(8, make());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_capped_at_cell_count() {
+        let (got, stats) = run_cells_with(64, vec![|| 1, || 2]);
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(stats.jobs, 2);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let (got, stats) = run_cells_with(8, Vec::<fn() -> u8>::new());
+        assert!(got.is_empty());
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn throughput_rate_scales_with_sim_time() {
+        let stats = PoolStats {
+            jobs: 2,
+            cells: 4,
+            wall_seconds: 2.0,
+        };
+        assert_eq!(stats.sim_ns_per_wall_second(1_000_000), 500_000.0);
+    }
+}

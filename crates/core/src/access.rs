@@ -7,7 +7,7 @@
 //! heap operation escapes accounting.
 
 use nvmgc_heap::{Addr, ClassId, Header, Heap, RegionId};
-use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns};
 
 /// A heap + memory-model execution context.
 ///
@@ -96,9 +96,8 @@ impl<'a> Gx<'a> {
         let dst_dev = self.heap.region(to_region).device();
         match self.heap.copy_object(from, to_region) {
             Some(copy) => {
-                let tr = self.mem.bulk_read(src_dev, Pattern::Seq, size, now);
-                let tw = self.mem.bulk_write(dst_dev, Pattern::Seq, size, now);
-                self.mem.install_range(copy.raw(), size);
+                let tr = self.mem.read_bulk(src_dev, from.raw(), size, now);
+                let tw = self.mem.write_bulk(dst_dev, copy.raw(), size, now);
                 (Some(copy), tr.max(tw))
             }
             None => (None, now),
@@ -117,8 +116,7 @@ impl<'a> Gx<'a> {
         match self.heap.alloc_object(region, class) {
             Some(obj) => {
                 let size = self.heap.object_size(obj) as u64;
-                let t = self.mem.bulk_write(dev, Pattern::Seq, size, now);
-                self.mem.install_range(obj.raw(), size);
+                let t = self.mem.write_bulk(dev, obj.raw(), size, now);
                 (Some(obj), t)
             }
             None => (None, now),

@@ -519,7 +519,8 @@ fn scan_card_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: u32) {
     w.clock = sh
         .mem
         .bulk_read(DeviceId::Dram, Pattern::Seq, ct_cards_bytes(sh.heap, region), w.clock);
-    w.clock = sh.mem.bulk_read(dev, Pattern::Seq, used, w.clock);
+    let base = sh.heap.addr_of(region, 0).raw();
+    w.clock = sh.mem.read_bulk(dev, base, used, w.clock);
 
     // Collect the interesting slots first (cheap pass over real memory),
     // then process each like a remset entry.
@@ -703,9 +704,8 @@ fn ps_survivor_copy(
                 let copy = gx.heap.copy_object_to_offset(obj, region, off);
                 let src_dev = gx.heap.device_of(obj);
                 let dst_dev = gx.heap.region(region).device();
-                let tr = gx.mem.bulk_read(src_dev, Pattern::Seq, size as u64, clock);
-                let tw = gx.mem.bulk_write(dst_dev, Pattern::Seq, size as u64, clock);
-                gx.mem.install_range(copy.raw(), size as u64);
+                let tr = gx.mem.read_bulk(src_dev, obj.raw(), size as u64, clock);
+                let tw = gx.mem.write_bulk(dst_dev, copy.raw(), size as u64, clock);
                 let _ = id;
                 w.clock = tr.max(tw);
                 return Ok((copy, cached));
@@ -789,15 +789,19 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
     let used = sh.heap.region(region).used();
     let chunk = sh.cfg.flush_chunk_bytes.min(used - task.cursor);
     if chunk > 0 {
-        let tr = sh
-            .mem
-            .bulk_read(DeviceId::Dram, Pattern::Seq, chunk as u64, w.clock);
+        let src = sh.heap.addr_of(region, task.cursor).raw();
+        let tr = sh.mem.read_bulk(DeviceId::Dram, src, chunk as u64, w.clock);
+        let nvm_region = sh
+            .heap
+            .region(region)
+            .mapped_to
+            .expect("cache region is mapped");
         let nvm = sh.heap.region(region).device_of_mapped(sh.heap);
+        let dst = sh.heap.addr_of(nvm_region, task.cursor).raw();
         let tw = if sh.cache.config().nt_store {
-            sh.mem.nt_write(nvm, chunk as u64, w.clock)
+            sh.mem.nt_write_bulk(nvm, dst, chunk as u64, w.clock)
         } else {
-            sh.mem
-                .bulk_write(nvm, Pattern::Seq, chunk as u64, w.clock)
+            sh.mem.write_bulk(nvm, dst, chunk as u64, w.clock)
         };
         w.clock = tr.max(tw);
     }
@@ -839,7 +843,7 @@ pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
     let bytes = (step_entries as u64) * crate::header_map::ENTRY_BYTES;
     w.clock = sh
         .mem
-        .bulk_write(DeviceId::Dram, Pattern::Seq, bytes, w.clock);
+        .write_bulk(DeviceId::Dram, map.entry_addr(start as u64), bytes, w.clock);
     let next = start + step_entries;
     w.clear_range = if next < end { Some((next, end)) } else { None };
     if w.clear_range.is_none() {

@@ -6,24 +6,64 @@
 //! configuration and workload always produces the same interleaving — the
 //! property that makes every experiment in this reproduction exactly
 //! repeatable, which real threads on shared hardware cannot offer.
+//!
+//! # Scheduling
+//!
+//! Picking the next worker is the engine's hot loop: it runs once per
+//! simulated step, and paper-scale configurations step billions of times.
+//! Two interchangeable schedulers implement the same (clock, id) order:
+//!
+//! - [`run_phase_scan`]: O(n) linear scan per step. Fastest for small
+//!   worker counts, where scanning a few cache-resident clocks beats any
+//!   queue maintenance.
+//! - [`run_phase_heap`]: O(log n) binary-heap event queue keyed on
+//!   `(clock, worker index, sequence)`. Entries are lazily invalidated: a
+//!   popped entry whose sequence number no longer matches the worker's is
+//!   stale and skipped, so a step that re-queues a worker never needs to
+//!   search the heap for its old entry.
+//!
+//! [`run_phase`] dispatches on the worker count ([`HEAP_THRESHOLD`]); a
+//! property test (`tests/prop_engine.rs`) proves both produce the exact
+//! same step order.
 
 use crate::collector::Worker;
 use nvmgc_memsim::Ns;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Upper bound on steps per phase; exceeding it indicates a stuck worker
 /// (a step that neither advances the clock nor finishes).
 const STEP_LIMIT: u64 = 2_000_000_000;
 
+/// Worker counts below this use the linear scan; at or above it, the
+/// event queue. Crossover measured by the `engine_scheduler` group in
+/// `micro_structures`: the scan's per-step cost grows linearly but has
+/// no queue maintenance, and stays ahead up to roughly a dozen workers.
+pub const HEAP_THRESHOLD: usize = 12;
+
 /// Runs one phase to completion and returns the phase end time (the
 /// maximum worker clock).
 ///
 /// `step` is invoked for the minimum-clock unfinished worker; ties break
-/// toward the lower worker id.
+/// toward the lower worker id. Dispatches to [`run_phase_scan`] or
+/// [`run_phase_heap`] by worker count; both yield the identical order.
 ///
 /// # Panics
 ///
 /// Panics if the phase fails to terminate within the step limit.
-pub fn run_phase<F>(workers: &mut [Worker], mut step: F) -> Ns
+pub fn run_phase<F>(workers: &mut [Worker], step: F) -> Ns
+where
+    F: FnMut(&mut Worker),
+{
+    if workers.len() < HEAP_THRESHOLD {
+        run_phase_scan(workers, step)
+    } else {
+        run_phase_heap(workers, step)
+    }
+}
+
+/// [`run_phase`] with the O(n)-per-step linear scan scheduler.
+pub fn run_phase_scan<F>(workers: &mut [Worker], mut step: F) -> Ns
 where
     F: FnMut(&mut Worker),
 {
@@ -43,9 +83,69 @@ where
         let Some(i) = best else { break };
         step(&mut workers[i]);
         steps += 1;
-        assert!(steps < STEP_LIMIT, "phase did not terminate");
+        if steps >= STEP_LIMIT {
+            panic_step_limit(workers, i);
+        }
     }
     workers.iter().map(|w| w.clock).max().unwrap_or(0)
+}
+
+/// [`run_phase`] with the O(log n)-per-step event-queue scheduler.
+///
+/// The queue holds at most one *valid* entry per worker; each step pops
+/// the globally minimum `(clock, index)` pair, runs the worker, and (if
+/// the worker is still not done) pushes a fresh entry with a bumped
+/// sequence number. Stale entries — possible if a future `step` mutation
+/// path re-queues a worker whose old entry is still buried in the heap —
+/// are detected by sequence mismatch on pop and discarded, which is the
+/// standard lazy-invalidation alternative to O(n) heap surgery.
+pub fn run_phase_heap<F>(workers: &mut [Worker], mut step: F) -> Ns
+where
+    F: FnMut(&mut Worker),
+{
+    let mut seq = vec![0u64; workers.len()];
+    let mut queue: BinaryHeap<Reverse<(Ns, usize, u64)>> =
+        BinaryHeap::with_capacity(workers.len() + 1);
+    for (i, w) in workers.iter().enumerate() {
+        if !w.done {
+            queue.push(Reverse((w.clock, i, 0)));
+        }
+    }
+    let mut steps = 0u64;
+    while let Some(Reverse((clock, i, s))) = queue.pop() {
+        if s != seq[i] {
+            continue; // lazily-invalidated stale entry
+        }
+        debug_assert_eq!(workers[i].clock, clock, "queue entry out of sync");
+        debug_assert!(!workers[i].done, "done worker left a valid entry");
+        step(&mut workers[i]);
+        steps += 1;
+        if steps >= STEP_LIMIT {
+            panic_step_limit(workers, i);
+        }
+        seq[i] += 1;
+        if !workers[i].done {
+            queue.push(Reverse((workers[i].clock, i, seq[i])));
+        }
+    }
+    workers.iter().map(|w| w.clock).max().unwrap_or(0)
+}
+
+/// Diagnoses a phase that exceeded [`STEP_LIMIT`]: names the worker that
+/// was being stepped when the limit hit, its clock, and every worker's
+/// done flag, so a hang is attributable from the panic message alone.
+#[cold]
+#[inline(never)]
+fn panic_step_limit(workers: &[Worker], stuck: usize) -> ! {
+    let done_flags: String = workers
+        .iter()
+        .map(|w| if w.done { '+' } else { '-' })
+        .collect();
+    panic!(
+        "phase did not terminate within {STEP_LIMIT} steps: worker {} stuck at clock {} ns \
+         without finishing (done flags by worker id, '+' done / '-' running: [{}])",
+        workers[stuck].id, workers[stuck].clock, done_flags
+    );
 }
 
 /// Resets workers for a follow-on phase: clears `done`, aligns every clock
@@ -92,6 +192,77 @@ mod tests {
     fn empty_worker_set_ends_immediately() {
         let mut workers: Vec<Worker> = Vec::new();
         assert_eq!(run_phase(&mut workers, |_| unreachable!()), 0);
+        assert_eq!(run_phase_heap(&mut workers, |_| unreachable!()), 0);
+    }
+
+    #[test]
+    fn heap_breaks_clock_ties_toward_lower_id() {
+        // All clocks equal: both schedulers must step ids in order.
+        let run = |use_heap: bool| -> Vec<usize> {
+            let mut workers: Vec<Worker> = (0..5).map(|i| Worker::new(i, 7)).collect();
+            let mut order = Vec::new();
+            let step = |w: &mut Worker| {
+                order.push(w.id);
+                w.done = true;
+            };
+            if use_heap {
+                run_phase_heap(&mut workers, step);
+            } else {
+                run_phase_scan(&mut workers, step);
+            }
+            order
+        };
+        assert_eq!(run(false), vec![0, 1, 2, 3, 4]);
+        assert_eq!(run(true), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heap_requeues_worker_whose_clock_does_not_advance() {
+        // A step that neither advances the clock nor finishes must still
+        // be rescheduled (and eventually terminate) under the heap.
+        let mut workers = vec![Worker::new(0, 0), Worker::new(1, 5)];
+        let mut zero_steps = 0;
+        let mut order = Vec::new();
+        run_phase_heap(&mut workers, |w| {
+            order.push(w.id);
+            if w.id == 0 {
+                zero_steps += 1;
+                if zero_steps == 3 {
+                    w.done = true;
+                } // clock stays 0 for three steps
+            } else {
+                w.done = true;
+            }
+        });
+        assert_eq!(order, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn dispatch_uses_heap_at_threshold_and_agrees_with_scan() {
+        let build = || -> Vec<Worker> {
+            (0..HEAP_THRESHOLD)
+                .map(|i| Worker::new(i, (i as Ns * 37) % 11))
+                .collect()
+        };
+        let run = |mut workers: Vec<Worker>, use_scan: bool| -> (Vec<usize>, Ns) {
+            let mut order = Vec::new();
+            let mut budget: Vec<u32> = (0..workers.len()).map(|i| 1 + (i as u32 % 4)).collect();
+            let mut step = |w: &mut Worker| {
+                order.push(w.id);
+                w.clock += 13 + (w.id as Ns % 7);
+                budget[w.id] -= 1;
+                if budget[w.id] == 0 {
+                    w.done = true;
+                }
+            };
+            let end = if use_scan {
+                run_phase_scan(&mut workers, &mut step)
+            } else {
+                run_phase(&mut workers, &mut step)
+            };
+            (order, end)
+        };
+        assert_eq!(run(build(), true), run(build(), false));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
-use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern, PhaseKind};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind};
 use std::collections::VecDeque;
 
 /// Result of one collection cycle.
@@ -303,7 +303,8 @@ impl G1Collector {
         // Charge the remembered-set scan (DRAM metadata) split over workers.
         let share = remset_bytes / threads as u64;
         for w in workers.iter_mut() {
-            w.clock = mem.bulk_read(DeviceId::Dram, Pattern::Seq, share, w.clock);
+            let base = 0x6000_0000_0000_0000 | (w.id as u64 * share);
+            w.clock = mem.read_bulk(DeviceId::Dram, base, share, w.clock);
         }
 
         let mut sh = CycleShared {

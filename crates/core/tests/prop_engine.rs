@@ -1,0 +1,126 @@
+//! Reference equivalence of the engine's two schedulers.
+//!
+//! The event-queue scheduler (`run_phase_heap`) is a performance
+//! optimization; the linear scan (`run_phase_scan`) is the reference
+//! semantics. These properties drive both with identical randomized
+//! worker sets and step behaviors — including clock ties, zero-advance
+//! steps, and workers that start done — and require the *exact* same
+//! step order, final clocks, and phase end time.
+
+use nvmgc_core::collector::Worker;
+use nvmgc_core::engine::{run_phase, run_phase_heap, run_phase_scan};
+use proptest::prelude::*;
+
+/// Per-worker scripted behavior: each step consumes one increment from
+/// the worker's list and advances its clock by it; the worker reports
+/// done when the list is exhausted. Increments of zero exercise the
+/// requeue-without-advance path; equal start clocks exercise ties.
+#[derive(Debug, Clone)]
+struct Script {
+    start: u64,
+    starts_done: bool,
+    increments: Vec<u64>,
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    (
+        0u64..50,
+        any::<bool>(),
+        prop::collection::vec(
+            prop_oneof![Just(0u64), 1u64..40, Just(17u64)],
+            1..12,
+        ),
+    )
+        .prop_map(|(start, coin, increments)| Script {
+            start,
+            // Bias: most workers start runnable.
+            starts_done: coin && start % 5 == 0,
+            increments,
+        })
+}
+
+/// A `run_phase`-shaped scheduler entry point under test.
+type PhaseFn = fn(&mut [Worker], &mut dyn FnMut(&mut Worker)) -> u64;
+
+/// Runs one scheduler over freshly-built workers following `scripts`,
+/// recording the order of (worker id, clock-at-step) pairs.
+fn drive(scripts: &[Script], run: PhaseFn) -> (Vec<(usize, u64)>, Vec<u64>, u64) {
+    let mut workers: Vec<Worker> = scripts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut w = Worker::new(i, s.start);
+            w.done = s.starts_done;
+            w
+        })
+        .collect();
+    let mut cursor = vec![0usize; scripts.len()];
+    let mut order: Vec<(usize, u64)> = Vec::new();
+    let mut step = |w: &mut Worker| {
+        order.push((w.id, w.clock));
+        let c = cursor[w.id];
+        w.clock += scripts[w.id].increments[c];
+        cursor[w.id] += 1;
+        if cursor[w.id] == scripts[w.id].increments.len() {
+            w.done = true;
+        }
+    };
+    let end = run(&mut workers, &mut step);
+    let clocks = workers.iter().map(|w| w.clock).collect();
+    (order, clocks, end)
+}
+
+fn scan_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
+    run_phase_scan(workers, step)
+}
+
+fn heap_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
+    run_phase_heap(workers, step)
+}
+
+fn dispatch_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
+    run_phase(workers, step)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The event queue replays the scan's step order exactly, for any
+    /// worker count (1..30 spans both sides of `HEAP_THRESHOLD`).
+    #[test]
+    fn heap_matches_scan_step_order(
+        scripts in prop::collection::vec(arb_script(), 1..30),
+    ) {
+        let reference = drive(&scripts, scan_adapter);
+        let heap = drive(&scripts, heap_adapter);
+        prop_assert_eq!(&reference, &heap, "scheduler divergence for {:?}", scripts);
+    }
+
+    /// The public dispatching entry point agrees with the reference
+    /// regardless of which side of the threshold it lands on.
+    #[test]
+    fn dispatch_matches_scan(
+        scripts in prop::collection::vec(arb_script(), 1..30),
+    ) {
+        let reference = drive(&scripts, scan_adapter);
+        let dispatched = drive(&scripts, dispatch_adapter);
+        prop_assert_eq!(&reference, &dispatched);
+    }
+
+    /// Tie storm: every worker starts at the same clock and advances by
+    /// the same amounts, so the order is decided purely by id — the
+    /// heap's (clock, index) key must reproduce it.
+    #[test]
+    fn heap_matches_scan_under_full_ties(
+        n in 1usize..40,
+        steps_each in 1usize..6,
+        advance in prop_oneof![Just(0u64), Just(1u64)],
+    ) {
+        let scripts: Vec<Script> = (0..n)
+            .map(|_| Script { start: 9, starts_done: false, increments: vec![advance; steps_each] })
+            .collect();
+        let reference = drive(&scripts, scan_adapter);
+        let heap = drive(&scripts, heap_adapter);
+        prop_assert_eq!(&reference, &heap);
+    }
+}

@@ -130,6 +130,33 @@ impl LlcModel {
         stamps[victim] = self.tick;
     }
 
+    /// Installs every line of `[start, start + len)` in one call, as a
+    /// sequential run of regular stores would.
+    ///
+    /// The run is approximated rather than replayed per line: under true
+    /// LRU, streaming more than the cache's capacity through it leaves
+    /// only the *tail* of the stream resident, so at most
+    /// [`capacity_lines`](Self::capacity_lines) trailing lines are
+    /// installed. This bounds the cost of arbitrarily large runs at
+    /// O(capacity) while matching the per-line result exactly for runs
+    /// that fit in the cache.
+    pub fn install_range(&mut self, start: u64, len: u64) {
+        if self.sets.is_empty() || len == 0 {
+            return;
+        }
+        let first = start / CACHE_LINE;
+        let last = (start + len - 1) / CACHE_LINE;
+        let lines = last - first + 1;
+        let begin = if lines > self.capacity_lines() as u64 {
+            last + 1 - self.capacity_lines() as u64
+        } else {
+            first
+        };
+        for line in begin..=last {
+            self.install(line * CACHE_LINE);
+        }
+    }
+
     /// Invalidates every line in a byte range (used when regions are
     /// recycled so stale tags cannot produce false hits).
     pub fn invalidate_range(&mut self, start: u64, len: u64) {
@@ -237,6 +264,38 @@ mod tests {
         let mut c = LlcModel::new(1 << 20);
         c.install(0x2000);
         assert!(c.access(0x2000));
+    }
+
+    #[test]
+    fn install_range_matches_per_line_install_when_run_fits() {
+        let mut bulk = LlcModel::new(64 * 1024);
+        let mut per_line = LlcModel::new(64 * 1024);
+        let (start, len) = (0x4001u64, 40 * CACHE_LINE);
+        bulk.install_range(start, len);
+        let mut a = start & !(CACHE_LINE - 1);
+        while a < start + len {
+            per_line.install(a);
+            a += CACHE_LINE;
+        }
+        for line in 0..=(start + len) / CACHE_LINE + 2 {
+            assert_eq!(
+                bulk.access(line * CACHE_LINE),
+                per_line.access(line * CACHE_LINE),
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn install_range_larger_than_cache_keeps_only_the_tail() {
+        let mut c = LlcModel::new(4 * 1024); // 64 lines
+        let cap = c.capacity_lines() as u64;
+        let total = cap * 8;
+        c.install_range(0, total * CACHE_LINE);
+        // The head of the stream cannot be resident...
+        assert!(!c.access(0));
+        // ...and the very last line must be.
+        assert!(c.access((total - 1) * CACHE_LINE));
     }
 
     #[test]

@@ -260,6 +260,50 @@ impl MemorySystem {
         self.finish(dev, AccessKind::NtWrite, Pattern::Seq, bytes, now, done)
     }
 
+    /// Reads the contiguous sequential run `[addr, addr + len)`: one
+    /// ledger grant, one sampler record, one stats update.
+    ///
+    /// LLC effect per run: none. A streaming read neither expects to hit
+    /// (the runs routed here — write-cache drains, card/region scans,
+    /// root-array shares — walk data far larger than a few lines) nor
+    /// pollutes the cache (hardware streaming loads mostly bypass it),
+    /// so the run is charged at the device's sequential-read rate
+    /// without touching cache state. Timing is identical to
+    /// [`bulk_read`](Self::bulk_read) with `Pattern::Seq`.
+    pub fn read_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
+        let _ = addr;
+        let done = self.charge(dev, AccessKind::Read, Pattern::Seq, len, now);
+        self.finish(dev, AccessKind::Read, Pattern::Seq, len, now, done)
+    }
+
+    /// Writes the contiguous sequential run `[addr, addr + len)` with
+    /// regular (write-allocating) stores: one ledger grant, one sampler
+    /// record, one stats update.
+    ///
+    /// LLC effect per run: the written lines are installed — a regular
+    /// store stream leaves its destination cache-hot — but approximated
+    /// as a single range install whose cost and residency are capped at
+    /// the cache capacity (see [`LlcModel::install_range`]); under LRU
+    /// only the tail of an over-capacity stream survives anyway.
+    pub fn write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
+        let done = self.charge(dev, AccessKind::Write, Pattern::Seq, len, now);
+        self.llc.install_range(addr, len);
+        self.finish(dev, AccessKind::Write, Pattern::Seq, len, now, done)
+    }
+
+    /// Writes the contiguous run `[addr, addr + len)` with non-temporal
+    /// stores: one ledger grant, one sampler record, one stats update.
+    ///
+    /// LLC effect per run: the destination range is *invalidated* — NT
+    /// stores bypass the cache but evict any stale lines they overlap,
+    /// so a later read of the written range must go to the device rather
+    /// than hit leftover tags from the range's previous life.
+    pub fn nt_write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
+        let done = self.charge(dev, AccessKind::NtWrite, Pattern::Seq, len, now);
+        self.llc.invalidate_range(addr, len);
+        self.finish(dev, AccessKind::NtWrite, Pattern::Seq, len, now, done)
+    }
+
     /// Issues a software prefetch for the line containing `addr`.
     ///
     /// Consumes bandwidth immediately but only costs the thread the issue
@@ -277,13 +321,11 @@ impl MemorySystem {
 
     /// Installs all lines of `[addr, addr+len)` into the LLC without
     /// charging traffic — used after an object copy with regular stores,
-    /// which leaves the copy cache-hot.
+    /// which leaves the copy cache-hot. (Prefer
+    /// [`write_bulk`](Self::write_bulk), which charges and installs in
+    /// one call.)
     pub fn install_range(&mut self, addr: u64, len: u64) {
-        let mut a = addr & !(CACHE_LINE - 1);
-        while a < addr + len {
-            self.llc.install(a);
-            a += CACHE_LINE;
-        }
+        self.llc.install_range(addr, len);
     }
 
     /// A full store fence (`SFENCE`-like), required after non-temporal

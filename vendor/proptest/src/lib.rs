@@ -1,0 +1,448 @@
+//! Offline stand-in for `proptest`.
+//!
+//! crates.io is unreachable from the build environment, so this vendored
+//! crate implements the subset of proptest the workspace's property
+//! tests use: the [`Strategy`] trait over integer ranges, tuples,
+//! [`Just`], unions (`prop_oneof!`), `prop::collection::vec`, and
+//! `prop_map`; `any::<T>()` for primitives; the `proptest!` macro with
+//! optional `#![proptest_config(..)]`; and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` representation instead of a minimized counterexample.
+//! - **Fixed deterministic seeding.** Case `i` of every test derives its
+//!   RNG from `i` alone, so failures reproduce exactly across runs and
+//!   machines (upstream uses OS entropy plus a persistence file).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Combinator methods on strategies (kept separate from [`Strategy`] so
+/// the core trait stays object-safe).
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { source: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+    (A, B, C, D, E, F, G, H, I, J, K)
+    (A, B, C, D, E, F, G, H, I, J, K, L)
+}
+
+/// Uniform choice between boxed alternatives (see `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Primitive types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary_from(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_from(rng: &mut StdRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_from(rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_from(rng: &mut StdRng) -> f64 {
+        rng.random()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_from(rng)
+    }
+}
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A strategy producing vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-case RNG (used by the `proptest!` expansion).
+#[doc(hidden)]
+pub fn __case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0x5052_4F50_7465_7374 ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The common imports for property tests.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, StrategyExt, TestCaseError,
+    };
+}
+
+/// Defines property tests over strategies; see the crate docs for the
+/// supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::__case_rng(__case);
+                let mut __repr = ::std::string::String::new();
+                $(
+                    let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                    __repr.push_str(&::std::format!("{:?}, ", __value));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: ({})",
+                            __case + 1, config.cases, e, __repr
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        ::std::eprintln!(
+                            "proptest case {}/{} panicked\n  inputs: ({})",
+                            __case + 1, config.cases, __repr
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::StrategyExt::boxed($strat)),+])
+    };
+}
+
+/// Fails the current case (returning `Err(TestCaseError)`) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_respect_bounds() {
+        let mut rng = crate::__case_rng(0);
+        let s = prop_oneof![Just(1u32), Just(2u32), 10u32..20];
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || v == 2 || (10..20).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths_in_range() {
+        let mut rng = crate::__case_rng(1);
+        let s = prop::collection::vec(0u8..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = (0u64..1000, any::<bool>()).prop_map(|(a, b)| (a * 2, b));
+        let a = s.generate(&mut crate::__case_rng(7));
+        let b = s.generate(&mut crate::__case_rng(7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, config, and assertions all work.
+        #[test]
+        fn macro_smoke(x in 1u64..100, v in prop::collection::vec(0u32..5, 1..4)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

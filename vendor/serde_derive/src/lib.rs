@@ -1,0 +1,297 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (no `syn`/`quote`, which are unavailable
+//! offline). Supported input shapes — the ones this workspace uses:
+//!
+//! - structs with named fields, optionally generic (bounds are carried
+//!   over verbatim, e.g. `struct Report<T: Serialize> { .. }`);
+//! - enums whose variants are all unit variants (serialized as the
+//!   variant name string, matching serde's externally-tagged format).
+//!
+//! Anything else produces a compile error naming this crate, so a future
+//! change that outgrows the stand-in fails loudly rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we managed to parse out of the derive input.
+struct Input {
+    is_struct: bool,
+    name: String,
+    /// Generic parameter list verbatim, including angle brackets
+    /// (e.g. `<T: Serialize>`), or empty.
+    generics_decl: String,
+    /// Generic argument list (names only, e.g. `<T>`), or empty.
+    generics_args: String,
+    /// Field names (structs) or variant names (enums).
+    items: Vec<String>,
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_struct = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => true,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => false,
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    // Generics: capture `<...>` verbatim and extract parameter names.
+    let mut generics_decl = String::new();
+    let mut generics_args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let mut decl_tokens: Vec<TokenTree> = Vec::new();
+            loop {
+                let t = tokens
+                    .get(i)
+                    .ok_or_else(|| "unterminated generic parameter list".to_owned())?;
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                decl_tokens.push(t.clone());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            generics_decl = decl_tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            // Parameter names: the first ident of each top-level
+            // comma-separated chunk inside the angle brackets (lifetimes
+            // and const params are not needed by this workspace).
+            let inner = &decl_tokens[1..decl_tokens.len() - 1];
+            let mut depth = 0usize;
+            let mut expect_name = true;
+            let mut names: Vec<String> = Vec::new();
+            for t in inner {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                        expect_name = true;
+                    }
+                    TokenTree::Ident(id) if expect_name => {
+                        names.push(id.to_string());
+                        expect_name = false;
+                    }
+                    _ => {}
+                }
+            }
+            generics_args = format!("<{}>", names.join(", "));
+        }
+    }
+
+    // Body: the brace group with fields or variants.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple struct `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err(format!(
+                    "`where` clause on `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("`{name}` has no body")),
+        }
+    };
+
+    let items = if is_struct {
+        parse_named_fields(body.stream())?
+    } else {
+        parse_unit_variants(&name, body.stream())?
+    };
+
+    Ok(Input {
+        is_struct,
+        name,
+        generics_decl,
+        generics_args,
+        items,
+    })
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Skip `: Type` up to the next top-level comma.
+                let mut depth = 0usize;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring unit variants.
+fn parse_unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "enum `{name}` has data-carrying variants, which the vendored \
+                             serde_derive does not support"
+                        ));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "enum `{name}` has explicit discriminants, which the vendored \
+                             serde_derive does not support"
+                        ));
+                    }
+                    Some(other) => {
+                        return Err(format!("unexpected token in enum body: {other:?}"))
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Derives `serde::Serialize` by emitting a `to_value` that builds the
+/// field object (structs) or variant-name string (unit enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let Input {
+        is_struct,
+        name,
+        generics_decl,
+        generics_args,
+        items,
+    } = parsed;
+    let body = if is_struct {
+        let fields = items
+            .iter()
+            .map(|f| {
+                format!(
+                    "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+                )
+            })
+            .collect::<String>();
+        format!("serde::Value::Object(vec![{fields}])")
+    } else {
+        let arms = items
+            .iter()
+            .map(|v| format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"))
+            .collect::<String>();
+        format!("match self {{ {arms} }}")
+    };
+    format!(
+        "impl {generics_decl} serde::Serialize for {name} {generics_args} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the (empty) `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let Input {
+        name,
+        generics_decl,
+        generics_args,
+        ..
+    } = parsed;
+    format!("impl {generics_decl} serde::Deserialize for {name} {generics_args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Formats the vendored `serde` [`Value`] model as JSON. Output matches
+//! upstream `serde_json` conventions so existing tooling and diffs keep
+//! working: two-space pretty indentation, shortest-roundtrip floats with
+//! a `.0` suffix for integral values, and non-finite floats rendered as
+//! `null`.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (currently only produced for pathological cases;
+/// kept for API compatibility with upstream).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+/// Floats print in Rust's shortest-roundtrip form, with `.0` appended to
+/// integral values (matching serde_json/ryu) and non-finite values
+/// rendered as `null` (serde_json's behavior for `Value` formatting).
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    let integral = !s.contains(['.', 'e', 'E']);
+    out.push_str(&s);
+    if integral {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+
+    #[test]
+    fn floats_match_serde_json_conventions() {
+        let mut s = String::new();
+        write_float(&mut s, 1.0);
+        assert_eq!(s, "1.0");
+        s.clear();
+        write_float(&mut s, 13.361220999999999);
+        assert_eq!(s, "13.361220999999999");
+        s.clear();
+        write_float(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            to_string(&"a\"b\\c\nd").unwrap(),
+            r#""a\"b\\c\nd""#
+        );
+    }
+
+    #[test]
+    fn nested_object_layout() {
+        let v = serde::Value::Object(vec![
+            ("id".to_string(), serde::Value::Str("x".to_string())),
+            (
+                "data".to_string(),
+                serde::Value::Array(vec![serde::Value::UInt(1)]),
+            ),
+        ]);
+        struct Raw(serde::Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> serde::Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string_pretty(&Raw(v)).unwrap();
+        assert_eq!(text, "{\n  \"id\": \"x\",\n  \"data\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}
