@@ -1,0 +1,195 @@
+//! Fault-injection matrix — robustness sweep, not a paper figure.
+//!
+//! Runs a grid of (application × collector config × fault severity ×
+//! schedule seed) cells. Each cell generates a deterministic
+//! [`FaultPlan`] from its seed, installs it, and runs the workload to
+//! completion; `run_app` traces the reachable graph before and after
+//! every collection, so a digest divergence under fault surfaces as a
+//! typed error, never silent corruption.
+//!
+//! The sweep asserts the plane's two guarantees:
+//!
+//! - **determinism** — the emitted `results/fault_matrix.json` is
+//!   byte-identical across repeated runs and any `NVMGC_JOBS` value (CI
+//!   diffs two runs);
+//! - **graceful degradation** — at every severity, including the maximum
+//!   documented one, no cell panics: a cell either completes with all
+//!   digest checks passing or reports a typed error naming the injected
+//!   faults.
+//!
+//! The harness exits nonzero if any cell reports a digest mismatch or a
+//! structural verification failure.
+
+use nvmgc_bench::{
+    banner, maybe_trim, results_dir, run_labeled_cells, sized_config, write_throughput,
+};
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
+use nvmgc_workloads::runner::RunFailure;
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+/// Simulated-time horizon fault schedules are generated over. The small
+/// matrix heaps finish their runs within a few tens of milliseconds, so
+/// this keeps the generated windows overlapping real GC activity.
+const HORIZON_NS: u64 = 40_000_000;
+
+/// GC worker threads: above the header-map activation threshold so the
+/// `+all` cells exercise saturation faults.
+const THREADS: usize = 12;
+
+#[derive(Serialize, Clone)]
+struct Row {
+    app: String,
+    config: String,
+    severity: String,
+    plan_seed: u64,
+    /// "ok", or the typed error's rendering.
+    outcome: String,
+    ok: bool,
+    /// True only for digest-mismatch / structural-verification failures —
+    /// the one class of failure the fault plane must never produce.
+    corruption: bool,
+    cycles: usize,
+    digest_checks: usize,
+    gc_fault_events: u64,
+    total_ns: u64,
+    total_pause_ns: u64,
+}
+
+fn cell(app_name: &'static str, config_name: &str, gc: GcConfig, severity: Severity, seed: u64) -> Row {
+    let mut cfg = sized_config(app(app_name), gc);
+    // Reduced matrix heap: the sweep is about fault behavior, not paper
+    // ratios, and it must stay cheap enough to run at every severity. It
+    // still has to hold the Spark profiles' live sets (anchors + a couple
+    // of survivor generations) with room to spare, or cells die of heap
+    // exhaustion instead of exercising the fault plane.
+    cfg.heap.region_size = 32 << 10;
+    cfg.heap.heap_regions = 256;
+    cfg.heap.young_regions = 64;
+    let heap_bytes = cfg.heap_bytes();
+    if cfg.gc.write_cache.enabled && cfg.gc.write_cache.max_bytes != u64::MAX {
+        cfg.gc.write_cache.max_bytes = (heap_bytes / 32).max(cfg.heap.region_size as u64);
+    }
+    if cfg.gc.header_map.enabled {
+        cfg.gc.header_map.max_bytes = (heap_bytes / 32).max(1 << 20);
+    }
+    cfg.gc.fault = FaultPlan::generate(seed, severity, HORIZON_NS);
+
+    let base = Row {
+        app: app_name.to_owned(),
+        config: config_name.to_owned(),
+        severity: severity.name().to_owned(),
+        plan_seed: seed,
+        outcome: String::new(),
+        ok: false,
+        corruption: false,
+        cycles: 0,
+        digest_checks: 0,
+        gc_fault_events: 0,
+        total_ns: 0,
+        total_pause_ns: 0,
+    };
+    match run_app(&cfg) {
+        Ok(res) => Row {
+            outcome: "ok".to_owned(),
+            ok: true,
+            cycles: res.gc.cycles(),
+            digest_checks: res.digest_checks,
+            gc_fault_events: res.cycles.iter().map(|c| c.fault_events.total()).sum(),
+            total_ns: res.total_ns,
+            total_pause_ns: res.gc.total_pause_ns(),
+            ..base
+        },
+        Err(e) => Row {
+            corruption: matches!(
+                e.failure,
+                RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+            ),
+            outcome: e.to_string(),
+            ..base
+        },
+    }
+}
+
+fn main() {
+    banner("fault_matrix", "robustness sweep (no paper figure)");
+    let apps: Vec<&'static str> = maybe_trim(vec!["page-rank", "kmeans"], 1);
+    let seeds: Vec<u64> = maybe_trim(vec![0xB0A7, 0xC0FFEE], 1);
+    let configs: Vec<(&'static str, GcConfig)> = vec![
+        ("vanilla", GcConfig::vanilla(THREADS)),
+        ("+all", GcConfig::plus_all(THREADS, 0)),
+    ];
+
+    let mut cells: Vec<(String, Box<dyn FnOnce() -> Row + Send>)> = Vec::new();
+    for &app_name in &apps {
+        for (config_name, gc) in &configs {
+            for severity in Severity::ALL {
+                for &seed in &seeds {
+                    let label = format!(
+                        "app={app_name} gc={config_name} severity={} seed={seed:#x}",
+                        severity.name()
+                    );
+                    let (config_name, gc) = (config_name.to_owned(), gc.clone());
+                    cells.push((
+                        label,
+                        Box::new(move || cell(app_name, config_name, gc, severity, seed)),
+                    ));
+                }
+            }
+        }
+    }
+
+    let (rows, pool) = run_labeled_cells(cells);
+    let simulated_ns: u64 = rows.iter().map(|r| r.total_ns).sum();
+
+    let mut table = TextTable::new(vec![
+        "app", "config", "severity", "seed", "cycles", "digests", "faults", "outcome",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.app.clone(),
+            r.config.clone(),
+            r.severity.clone(),
+            format!("{:#x}", r.plan_seed),
+            r.cycles.to_string(),
+            r.digest_checks.to_string(),
+            r.gc_fault_events.to_string(),
+            if r.ok {
+                "ok".to_owned()
+            } else {
+                format!("error: {}", r.outcome)
+            },
+        ]);
+    }
+    println!("{}", table.render());
+
+    let completed = rows.iter().filter(|r| r.ok).count();
+    let corrupted = rows.iter().filter(|r| r.corruption).count();
+    println!(
+        "{}/{} cells completed; {} typed-error cells; {} corruption cells",
+        completed,
+        rows.len(),
+        rows.len() - completed,
+        corrupted
+    );
+
+    let report = ExperimentReport {
+        id: "fault_matrix".to_owned(),
+        paper_ref: "robustness sweep (no paper figure)".to_owned(),
+        notes: format!(
+            "{THREADS} GC threads; fault horizon {HORIZON_NS} ns; severities {:?}",
+            Severity::ALL.map(|s| s.name())
+        ),
+        data: rows.clone(),
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+    write_throughput("fault_matrix", &pool, simulated_ns).expect("write throughput");
+
+    if corrupted > 0 {
+        eprintln!("fault_matrix: {corrupted} cell(s) reported graph corruption");
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,10 @@
 
 pub mod runner;
 
-pub use runner::{jobs, run_cells, run_cells_with, write_throughput, PoolStats};
+pub use runner::{
+    jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with,
+    write_throughput, PoolStats,
+};
 
 use nvmgc_core::GcConfig;
 use nvmgc_workloads::{AppRunConfig, WorkloadSpec};

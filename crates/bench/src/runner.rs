@@ -24,10 +24,23 @@
 use crate::results_dir;
 use nvmgc_metrics::{write_json, ExperimentReport};
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Renders a panic payload for error messages (panics carry `&str` or
+/// `String` in practice; anything else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Number of pool workers: `NVMGC_JOBS` override, else the host's
 /// available parallelism (minimum 1 either way).
@@ -74,6 +87,30 @@ where
     run_cells_with(jobs(), cells)
 }
 
+/// Like [`run_cells_with`] with auto-numbered cell labels.
+pub fn run_cells_with<T, F>(jobs: usize, cells: Vec<F>) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let labeled = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| (format!("#{i}"), f))
+        .collect();
+    run_labeled_cells_with(jobs, labeled)
+}
+
+/// Runs `(label, cell)` pairs on a pool of [`jobs()`] workers; see
+/// [`run_labeled_cells_with`].
+pub fn run_labeled_cells<T, F>(cells: Vec<(String, F)>) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_labeled_cells_with(jobs(), cells)
+}
+
 /// Runs every cell exactly once on a pool of at most `jobs` scoped
 /// threads and returns the results in declaration order.
 ///
@@ -82,8 +119,12 @@ where
 /// the slot of the cell that produced it, and cells are self-contained,
 /// so the returned vector is identical for every `jobs` value.
 ///
-/// A panicking cell propagates the panic to the caller (via scope join).
-pub fn run_cells_with<T, F>(jobs: usize, cells: Vec<F>) -> (Vec<T>, PoolStats)
+/// A panicking cell re-panics on the caller's thread with the failing
+/// cell's label prepended to the original payload, so a grid failure
+/// names its experiment cell instead of surfacing as a bare join error.
+/// When several cells panic, the one with the lowest declaration index is
+/// reported (deterministic for any job count).
+pub fn run_labeled_cells_with<T, F>(jobs: usize, cells: Vec<(String, F)>) -> (Vec<T>, PoolStats)
 where
     T: Send,
     F: FnOnce() -> T + Send,
@@ -92,13 +133,24 @@ where
     let jobs = jobs.min(n).max(1);
     let start = Instant::now();
     let values: Vec<T> = if jobs <= 1 {
-        cells.into_iter().map(|f| f()).collect()
+        cells
+            .into_iter()
+            .map(|(label, f)| match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => v,
+                Err(p) => panic!(
+                    "experiment cell '{label}' panicked: {}",
+                    panic_message(p.as_ref())
+                ),
+            })
+            .collect()
     } else {
         // FnOnce cells are claimed (taken) exactly once each; results are
         // written to the slot matching the cell's declaration index.
+        let (labels, cells): (Vec<String>, Vec<F>) = cells.into_iter().unzip();
         let tasks: Vec<Mutex<Option<F>>> =
             cells.into_iter().map(|f| Mutex::new(Some(f))).collect();
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..jobs {
@@ -112,11 +164,22 @@ where
                         .expect("cell slot poisoned")
                         .take()
                         .expect("cell claimed twice");
-                    let value = cell();
-                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                    match catch_unwind(AssertUnwindSafe(cell)) {
+                        Ok(value) => {
+                            *slots[i].lock().expect("result slot poisoned") = Some(value)
+                        }
+                        Err(p) => panics
+                            .lock()
+                            .expect("panic list poisoned")
+                            .push((i, panic_message(p.as_ref()))),
+                    }
                 });
             }
         });
+        let mut failed = panics.into_inner().expect("panic list poisoned");
+        if let Some((i, msg)) = failed.drain(..).min_by_key(|&(i, _)| i) {
+            panic!("experiment cell '{}' panicked: {msg}", labels[i]);
+        }
         slots
             .into_iter()
             .map(|m| {
@@ -208,6 +271,37 @@ mod tests {
         let (got, stats) = run_cells_with(8, Vec::<fn() -> u8>::new());
         assert!(got.is_empty());
         assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn panicking_cell_reports_its_label_serial() {
+        let cells: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = vec![
+            ("fine".to_owned(), Box::new(|| 1)),
+            (
+                "app=cassandra gc=+all".to_owned(),
+                Box::new(|| panic!("boom {}", 7)),
+            ),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| run_labeled_cells_with(1, cells)))
+            .expect_err("must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("app=cassandra gc=+all"), "{msg}");
+        assert!(msg.contains("boom 7"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_cell_reports_lowest_index_parallel() {
+        let cells: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = vec![
+            ("a".to_owned(), Box::new(|| 1)),
+            ("first-failure".to_owned(), Box::new(|| panic!("one"))),
+            ("b".to_owned(), Box::new(|| 2)),
+            ("second-failure".to_owned(), Box::new(|| panic!("two"))),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| run_labeled_cells_with(4, cells)))
+            .expect_err("must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("first-failure"), "{msg}");
+        assert!(msg.contains("one"), "{msg}");
     }
 
     #[test]

@@ -19,7 +19,10 @@
 
 use crate::access::Gx;
 use crate::config::{CollectorKind, GcConfig, Traversal};
+use crate::error::GcError;
+use crate::fault::FaultState;
 use crate::header_map::{HeaderMap, PutOutcome};
+use crate::oracle;
 use crate::stack::{Task, WorkPool};
 use crate::stats::GcStats;
 use crate::write_cache::WriteCachePool;
@@ -145,8 +148,11 @@ pub struct CycleShared<'a> {
     pub writeback_queue: VecDeque<RegionId>,
     /// Cycle statistics under construction.
     pub stats: GcStats,
-    /// Fatal error (heap exhaustion) encountered by any worker.
-    pub error: Option<HeapError>,
+    /// Per-cycle fault-injection state (empty when no plan is active).
+    pub fault: FaultState,
+    /// Fatal error (heap exhaustion, stuck phase, oracle violation)
+    /// encountered by any worker.
+    pub error: Option<GcError>,
     /// Objects left in place because evacuation ran out of space, with
     /// their original headers (restored at cycle end).
     pub self_forwarded: Vec<(Addr, Header)>,
@@ -191,6 +197,9 @@ pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
         w.done = true;
         return;
     }
+    if apply_worker_faults(w, sh) {
+        return;
+    }
     // Continue or pick up an asynchronous flush.
     if w.flush.is_some() {
         flush_chunk(w, sh, true);
@@ -198,7 +207,8 @@ pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
     }
     if sh.cache.config().async_flush && sh.cache.has_ready() {
         let due = sh.pool.depth(w.id) == 0
-            || w.slots_since_flush_check >= sh.cfg.flush_interleave;
+            || w.slots_since_flush_check >= sh.cfg.flush_interleave
+            || sh.fault.take_forced_drain(w.clock);
         if due {
             w.slots_since_flush_check = 0;
             let region = sh.cache.take_ready().expect("has_ready checked");
@@ -235,6 +245,31 @@ pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
         return;
     }
     w.clock += sh.cfg.idle_step_ns;
+}
+
+/// Applies injected worker faults (pauses, slowdowns, crash points) to
+/// `w` at the top of a step. Returns `true` when a crash-point oracle
+/// violation was recorded — the worker stops and the cycle aborts with a
+/// typed error.
+fn apply_worker_faults(w: &mut Worker, sh: &mut CycleShared<'_>) -> bool {
+    if sh.fault.is_empty() {
+        return false;
+    }
+    w.clock = sh.fault.worker_tax(w.id, w.clock);
+    if sh.fault.take_crash_point(w.clock) {
+        if let Err(v) = oracle::check_crash_point(
+            sh.heap,
+            sh.hmap,
+            &sh.cache,
+            &sh.self_forwarded,
+            &sh.retained,
+        ) {
+            sh.error = Some(GcError::Oracle(v));
+            w.done = true;
+            return true;
+        }
+    }
+    false
 }
 
 /// Processes one reference location (paper §3.1 steps 1–4).
@@ -360,7 +395,7 @@ fn copy_and_forward(
             (obj, false)
         }
         Err(e) => {
-            sh.error = Some(e);
+            sh.error = Some(GcError::Heap(e));
             w.done = true;
             return None;
         }
@@ -382,7 +417,14 @@ fn copy_and_forward(
     }
     // Install the forwarding pointer (paper §3.1 step 3 / Algorithm 1).
     if let Some(map) = sh.hmap {
-        let (outcome, probes) = map.put(obj, public);
+        // Injected probe-chain saturation: behave exactly as if bounded
+        // probing failed, charging a full chain walk, and take the
+        // abort-to-fallback NVM install below (paper §4.2).
+        let (outcome, probes) = if sh.fault.hmap_saturated(w.clock) {
+            (PutOutcome::Full, map.search_bound())
+        } else {
+            map.put(obj, public)
+        };
         charge_map_probes(w, sh, map, obj, probes);
         match outcome {
             PutOutcome::Installed => {
@@ -629,13 +671,18 @@ fn g1_survivor_copy(
                 sh.cache.note_retired(sh.heap, cache);
                 w.cache_pair = None;
             }
-            match sh.cache.alloc_pair(sh.heap) {
+            let reserve = sh.fault.cache_reserve(w.clock);
+            match sh.cache.alloc_pair_pressured(sh.heap, reserve) {
                 Some(pair) => {
                     w.cache_pair = Some(pair);
                     w.clock += REGION_SYNC_NS;
                 }
                 None => {
-                    // Budget exhausted: fall back to a direct NVM copy.
+                    // Budget exhausted (or squeezed by injected pressure):
+                    // fall back to a direct NVM copy.
+                    if reserve > 0 {
+                        sh.fault.note_pressure_denial();
+                    }
                     w.stats.overflow_copies += 1;
                     break;
                 }
@@ -733,9 +780,13 @@ fn ps_survivor_copy(
                 sh.cache.note_retired(sh.heap, cache);
                 sh.ps_shared_cache = None;
             }
-            if let Some(pair) = sh.cache.alloc_pair(sh.heap) {
+            let reserve = sh.fault.cache_reserve(w.clock);
+            if let Some(pair) = sh.cache.alloc_pair_pressured(sh.heap, reserve) {
                 sh.ps_shared_cache = Some(pair);
                 continue;
+            }
+            if reserve > 0 {
+                sh.fault.note_pressure_denial();
             }
             w.stats.overflow_copies += 1;
         }
@@ -765,6 +816,13 @@ fn ps_survivor_copy(
 /// pick up the next one; fence and finish when the queue drains.
 pub fn step_writeback(w: &mut Worker, sh: &mut CycleShared<'_>) {
     debug_assert!(!w.done);
+    if sh.error.is_some() {
+        w.done = true;
+        return;
+    }
+    if apply_worker_faults(w, sh) {
+        return;
+    }
     if w.flush.is_some() {
         flush_chunk(w, sh, false);
         return;
@@ -829,6 +887,13 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
 /// Executes one header-map-cleanup step (parallel zeroing, paper §3.3).
 pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
     debug_assert!(!w.done);
+    if sh.error.is_some() {
+        w.done = true;
+        return;
+    }
+    if apply_worker_faults(w, sh) {
+        return;
+    }
     let Some(map) = sh.hmap else {
         w.done = true;
         return;

@@ -1,5 +1,7 @@
 //! Collector configuration and the paper's evaluation presets.
 
+use crate::fault::FaultPlan;
+
 /// Which collector algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectorKind {
@@ -115,6 +117,10 @@ pub struct GcConfig {
     pub flush_interleave: u32,
     /// Async-flush chunk size in bytes.
     pub flush_chunk_bytes: u32,
+    /// Deterministic fault-injection plan (empty by default). The GC-level
+    /// schedule is applied by the collector; the runner installs the
+    /// device-level schedule into the memory system.
+    pub fault: FaultPlan,
 }
 
 impl GcConfig {
@@ -137,6 +143,7 @@ impl GcConfig {
             idle_step_ns: 1_000,
             flush_interleave: 24,
             flush_chunk_bytes: 64 << 10,
+            fault: FaultPlan::none(),
         }
     }
 

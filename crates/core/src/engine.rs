@@ -27,13 +27,14 @@
 //! same step order.
 
 use crate::collector::Worker;
+use crate::error::EngineError;
 use nvmgc_memsim::Ns;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Upper bound on steps per phase; exceeding it indicates a stuck worker
 /// (a step that neither advances the clock nor finishes).
-const STEP_LIMIT: u64 = 2_000_000_000;
+pub const STEP_LIMIT: u64 = 2_000_000_000;
 
 /// Worker counts below this use the linear scan; at or above it, the
 /// event queue. Crossover measured by the `engine_scheduler` group in
@@ -48,10 +49,11 @@ pub const HEAP_THRESHOLD: usize = 12;
 /// toward the lower worker id. Dispatches to [`run_phase_scan`] or
 /// [`run_phase_heap`] by worker count; both yield the identical order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the phase fails to terminate within the step limit.
-pub fn run_phase<F>(workers: &mut [Worker], step: F) -> Ns
+/// Returns [`EngineError::StuckWorker`] if the phase fails to terminate
+/// within [`STEP_LIMIT`] steps.
+pub fn run_phase<F>(workers: &mut [Worker], step: F) -> Result<Ns, EngineError>
 where
     F: FnMut(&mut Worker),
 {
@@ -63,7 +65,7 @@ where
 }
 
 /// [`run_phase`] with the O(n)-per-step linear scan scheduler.
-pub fn run_phase_scan<F>(workers: &mut [Worker], mut step: F) -> Ns
+pub fn run_phase_scan<F>(workers: &mut [Worker], mut step: F) -> Result<Ns, EngineError>
 where
     F: FnMut(&mut Worker),
 {
@@ -84,10 +86,10 @@ where
         step(&mut workers[i]);
         steps += 1;
         if steps >= STEP_LIMIT {
-            panic_step_limit(workers, i);
+            return Err(stuck_worker(workers, i));
         }
     }
-    workers.iter().map(|w| w.clock).max().unwrap_or(0)
+    Ok(workers.iter().map(|w| w.clock).max().unwrap_or(0))
 }
 
 /// [`run_phase`] with the O(log n)-per-step event-queue scheduler.
@@ -99,7 +101,7 @@ where
 /// path re-queues a worker whose old entry is still buried in the heap —
 /// are detected by sequence mismatch on pop and discarded, which is the
 /// standard lazy-invalidation alternative to O(n) heap surgery.
-pub fn run_phase_heap<F>(workers: &mut [Worker], mut step: F) -> Ns
+pub fn run_phase_heap<F>(workers: &mut [Worker], mut step: F) -> Result<Ns, EngineError>
 where
     F: FnMut(&mut Worker),
 {
@@ -121,31 +123,32 @@ where
         step(&mut workers[i]);
         steps += 1;
         if steps >= STEP_LIMIT {
-            panic_step_limit(workers, i);
+            return Err(stuck_worker(workers, i));
         }
         seq[i] += 1;
         if !workers[i].done {
             queue.push(Reverse((workers[i].clock, i, seq[i])));
         }
     }
-    workers.iter().map(|w| w.clock).max().unwrap_or(0)
+    Ok(workers.iter().map(|w| w.clock).max().unwrap_or(0))
 }
 
 /// Diagnoses a phase that exceeded [`STEP_LIMIT`]: names the worker that
 /// was being stepped when the limit hit, its clock, and every worker's
-/// done flag, so a hang is attributable from the panic message alone.
+/// done flag, so a hang is attributable from the error message alone.
 #[cold]
 #[inline(never)]
-fn panic_step_limit(workers: &[Worker], stuck: usize) -> ! {
+fn stuck_worker(workers: &[Worker], stuck: usize) -> EngineError {
     let done_flags: String = workers
         .iter()
         .map(|w| if w.done { '+' } else { '-' })
         .collect();
-    panic!(
-        "phase did not terminate within {STEP_LIMIT} steps: worker {} stuck at clock {} ns \
-         without finishing (done flags by worker id, '+' done / '-' running: [{}])",
-        workers[stuck].id, workers[stuck].clock, done_flags
-    );
+    EngineError::StuckWorker {
+        worker: workers[stuck].id,
+        clock: workers[stuck].clock,
+        done_flags,
+        step_limit: STEP_LIMIT,
+    }
 }
 
 /// Resets workers for a follow-on phase: clears `done`, aligns every clock
@@ -172,7 +175,8 @@ mod tests {
             if w.clock > 300 {
                 w.done = true;
             }
-        });
+        })
+        .unwrap();
         // Worker 1 (t=50) runs first, then worker 0 (t=100).
         assert_eq!(order[0], 1);
         assert_eq!(order[1], 0);
@@ -184,15 +188,16 @@ mod tests {
         let end = run_phase(&mut workers, |w| {
             w.clock += if w.id == 0 { 10 } else { 99 };
             w.done = true;
-        });
+        })
+        .unwrap();
         assert_eq!(end, 99);
     }
 
     #[test]
     fn empty_worker_set_ends_immediately() {
         let mut workers: Vec<Worker> = Vec::new();
-        assert_eq!(run_phase(&mut workers, |_| unreachable!()), 0);
-        assert_eq!(run_phase_heap(&mut workers, |_| unreachable!()), 0);
+        assert_eq!(run_phase(&mut workers, |_| unreachable!()).unwrap(), 0);
+        assert_eq!(run_phase_heap(&mut workers, |_| unreachable!()).unwrap(), 0);
     }
 
     #[test]
@@ -206,9 +211,9 @@ mod tests {
                 w.done = true;
             };
             if use_heap {
-                run_phase_heap(&mut workers, step);
+                run_phase_heap(&mut workers, step).unwrap();
             } else {
-                run_phase_scan(&mut workers, step);
+                run_phase_scan(&mut workers, step).unwrap();
             }
             order
         };
@@ -233,7 +238,8 @@ mod tests {
             } else {
                 w.done = true;
             }
-        });
+        })
+        .unwrap();
         assert_eq!(order, vec![0, 0, 0, 1]);
     }
 
@@ -256,13 +262,40 @@ mod tests {
                 }
             };
             let end = if use_scan {
-                run_phase_scan(&mut workers, &mut step)
+                run_phase_scan(&mut workers, &mut step).unwrap()
             } else {
-                run_phase(&mut workers, &mut step)
+                run_phase(&mut workers, &mut step).unwrap()
             };
             (order, end)
         };
         assert_eq!(run(build(), true), run(build(), false));
+    }
+
+    #[test]
+    fn stuck_worker_error_pins_panic_diagnostics() {
+        // The typed error must carry the exact payload the old panic
+        // message printed: worker id, clock, per-worker done flags, and
+        // the step limit, rendered in the same format.
+        let mut workers = vec![Worker::new(0, 40), Worker::new(1, 7), Worker::new(2, 99)];
+        workers[0].done = true;
+        let err = stuck_worker(&workers, 1);
+        let EngineError::StuckWorker {
+            worker,
+            clock,
+            ref done_flags,
+            step_limit,
+        } = err;
+        assert_eq!(worker, 1);
+        assert_eq!(clock, 7);
+        assert_eq!(done_flags, "+--");
+        assert_eq!(step_limit, STEP_LIMIT);
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "phase did not terminate within {STEP_LIMIT} steps: worker 1 stuck at clock 7 ns \
+                 without finishing (done flags by worker id, '+' done / '-' running: [+--])"
+            )
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Typed errors for the collector and the discrete-event engine.
+//!
+//! Every failure path that used to `panic!` in a hot loop now surfaces as
+//! one of these types, carrying the same diagnostics the panic message
+//! held. This is what lets the fault-injection plane drive the collector
+//! into degraded states and still get a clean, attributable error out
+//! instead of a process abort.
+
+use crate::oracle::OracleViolation;
+use nvmgc_heap::HeapError;
+use nvmgc_memsim::Ns;
+use std::fmt;
+
+/// Failures of the discrete-event engine itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A phase exceeded its step limit: some worker kept being stepped
+    /// without advancing its clock or finishing. Carries the diagnostics
+    /// the old panic message printed — the stuck worker's id and clock
+    /// plus every worker's done flag (`'+'` done, `'-'` running, indexed
+    /// by worker id).
+    StuckWorker {
+        /// Id of the worker being stepped when the limit was hit.
+        worker: usize,
+        /// That worker's simulated clock, ns.
+        clock: Ns,
+        /// One char per worker: `'+'` done, `'-'` running.
+        done_flags: String,
+        /// The step limit that was exceeded.
+        step_limit: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::StuckWorker {
+                worker,
+                clock,
+                done_flags,
+                step_limit,
+            } => write!(
+                f,
+                "phase did not terminate within {step_limit} steps: worker {worker} stuck at \
+                 clock {clock} ns without finishing (done flags by worker id, '+' done / '-' \
+                 running: [{done_flags}])"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Any failure a garbage-collection cycle can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcError {
+    /// The heap refused an allocation or address operation.
+    Heap(HeapError),
+    /// The discrete-event engine diagnosed a stuck phase.
+    Engine(EngineError),
+    /// The crash-point oracle found a recoverability violation.
+    Oracle(OracleViolation),
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcError::Heap(e) => write!(f, "heap error during GC: {e}"),
+            GcError::Engine(e) => write!(f, "engine error during GC: {e}"),
+            GcError::Oracle(v) => write!(f, "crash-point oracle violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for GcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcError::Heap(e) => Some(e),
+            GcError::Engine(e) => Some(e),
+            GcError::Oracle(v) => Some(v),
+        }
+    }
+}
+
+impl From<HeapError> for GcError {
+    fn from(e: HeapError) -> Self {
+        GcError::Heap(e)
+    }
+}
+
+impl From<EngineError> for GcError {
+    fn from(e: EngineError) -> Self {
+        GcError::Engine(e)
+    }
+}
+
+impl From<OracleViolation> for GcError {
+    fn from(v: OracleViolation) -> Self {
+        GcError::Oracle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_error_wraps_and_displays_heap_error() {
+        let e = GcError::from(HeapError::OutOfRegions);
+        assert!(e.to_string().contains("heap error during GC"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

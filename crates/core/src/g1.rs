@@ -19,12 +19,14 @@
 use crate::collector::{self, CycleShared, Worker};
 use crate::config::GcConfig;
 use crate::engine;
+use crate::error::GcError;
+use crate::fault::FaultState;
 use crate::header_map::HeaderMap;
 use crate::marking;
 use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
-use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
+use nvmgc_heap::{Addr, Heap, RegionId, RegionKind};
 use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind};
 use std::collections::VecDeque;
 
@@ -91,14 +93,15 @@ impl G1Collector {
     /// Evacuation failures (no space for a copy) are handled like G1's:
     /// the object is self-forwarded in place and its region retained for
     /// the next collection. An error is returned only when even the GC's
-    /// own bookkeeping cannot proceed.
+    /// own bookkeeping cannot proceed — or when an injected crash point
+    /// catches a recoverability invariant violated (see [`crate::oracle`]).
     pub fn collect(
         &mut self,
         heap: &mut Heap,
         mem: &mut MemorySystem,
         roots: &mut [Addr],
         start: Ns,
-    ) -> Result<GcCycleOutcome, HeapError> {
+    ) -> Result<GcCycleOutcome, GcError> {
         self.collect_with_cset(heap, mem, roots, start, &[])
     }
 
@@ -117,13 +120,13 @@ impl G1Collector {
         mem: &mut MemorySystem,
         roots: &mut [Addr],
         start: Ns,
-    ) -> Result<GcCycleOutcome, HeapError> {
+    ) -> Result<GcCycleOutcome, GcError> {
         assert!(
             heap.card_table().is_none(),
             "mixed collections require precise remembered sets"
         );
         let threads = self.cfg.threads.max(1);
-        let mark = marking::mark_heap(heap, mem, threads, roots, start);
+        let mark = marking::mark_heap(heap, mem, threads, roots, start)?;
 
         // Reclaim dead humongous regions immediately (G1's eager reclaim).
         let mut humongous_freed = 0u64;
@@ -186,9 +189,9 @@ impl G1Collector {
         mem: &mut MemorySystem,
         roots: &mut [Addr],
         start: Ns,
-    ) -> Result<GcCycleOutcome, HeapError> {
+    ) -> Result<GcCycleOutcome, GcError> {
         let threads = self.cfg.threads.max(1);
-        let mark = marking::mark_heap(heap, mem, threads, roots, start);
+        let mark = marking::mark_heap(heap, mem, threads, roots, start)?;
 
         let mut humongous_freed = 0u64;
         let dead_humongous: Vec<RegionId> = heap
@@ -223,7 +226,7 @@ impl G1Collector {
         roots: &mut [Addr],
         start: Ns,
         extra_old: &[RegionId],
-    ) -> Result<GcCycleOutcome, HeapError> {
+    ) -> Result<GcCycleOutcome, GcError> {
         let threads = self.cfg.threads.max(1);
 
         // --- Collection set: every young region + selected old regions. ----
@@ -320,14 +323,16 @@ impl G1Collector {
             ps_shared_cache: None,
             writeback_queue: VecDeque::new(),
             stats: GcStats::default(),
+            fault: FaultState::new(&self.cfg.fault.gc),
             error: None,
             self_forwarded: Vec::new(),
             retained: Vec::new(),
         };
 
         // --- Phase 1: copy-and-traverse. -----------------------------------
-        let scan_end = engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh));
-        if let Some(e) = sh.error {
+        let scan_end =
+            engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh))?;
+        if let Some(e) = sh.error.take() {
             return Err(e);
         }
         debug_assert_eq!(sh.pool.outstanding(), 0);
@@ -350,10 +355,13 @@ impl G1Collector {
         // stores to fence).
         let wb_end = if self.cfg.write_cache.enabled {
             engine::rebarrier(&mut workers, scan_end);
-            engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))
+            engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))?
         } else {
             scan_end
         };
+        if let Some(e) = sh.error.take() {
+            return Err(e);
+        }
 
         // Header-map occupancy is measured before cleanup.
         sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
@@ -362,10 +370,13 @@ impl G1Collector {
         let clear_end = if let Some(map) = self.hmap.as_ref() {
             collector::assign_clear_ranges(&mut workers, map.capacity());
             engine::rebarrier(&mut workers, wb_end);
-            engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))
+            engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))?
         } else {
             wb_end
         };
+        if let Some(e) = sh.error.take() {
+            return Err(e);
+        }
 
         // --- Post-processing. ------------------------------------------------
         for w in &workers {
@@ -382,6 +393,7 @@ impl G1Collector {
             .iter()
             .filter(|r| !sh.retained.contains(r))
             .count() as u64;
+        sh.stats.fault_events = sh.fault.observations;
 
         // Restore the original headers of self-forwarded objects (G1's
         // "remove self-forwards" step) before the regions are reused.

@@ -200,6 +200,27 @@ impl HeaderMap {
             .filter(|k| k.load(Ordering::Relaxed) != 0)
             .count()
     }
+
+    /// Snapshot of every installed `old → new` forwarding pair.
+    ///
+    /// Entries whose value has not yet been published (a claimed key
+    /// mid-install) are skipped rather than spun on — the snapshot is a
+    /// diagnostic view for the crash-point oracle, not a synchronization
+    /// point. Linear scan; never used on hot paths.
+    pub fn snapshot(&self) -> Vec<(Addr, Addr)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.keys.len() {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == 0 {
+                continue;
+            }
+            let v = self.values[i].load(Ordering::Acquire);
+            if v != 0 {
+                pairs.push((Addr(k), Addr(v)));
+            }
+        }
+        pairs
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +296,16 @@ mod tests {
         assert_eq!(m.occupancy(), 0);
         let (got, _) = m.get(addr(1));
         assert_eq!(got, None);
+    }
+
+    #[test]
+    fn snapshot_returns_installed_pairs() {
+        let m = HeaderMap::new(1 << 12, 16);
+        m.put(addr(1), addr(101));
+        m.put(addr(2), addr(102));
+        let mut snap = m.snapshot();
+        snap.sort();
+        assert_eq!(snap, vec![(addr(1), addr(101)), (addr(2), addr(102))]);
     }
 
     #[test]

@@ -74,8 +74,17 @@
 //! assert_eq!(heap.read_data(roots[0], 0), 42, "payload preserved");
 //! assert_eq!(outcome.stats.copied_objects, 2);
 //! assert!(heap.eden().is_empty(), "eden reclaimed");
-//! # Ok::<(), nvmgc_heap::HeapError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The crate also ships a deterministic **fault-injection plane**
+//! ([`fault`]): a seeded [`fault::FaultPlan`] schedules device-level
+//! faults (latency spikes, bandwidth collapses, stalls) and GC-level
+//! faults (worker pauses/slowdowns, forced cache drains, header-map
+//! saturation, crash points). Crash points invoke the [`oracle`], which
+//! asserts recoverability invariants over the collector's in-flight
+//! state; violations and engine failures surface as typed errors
+//! ([`error::GcError`]), never panics.
 
 #![warn(missing_docs)]
 
@@ -83,17 +92,23 @@ pub mod access;
 pub mod collector;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod g1;
 pub mod gclog;
 pub mod header_map;
 pub mod marking;
+pub mod oracle;
 pub mod ps;
 pub mod stack;
 pub mod stats;
 pub mod write_cache;
 
 pub use config::{CollectorKind, GcConfig, HeaderMapConfig, Traversal, WriteCacheConfig};
+pub use error::{EngineError, GcError};
+pub use fault::{FaultPlan, FaultState, GcFault, GcFaultObservations, GcFaultPlan, Severity};
 pub use g1::{G1Collector, GcCycleOutcome};
 pub use header_map::{HeaderMap, PutOutcome};
+pub use oracle::{check_crash_point, OracleViolation};
 pub use stats::{GcPhaseTimes, GcStats};
 pub use write_cache::WriteCachePool;

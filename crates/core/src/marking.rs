@@ -16,6 +16,7 @@
 
 use crate::collector::Worker;
 use crate::engine;
+use crate::error::EngineError;
 use crate::stack::{Task, WorkPool};
 use nvmgc_heap::{Addr, Heap, RegionId};
 use nvmgc_memsim::{MemorySystem, Ns};
@@ -125,7 +126,7 @@ pub fn mark_heap(
     threads: usize,
     roots: &[Addr],
     start: Ns,
-) -> MarkOutcome {
+) -> Result<MarkOutcome, EngineError> {
     let threads = threads.max(1);
     let mut state = MarkState::new(heap);
     let mut pool = WorkPool::new(threads);
@@ -171,18 +172,18 @@ pub fn mark_heap(
                 pool.push(w.id, Task::Slot(child));
             }
         }
-    });
+    })?;
 
     let marked_objects = (0..heap.region_count() as u32)
         .map(|r| state.live_objects(r))
         .sum();
     let marked_bytes = state.total_live_bytes();
-    MarkOutcome {
+    Ok(MarkOutcome {
         state,
         end_ns: end,
         marked_objects,
         marked_bytes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -218,7 +219,7 @@ mod tests {
         let b = h.alloc_object(e, 1).unwrap();
         let garbage = h.alloc_object(e, 1).unwrap();
         h.write_ref(h.ref_slot(a, 0), b);
-        let out = mark_heap(&mut h, &mut m, 2, &[a], 0);
+        let out = mark_heap(&mut h, &mut m, 2, &[a], 0).unwrap();
         assert!(out.state.is_marked(a));
         assert!(out.state.is_marked(b));
         assert!(!out.state.is_marked(garbage));
@@ -235,7 +236,7 @@ mod tests {
         let b = h.alloc_object(e, 0).unwrap();
         h.write_ref(h.ref_slot(a, 0), b);
         h.write_ref(h.ref_slot(b, 0), a);
-        let out = mark_heap(&mut h, &mut m, 3, &[a, b, a], 0);
+        let out = mark_heap(&mut h, &mut m, 3, &[a, b, a], 0).unwrap();
         assert_eq!(out.marked_objects, 2);
     }
 
@@ -248,7 +249,7 @@ mod tests {
         let live = h.alloc_object(e1, 1).unwrap();
         let _dead1 = h.alloc_object(e1, 1).unwrap();
         let _dead2 = h.alloc_object(e2, 0).unwrap();
-        let out = mark_heap(&mut h, &mut m, 1, &[live], 0);
+        let out = mark_heap(&mut h, &mut m, 1, &[live], 0).unwrap();
         assert_eq!(out.state.live_bytes(e1), 16);
         assert_eq!(out.state.live_bytes(e2), 0);
         assert!(out.state.liveness(&h, e1) > 0.0);
@@ -276,7 +277,7 @@ mod tests {
                 prev = o;
             }
             roots.push(prev);
-            let out = mark_heap(&mut h, &mut m, 4, &roots, 0);
+            let out = mark_heap(&mut h, &mut m, 4, &roots, 0).unwrap();
             (out.end_ns, out.marked_objects, out.marked_bytes)
         };
         assert_eq!(run(), run());

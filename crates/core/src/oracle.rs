@@ -1,0 +1,282 @@
+//! The crash-point oracle.
+//!
+//! At injected [`GcFault::CrashPoint`]s the collector stops mid-phase,
+//! snapshots its in-flight state and asserts the invariants a crash-time
+//! recovery would depend on:
+//!
+//! 1. **No stale forwarding entries** — every pair in the header map must
+//!    lead from a collection-set object to a valid destination: either a
+//!    self-forward whose region is retained for the next cycle, or an
+//!    address inside a live (non-free, non-collection-set) survivor/old
+//!    region.
+//! 2. **Write-cache drain ordering** — a region queued for asynchronous
+//!    flushing must actually be drainable: retired from allocation, no
+//!    pending reference slots, no open LABs, never stolen, not yet
+//!    flushed, and still mapped to its NVM twin. Flushing a region that
+//!    violates any of these would persist stale bytes (the LIFO-tracking
+//!    bug class the paper's §4.2 design exists to avoid).
+//! 3. **Evacuation-failure accounting** — every self-forwarded object's
+//!    region is in the retained set, so the cycle-end free pass cannot
+//!    recycle a region that still holds live, un-evacuated objects.
+//!
+//! Whole-graph recoverability (pre-GC graph digest == post-GC digest via
+//! [`nvmgc_heap::verify::verify_heap`]) is asserted at GC boundaries by
+//! the runner and the fault proptests; mid-cycle heaps legitimately
+//! contain forwarding headers, so the oracle checks the in-flight
+//! structures instead.
+//!
+//! [`GcFault::CrashPoint`]: crate::fault::GcFault::CrashPoint
+
+use crate::header_map::HeaderMap;
+use crate::write_cache::WriteCachePool;
+use nvmgc_heap::{Addr, Header, Heap, RegionId, RegionKind};
+use std::fmt;
+
+/// A recoverability invariant the oracle found violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleViolation {
+    /// A header-map entry does not lead to a valid destination.
+    StaleForwarding {
+        /// The entry's source (pre-copy) address.
+        old: Addr,
+        /// The entry's destination address.
+        new: Addr,
+        /// Which part of the invariant failed.
+        reason: &'static str,
+    },
+    /// A region in the asynchronous-flush queue is not drainable.
+    DrainOrder {
+        /// The offending cache region.
+        region: RegionId,
+        /// Which readiness condition failed.
+        reason: &'static str,
+    },
+    /// A self-forwarded object's region is missing from the retained set.
+    UnretainedSelfForward {
+        /// The self-forwarded object.
+        obj: Addr,
+        /// Its (unretained) region.
+        region: RegionId,
+    },
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::StaleForwarding { old, new, reason } => write!(
+                f,
+                "stale forwarding entry {:#x} -> {:#x}: {reason}",
+                old.raw(),
+                new.raw()
+            ),
+            OracleViolation::DrainOrder { region, reason } => {
+                write!(f, "cache region {region} queued for drain but {reason}")
+            }
+            OracleViolation::UnretainedSelfForward { obj, region } => write!(
+                f,
+                "self-forwarded object {:#x} in region {region} which is not retained",
+                obj.raw()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OracleViolation {}
+
+/// Runs the crash-point invariants against the collector's in-flight
+/// state. Called by the collector when an injected crash point fires;
+/// also usable directly by tests.
+pub fn check_crash_point(
+    heap: &Heap,
+    hmap: Option<&HeaderMap>,
+    cache: &WriteCachePool,
+    self_forwarded: &[(Addr, Header)],
+    retained: &[RegionId],
+) -> Result<(), OracleViolation> {
+    // 1. Forwarding entries.
+    if let Some(map) = hmap {
+        for (old, new) in map.snapshot() {
+            let src = heap.region_of(old).map_err(|_| {
+                OracleViolation::StaleForwarding {
+                    old,
+                    new,
+                    reason: "source address outside the heap",
+                }
+            })?;
+            if !heap.region(src).in_cset {
+                return Err(OracleViolation::StaleForwarding {
+                    old,
+                    new,
+                    reason: "source region not in the collection set",
+                });
+            }
+            if old == new {
+                // Self-forward (evacuation failure): the region must be
+                // retained so the cycle-end free pass keeps it alive.
+                if !retained.contains(&src) {
+                    return Err(OracleViolation::StaleForwarding {
+                        old,
+                        new,
+                        reason: "self-forward in an unretained region",
+                    });
+                }
+                continue;
+            }
+            let dst = heap.region_of(new).map_err(|_| {
+                OracleViolation::StaleForwarding {
+                    old,
+                    new,
+                    reason: "destination address outside the heap",
+                }
+            })?;
+            let dr = heap.region(dst);
+            if dr.in_cset {
+                return Err(OracleViolation::StaleForwarding {
+                    old,
+                    new,
+                    reason: "destination region is itself being evacuated",
+                });
+            }
+            if !matches!(dr.kind(), RegionKind::Survivor | RegionKind::Old) {
+                return Err(OracleViolation::StaleForwarding {
+                    old,
+                    new,
+                    reason: "destination region is not a survivor/old region",
+                });
+            }
+        }
+    }
+
+    // 2. Drain ordering.
+    cache
+        .check_drain_order(heap)
+        .map_err(|(region, reason)| OracleViolation::DrainOrder { region, reason })?;
+
+    // 3. Evacuation-failure accounting.
+    for &(obj, _) in self_forwarded {
+        let region = obj.region(heap.shift());
+        if !retained.contains(&region) {
+            return Err(OracleViolation::UnretainedSelfForward { obj, region });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WriteCacheConfig;
+    use nvmgc_heap::{ClassTable, DevicePlacement, HeapConfig};
+
+    fn heap() -> Heap {
+        let mut classes = ClassTable::new();
+        classes.register("node", 2, 16);
+        Heap::new(
+            HeapConfig {
+                region_size: 1 << 12,
+                heap_regions: 16,
+                young_regions: 8,
+                placement: DevicePlacement::all_nvm(),
+                card_table: false,
+            },
+            classes,
+        )
+    }
+
+    fn no_cache() -> WriteCachePool {
+        WriteCachePool::new(WriteCacheConfig::disabled())
+    }
+
+    #[test]
+    fn clean_state_passes() {
+        let h = heap();
+        assert_eq!(
+            check_crash_point(&h, None, &no_cache(), &[], &[]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn forwarding_from_non_cset_region_is_stale() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let surv = h.take_region(RegionKind::Survivor).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        let copy = h.alloc_object(surv, 0).unwrap();
+        let map = HeaderMap::new(1 << 12, 16);
+        map.put(obj, copy);
+        // Eden region deliberately NOT marked in_cset.
+        let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
+        assert!(matches!(err, OracleViolation::StaleForwarding { .. }));
+        // Marking it in_cset makes the same state pass.
+        h.region_mut(eden).in_cset = true;
+        assert!(check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).is_ok());
+    }
+
+    #[test]
+    fn forwarding_into_cset_region_is_stale() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let eden2 = h.take_region(RegionKind::Eden).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        let dst = h.alloc_object(eden2, 0).unwrap();
+        h.region_mut(eden).in_cset = true;
+        h.region_mut(eden2).in_cset = true;
+        let map = HeaderMap::new(1 << 12, 16);
+        map.put(obj, dst);
+        let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
+        assert!(
+            matches!(err, OracleViolation::StaleForwarding { reason, .. }
+                if reason.contains("evacuated")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn self_forward_requires_retained_region() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        h.region_mut(eden).in_cset = true;
+        let map = HeaderMap::new(1 << 12, 16);
+        map.put(obj, obj);
+        let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
+        assert!(matches!(err, OracleViolation::StaleForwarding { .. }));
+        assert!(check_crash_point(&h, Some(&map), &no_cache(), &[], &[eden]).is_ok());
+    }
+
+    #[test]
+    fn unretained_self_forward_list_is_flagged() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        let hdr = h.header(obj);
+        let err =
+            check_crash_point(&h, None, &no_cache(), &[(obj, hdr)], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            OracleViolation::UnretainedSelfForward { obj, region: eden }
+        );
+        assert!(check_crash_point(&h, None, &no_cache(), &[(obj, hdr)], &[eden]).is_ok());
+    }
+
+    #[test]
+    fn unready_region_in_drain_queue_is_flagged() {
+        let mut h = heap();
+        let cfg = WriteCacheConfig {
+            enabled: true,
+            max_bytes: 1 << 20,
+            async_flush: true,
+            nt_store: true,
+        };
+        let mut pool = WriteCachePool::new(cfg);
+        let (c, _) = pool.alloc_pair(&mut h).unwrap();
+        pool.note_retired(&h, c); // legitimately ready
+        assert!(pool.check_drain_order(&h).is_ok());
+        // Corrupt the state: a pending slot appears while queued.
+        h.region_mut(c).pending_slots = 1;
+        let (region, reason) = pool.check_drain_order(&h).unwrap_err();
+        assert_eq!(region, c);
+        assert!(reason.contains("pending"), "{reason}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Per-cycle and accumulated GC statistics.
 
+use crate::fault::GcFaultObservations;
 use nvmgc_memsim::Ns;
 
 /// Simulated durations of the pause's sub-phases.
@@ -66,6 +67,9 @@ pub struct GcStats {
     /// concurrently; this reproduction runs it stop-the-world but reports
     /// it separately from the evacuation pause.
     pub mark_ns: Ns,
+    /// Injected-fault events the collector absorbed this cycle (all zero
+    /// when no fault plan is configured).
+    pub fault_events: GcFaultObservations,
 }
 
 impl GcStats {

@@ -86,11 +86,23 @@ impl WriteCachePool {
     /// `None` when the budget is exhausted (the caller then copies
     /// directly to NVM) or the heap is out of survivor regions.
     pub fn alloc_pair(&mut self, heap: &mut Heap) -> Option<(RegionId, RegionId)> {
+        self.alloc_pair_pressured(heap, 0)
+    }
+
+    /// [`alloc_pair`](Self::alloc_pair) with `reserve` bytes of the budget
+    /// made unavailable — the fault plane's cache-pressure hook. With
+    /// `reserve == 0` this is the normal allocation path.
+    pub fn alloc_pair_pressured(
+        &mut self,
+        heap: &mut Heap,
+        reserve: u64,
+    ) -> Option<(RegionId, RegionId)> {
         if !self.cfg.enabled {
             return None;
         }
         let rsize = heap.config().region_size as u64;
-        if self.bytes_in_use + rsize > self.cfg.max_bytes {
+        let budget = self.cfg.max_bytes.saturating_sub(reserve);
+        if self.bytes_in_use + rsize > budget {
             return None;
         }
         let nvm = match heap.take_region(RegionKind::Survivor) {
@@ -209,6 +221,40 @@ impl WriteCachePool {
     /// phase work list).
     pub fn unflushed(&self) -> Vec<RegionId> {
         self.active.clone()
+    }
+
+    /// Crash-point oracle hook: verifies that every region queued for
+    /// asynchronous flushing is actually drainable, and that the DRAM
+    /// budget accounting matches the active set. Returns the offending
+    /// region and the violated condition on failure.
+    pub fn check_drain_order(&self, heap: &Heap) -> Result<(), (RegionId, &'static str)> {
+        for &region in &self.ready {
+            let r = heap.region(region);
+            if !self.retired.contains(&region) {
+                return Err((region, "it was never retired from allocation"));
+            }
+            if r.pending_slots > 0 {
+                return Err((region, "it still has pending reference slots"));
+            }
+            if r.open_labs > 0 {
+                return Err((region, "it still has open LABs"));
+            }
+            if r.stolen {
+                return Err((region, "a reference in it was stolen"));
+            }
+            if r.flushed {
+                return Err((region, "it was already flushed"));
+            }
+            if r.mapped_to.is_none() {
+                return Err((region, "it is no longer mapped to an NVM region"));
+            }
+        }
+        let rsize = heap.config().region_size as u64;
+        if self.bytes_in_use != self.active.len() as u64 * rsize {
+            let witness = self.active.first().copied().unwrap_or(0);
+            return Err((witness, "budget accounting diverged from the active set"));
+        }
+        Ok(())
     }
 }
 

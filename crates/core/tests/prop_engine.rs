@@ -71,15 +71,15 @@ fn drive(scripts: &[Script], run: PhaseFn) -> (Vec<(usize, u64)>, Vec<u64>, u64)
 }
 
 fn scan_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
-    run_phase_scan(workers, step)
+    run_phase_scan(workers, step).expect("scripted phase terminates")
 }
 
 fn heap_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
-    run_phase_heap(workers, step)
+    run_phase_heap(workers, step).expect("scripted phase terminates")
 }
 
 fn dispatch_adapter(workers: &mut [Worker], step: &mut dyn FnMut(&mut Worker)) -> u64 {
-    run_phase(workers, step)
+    run_phase(workers, step).expect("scripted phase terminates")
 }
 
 proptest! {

@@ -1,0 +1,178 @@
+//! Property-based fault-injection tests at the single-collection level.
+//!
+//! For any object graph and any generated [`FaultPlan`] — device latency
+//! spikes, bandwidth collapses, stalls, worker pauses/slowdowns, forced
+//! drains, header-map saturation, cache pressure, crash points — a
+//! collection must either complete with the reachable graph bit-identical
+//! or fail with a typed error. Never a panic, and byte-for-byte the same
+//! outcome on a re-run with the same seed.
+
+use nvmgc_core::fault::{FaultPlan, GcFault, GcFaultPlan, Severity};
+use nvmgc_core::{G1Collector, GcConfig, GcFaultObservations};
+use nvmgc_heap::verify::verify_heap;
+use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind};
+use nvmgc_memsim::{MemConfig, MemorySystem};
+use proptest::prelude::*;
+
+/// Simulated-time horizon fault schedules are generated over; one young
+/// collection on these heaps ends well inside it.
+const HORIZON_NS: u64 = 2_000_000;
+
+fn classes() -> ClassTable {
+    let mut t = ClassTable::new();
+    t.register("pair", 2, 16);
+    t.register("leaf", 0, 24);
+    t.register("wide", 6, 8);
+    t
+}
+
+fn heap() -> Heap {
+    Heap::new(
+        HeapConfig {
+            region_size: 1 << 13,
+            heap_regions: 96,
+            young_regions: 48,
+            placement: DevicePlacement::all_nvm(),
+            card_table: false,
+        },
+        classes(),
+    )
+}
+
+/// Builds a random graph from the script (same idiom as `prop_gc`).
+fn build(script: &[(u8, u16, u8, bool)], h: &mut Heap) -> Vec<Addr> {
+    let mut eden = h.take_region(RegionKind::Eden).expect("eden");
+    let mut live: Vec<Addr> = Vec::new();
+    let mut roots: Vec<Addr> = Vec::new();
+    for (i, &(class, parent, slot, keep)) in script.iter().enumerate() {
+        let obj = loop {
+            match h.alloc_object(eden, (class % 3) as u32) {
+                Some(o) => break o,
+                None => eden = h.take_region(RegionKind::Eden).expect("eden"),
+            }
+        };
+        if h.classes().get(h.class_of(obj)).data_bytes >= 8 {
+            h.write_data(obj, 0, i as u64 + 1);
+        }
+        if keep {
+            if live.is_empty() || parent % 4 == 0 {
+                roots.push(obj);
+            } else {
+                let p = live[parent as usize % live.len()];
+                let nrefs = h.num_refs(p);
+                if nrefs == 0 {
+                    roots.push(obj);
+                } else {
+                    let s = h.ref_slot(p, slot as u32 % nrefs);
+                    h.write_ref_with_barrier(s, obj);
+                }
+            }
+            live.push(obj);
+        }
+    }
+    roots
+}
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    prop_oneof![
+        Just(Severity::Mild),
+        Just(Severity::Moderate),
+        Just(Severity::Severe),
+    ]
+}
+
+/// One collection under the given fault plan; returns a deterministic
+/// outcome summary.
+type Outcome = (u64, GcFaultObservations, u64, String);
+
+fn collect_once(
+    script: &[(u8, u16, u8, bool)],
+    cfg: &GcConfig,
+) -> Result<Outcome, TestCaseError> {
+    let mut h = heap();
+    let mut m = MemorySystem::new(MemConfig {
+        llc_bytes: 128 << 10,
+        ..MemConfig::default()
+    });
+    m.set_threads(cfg.threads + 1);
+    m.set_fault_plan(&cfg.fault.mem);
+    let mut roots = build(script, &mut h);
+    let before = verify_heap(&h, &roots).expect("pre-GC graph verifies");
+    let mut gc = G1Collector::new(cfg.clone());
+    match gc.collect(&mut h, &mut m, &mut roots, 0) {
+        Ok(out) => {
+            let after = verify_heap(&h, &roots).expect("post-GC graph verifies");
+            prop_assert_eq!(&before, &after, "graph changed under {:?}", cfg.fault);
+            Ok((out.end_ns, out.stats.fault_events, before.checksum, String::new()))
+        }
+        // A typed error is an acceptable degraded outcome; the heap may be
+        // mid-flight, so only determinism is asserted for it.
+        Err(e) => Ok((0, GcFaultObservations::default(), before.checksum, e.to_string())),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated schedule at any severity: graph preserved (or typed
+    /// error), and the whole outcome — end time, fault observation
+    /// counters, error text — identical across two runs.
+    #[test]
+    fn any_fault_schedule_preserves_graph_and_determinism(
+        script in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u8>(), any::<bool>()), 1..250),
+        seed in any::<u64>(),
+        sev in arb_severity(),
+        optimized in any::<bool>(),
+    ) {
+        let mut cfg = if optimized {
+            let mut c = GcConfig::plus_all(10, 1 << 20);
+            c.header_map.min_threads = 0; // active at 10 threads
+            c
+        } else {
+            GcConfig::vanilla(6)
+        };
+        cfg.fault = FaultPlan::generate(seed, sev, HORIZON_NS);
+        prop_assert!(!cfg.fault.is_empty(), "non-Off severities produce events");
+        let a = collect_once(&script, &cfg)?;
+        let b = collect_once(&script, &cfg)?;
+        prop_assert_eq!(a, b, "nondeterminism under seed {:#x} {:?}", seed, sev);
+    }
+
+    /// Plan generation itself is a pure function of (seed, severity,
+    /// horizon).
+    #[test]
+    fn plan_generation_is_deterministic(
+        seed in any::<u64>(),
+        sev in arb_severity(),
+        horizon in 1_000u64..1_000_000_000,
+    ) {
+        let a = FaultPlan::generate(seed, sev, horizon);
+        let b = FaultPlan::generate(seed, sev, horizon);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(a.seed, seed);
+    }
+}
+
+/// A hand-placed crash point must actually fire its oracle check — and
+/// pass it — on an ordinary collection.
+#[test]
+fn crash_point_fires_the_oracle_and_passes() {
+    let script: Vec<(u8, u16, u8, bool)> =
+        (0..200).map(|i| (i as u8, i as u16, i as u8, i % 2 == 0)).collect();
+    let mut cfg = GcConfig::plus_all(10, 1 << 20);
+    cfg.header_map.min_threads = 0;
+    cfg.fault.gc = GcFaultPlan {
+        events: vec![GcFault::CrashPoint { at_ns: 0 }],
+    };
+    let mut h = heap();
+    let mut m = MemorySystem::new(MemConfig::default());
+    m.set_threads(cfg.threads + 1);
+    let mut roots = build(&script, &mut h);
+    let before = verify_heap(&h, &roots).unwrap();
+    let mut gc = G1Collector::new(cfg);
+    let out = gc
+        .collect(&mut h, &mut m, &mut roots, 0)
+        .expect("oracle passes on a healthy collection");
+    assert_eq!(out.stats.fault_events.crash_checks, 1);
+    assert_eq!(verify_heap(&h, &roots).unwrap(), before);
+}

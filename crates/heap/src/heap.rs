@@ -264,6 +264,8 @@ impl Heap {
         r.set_device(device);
         r.reset(RegionKind::Humongous);
         self.humongous.push(id);
+        // invariant: the region was just reset, and `size <= region_size`
+        // was checked above, so a fresh bump allocation cannot fail.
         let obj = self.alloc_object(id, class).expect("fresh region fits the object");
         Ok(obj)
     }
@@ -593,6 +595,8 @@ impl Heap {
         }
         let (src, dst) = self.two_regions_mut(from, to);
         assert_eq!(dst.used(), 0, "write-back target must be empty");
+        // invariant: regions are uniformly `region_size`, so an empty target
+        // (asserted above) always holds `used <= region_size` bytes.
         let off = dst.bump(used).expect("target region large enough");
         debug_assert_eq!(off, 0);
         let bytes = src.bytes(0, used);

@@ -1,0 +1,128 @@
+//! Error paths of the heap verifier.
+//!
+//! Each test corrupts a heap on purpose and asserts that `verify_heap`
+//! (or `verify_remsets`) reports the *specific* `VerifyError` variant —
+//! a typed error, not a panic and not a bogus digest. The fault-injection
+//! plane leans on these errors to turn crash-point corruption into
+//! diagnosable failures, so their precision is load-bearing.
+
+use nvmgc_heap::verify::{verify_heap, verify_remsets, VerifyError};
+use nvmgc_heap::{
+    Addr, ClassTable, DevicePlacement, Header, Heap, HeapConfig, RegionKind,
+};
+
+fn heap() -> Heap {
+    let mut classes = ClassTable::new();
+    classes.register("node", 2, 16);
+    Heap::new(
+        HeapConfig {
+            region_size: 1 << 12,
+            heap_regions: 16,
+            young_regions: 8,
+            placement: DevicePlacement::all_nvm(),
+            card_table: false,
+        },
+        classes,
+    )
+}
+
+#[test]
+fn dangling_slot_is_reported() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    // Point a's first slot far outside every region.
+    let bogus = Addr(h.addr_of(15, 0).raw() + (1 << 20));
+    h.write_ref(h.ref_slot(a, 0), bogus);
+    assert_eq!(
+        verify_heap(&h, &[a]),
+        Err(VerifyError::DanglingRef { target: bogus })
+    );
+}
+
+#[test]
+fn reference_into_wrong_region_kind_is_reported() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    // An address inside the heap range but in a never-taken Free region.
+    let free_region = (0..h.region_count() as u32)
+        .find(|&r| h.region(r).kind() == RegionKind::Free)
+        .expect("fresh heap has free regions");
+    let into_free = h.addr_of(free_region, 0);
+    h.write_ref(h.ref_slot(a, 0), into_free);
+    assert_eq!(
+        verify_heap(&h, &[a]),
+        Err(VerifyError::RefIntoFreeRegion { target: into_free })
+    );
+}
+
+#[test]
+fn cycle_through_a_dead_object_is_reported_and_terminates() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let eden2 = h.take_region(RegionKind::Eden).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    let b = h.alloc_object(eden2, 0).unwrap();
+    // Live cycle a <-> b, then kill b's region: the verifier must follow
+    // the cycle into the dead object exactly once (no hang) and name it.
+    h.write_ref(h.ref_slot(a, 0), b);
+    h.write_ref(h.ref_slot(b, 0), a);
+    assert!(verify_heap(&h, &[a]).is_ok(), "cycle is legal while live");
+    h.release_region(eden2);
+    assert_eq!(
+        verify_heap(&h, &[a]),
+        Err(VerifyError::RefIntoFreeRegion { target: b })
+    );
+}
+
+#[test]
+fn reference_past_allocation_watermark_is_reported() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    // A plausible-looking object address above eden's watermark.
+    let past_top = Addr(h.addr_of(eden, 0).raw() + 2048);
+    h.write_ref(h.ref_slot(a, 0), past_top);
+    assert_eq!(
+        verify_heap(&h, &[a]),
+        Err(VerifyError::RefPastTop { target: past_top })
+    );
+}
+
+#[test]
+fn stale_forwarding_header_is_reported() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let surv = h.take_region(RegionKind::Survivor).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    let copy = h.alloc_object(surv, 0).unwrap();
+    // A GC that died mid-cycle would leave a forwarded header behind.
+    h.set_header(a, Header::forwarding(copy));
+    assert_eq!(
+        verify_heap(&h, &[a]),
+        Err(VerifyError::StaleForwarding { obj: a })
+    );
+}
+
+#[test]
+fn missing_remset_entry_is_reported() {
+    let mut h = heap();
+    let old = h.take_region(RegionKind::Old).unwrap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let anchor = h.alloc_object(old, 0).unwrap();
+    let young = h.alloc_object(eden, 0).unwrap();
+    let slot = h.ref_slot(anchor, 0);
+    // Store the cross-region reference *without* the write barrier.
+    h.write_ref(slot, young);
+    assert_eq!(
+        verify_remsets(&h, &[anchor]),
+        Err(VerifyError::MissingRemsetEntry {
+            slot,
+            target: young
+        })
+    );
+    // The barrier repairs it.
+    h.write_ref_with_barrier(slot, young);
+    assert!(verify_remsets(&h, &[anchor]).is_ok());
+}

@@ -14,8 +14,14 @@
 //! copying (writes) into heap traversal (reads).
 
 use crate::device::{AccessKind, DeviceParams, Pattern};
+use crate::fault::FaultWindow;
 use crate::Ns;
 use std::collections::VecDeque;
+
+/// Upper bound on per-grant stall-window deferrals before the ledger
+/// gives up retrying window-by-window and jumps past every scheduled
+/// stall at once (graceful degradation instead of unbounded spinning).
+pub const STALL_RETRY_LIMIT: u32 = 8;
 
 /// Per-epoch usage accounting.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,6 +44,16 @@ pub struct Ledger {
     /// Index of the first epoch still tracked.
     base_epoch: u64,
     epochs: VecDeque<EpochUse>,
+    /// Injected stall windows: no grants start inside one.
+    stall_windows: Vec<FaultWindow>,
+    /// Injected bandwidth-collapse windows with their cost multipliers.
+    collapse_windows: Vec<(FaultWindow, f64)>,
+    /// Grant attempts deferred past a stall window.
+    stall_deferrals: u64,
+    /// Grants that exhausted [`STALL_RETRY_LIMIT`].
+    stall_retry_aborts: u64,
+    /// Grants whose cost a collapse window inflated.
+    collapsed_grants: u64,
 }
 
 impl Ledger {
@@ -53,7 +69,74 @@ impl Ledger {
             epoch_ns,
             base_epoch: 0,
             epochs: VecDeque::new(),
+            stall_windows: Vec::new(),
+            collapse_windows: Vec::new(),
+            stall_deferrals: 0,
+            stall_retry_aborts: 0,
+            collapsed_grants: 0,
         }
+    }
+
+    /// Installs injected fault windows for this device. Replaces any
+    /// previously installed set; pass empty vectors to clear.
+    pub fn set_faults(&mut self, stalls: Vec<FaultWindow>, collapses: Vec<(FaultWindow, f64)>) {
+        self.stall_windows = stalls;
+        self.collapse_windows = collapses;
+    }
+
+    /// Fault-observation counters: `(stall_deferrals, stall_retry_aborts,
+    /// collapsed_grants)`.
+    pub fn fault_counters(&self) -> (u64, u64, u64) {
+        (
+            self.stall_deferrals,
+            self.stall_retry_aborts,
+            self.collapsed_grants,
+        )
+    }
+
+    /// Defers `now` past any active stall window with a bounded number of
+    /// retries. Each retry re-checks the deferred time against the window
+    /// set (windows may chain back-to-back); once the retry budget is
+    /// exhausted the request jumps past the latest scheduled stall end so
+    /// a pathological schedule degrades to a one-time delay instead of an
+    /// unbounded spin.
+    fn defer_past_stalls(&mut self, mut now: Ns) -> Ns {
+        if self.stall_windows.is_empty() {
+            return now;
+        }
+        for _ in 0..STALL_RETRY_LIMIT {
+            let Some(w) = self.stall_windows.iter().find(|w| w.contains(now)) else {
+                return now;
+            };
+            self.stall_deferrals += 1;
+            now = w.end;
+        }
+        if let Some(w) = self.stall_windows.iter().find(|w| w.contains(now)) {
+            let _ = w;
+            self.stall_retry_aborts += 1;
+            let max_end = self
+                .stall_windows
+                .iter()
+                .map(|w| w.end)
+                .max()
+                .unwrap_or(now);
+            now = now.max(max_end);
+        }
+        now
+    }
+
+    /// Cost multiplier from any collapse window containing `now`.
+    fn collapse_factor(&mut self, now: Ns) -> f64 {
+        let mut factor = 1.0;
+        for (w, f) in &self.collapse_windows {
+            if w.contains(now) {
+                factor *= f.max(1.0);
+            }
+        }
+        if factor > 1.0 {
+            self.collapsed_grants += 1;
+        }
+        factor
     }
 
     /// The configured epoch length in nanoseconds.
@@ -108,7 +191,8 @@ impl Ledger {
         if bytes == 0 {
             return now;
         }
-        let mut remaining = self.weight(kind, pattern, bytes);
+        let now = self.defer_past_stalls(now);
+        let mut remaining = self.weight(kind, pattern, bytes) * self.collapse_factor(now);
         let start_epoch = (now / self.epoch_ns).max(self.base_epoch);
         let mut completion = now;
         // Bound the loop defensively; a single request spanning this many
@@ -152,9 +236,13 @@ impl Ledger {
     }
 
     /// Resets all accounting (used between independent experiment runs).
+    /// Installed fault windows are kept; their counters restart from zero.
     pub fn reset(&mut self) {
         self.base_epoch = 0;
         self.epochs.clear();
+        self.stall_deferrals = 0;
+        self.stall_retry_aborts = 0;
+        self.collapsed_grants = 0;
     }
 }
 
@@ -259,5 +347,57 @@ mod tests {
         l.reset();
         let done = l.grant(0, AccessKind::Read, Pattern::Seq, 64);
         assert!(done < l.epoch_ns());
+    }
+
+    #[test]
+    fn stall_window_defers_grants_past_its_end() {
+        let mut l = nvm_ledger();
+        l.set_faults(vec![FaultWindow { start: 0, end: 10_000 }], vec![]);
+        let done = l.grant(5_000, AccessKind::Read, Pattern::Seq, 64);
+        assert!(done >= 10_000, "grant inside stall must defer: {done}");
+        let (deferrals, aborts, _) = l.fault_counters();
+        assert_eq!(deferrals, 1);
+        assert_eq!(aborts, 0);
+        // Outside the window nothing happens.
+        let d2 = l.grant(20_000, AccessKind::Read, Pattern::Seq, 64);
+        assert!((20_000..21_000).contains(&d2));
+    }
+
+    #[test]
+    fn chained_stalls_exhaust_retry_budget_gracefully() {
+        let mut l = nvm_ledger();
+        // More back-to-back windows than the retry budget: each deferral
+        // lands exactly at the start of the next window.
+        let windows: Vec<FaultWindow> = (0..(STALL_RETRY_LIMIT + 4) as u64)
+            .map(|i| FaultWindow {
+                start: i * 1_000,
+                end: (i + 1) * 1_000,
+            })
+            .collect();
+        let last_end = windows.last().unwrap().end;
+        l.set_faults(windows, vec![]);
+        let done = l.grant(0, AccessKind::Read, Pattern::Seq, 64);
+        assert!(done >= last_end, "abort path must clear every window");
+        let (deferrals, aborts, _) = l.fault_counters();
+        assert_eq!(deferrals, u64::from(STALL_RETRY_LIMIT));
+        assert_eq!(aborts, 1);
+    }
+
+    #[test]
+    fn collapse_window_inflates_grant_cost() {
+        let mut l = nvm_ledger();
+        let base = l.grant(0, AccessKind::Read, Pattern::Seq, 1 << 20);
+        let mut l2 = nvm_ledger();
+        l2.set_faults(
+            vec![],
+            vec![(FaultWindow { start: 0, end: 1_000_000_000 }, 4.0)],
+        );
+        let collapsed = l2.grant(0, AccessKind::Read, Pattern::Seq, 1 << 20);
+        assert!(
+            collapsed > 3 * base,
+            "collapsed {collapsed} vs base {base}"
+        );
+        let (_, _, inflated) = l2.fault_counters();
+        assert_eq!(inflated, 1);
     }
 }

@@ -43,6 +43,7 @@
 pub mod bus;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod prefetch;
 pub mod sampler;
 pub mod system;
@@ -50,6 +51,7 @@ pub mod system;
 pub use bus::Ledger;
 pub use cache::LlcModel;
 pub use device::{AccessKind, DeviceId, DeviceParams, Pattern};
+pub use fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
 pub use prefetch::PrefetchTable;
 pub use sampler::{PhaseKind, TrafficSample, TrafficSampler};
 pub use system::{MemConfig, MemStats, MemorySystem};

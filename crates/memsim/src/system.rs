@@ -9,6 +9,7 @@
 use crate::bus::Ledger;
 use crate::cache::LlcModel;
 use crate::device::{AccessKind, DeviceId, DeviceParams, Pattern};
+use crate::fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
 use crate::prefetch::PrefetchTable;
 use crate::sampler::TrafficSampler;
 use crate::{Ns, CACHE_LINE};
@@ -83,6 +84,10 @@ pub struct MemorySystem {
     tables: Vec<PrefetchTable>,
     sampler: TrafficSampler,
     stats: MemStats,
+    /// Injected latency-spike windows per device index.
+    spikes: [Vec<(FaultWindow, f64)>; 2],
+    /// Accesses whose latency an active spike inflated.
+    latency_spikes: u64,
 }
 
 impl MemorySystem {
@@ -101,7 +106,49 @@ impl MemorySystem {
             tables: Vec::new(),
             sampler,
             stats: MemStats::default(),
+            spikes: [Vec::new(), Vec::new()],
+            latency_spikes: 0,
         }
+    }
+
+    /// Installs a device fault plan: stall and bandwidth-collapse windows
+    /// go to the per-device ledgers, latency-spike windows stay local.
+    /// Replaces any previously installed plan.
+    pub fn set_fault_plan(&mut self, plan: &MemFaultPlan) {
+        let mut stalls: [Vec<FaultWindow>; 2] = [Vec::new(), Vec::new()];
+        let mut collapses: [Vec<(FaultWindow, f64)>; 2] = [Vec::new(), Vec::new()];
+        self.spikes = [Vec::new(), Vec::new()];
+        for ev in &plan.events {
+            let di = ev.device().index();
+            match *ev {
+                DeviceFault::LatencySpike { window, factor, .. } => {
+                    self.spikes[di].push((window, factor));
+                }
+                DeviceFault::BandwidthCollapse { window, factor, .. } => {
+                    collapses[di].push((window, factor));
+                }
+                DeviceFault::Stall { window, .. } => stalls[di].push(window),
+            }
+        }
+        for (di, (s, c)) in stalls.into_iter().zip(collapses).enumerate() {
+            self.ledgers[di].set_faults(s, c);
+        }
+        self.latency_spikes = 0;
+    }
+
+    /// Counters recording which injected device faults actually fired.
+    pub fn fault_observations(&self) -> FaultObservations {
+        let mut obs = FaultObservations {
+            latency_spikes: self.latency_spikes,
+            ..FaultObservations::default()
+        };
+        for l in &self.ledgers {
+            let (deferrals, aborts, collapsed) = l.fault_counters();
+            obs.stall_deferrals += deferrals;
+            obs.stall_retry_aborts += aborts;
+            obs.collapsed_grants += collapsed;
+        }
+        obs
     }
 
     /// The active configuration.
@@ -176,9 +223,10 @@ impl MemorySystem {
     }
 
     /// Completion time respecting both the shared-device queue and the
-    /// per-thread bandwidth ceiling, plus latency.
+    /// per-thread bandwidth ceiling, plus latency (inflated by any active
+    /// injected latency spike).
     fn finish(
-        &self,
+        &mut self,
         dev: DeviceId,
         kind: AccessKind,
         pattern: Pattern,
@@ -188,8 +236,19 @@ impl MemorySystem {
     ) -> Ns {
         let p = self.device(dev);
         let floor_ns = bytes as f64 / p.thread_bandwidth(kind).max(1e-9);
+        let mut latency = p.latency(kind, pattern);
+        let mut spiked = false;
+        for (w, f) in &self.spikes[dev.index()] {
+            if w.contains(now) {
+                latency *= f.max(1.0);
+                spiked = true;
+            }
+        }
+        if spiked {
+            self.latency_spikes += 1;
+        }
         let transfer = (queued_done - now).max(floor_ns as Ns);
-        now + transfer + p.latency(kind, pattern) as Ns
+        now + transfer + latency as Ns
     }
 
     /// Reads one word (treated as one cache line of traffic on a miss).
@@ -461,6 +520,50 @@ mod tests {
     fn fence_advances_time() {
         let mut m = sys();
         assert!(m.fence(100) > 100);
+    }
+
+    #[test]
+    fn latency_spike_inflates_access_and_is_counted() {
+        let mut m = sys();
+        let base = m.read_word(0, DeviceId::Nvm, 0x9000, 0);
+        let mut m2 = sys();
+        m2.set_fault_plan(&MemFaultPlan {
+            events: vec![DeviceFault::LatencySpike {
+                dev: DeviceId::Nvm,
+                window: FaultWindow {
+                    start: 0,
+                    end: 1_000_000,
+                },
+                factor: 8.0,
+            }],
+        });
+        let spiked = m2.read_word(0, DeviceId::Nvm, 0x9000, 0);
+        assert!(spiked > 4 * base, "spiked {spiked} vs base {base}");
+        assert_eq!(m2.fault_observations().latency_spikes, 1);
+        // Past the window the device is healthy again.
+        let after = m2.read_word(0, DeviceId::Nvm, 0xF_0000, 2_000_000);
+        assert!(after - 2_000_000 <= base + 100);
+    }
+
+    #[test]
+    fn fault_plan_routes_stalls_to_the_right_device() {
+        let mut m = sys();
+        m.set_fault_plan(&MemFaultPlan {
+            events: vec![DeviceFault::Stall {
+                dev: DeviceId::Nvm,
+                window: FaultWindow {
+                    start: 0,
+                    end: 50_000,
+                },
+            }],
+        });
+        // DRAM unaffected.
+        let d = m.bulk_read(DeviceId::Dram, Pattern::Seq, 64, 0);
+        assert!(d < 50_000);
+        // NVM defers past the stall.
+        let n = m.bulk_read(DeviceId::Nvm, Pattern::Seq, 64, 0);
+        assert!(n >= 50_000);
+        assert_eq!(m.fault_observations().stall_deferrals, 1);
     }
 
     #[test]

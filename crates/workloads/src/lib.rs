@@ -30,5 +30,7 @@ pub mod spec;
 
 pub use mutator::Mutator;
 pub use profiles::{all_apps, app, fig1_apps, renaissance_apps, spark_apps};
-pub use runner::{run_app, AppRunConfig, AppRunResult};
+pub use runner::{
+    fault_names, run_app, AppRunConfig, AppRunResult, RunError, RunFailure, RunPhase,
+};
 pub use spec::{ClassMix, WorkloadSpec};

@@ -158,6 +158,8 @@ impl Mutator {
 
     fn pick_class(&mut self) -> u32 {
         let x = self.rng.random_range(0..self.mix_total);
+        // invariant: mix_cum is a running sum ending at mix_total, so any
+        // x drawn from 0..mix_total is below its last entry.
         let idx = self
             .mix_cum
             .iter()
@@ -200,6 +202,8 @@ impl Mutator {
 
     /// Picks the least-advanced mutator lane and makes it current.
     fn enter_lane(&mut self) -> usize {
+        // invariant: lanes is sized spec.app_threads.max(1) ≥ 1 at
+        // construction and never shrinks.
         let (lane, _) = self
             .lanes
             .iter()
@@ -214,6 +218,7 @@ impl Mutator {
     /// time (all application threads stop for STW events).
     fn exit_to_barrier(&mut self, lane: usize) {
         self.lanes[lane] = self.clock;
+        // invariant: lanes is non-empty (see enter_lane), so max exists.
         self.clock = self.lanes.iter().copied().max().expect("lanes");
     }
 

@@ -8,11 +8,14 @@
 
 use crate::mutator::{Mutator, MutatorStep};
 use crate::spec::WorkloadSpec;
+use nvmgc_core::fault::FaultPlan;
 use nvmgc_core::gclog::{GcKind, GcLog};
-use nvmgc_core::{G1Collector, GcConfig, GcStats};
+use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_core::stats::RunGcStats;
-use nvmgc_heap::{DevicePlacement, Heap, HeapConfig, HeapError};
+use nvmgc_heap::verify::{verify_heap, GraphDigest, VerifyError};
+use nvmgc_heap::{DevicePlacement, Heap, HeapConfig};
 use nvmgc_memsim::{DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind};
+use std::fmt;
 
 /// When collections beyond young GCs are triggered.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +94,133 @@ impl AppRunConfig {
     }
 }
 
+/// Where in an application run a failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Pre-tenuring of long-lived anchors before the allocation loop.
+    Setup,
+    /// The mutator's allocation loop.
+    Mutator,
+    /// A stop-the-world collection.
+    Gc,
+    /// Post-GC heap verification (performed on fault-injected runs).
+    Verify,
+}
+
+impl fmt::Display for RunPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RunPhase::Setup => "setup",
+            RunPhase::Mutator => "the mutator phase",
+            RunPhase::Gc => "a collection",
+            RunPhase::Verify => "post-GC verification",
+        })
+    }
+}
+
+/// What went wrong.
+#[derive(Debug)]
+pub enum RunFailure {
+    /// The collector (or heap bookkeeping under it) failed.
+    Gc(GcError),
+    /// Post-GC tracing found a structural error (dangling reference,
+    /// stale forwarding header, missing remembered-set entry, ...).
+    Verify(VerifyError),
+    /// The reachable object graph changed across a collection.
+    DigestMismatch {
+        /// Digest traced immediately before the collection.
+        before: GraphDigest,
+        /// Digest traced immediately after it.
+        after: GraphDigest,
+    },
+    /// Consecutive collections reclaimed no room for the mutator: the
+    /// live set (anchors + retained survivors) no longer fits the heap.
+    /// Reported as a typed error instead of collecting in a futile loop
+    /// forever — the workload analogue of an OutOfMemoryError.
+    HeapExhausted {
+        /// How many back-to-back collections made no allocation progress.
+        futile_cycles: usize,
+    },
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailure::Gc(e) => write!(f, "{e}"),
+            RunFailure::Verify(e) => write!(f, "heap verification failed: {e:?}"),
+            RunFailure::DigestMismatch { before, after } => write!(
+                f,
+                "graph digest changed across the collection: {before:?} -> {after:?}"
+            ),
+            RunFailure::HeapExhausted { futile_cycles } => write!(
+                f,
+                "heap exhausted: {futile_cycles} consecutive collections reclaimed no \
+                 space for the mutator"
+            ),
+        }
+    }
+}
+
+/// A failure while driving an application run.
+///
+/// Carries the workload name, where in the run the failure occurred, and
+/// the names of any injected faults, so experiment harnesses can report
+/// exactly which cell degraded and under which fault schedule.
+#[derive(Debug)]
+pub struct RunError {
+    /// The workload being driven.
+    pub workload: String,
+    /// Where the failure occurred.
+    pub phase: RunPhase,
+    /// Zero-based index of the GC cycle in flight (or about to start).
+    pub cycle: usize,
+    /// Distinct names of the faults in the run's injection plan, in
+    /// schedule order; empty when no faults were configured.
+    pub active_faults: Vec<&'static str>,
+    /// The underlying failure.
+    pub failure: RunFailure,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload '{}' failed during {} (GC cycle {}): {}",
+            self.workload, self.phase, self.cycle, self.failure
+        )?;
+        if !self.active_faults.is_empty() {
+            write!(f, " [injected faults: {}]", self.active_faults.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.failure {
+            RunFailure::Gc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Distinct fault names in a plan, in schedule order (device faults
+/// first). Used to annotate errors and experiment reports.
+pub fn fault_names(plan: &FaultPlan) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = Vec::new();
+    for e in &plan.mem.events {
+        if !names.contains(&e.name()) {
+            names.push(e.name());
+        }
+    }
+    for e in &plan.gc.events {
+        if !names.contains(&e.name()) {
+            names.push(e.name());
+        }
+    }
+    names
+}
+
 /// The measurements from one application run.
 #[derive(Debug)]
 pub struct AppRunResult {
@@ -126,6 +256,9 @@ pub struct AppRunResult {
     pub peak_old_regions: usize,
     /// Objects the mutator allocated.
     pub allocated_objects: u64,
+    /// Pre/post graph-digest comparisons performed (fault runs only;
+    /// every one of them matched, or the run would have errored).
+    pub digest_checks: usize,
 }
 
 impl AppRunResult {
@@ -158,32 +291,78 @@ impl AppRunResult {
 ///
 /// The memory model assigns thread ids `0..gc.threads` to GC workers and
 /// `gc.threads` to the mutator.
-pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, HeapError> {
+///
+/// When the collector configuration carries a fault-injection plan, the
+/// device-level schedule is installed into the memory system here, and
+/// the reachable graph is traced before and after every collection — a
+/// digest mismatch or structural error surfaces as a typed [`RunError`]
+/// naming the injected faults, never a panic.
+pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
+    let active_faults = fault_names(&cfg.gc.fault);
+    let fail = |phase: RunPhase, cycle: usize, failure: RunFailure| RunError {
+        workload: cfg.spec.name.to_owned(),
+        phase,
+        cycle,
+        active_faults: active_faults.clone(),
+        failure,
+    };
+    let verify_runs = !cfg.gc.fault.is_empty();
+
     let mut heap = Heap::new(cfg.heap.clone(), cfg.spec.build_classes());
     let mut mem = MemorySystem::new(cfg.mem.clone());
     let threads = cfg.gc.threads.max(1);
     mem.set_threads(threads + 1);
+    mem.set_fault_plan(&cfg.gc.fault.mem);
     mem.sampler_mut().set_enabled(cfg.sample_series);
 
     let mut mutator = Mutator::new(cfg.spec.clone(), cfg.seed, threads, cfg.young_bytes());
-    mutator.setup(&mut heap, &mut mem)?;
+    mutator
+        .setup(&mut heap, &mut mem)
+        .map_err(|e| fail(RunPhase::Setup, 0, RunFailure::Gc(GcError::Heap(e))))?;
 
     let mut gc = G1Collector::new(cfg.gc.clone());
-    let mut cycles = Vec::new();
+    let mut cycles: Vec<GcStats> = Vec::new();
     let mut pause_intervals = Vec::new();
     let mut mixed_cycles = 0usize;
     let mut peak_old_regions = 0usize;
+    let mut digest_checks = 0usize;
     let mut gc_log = GcLog::new();
     let mut phase_start = mutator.clock;
+    // Guard against a futile-collection livelock: if the live set grows to
+    // fill the heap, every mutator step demands a GC that reclaims nothing.
+    // Bail out with a typed error after this many zero-progress cycles.
+    const FUTILE_GC_LIMIT: usize = 8;
+    let mut futile_cycles = 0usize;
+    let mut bytes_at_last_gc = u64::MAX;
 
     loop {
-        let step = mutator.run(&mut heap, &mut mem)?;
+        let step = mutator.run(&mut heap, &mut mem).map_err(|e| {
+            fail(
+                RunPhase::Mutator,
+                cycles.len(),
+                RunFailure::Gc(GcError::Heap(e)),
+            )
+        })?;
         let gc_start = mutator.clock;
         mem.sampler_mut()
             .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
         match step {
             MutatorStep::Done => break,
             MutatorStep::NeedsGc => {
+                let cycle = cycles.len();
+                if mutator.allocated_bytes() == bytes_at_last_gc {
+                    futile_cycles += 1;
+                    if futile_cycles >= FUTILE_GC_LIMIT {
+                        return Err(fail(
+                            RunPhase::Gc,
+                            cycle,
+                            RunFailure::HeapExhausted { futile_cycles },
+                        ));
+                    }
+                } else {
+                    futile_cycles = 0;
+                    bytes_at_last_gc = mutator.allocated_bytes();
+                }
                 let old_frac = (heap.old().len() + heap.humongous().len()) as f64
                     / cfg.heap.heap_regions as f64;
                 let mixed = matches!(cfg.trigger, GcTrigger::Adaptive { ihop } if old_frac > ihop);
@@ -192,12 +371,33 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, HeapError> {
                         * h.config().region_size as u64
                 };
                 let before_bytes = occupied(&heap);
+                let before_digest = if verify_runs {
+                    Some(verify_heap(&heap, &mutator.roots).map_err(|e| {
+                        fail(RunPhase::Verify, cycle, RunFailure::Verify(e))
+                    })?)
+                } else {
+                    None
+                };
                 let outcome = if mixed {
                     mixed_cycles += 1;
-                    gc.collect_mixed(&mut heap, &mut mem, &mut mutator.roots, gc_start)?
+                    gc.collect_mixed(&mut heap, &mut mem, &mut mutator.roots, gc_start)
                 } else {
-                    gc.collect(&mut heap, &mut mem, &mut mutator.roots, gc_start)?
-                };
+                    gc.collect(&mut heap, &mut mem, &mut mutator.roots, gc_start)
+                }
+                .map_err(|e| fail(RunPhase::Gc, cycle, RunFailure::Gc(e)))?;
+                if let Some(before) = before_digest {
+                    let after = verify_heap(&heap, &mutator.roots).map_err(|e| {
+                        fail(RunPhase::Verify, cycle, RunFailure::Verify(e))
+                    })?;
+                    if after != before {
+                        return Err(fail(
+                            RunPhase::Verify,
+                            cycle,
+                            RunFailure::DigestMismatch { before, after },
+                        ));
+                    }
+                    digest_checks += 1;
+                }
                 if cfg.keep_gc_log {
                     let kind = if mixed { GcKind::Mixed } else { GcKind::Young };
                     gc_log.record(kind, gc_start, &outcome.stats, before_bytes, occupied(&heap));
@@ -244,6 +444,7 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, HeapError> {
         gc_log,
         peak_old_regions,
         allocated_objects: mutator.allocated_objects(),
+        digest_checks,
     })
 }
 
@@ -279,6 +480,31 @@ mod tests {
         cfg.heap.heap_regions = 96;
         cfg.heap.young_regions = 32;
         cfg
+    }
+
+    #[test]
+    fn oversubscribed_live_set_errors_instead_of_looping() {
+        // A live set (anchors + long-retained survivors) that outgrows the
+        // heap used to spin forever in a futile GC loop; it must instead
+        // surface a typed error promptly.
+        let mut spec = small_spec();
+        spec.survival = 0.95;
+        spec.keep_gcs = 4;
+        spec.alloc_young_multiple = 20.0;
+        spec.old_anchor_bytes = 600 << 10;
+        let mut cfg = AppRunConfig::standard(spec, GcConfig::vanilla(4));
+        cfg.heap.region_size = 16 << 10;
+        cfg.heap.heap_regions = 96;
+        cfg.heap.young_regions = 32;
+        let err = run_app(&cfg).expect_err("live set cannot fit this heap");
+        assert!(
+            matches!(
+                err.failure,
+                RunFailure::HeapExhausted { .. }
+                    | RunFailure::Gc(GcError::Heap(nvmgc_heap::HeapError::OutOfRegions))
+            ),
+            "unexpected failure: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! End-to-end fault-injection properties over full workload runs.
+//!
+//! `run_app` under any generated [`FaultPlan`] must degrade gracefully:
+//! either the run completes with every per-cycle graph digest matching,
+//! or it fails with a typed [`RunError`] that names the injected faults —
+//! never a panic and never silent corruption. And the whole outcome is a
+//! pure function of the plan seed: a re-run is byte-identical.
+
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_workloads::spec::ClassMix;
+use nvmgc_workloads::{run_app, AppRunConfig, RunFailure, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Matches the horizon the `fault_matrix` harness sweeps: generated
+/// windows overlap the first few tens of milliseconds of simulated run.
+const HORIZON_NS: u64 = 40_000_000;
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop-fault",
+        alloc_young_multiple: 3.0,
+        mix: vec![ClassMix {
+            num_refs: 2,
+            data_bytes: 24,
+            weight: 1,
+        }],
+        survival: 0.4,
+        keep_gcs: 1,
+        old_link_fraction: 0.1,
+        chain_fraction: 0.0,
+        cpu_per_alloc_ns: 20.0,
+        touches_per_alloc: 1,
+        app_threads: 4,
+        share_fraction: 0.15,
+        old_anchor_bytes: 8 << 10,
+    }
+}
+
+fn small_cfg(gc: GcConfig) -> AppRunConfig {
+    let mut cfg = AppRunConfig::standard(small_spec(), gc);
+    cfg.heap.region_size = 16 << 10;
+    cfg.heap.heap_regions = 96;
+    cfg.heap.young_regions = 32;
+    cfg
+}
+
+fn faulted_cfg(seed: u64, sev: Severity, optimized: bool) -> AppRunConfig {
+    let gc = if optimized {
+        // 12 workers: above the header-map activation threshold, so
+        // saturation faults have something to saturate.
+        GcConfig::plus_all(12, 1 << 20)
+    } else {
+        GcConfig::vanilla(4)
+    };
+    let mut cfg = small_cfg(gc);
+    cfg.gc.fault = FaultPlan::generate(seed, sev, HORIZON_NS);
+    cfg
+}
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    prop_oneof![
+        Just(Severity::Mild),
+        Just(Severity::Moderate),
+        Just(Severity::Severe),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Graceful degradation: every generated schedule either completes
+    /// with a digest check per GC cycle, or yields a typed error that is
+    /// not a corruption report and that names its injected faults.
+    #[test]
+    fn faulted_runs_degrade_gracefully(
+        seed in any::<u64>(),
+        sev in arb_severity(),
+        optimized in any::<bool>(),
+    ) {
+        let cfg = faulted_cfg(seed, sev, optimized);
+        prop_assert!(!cfg.gc.fault.is_empty());
+        match run_app(&cfg) {
+            Ok(res) => {
+                prop_assert!(res.gc.cycles() > 0, "run exercised the collector");
+                prop_assert_eq!(
+                    res.digest_checks,
+                    res.gc.cycles(),
+                    "every cycle's pre/post digest was compared"
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    !matches!(
+                        e.failure,
+                        RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+                    ),
+                    "fault plane must never corrupt the graph: {e}"
+                );
+                prop_assert!(
+                    !e.active_faults.is_empty(),
+                    "typed error must name its injected faults: {e}"
+                );
+            }
+        }
+    }
+
+    /// Determinism: same plan seed, same outcome — timings, pause list,
+    /// digest count, or the exact error text.
+    #[test]
+    fn faulted_runs_are_deterministic(
+        seed in any::<u64>(),
+        sev in arb_severity(),
+    ) {
+        let run = || {
+            let cfg = faulted_cfg(seed, sev, true);
+            match run_app(&cfg) {
+                Ok(r) => (r.total_ns, r.gc.pauses_ns.clone(), r.digest_checks, String::new()),
+                Err(e) => (0, Vec::new(), 0, e.to_string()),
+            }
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Unfaulted runs skip digest tracing entirely — the robustness plane is
+/// pay-for-what-you-use.
+#[test]
+fn unfaulted_runs_skip_digest_tracing() {
+    let res = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
+    assert!(res.gc.cycles() > 0);
+    assert_eq!(res.digest_checks, 0);
+}
