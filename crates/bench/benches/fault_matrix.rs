@@ -23,7 +23,7 @@
 use nvmgc_bench::{
     banner, maybe_trim, results_dir, run_labeled_cells, sized_config, write_throughput,
 };
-use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::fault::{FaultPlan, GcFault, Severity};
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
 use nvmgc_workloads::runner::RunFailure;
@@ -54,6 +54,12 @@ struct Row {
     cycles: usize,
     digest_checks: usize,
     gc_fault_events: u64,
+    /// Power-failure recoverability checks the oracle ran.
+    power_failure_checks: u64,
+    /// Non-durable lines the crash images discarded across those checks.
+    discarded_lines: u64,
+    /// Lines lost to torn 256 B XPLines mid-drain.
+    torn_lines: u64,
     total_ns: u64,
     total_pause_ns: u64,
 }
@@ -88,6 +94,9 @@ fn cell(app_name: &'static str, config_name: &str, gc: GcConfig, severity: Sever
         cycles: 0,
         digest_checks: 0,
         gc_fault_events: 0,
+        power_failure_checks: 0,
+        discarded_lines: 0,
+        torn_lines: 0,
         total_ns: 0,
         total_pause_ns: 0,
     };
@@ -98,6 +107,13 @@ fn cell(app_name: &'static str, config_name: &str, gc: GcConfig, severity: Sever
             cycles: res.gc.cycles(),
             digest_checks: res.digest_checks,
             gc_fault_events: res.cycles.iter().map(|c| c.fault_events.total()).sum(),
+            power_failure_checks: res
+                .cycles
+                .iter()
+                .map(|c| c.fault_events.power_failure_checks)
+                .sum(),
+            discarded_lines: res.cycles.iter().map(|c| c.fault_events.discarded_lines).sum(),
+            torn_lines: res.cycles.iter().map(|c| c.fault_events.torn_lines).sum(),
             total_ns: res.total_ns,
             total_pause_ns: res.gc.total_pause_ns(),
             ..base
@@ -145,7 +161,8 @@ fn main() {
     let simulated_ns: u64 = rows.iter().map(|r| r.total_ns).sum();
 
     let mut table = TextTable::new(vec![
-        "app", "config", "severity", "seed", "cycles", "digests", "faults", "outcome",
+        "app", "config", "severity", "seed", "cycles", "digests", "faults", "pf", "lost",
+        "outcome",
     ]);
     for r in &rows {
         table.row(vec![
@@ -156,6 +173,8 @@ fn main() {
             r.cycles.to_string(),
             r.digest_checks.to_string(),
             r.gc_fault_events.to_string(),
+            r.power_failure_checks.to_string(),
+            r.discarded_lines.to_string(),
             if r.ok {
                 "ok".to_owned()
             } else {
@@ -191,5 +210,58 @@ fn main() {
     if corrupted > 0 {
         eprintln!("fault_matrix: {corrupted} cell(s) reported graph corruption");
         std::process::exit(1);
+    }
+
+    // Persistence-fault acceptance. Every Moderate/Severe plan schedules a
+    // power failure, so (a) at least one completing cell must have lost
+    // real non-durable lines to a crash image *and* proved recoverability,
+    // and (b) no completing cell may sail past its scheduled failure
+    // without the oracle running — a zero-check cell is only legitimate
+    // when the run ended before the failure instant.
+    let pf_cells: Vec<&Row> = rows
+        .iter()
+        .filter(|r| matches!(r.severity.as_str(), "moderate" | "severe"))
+        .collect();
+    if !pf_cells.is_empty() {
+        let proved = pf_cells
+            .iter()
+            .any(|r| r.ok && r.power_failure_checks > 0 && r.discarded_lines >= 1);
+        if !proved {
+            eprintln!(
+                "fault_matrix: no power-failure cell discarded a non-durable \
+                 line and proved recoverability"
+            );
+            std::process::exit(1);
+        }
+        for r in &pf_cells {
+            if !r.ok || r.power_failure_checks > 0 {
+                continue;
+            }
+            let severity = match r.severity.as_str() {
+                "moderate" => Severity::Moderate,
+                _ => Severity::Severe,
+            };
+            let plan = FaultPlan::generate(r.plan_seed, severity, HORIZON_NS);
+            let first_pf = plan
+                .gc
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    GcFault::PowerFailure { at_ns } => Some(*at_ns),
+                    _ => None,
+                })
+                .min();
+            if let Some(at) = first_pf {
+                if r.total_ns >= at {
+                    eprintln!(
+                        "fault_matrix: silent pass — cell app={} gc={} severity={} \
+                         seed={:#x} ran past its power failure at {at} ns without \
+                         an oracle check",
+                        r.app, r.config, r.severity, r.plan_seed
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

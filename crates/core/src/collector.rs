@@ -269,6 +269,20 @@ fn apply_worker_faults(w: &mut Worker, sh: &mut CycleShared<'_>) -> bool {
             return true;
         }
     }
+    if sh.fault.take_power_failure(w.clock) {
+        match oracle::check_power_failure(sh.heap, sh.hmap, &sh.cache, sh.mem) {
+            Ok(Some(report)) => {
+                sh.fault.observations.discarded_lines += report.discarded_lines;
+                sh.fault.observations.torn_lines += report.torn_lines;
+            }
+            Ok(None) => {}
+            Err(v) => {
+                sh.error = Some(GcError::Oracle(v));
+                w.done = true;
+                return true;
+            }
+        }
+    }
     false
 }
 
@@ -856,10 +870,22 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
             .expect("cache region is mapped");
         let nvm = sh.heap.region(region).device_of_mapped(sh.heap);
         let dst = sh.heap.addr_of(nvm_region, task.cursor).raw();
+        // Drain-path persistence ordering: the target region's allocation
+        // metadata reaches the medium before any of its payload (one
+        // synchronous fence at the start of the region's flush).
+        if task.cursor == 0 && sh.mem.persist_enabled(nvm) {
+            w.clock = sh
+                .mem
+                .persist_meta(nvm, oracle::region_meta_key(nvm_region), w.clock);
+        }
         let tw = if sh.cache.config().nt_store {
             sh.mem.nt_write_bulk(nvm, dst, chunk as u64, w.clock)
         } else {
-            sh.mem.write_bulk(nvm, dst, chunk as u64, w.clock)
+            let t = sh.mem.write_bulk(nvm, dst, chunk as u64, w.clock);
+            // Regular-store drains are explicitly written back (CLWB
+            // over the chunk) so the flush still advances durability.
+            sh.mem.persist_write_back(nvm, dst, chunk as u64, t);
+            t
         };
         w.clock = tr.max(tw);
     }
@@ -876,7 +902,15 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
         .mapped_to
         .expect("cache region is mapped");
     sh.heap.blit_region(region, nvm_region);
-    sh.cache.note_flushed(sh.heap, region, during_scan);
+    if let Err((r, reason)) = sh.cache.note_flushed(sh.heap, region, during_scan) {
+        sh.error = Some(GcError::Oracle(oracle::OracleViolation::DrainOrder {
+            region: r,
+            reason,
+        }));
+        w.flush = None;
+        w.done = true;
+        return;
+    }
     let base = sh.heap.addr_of(region, 0).raw();
     let len = sh.heap.config().region_size as u64;
     sh.heap.release_region(region);

@@ -112,6 +112,15 @@ pub enum GcFault {
         /// Trigger clock, ns.
         at_ns: Ns,
     },
+    /// The first time any worker's clock reaches `at_ns` mid-phase, the
+    /// oracle takes the NVM durability ledger's crash image — all
+    /// non-durable lines discarded, the front write-combining XPLine
+    /// possibly torn — and asserts the partially-flushed state is
+    /// recoverable (fires once; requires the memsim persistence model).
+    PowerFailure {
+        /// Trigger clock, ns.
+        at_ns: Ns,
+    },
 }
 
 impl GcFault {
@@ -124,6 +133,7 @@ impl GcFault {
             GcFault::CachePressure { .. } => "cache-pressure",
             GcFault::HmapSaturation { .. } => "hmap-saturation",
             GcFault::CrashPoint { .. } => "crash-point",
+            GcFault::PowerFailure { .. } => "power-failure",
         }
     }
 }
@@ -242,6 +252,22 @@ impl FaultPlan {
             gc_events.push(GcFault::CrashPoint {
                 at_ns: splitmix64(&mut rng) % horizon_ns,
             });
+            // Persistence faults join at Moderate and above; Mild plans
+            // keep their historical draw sequence (and thus schedules).
+            if severity != Severity::Mild {
+                let ds_start = splitmix64(&mut rng) % horizon_ns;
+                let ds_len = (horizon_ns / (window_frac * 2)).max(1);
+                mem_events.push(DeviceFault::WcDrainStall {
+                    dev: DeviceId::Nvm,
+                    window: FaultWindow {
+                        start: ds_start,
+                        end: ds_start.saturating_add(ds_len).min(horizon_ns),
+                    },
+                });
+                gc_events.push(GcFault::PowerFailure {
+                    at_ns: splitmix64(&mut rng) % horizon_ns,
+                });
+            }
         }
         FaultPlan {
             seed,
@@ -266,6 +292,14 @@ pub struct GcFaultObservations {
     pub cache_pressure_denials: u64,
     /// Crash-point oracle checks executed.
     pub crash_checks: u64,
+    /// Power-failure oracle checks executed.
+    pub power_failure_checks: u64,
+    /// Non-durable lines a power-failure crash image discarded (summed
+    /// over checks; informational, not an event count).
+    pub discarded_lines: u64,
+    /// Torn front XPLines across power-failure crash images
+    /// (informational, not an event count).
+    pub torn_lines: u64,
 }
 
 impl GcFaultObservations {
@@ -277,6 +311,7 @@ impl GcFaultObservations {
             + self.forced_hm_full
             + self.cache_pressure_denials
             + self.crash_checks
+            + self.power_failure_checks
     }
 }
 
@@ -401,6 +436,21 @@ impl FaultState {
         }
         false
     }
+
+    /// Whether a one-shot [`GcFault::PowerFailure`] triggers at `now`
+    /// (marks it fired and counts the check if so).
+    pub fn take_power_failure(&mut self, now: Ns) -> bool {
+        for (i, ev) in self.events.iter().enumerate() {
+            if let GcFault::PowerFailure { at_ns } = *ev {
+                if !self.fired[i] && now >= at_ns {
+                    self.fired[i] = true;
+                    self.observations.power_failure_checks += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +521,37 @@ mod tests {
         assert!(!st.take_crash_point(40));
         assert_eq!(st.observations.forced_drains, 1);
         assert_eq!(st.observations.crash_checks, 1);
+    }
+
+    #[test]
+    fn power_failure_is_one_shot_and_generated_above_mild() {
+        let plan = GcFaultPlan {
+            events: vec![GcFault::PowerFailure { at_ns: 10 }],
+        };
+        let mut st = FaultState::new(&plan);
+        assert!(!st.take_power_failure(5));
+        assert!(st.take_power_failure(15));
+        assert!(!st.take_power_failure(25));
+        assert_eq!(st.observations.power_failure_checks, 1);
+
+        let has_pf = |p: &FaultPlan| {
+            p.gc
+                .events
+                .iter()
+                .any(|e| matches!(e, GcFault::PowerFailure { .. }))
+        };
+        let has_ds = |p: &FaultPlan| {
+            p.mem
+                .events
+                .iter()
+                .any(|e| matches!(e, nvmgc_memsim::DeviceFault::WcDrainStall { .. }))
+        };
+        let mild = FaultPlan::generate(7, Severity::Mild, 1_000_000);
+        assert!(!has_pf(&mild) && !has_ds(&mild));
+        let moderate = FaultPlan::generate(7, Severity::Moderate, 1_000_000);
+        assert!(has_pf(&moderate) && has_ds(&moderate));
+        let severe = FaultPlan::generate(7, Severity::Severe, 1_000_000);
+        assert!(has_pf(&severe) && has_ds(&severe));
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl G1Collector {
             let base = heap.addr_of(r, 0).raw();
             heap.release_region(r);
             mem.invalidate_range(base, region_size);
+            mem.persist_forget_range(base, region_size);
             humongous_freed += 1;
             freed.insert(r);
         }
@@ -206,6 +207,7 @@ impl G1Collector {
             let base = heap.addr_of(r, 0).raw();
             heap.release_region(r);
             mem.invalidate_range(base, region_size);
+            mem.persist_forget_range(base, region_size);
             humongous_freed += 1;
             freed.insert(r);
         }
@@ -362,6 +364,12 @@ impl G1Collector {
         if let Some(e) = sh.error.take() {
             return Err(e);
         }
+        // The cycle-end fence lands in the ADR domain: everything the
+        // write-combining buffer has accepted drains to the medium before
+        // mutators resume. Volatile cache lines are *not* flushed here.
+        if self.cfg.write_cache.enabled {
+            sh.mem.persist_drain_all(DeviceId::Nvm, wb_end);
+        }
 
         // Header-map occupancy is measured before cleanup.
         sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
@@ -437,6 +445,7 @@ impl G1Collector {
             let base = sh.heap.addr_of(r, 0).raw();
             sh.heap.release_region(r);
             sh.mem.invalidate_range(base, region_size);
+            sh.mem.persist_forget_range(base, region_size);
         }
         sh.heap.survivors_to_young();
 

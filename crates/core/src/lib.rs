@@ -109,6 +109,8 @@ pub use error::{EngineError, GcError};
 pub use fault::{FaultPlan, FaultState, GcFault, GcFaultObservations, GcFaultPlan, Severity};
 pub use g1::{G1Collector, GcCycleOutcome};
 pub use header_map::{HeaderMap, PutOutcome};
-pub use oracle::{check_crash_point, OracleViolation};
+pub use oracle::{
+    check_crash_point, check_power_failure, region_meta_key, OracleViolation, PowerFailureReport,
+};
 pub use stats::{GcPhaseTimes, GcStats};
 pub use write_cache::WriteCachePool;

@@ -29,7 +29,9 @@
 
 use crate::header_map::HeaderMap;
 use crate::write_cache::WriteCachePool;
+use nvmgc_heap::verify::LineCoverage;
 use nvmgc_heap::{Addr, Header, Heap, RegionId, RegionKind};
+use nvmgc_memsim::{DeviceId, MemorySystem};
 use std::fmt;
 
 /// A recoverability invariant the oracle found violated.
@@ -58,6 +60,26 @@ pub enum OracleViolation {
         /// Its (unretained) region.
         region: RegionId,
     },
+    /// After a power failure, an evacuated object is recoverable from
+    /// neither side: its to-space copy is not fully durable and its
+    /// from-space copy is not fully durable either.
+    UnrecoverableEvacuation {
+        /// The entry's source (pre-copy) address.
+        old: Addr,
+        /// The entry's destination address.
+        new: Addr,
+        /// Which part of the invariant failed.
+        reason: &'static str,
+    },
+    /// A durable to-space payload line precedes its region's allocation
+    /// metadata in the persistence order (recovery would see payload for
+    /// a region it does not know about).
+    MetaOrdering {
+        /// The offending destination region.
+        region: RegionId,
+        /// Which part of the invariant failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for OracleViolation {
@@ -77,6 +99,15 @@ impl fmt::Display for OracleViolation {
                 "self-forwarded object {:#x} in region {region} which is not retained",
                 obj.raw()
             ),
+            OracleViolation::UnrecoverableEvacuation { old, new, reason } => write!(
+                f,
+                "evacuated object {:#x} -> {:#x} unrecoverable after power failure: {reason}",
+                old.raw(),
+                new.raw()
+            ),
+            OracleViolation::MetaOrdering { region, reason } => {
+                write!(f, "persistence meta-ordering for region {region}: {reason}")
+            }
         }
     }
 }
@@ -160,6 +191,154 @@ pub fn check_crash_point(
         }
     }
     Ok(())
+}
+
+/// The durability-ledger metadata key under which region `region`'s
+/// allocation metadata is persisted (see [`check_power_failure`], check
+/// 2). The keys live in a reserved address range far above any simulated
+/// heap address, one slot per region.
+pub fn region_meta_key(region: RegionId) -> u64 {
+    0x7000_0000_0000_0000 | (u64::from(region) << 6)
+}
+
+/// What a power-failure oracle check observed (returned on success so
+/// callers can account discarded/torn lines).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerFailureReport {
+    /// Non-durable lines the crash image discarded.
+    pub discarded_lines: u64,
+    /// Torn front XPLines in the crash image.
+    pub torn_lines: u64,
+    /// Lines durable in the image.
+    pub durable_lines: u64,
+    /// Evacuated objects whose recoverability was checked.
+    pub objects_checked: u64,
+}
+
+/// Runs the power-failure recoverability invariants: takes the NVM
+/// durability ledger's crash image — every non-durable line discarded,
+/// the front write-combining XPLine possibly torn — and asserts that the
+/// partially-flushed collector state is recoverable:
+///
+/// 1. **Evacuated objects survive on at least one side.** For every
+///    header-map pair `old -> new` (excluding self-forwards, which keep
+///    their object in place), either the to-space copy is fully durable
+///    or the from-space copy is — a recovery can then redo or discard
+///    the evacuation. Neither side fully durable means the object is
+///    torn on both sides and lost.
+/// 2. **No durable payload precedes its region's metadata.** Every
+///    durable NT-written line inside an NVM region (NT stores are the
+///    write-cache drain path) must have drained at or after the region's
+///    allocation metadata was persisted (key [`region_meta_key`]) — a
+///    recovery must never find payload for a region it has no record of.
+/// 3. **Write-cache drain ordering** holds (same as at crash points).
+///
+/// Returns `Ok(None)` when the persistence model is inactive for NVM.
+/// Non-destructive: the ledger is only snapshotted.
+pub fn check_power_failure(
+    heap: &Heap,
+    hmap: Option<&HeaderMap>,
+    cache: &WriteCachePool,
+    mem: &MemorySystem,
+) -> Result<Option<PowerFailureReport>, OracleViolation> {
+    let Some(img) = mem.crash_image(DeviceId::Nvm) else {
+        return Ok(None);
+    };
+    let mut report = PowerFailureReport {
+        discarded_lines: img.discarded_lines,
+        torn_lines: img.torn_lines,
+        durable_lines: img.durable_lines(),
+        objects_checked: 0,
+    };
+
+    // 1. Evacuated-object recoverability. The contract covers objects
+    // whose to-space copy claims durability through the drain path: the
+    // destination is on NVM and its region's allocation metadata was
+    // persisted (regular volatile stores promise nothing at a power
+    // failure, so evacuations into unclaimed regions are out of scope).
+    if let Some(map) = hmap {
+        for (old, new) in map.snapshot() {
+            if old == new {
+                // Self-forward: the object never moved; retention is the
+                // crash-point oracle's concern, not durability's.
+                continue;
+            }
+            let (Ok(_), Ok(dst)) = (heap.region_of(old), heap.region_of(new)) else {
+                // Stale addresses are check_crash_point's domain.
+                continue;
+            };
+            if heap.device_of(new) != DeviceId::Nvm
+                || img.meta_at(region_meta_key(dst)).is_none()
+            {
+                continue;
+            }
+            // Object size from whichever copy still has a readable
+            // header (the from-space header may itself be forwarded).
+            let size = if !heap.header(old).is_forwarded() {
+                heap.object_size(old)
+            } else if !heap.header(new).is_forwarded() {
+                heap.object_size(new)
+            } else {
+                continue;
+            };
+            report.objects_checked += 1;
+            let mut durable = |line: u64| img.line_durable(line);
+            if nvmgc_heap::verify::classify_lines(new.raw(), size, &mut durable)
+                == LineCoverage::Full
+            {
+                continue;
+            }
+            let from_durable = heap.device_of(old) == DeviceId::Nvm
+                && nvmgc_heap::verify::classify_lines(old.raw(), size, &mut durable)
+                    == LineCoverage::Full;
+            if !from_durable {
+                return Err(OracleViolation::UnrecoverableEvacuation {
+                    old,
+                    new,
+                    reason: "neither the to-space nor the from-space copy is fully durable",
+                });
+            }
+        }
+    }
+
+    // 2. Payload-before-metadata ordering for NT (write-cache drain)
+    // traffic.
+    let rsize = u64::from(heap.config().region_size);
+    for id in 0..heap.region_count() as RegionId {
+        let r = heap.region(id);
+        if r.device() != DeviceId::Nvm {
+            continue;
+        }
+        let base = heap.addr_of(id, 0).raw();
+        let meta_at = img.meta_at(region_meta_key(id));
+        for (_, rec) in img.durable_lines_in(base, rsize) {
+            if !rec.via_nt {
+                continue;
+            }
+            match meta_at {
+                None => {
+                    return Err(OracleViolation::MetaOrdering {
+                        region: id,
+                        reason: "durable NT payload but no persisted allocation metadata",
+                    })
+                }
+                Some(m) if rec.first_at < m => {
+                    return Err(OracleViolation::MetaOrdering {
+                        region: id,
+                        reason: "durable NT payload line drained before the allocation metadata",
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // 3. Drain ordering, as at crash points.
+    cache
+        .check_drain_order(heap)
+        .map_err(|(region, reason)| OracleViolation::DrainOrder { region, reason })?;
+
+    Ok(Some(report))
 }
 
 #[cfg(test)]

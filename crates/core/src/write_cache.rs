@@ -202,10 +202,28 @@ impl WriteCachePool {
 
     /// Marks a region flushed, releasing its DRAM budget, and removes it
     /// from the active list.
-    pub fn note_flushed(&mut self, heap: &mut Heap, region: RegionId, during_scan: bool) {
+    ///
+    /// A double flush is rejected as a typed error rather than debug-
+    /// asserted: in release builds the old assertion was silent and a
+    /// second flush of the same region would release its DRAM budget
+    /// twice, letting the pool over-allocate for the rest of the run.
+    /// The error carries the offending region and the violated condition
+    /// in the [`check_drain_order`](Self::check_drain_order) format so
+    /// callers can surface it as an oracle violation.
+    pub fn note_flushed(
+        &mut self,
+        heap: &mut Heap,
+        region: RegionId,
+        during_scan: bool,
+    ) -> Result<(), (RegionId, &'static str)> {
         let rsize = heap.config().region_size as u64;
         let r = heap.region_mut(region);
-        debug_assert!(!r.flushed);
+        if r.flushed {
+            return Err((region, "it was already flushed"));
+        }
+        if !self.active.contains(&region) {
+            return Err((region, "it is not an active cache region"));
+        }
         r.flushed = true;
         self.bytes_in_use = self.bytes_in_use.saturating_sub(rsize);
         self.active.retain(|&x| x != region);
@@ -215,6 +233,7 @@ impl WriteCachePool {
         if during_scan {
             self.async_flushed += 1;
         }
+        Ok(())
     }
 
     /// The cache regions still holding unflushed data (the write-back
@@ -361,11 +380,39 @@ mod tests {
         let mut p = WriteCachePool::new(cfg(1 << 12, true));
         let (c, _) = p.alloc_pair(&mut h).unwrap();
         assert!(p.alloc_pair(&mut h).is_none());
-        p.note_flushed(&mut h, c, true);
+        p.note_flushed(&mut h, c, true).unwrap();
         assert_eq!(p.async_flushed(), 1);
         assert_eq!(p.bytes_in_use(), 0);
         assert!(p.alloc_pair(&mut h).is_some(), "budget reclaimed");
         assert!(p.peak_bytes() >= 1 << 12);
+    }
+
+    #[test]
+    fn double_flush_is_a_typed_error_not_a_budget_leak() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 12, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        p.note_flushed(&mut h, c, false).unwrap();
+        assert_eq!(p.bytes_in_use(), 0);
+        let (region, reason) = p.note_flushed(&mut h, c, false).unwrap_err();
+        assert_eq!(region, c);
+        assert!(reason.contains("already flushed"), "{reason}");
+        // The budget did not underflow or release twice.
+        assert_eq!(p.bytes_in_use(), 0);
+        assert!(p.check_drain_order(&h).is_ok());
+    }
+
+    #[test]
+    fn flushing_a_non_cache_region_is_rejected() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        let _ = c;
+        // A region id the pool never allocated (and not flushed either).
+        let bogus = h.take_region(nvmgc_heap::RegionKind::Eden).unwrap();
+        let (region, reason) = p.note_flushed(&mut h, bogus, false).unwrap_err();
+        assert_eq!(region, bogus);
+        assert!(reason.contains("not an active"), "{reason}");
     }
 
     #[test]

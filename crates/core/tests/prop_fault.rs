@@ -90,10 +90,23 @@ fn collect_once(
     cfg: &GcConfig,
 ) -> Result<Outcome, TestCaseError> {
     let mut h = heap();
-    let mut m = MemorySystem::new(MemConfig {
+    let mut mc = MemConfig {
         llc_bytes: 128 << 10,
         ..MemConfig::default()
-    });
+    };
+    // Mirror the runner: power-failure faults turn the durability
+    // ledger on, keyed to the plan seed.
+    if cfg
+        .fault
+        .gc
+        .events
+        .iter()
+        .any(|e| matches!(e, GcFault::PowerFailure { .. }))
+    {
+        mc.persist.enabled = true;
+        mc.persist.seed = cfg.fault.seed;
+    }
+    let mut m = MemorySystem::new(mc);
     m.set_threads(cfg.threads + 1);
     m.set_fault_plan(&cfg.fault.mem);
     let mut roots = build(script, &mut h);
@@ -175,4 +188,41 @@ fn crash_point_fires_the_oracle_and_passes() {
         .expect("oracle passes on a healthy collection");
     assert_eq!(out.stats.fault_events.crash_checks, 1);
     assert_eq!(verify_heap(&h, &roots).unwrap(), before);
+}
+
+/// A hand-placed power failure must fire the recoverability oracle
+/// against a real crash image. The collection either passes the check
+/// (counted in `power_failure_checks`) or reports a typed oracle
+/// violation — never a silent pass and never a panic.
+#[test]
+fn power_failure_fires_the_recoverability_oracle() {
+    let script: Vec<(u8, u16, u8, bool)> =
+        (0..200).map(|i| (i as u8, i as u16, i as u8, i % 2 == 0)).collect();
+    let mut cfg = GcConfig::plus_all(10, 1 << 20);
+    cfg.header_map.min_threads = 0;
+    cfg.fault.gc = GcFaultPlan {
+        events: vec![GcFault::PowerFailure { at_ns: 0 }],
+    };
+    let mut h = heap();
+    let mut mc = MemConfig::default();
+    mc.persist.enabled = true;
+    mc.persist.seed = cfg.fault.seed;
+    let mut m = MemorySystem::new(mc);
+    m.set_threads(cfg.threads + 1);
+    let mut roots = build(&script, &mut h);
+    let before = verify_heap(&h, &roots).unwrap();
+    let mut gc = G1Collector::new(cfg);
+    match gc.collect(&mut h, &mut m, &mut roots, 0) {
+        Ok(out) => {
+            assert_eq!(out.stats.fault_events.power_failure_checks, 1);
+            assert_eq!(verify_heap(&h, &roots).unwrap(), before);
+        }
+        Err(e) => {
+            // A typed corruption report is the other acceptable outcome.
+            assert!(
+                matches!(e, nvmgc_core::GcError::Oracle(_)),
+                "unexpected failure kind: {e}"
+            );
+        }
+    }
 }

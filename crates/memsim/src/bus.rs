@@ -54,6 +54,11 @@ pub struct Ledger {
     stall_retry_aborts: u64,
     /// Grants whose cost a collapse window inflated.
     collapsed_grants: u64,
+    /// Epoch accesses that referenced an epoch older than the advanced
+    /// ledger base and were clamped to it. A stall-deferred request can
+    /// legally replay an epoch the minimum-clock retirement already
+    /// dropped; before the clamp, the index subtraction wrapped.
+    stale_epoch_grants: u64,
 }
 
 impl Ledger {
@@ -74,6 +79,7 @@ impl Ledger {
             stall_deferrals: 0,
             stall_retry_aborts: 0,
             collapsed_grants: 0,
+            stale_epoch_grants: 0,
         }
     }
 
@@ -85,12 +91,13 @@ impl Ledger {
     }
 
     /// Fault-observation counters: `(stall_deferrals, stall_retry_aborts,
-    /// collapsed_grants)`.
-    pub fn fault_counters(&self) -> (u64, u64, u64) {
+    /// collapsed_grants, stale_epoch_grants)`.
+    pub fn fault_counters(&self) -> (u64, u64, u64, u64) {
         (
             self.stall_deferrals,
             self.stall_retry_aborts,
             self.collapsed_grants,
+            self.stale_epoch_grants,
         )
     }
 
@@ -157,7 +164,16 @@ impl Ledger {
     }
 
     fn epoch_use(&mut self, epoch: u64) -> &mut EpochUse {
-        debug_assert!(epoch >= self.base_epoch);
+        // A stall-deferred request can replay an epoch the minimum-clock
+        // retirement already dropped; `epoch - base_epoch` would wrap.
+        // Charge the ledger base instead — the retired history is gone,
+        // so the oldest tracked epoch is the closest accounting bucket.
+        let epoch = if epoch < self.base_epoch {
+            self.stale_epoch_grants += 1;
+            self.base_epoch
+        } else {
+            epoch
+        };
         let idx = (epoch - self.base_epoch) as usize;
         while self.epochs.len() <= idx {
             self.epochs.push_back(EpochUse::default());
@@ -243,6 +259,7 @@ impl Ledger {
         self.stall_deferrals = 0;
         self.stall_retry_aborts = 0;
         self.collapsed_grants = 0;
+        self.stale_epoch_grants = 0;
     }
 }
 
@@ -355,7 +372,7 @@ mod tests {
         l.set_faults(vec![FaultWindow { start: 0, end: 10_000 }], vec![]);
         let done = l.grant(5_000, AccessKind::Read, Pattern::Seq, 64);
         assert!(done >= 10_000, "grant inside stall must defer: {done}");
-        let (deferrals, aborts, _) = l.fault_counters();
+        let (deferrals, aborts, _, _) = l.fault_counters();
         assert_eq!(deferrals, 1);
         assert_eq!(aborts, 0);
         // Outside the window nothing happens.
@@ -378,7 +395,7 @@ mod tests {
         l.set_faults(windows, vec![]);
         let done = l.grant(0, AccessKind::Read, Pattern::Seq, 64);
         assert!(done >= last_end, "abort path must clear every window");
-        let (deferrals, aborts, _) = l.fault_counters();
+        let (deferrals, aborts, _, _) = l.fault_counters();
         assert_eq!(deferrals, u64::from(STALL_RETRY_LIMIT));
         assert_eq!(aborts, 1);
     }
@@ -397,7 +414,44 @@ mod tests {
             collapsed > 3 * base,
             "collapsed {collapsed} vs base {base}"
         );
-        let (_, _, inflated) = l2.fault_counters();
+        let (_, _, inflated, _) = l2.fault_counters();
         assert_eq!(inflated, 1);
+    }
+
+    #[test]
+    fn stale_epoch_access_clamps_to_the_ledger_base() {
+        // Regression: a replayed epoch older than the advanced base made
+        // `epoch - base_epoch` wrap (debug_assert panic in debug builds,
+        // a multi-gigabyte VecDeque growth loop in release builds).
+        let mut l = nvm_ledger();
+        l.grant(0, AccessKind::Read, Pattern::Seq, 64);
+        l.retire_before(10 * l.epoch_ns());
+        let u = l.epoch_use(3); // epoch 3 < base epoch 10
+        u.weighted += 1.0;
+        let (_, _, _, stale) = l.fault_counters();
+        assert_eq!(stale, 1);
+        // The charge landed on the base epoch's bucket.
+        assert!(l.epoch_use(10).weighted >= 1.0);
+    }
+
+    #[test]
+    fn stalled_request_replayed_across_a_base_advance_is_granted() {
+        // A request that was deferred by a stall window and then replayed
+        // after the minimum-clock retirement advanced the base must be
+        // granted at (or after) the base epoch, never panic or wrap.
+        let mut l = nvm_ledger();
+        l.set_faults(
+            vec![FaultWindow {
+                start: 0,
+                end: 2 * 50_000,
+            }],
+            vec![],
+        );
+        l.retire_before(10 * 50_000);
+        let done = l.grant(0, AccessKind::Write, Pattern::Rand, 4 << 10);
+        assert!(done >= 2 * 50_000, "deferred past the stall: {done}");
+        // Replaying the original (now pre-base) start time still works.
+        let done2 = l.grant(0, AccessKind::Write, Pattern::Rand, 4 << 10);
+        assert!(done2 >= done);
     }
 }

@@ -99,6 +99,10 @@ pub struct DeviceParams {
     /// weighted traffic in the current epoch. NVM uses a large `k` —
     /// this single knob produces the bandwidth collapse of Fig. 2b.
     pub interference: f64,
+    /// Whether the device retains drained data across a power failure.
+    /// Persistent devices get a durability ledger when the persistence
+    /// model is enabled; volatile devices never do.
+    pub persistent: bool,
 }
 
 impl DeviceParams {
@@ -118,6 +122,7 @@ impl DeviceParams {
             bw_thread_write: 8.0,
             bw_thread_write_nt: 12.0,
             interference: 0.25,
+            persistent: false,
         }
     }
 
@@ -137,6 +142,7 @@ impl DeviceParams {
             bw_thread_write: 1.6,
             bw_thread_write_nt: 4.6,
             interference: 1.55,
+            persistent: true,
         }
     }
 
@@ -163,6 +169,7 @@ impl DeviceParams {
             bw_thread_write: local.bw_thread_write * 0.6,
             bw_thread_write_nt: local.bw_thread_write_nt * 0.6,
             interference: local.interference * 1.3,
+            persistent: true,
         }
     }
 

@@ -66,6 +66,17 @@ pub enum DeviceFault {
         /// Active window.
         window: FaultWindow,
     },
+    /// The device's internal write-combining buffer stops draining
+    /// inside `window`: accepted XPLines pile up past the buffer
+    /// capacity and nothing new becomes durable until the window
+    /// closes. Only meaningful on persistent devices with the
+    /// durability ledger enabled; timing is unaffected.
+    WcDrainStall {
+        /// Affected device.
+        dev: DeviceId,
+        /// Active window.
+        window: FaultWindow,
+    },
 }
 
 impl DeviceFault {
@@ -74,7 +85,8 @@ impl DeviceFault {
         match *self {
             DeviceFault::LatencySpike { dev, .. }
             | DeviceFault::BandwidthCollapse { dev, .. }
-            | DeviceFault::Stall { dev, .. } => dev,
+            | DeviceFault::Stall { dev, .. }
+            | DeviceFault::WcDrainStall { dev, .. } => dev,
         }
     }
 
@@ -84,6 +96,7 @@ impl DeviceFault {
             DeviceFault::LatencySpike { .. } => "latency-spike",
             DeviceFault::BandwidthCollapse { .. } => "bandwidth-collapse",
             DeviceFault::Stall { .. } => "device-stall",
+            DeviceFault::WcDrainStall { .. } => "wc-drain-stall",
         }
     }
 }
@@ -122,12 +135,23 @@ pub struct FaultObservations {
     /// Grants that exhausted the bounded stall-retry budget and fell back
     /// to jumping past every scheduled stall window at once.
     pub stall_retry_aborts: u64,
+    /// Capacity drains of the write-combining buffer deferred by an open
+    /// drain-stall window.
+    pub wc_drain_stalls: u64,
+    /// Bandwidth-ledger epoch accesses that referenced an epoch older
+    /// than the advanced ledger base and were clamped to it.
+    pub stale_epoch_grants: u64,
 }
 
 impl FaultObservations {
     /// Sum of all counters; nonzero iff any fault fired.
     pub fn total(&self) -> u64 {
-        self.latency_spikes + self.collapsed_grants + self.stall_deferrals + self.stall_retry_aborts
+        self.latency_spikes
+            + self.collapsed_grants
+            + self.stall_deferrals
+            + self.stall_retry_aborts
+            + self.wc_drain_stalls
+            + self.stale_epoch_grants
     }
 }
 

@@ -44,6 +44,7 @@ pub mod bus;
 pub mod cache;
 pub mod device;
 pub mod fault;
+pub mod persist;
 pub mod prefetch;
 pub mod sampler;
 pub mod system;
@@ -52,6 +53,7 @@ pub use bus::Ledger;
 pub use cache::LlcModel;
 pub use device::{AccessKind, DeviceId, DeviceParams, Pattern};
 pub use fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
+pub use persist::{CrashImage, DurabilityLedger, PersistConfig, PersistStats};
 pub use prefetch::PrefetchTable;
 pub use sampler::{PhaseKind, TrafficSample, TrafficSampler};
 pub use system::{MemConfig, MemStats, MemorySystem};

@@ -1,0 +1,706 @@
+//! The persistence-order model: which stores are durable at time *t*.
+//!
+//! NVM stores are not durable the moment they complete. A store first
+//! dirties a line in the volatile cache hierarchy; an eviction or an
+//! explicit write-back hands the line to the device's internal
+//! write-combining buffer, which aggregates lines into 256 B *XPLines*
+//! (the internal write granularity the Optane characterization letters
+//! document); only when the device drains an XPLine to media does its
+//! data become durable. Non-temporal stores skip the volatile stage and
+//! land in the write-combining buffer directly — which is why the
+//! paper's NT write-back plus one fence is the fast path to durability.
+//!
+//! The [`DurabilityLedger`] tracks every written line through those
+//! three states for one device. It is pure bookkeeping: recording never
+//! changes the timing model, so enabling it cannot perturb simulated
+//! results — it only answers the question "if power failed *now*, which
+//! lines would the medium still hold?" via [`DurabilityLedger::crash_image`].
+//!
+//! Model decisions (see DESIGN.md, "Persistence-order model"):
+//!
+//! - **Capacity-driven drain with a reorder window.** The buffer drains
+//!   when it exceeds its XPLine capacity; the drained XPLine is chosen
+//!   deterministically (seeded splitmix64) among the oldest
+//!   `reorder_window` buffered XPLines, so acceptance order and
+//!   durability order can legally diverge — the reordering a crash-time
+//!   oracle must tolerate.
+//! - **Ever-drained durability.** Once a line has drained, the medium
+//!   holds *a* version of it forever (possibly stale after re-stores).
+//!   A crash image therefore loses only lines that have *never* been
+//!   drained; this is what makes the durable set monotone.
+//! - **Torn XPLines.** At a crash, the XPLine at the front of the
+//!   buffer may be mid-drain: a deterministic choice keeps a strict
+//!   prefix of its never-drained lines and discards the rest, modeling
+//!   a torn 256 B internal write.
+
+use crate::fault::{splitmix64, FaultWindow};
+use crate::{Ns, CACHE_LINE};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Bytes per device-internal XPLine (the 256 B write granularity).
+pub const XPLINE_BYTES: u64 = 256;
+
+/// Configuration of the persistence-order model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistConfig {
+    /// Whether durability tracking is active at all. Off by default:
+    /// the ledger exists for crash-fault runs, not for timing sweeps.
+    pub enabled: bool,
+    /// Capacity of the device write-combining buffer, in XPLines.
+    pub wc_xplines: usize,
+    /// How many of the oldest buffered XPLines are eligible for the next
+    /// drain (1 = strict FIFO; larger windows permit reordering).
+    pub reorder_window: usize,
+    /// Modeled dirty-line capacity of the volatile store path (cache
+    /// hierarchy) feeding this device, in cache lines.
+    pub volatile_lines: usize,
+    /// Seed for the deterministic drain-choice / torn-line streams.
+    pub seed: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            enabled: false,
+            wc_xplines: 64,
+            reorder_window: 4,
+            volatile_lines: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// How a line reached durability, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRec {
+    /// Watermark time at which the line first drained to media.
+    pub first_at: Ns,
+    /// Whether the first drain came from a non-temporal store.
+    pub via_nt: bool,
+}
+
+/// One buffered XPLine: which of its lines are dirty, and which of
+/// those arrived via NT stores.
+#[derive(Debug, Clone, Copy, Default)]
+struct XpEntry {
+    mask: u8,
+    nt_mask: u8,
+}
+
+/// Counters describing ledger activity (reported with fault results).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Lines recorded through the volatile store path.
+    pub stores: u64,
+    /// Lines recorded as non-temporal stores.
+    pub nt_stores: u64,
+    /// Lines moved volatile → accepted by capacity eviction.
+    pub evictions: u64,
+    /// XPLines drained to media.
+    pub drained_xplines: u64,
+    /// Lines made durable.
+    pub drained_lines: u64,
+    /// Capacity drains skipped because an injected write-combining
+    /// drain stall was open (the buffer grows past its capacity).
+    pub wc_drain_stalls: u64,
+}
+
+/// What the medium would hold if power failed at the snapshot instant.
+///
+/// All non-durable lines are discarded; the XPLine at the front of the
+/// write-combining buffer may be torn (a strict prefix of its fresh
+/// lines survives). Snapshots are non-destructive: taking one never
+/// changes ledger state, so an oracle check cannot perturb the run.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    lines: BTreeMap<u64, LineRec>,
+    meta: BTreeMap<u64, Ns>,
+    /// Lines written but absent from the image (lost to the failure).
+    pub discarded_lines: u64,
+    /// Lines lost specifically from the torn front XPLine.
+    pub torn_lines: u64,
+}
+
+impl CrashImage {
+    /// Whether the line containing `addr` is durable in the image.
+    pub fn line_durable(&self, addr: u64) -> bool {
+        self.lines.contains_key(&(addr & !(CACHE_LINE - 1)))
+    }
+
+    /// Number of durable lines in the image.
+    pub fn durable_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Durable lines inside `[start, start + len)`, with their records.
+    pub fn durable_lines_in(
+        &self,
+        start: u64,
+        len: u64,
+    ) -> impl Iterator<Item = (u64, LineRec)> + '_ {
+        self.lines
+            .range(start..start.saturating_add(len))
+            .map(|(&a, &r)| (a, r))
+    }
+
+    /// Watermark at which metadata record `key` was persisted, if it was.
+    pub fn meta_at(&self, key: u64) -> Option<Ns> {
+        self.meta.get(&key).copied()
+    }
+}
+
+/// Per-device durability ledger (see the module docs).
+#[derive(Debug)]
+pub struct DurabilityLedger {
+    cfg: PersistConfig,
+    /// Latest simulated time any recorded operation carried. Worker
+    /// clocks are not globally monotone, so this is a max-watermark.
+    watermark: Ns,
+    /// Volatile dirty lines, FIFO for eviction. The queue may hold
+    /// stale entries (membership is authoritative; see `volatile_set`).
+    volatile_queue: VecDeque<u64>,
+    volatile_set: BTreeSet<u64>,
+    /// Write-combining buffer: XPLine base address → dirty-line masks.
+    accepted: BTreeMap<u64, XpEntry>,
+    /// Acceptance order of XPLines (lazily pruned of drained entries).
+    accept_queue: VecDeque<u64>,
+    /// Ever-drained lines (line base address → first-drain record).
+    durable: BTreeMap<u64, LineRec>,
+    /// Every line ever accepted by the device buffer.
+    ever_accepted: BTreeSet<u64>,
+    /// Persisted metadata records (key → persist watermark).
+    meta: BTreeMap<u64, Ns>,
+    /// Injected write-combining drain-stall windows.
+    stall_windows: Vec<FaultWindow>,
+    drain_rng: u64,
+    stats: PersistStats,
+}
+
+impl DurabilityLedger {
+    /// Creates a ledger for one device.
+    pub fn new(cfg: PersistConfig) -> Self {
+        let drain_rng = cfg.seed ^ 0xD01A_B1E5;
+        DurabilityLedger {
+            cfg,
+            watermark: 0,
+            volatile_queue: VecDeque::new(),
+            volatile_set: BTreeSet::new(),
+            accepted: BTreeMap::new(),
+            accept_queue: VecDeque::new(),
+            durable: BTreeMap::new(),
+            ever_accepted: BTreeSet::new(),
+            meta: BTreeMap::new(),
+            stall_windows: Vec::new(),
+            drain_rng,
+            stats: PersistStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PersistConfig {
+        &self.cfg
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PersistStats {
+        self.stats
+    }
+
+    /// Installs injected write-combining drain-stall windows (replaces
+    /// any previous set).
+    pub fn set_stall_windows(&mut self, windows: Vec<FaultWindow>) {
+        self.stall_windows = windows;
+    }
+
+    /// Advances the ledger watermark (max over all recorded clocks).
+    pub fn advance(&mut self, now: Ns) {
+        self.watermark = self.watermark.max(now);
+    }
+
+    fn line_of(addr: u64) -> u64 {
+        addr & !(CACHE_LINE - 1)
+    }
+
+    fn xp_of(line: u64) -> u64 {
+        line & !(XPLINE_BYTES - 1)
+    }
+
+    fn bit_of(line: u64) -> u8 {
+        1u8 << ((line % XPLINE_BYTES) / CACHE_LINE)
+    }
+
+    /// Records regular (cacheable) stores over `[addr, addr + len)`.
+    pub fn record_store(&mut self, addr: u64, len: u64, now: Ns) {
+        self.advance(now);
+        let mut line = Self::line_of(addr);
+        let end = addr + len.max(1);
+        while line < end {
+            self.stats.stores += 1;
+            if self.volatile_set.insert(line) {
+                self.volatile_queue.push_back(line);
+            }
+            line += CACHE_LINE;
+        }
+        self.evict_volatile_overflow();
+    }
+
+    /// Records non-temporal stores over `[addr, addr + len)`: lines go
+    /// straight to the device buffer, superseding any volatile copy.
+    pub fn record_nt_store(&mut self, addr: u64, len: u64, now: Ns) {
+        self.advance(now);
+        let mut line = Self::line_of(addr);
+        let end = addr + len.max(1);
+        while line < end {
+            self.stats.nt_stores += 1;
+            self.volatile_set.remove(&line);
+            self.accept(line, true);
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Records an explicit write-back (CLWB-like) of `[addr, addr +
+    /// len)`: volatile lines in the range are handed to the device
+    /// buffer. Lines with no volatile copy are unaffected.
+    pub fn write_back(&mut self, addr: u64, len: u64, now: Ns) {
+        self.advance(now);
+        let mut line = Self::line_of(addr);
+        let end = addr + len.max(1);
+        while line < end {
+            if self.volatile_set.remove(&line) {
+                self.accept(line, false);
+            }
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Persists a small metadata record under `key` (synchronous: the
+    /// record is durable at the current watermark). Overwrites any
+    /// previous record for the key.
+    pub fn persist_meta(&mut self, key: u64, now: Ns) {
+        self.advance(now);
+        self.meta.insert(key, self.watermark);
+    }
+
+    /// Drains every buffered XPLine to media (the cycle-end fence: on
+    /// ADR hardware, everything the device buffer accepted before the
+    /// fence reaches the medium even across a power failure). Volatile
+    /// lines are *not* affected — a fence does not flush caches.
+    pub fn drain_all(&mut self, now: Ns) {
+        self.advance(now);
+        while let Some(xp) = self.accept_queue.pop_front() {
+            if let Some(entry) = self.accepted.remove(&xp) {
+                self.drain_entry(xp, entry);
+            }
+        }
+        debug_assert!(self.accepted.is_empty());
+    }
+
+    /// Forgets all state for `[start, start + len)` — the range was
+    /// recycled (region freed), so a later incarnation must not inherit
+    /// this life's durability.
+    pub fn forget_range(&mut self, start: u64, len: u64) {
+        let end = start.saturating_add(len);
+        let lines: Vec<u64> = self
+            .volatile_set
+            .range(start..end)
+            .copied()
+            .collect();
+        for line in lines {
+            self.volatile_set.remove(&line);
+        }
+        let xps: Vec<u64> = self
+            .accepted
+            .range(Self::xp_of(start)..end)
+            .map(|(&xp, _)| xp)
+            .collect();
+        for xp in xps {
+            let entry = self.accepted.get_mut(&xp).expect("just listed");
+            for i in 0..(XPLINE_BYTES / CACHE_LINE) as u8 {
+                let line = xp + u64::from(i) * CACHE_LINE;
+                if line >= start && line < end {
+                    entry.mask &= !(1 << i);
+                    entry.nt_mask &= !(1 << i);
+                }
+            }
+            if entry.mask == 0 {
+                self.accepted.remove(&xp);
+            }
+        }
+        let durable: Vec<u64> = self.durable.range(start..end).map(|(&l, _)| l).collect();
+        for line in durable {
+            self.durable.remove(&line);
+        }
+        let accepted: Vec<u64> = self.ever_accepted.range(start..end).copied().collect();
+        for line in accepted {
+            self.ever_accepted.remove(&line);
+        }
+    }
+
+    /// The set of durable line addresses (ever-drained lines).
+    pub fn durable_set(&self) -> BTreeSet<u64> {
+        self.durable.keys().copied().collect()
+    }
+
+    /// Every line ever accepted by the device buffer.
+    pub fn ever_accepted(&self) -> &BTreeSet<u64> {
+        &self.ever_accepted
+    }
+
+    /// Lines currently buffered (volatile or accepted), i.e. written
+    /// but not yet durable.
+    pub fn pending_lines(&self) -> u64 {
+        let accepted: u32 = self.accepted.values().map(|e| e.mask.count_ones()).sum();
+        self.volatile_set.len() as u64 + u64::from(accepted)
+    }
+
+    fn evict_volatile_overflow(&mut self) {
+        while self.volatile_set.len() > self.cfg.volatile_lines {
+            match self.volatile_queue.pop_front() {
+                Some(line) => {
+                    if self.volatile_set.remove(&line) {
+                        self.stats.evictions += 1;
+                        self.accept(line, false);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn accept(&mut self, line: u64, via_nt: bool) {
+        self.ever_accepted.insert(line);
+        let xp = Self::xp_of(line);
+        let bit = Self::bit_of(line);
+        let entry = self.accepted.entry(xp).or_insert_with(|| {
+            self.accept_queue.push_back(xp);
+            XpEntry::default()
+        });
+        entry.mask |= bit;
+        if via_nt {
+            entry.nt_mask |= bit;
+        }
+        while self.accepted.len() > self.cfg.wc_xplines {
+            if !self.drain_one() {
+                break;
+            }
+        }
+    }
+
+    /// Drains one XPLine chosen among the `reorder_window` oldest live
+    /// buffered entries. Returns false when nothing can drain (empty
+    /// buffer or an open injected drain stall).
+    fn drain_one(&mut self) -> bool {
+        if self
+            .stall_windows
+            .iter()
+            .any(|w| w.contains(self.watermark))
+        {
+            self.stats.wc_drain_stalls += 1;
+            return false;
+        }
+        // Collect up to `reorder_window` live (still-buffered) XPLines
+        // in acceptance order, pruning dead queue entries at the front.
+        while let Some(&xp) = self.accept_queue.front() {
+            if self.accepted.contains_key(&xp) {
+                break;
+            }
+            self.accept_queue.pop_front();
+        }
+        let window = self.cfg.reorder_window.max(1);
+        let mut candidates: Vec<(usize, u64)> = Vec::with_capacity(window);
+        for (i, &xp) in self.accept_queue.iter().enumerate() {
+            if self.accepted.contains_key(&xp) {
+                candidates.push((i, xp));
+                if candidates.len() == window {
+                    break;
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let pick = (splitmix64(&mut self.drain_rng) % candidates.len() as u64) as usize;
+        let (qi, xp) = candidates[pick];
+        self.accept_queue.remove(qi);
+        let entry = self.accepted.remove(&xp).expect("candidate is live");
+        self.drain_entry(xp, entry);
+        true
+    }
+
+    fn drain_entry(&mut self, xp: u64, entry: XpEntry) {
+        self.stats.drained_xplines += 1;
+        for i in 0..(XPLINE_BYTES / CACHE_LINE) as u8 {
+            if entry.mask & (1 << i) == 0 {
+                continue;
+            }
+            let line = xp + u64::from(i) * CACHE_LINE;
+            let via_nt = entry.nt_mask & (1 << i) != 0;
+            self.durable.entry(line).or_insert(LineRec {
+                first_at: self.watermark,
+                via_nt,
+            });
+            self.stats.drained_lines += 1;
+        }
+    }
+
+    /// Snapshots what the medium would hold if power failed now.
+    ///
+    /// Non-destructive. Every ever-drained line survives (the medium
+    /// holds *some* version of it); the front buffered XPLine may be
+    /// torn: a deterministic strict prefix of its never-drained lines
+    /// is kept, at least one is lost.
+    pub fn crash_image(&self) -> CrashImage {
+        let mut lines = self.durable.clone();
+        let mut discarded = 0u64;
+        let mut torn = 0u64;
+
+        // The XPLine at the buffer front may be mid-drain when power
+        // fails: a prefix of its fresh (never-drained) lines made it.
+        let front = self
+            .accept_queue
+            .iter()
+            .find(|xp| self.accepted.contains_key(xp))
+            .copied();
+        if let Some(xp) = front {
+            let entry = self.accepted[&xp];
+            let fresh: Vec<(u64, bool)> = (0..(XPLINE_BYTES / CACHE_LINE) as u8)
+                .filter(|&i| entry.mask & (1 << i) != 0)
+                .map(|i| {
+                    (
+                        xp + u64::from(i) * CACHE_LINE,
+                        entry.nt_mask & (1 << i) != 0,
+                    )
+                })
+                .filter(|(line, _)| !self.durable.contains_key(line))
+                .collect();
+            if !fresh.is_empty() {
+                // One-shot stream derived from the crash instant; the
+                // drain RNG itself is never consumed, so snapshotting
+                // cannot perturb later drains.
+                let mut rng = self.cfg.seed
+                    ^ self.watermark.rotate_left(17)
+                    ^ xp
+                    ^ (self.stats.drained_xplines << 32);
+                let keep = (splitmix64(&mut rng) % fresh.len() as u64) as usize;
+                for &(line, via_nt) in &fresh[..keep] {
+                    lines.insert(
+                        line,
+                        LineRec {
+                            first_at: self.watermark,
+                            via_nt,
+                        },
+                    );
+                }
+                if keep > 0 {
+                    torn += 1;
+                }
+                discarded += (fresh.len() - keep) as u64;
+            }
+        }
+
+        // Everything else that never drained is gone: remaining
+        // accepted lines plus all volatile lines (unless an earlier
+        // version already drained — ever-drained durability).
+        for (&xp, entry) in &self.accepted {
+            if Some(xp) == front {
+                continue;
+            }
+            for i in 0..(XPLINE_BYTES / CACHE_LINE) as u8 {
+                if entry.mask & (1 << i) == 0 {
+                    continue;
+                }
+                let line = xp + u64::from(i) * CACHE_LINE;
+                if !lines.contains_key(&line) {
+                    discarded += 1;
+                }
+            }
+        }
+        for &line in &self.volatile_set {
+            if !lines.contains_key(&line) {
+                discarded += 1;
+            }
+        }
+
+        CrashImage {
+            lines,
+            meta: self.meta.clone(),
+            discarded_lines: discarded,
+            torn_lines: torn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DurabilityLedger {
+        DurabilityLedger::new(PersistConfig {
+            enabled: true,
+            wc_xplines: 2,
+            reorder_window: 2,
+            volatile_lines: 4,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn stores_stay_volatile_until_evicted() {
+        let mut l = small();
+        l.record_store(0x1000, 64, 10);
+        assert_eq!(l.pending_lines(), 1);
+        assert!(l.durable_set().is_empty());
+        assert!(l.ever_accepted().is_empty());
+        // Fill past the volatile capacity: the oldest line is accepted.
+        for i in 1..=4u64 {
+            l.record_store(0x1000 + i * 0x1000, 64, 10 + i);
+        }
+        assert_eq!(l.stats().evictions, 1);
+        assert!(l.ever_accepted().contains(&0x1000));
+    }
+
+    #[test]
+    fn nt_stores_bypass_the_volatile_path() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 256, 5);
+        assert_eq!(l.ever_accepted().len(), 4);
+        assert_eq!(l.stats().evictions, 0);
+        // One XPLine buffered, capacity 2: nothing drained yet.
+        assert!(l.durable_set().is_empty());
+        l.record_nt_store(0x3000, 256, 6);
+        l.record_nt_store(0x4000, 256, 7);
+        // Third XPLine exceeds capacity: one drains.
+        assert_eq!(l.stats().drained_xplines, 1);
+        assert_eq!(l.durable_set().len(), 4);
+    }
+
+    #[test]
+    fn write_back_promotes_only_volatile_lines() {
+        let mut l = small();
+        l.record_store(0x1000, 128, 1);
+        l.write_back(0x1000, 64, 2);
+        assert!(l.ever_accepted().contains(&0x1000));
+        assert!(!l.ever_accepted().contains(&0x1040));
+        // Write-back of an unwritten range is a no-op.
+        l.write_back(0x9000, 4096, 3);
+        assert_eq!(l.ever_accepted().len(), 1);
+    }
+
+    #[test]
+    fn drain_all_makes_every_accepted_line_durable() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 512, 5);
+        l.record_store(0x8000, 64, 6);
+        l.drain_all(7);
+        let durable = l.durable_set();
+        assert_eq!(durable.len(), 8, "all NT lines durable");
+        assert!(!durable.contains(&0x8000), "volatile line unaffected");
+    }
+
+    #[test]
+    fn ever_drained_lines_survive_re_stores() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 256, 1);
+        l.drain_all(2);
+        assert!(l.durable_set().contains(&0x2000));
+        // Re-store the line: it re-enters the volatile path but the
+        // medium still holds the old version.
+        l.record_store(0x2000, 64, 3);
+        let img = l.crash_image();
+        assert!(img.line_durable(0x2000));
+        // The re-stored volatile copy is not counted discarded (a stale
+        // durable version exists).
+        assert_eq!(img.discarded_lines, 0);
+    }
+
+    #[test]
+    fn crash_image_discards_volatile_and_unbuffered_lines() {
+        let mut l = small();
+        l.record_store(0x1000, 64, 1);
+        let img = l.crash_image();
+        assert_eq!(img.discarded_lines, 1);
+        assert!(!img.line_durable(0x1000));
+    }
+
+    #[test]
+    fn crash_image_is_non_destructive_and_deterministic() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 1024, 5);
+        l.record_store(0x7000, 192, 6);
+        let a = l.crash_image();
+        let b = l.crash_image();
+        assert_eq!(a.discarded_lines, b.discarded_lines);
+        assert_eq!(a.torn_lines, b.torn_lines);
+        assert_eq!(
+            a.durable_lines_in(0, u64::MAX).collect::<Vec<_>>(),
+            b.durable_lines_in(0, u64::MAX).collect::<Vec<_>>()
+        );
+        // And the ledger still drains as if never observed.
+        l.drain_all(7);
+        assert_eq!(l.durable_set().len(), 16);
+    }
+
+    #[test]
+    fn torn_front_xpline_loses_at_least_one_fresh_line() {
+        // Buffer several XPLines and snapshot: the front one may keep a
+        // strict prefix of its lines, never all of them.
+        let mut l = small();
+        l.record_nt_store(0x2000, 512, 5);
+        let img = l.crash_image();
+        let front_durable = (0..4)
+            .filter(|i| img.line_durable(0x2000 + i * 64))
+            .count();
+        assert!(front_durable < 4, "torn line must lose something");
+        assert!(img.discarded_lines >= 1);
+    }
+
+    #[test]
+    fn forget_range_clears_all_state_for_the_range() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 256, 1);
+        l.drain_all(2);
+        l.record_store(0x2000, 64, 3);
+        l.forget_range(0x2000, 256);
+        assert!(l.durable_set().is_empty());
+        assert!(l.ever_accepted().is_empty());
+        assert_eq!(l.pending_lines(), 0);
+        let img = l.crash_image();
+        assert_eq!(img.discarded_lines, 0);
+        assert!(!img.line_durable(0x2000));
+    }
+
+    #[test]
+    fn drain_stall_window_defers_capacity_drains() {
+        let mut l = small();
+        l.set_stall_windows(vec![FaultWindow { start: 0, end: 100 }]);
+        l.record_nt_store(0x2000, 1024, 5); // 4 XPLines > capacity 2
+        assert!(l.stats().wc_drain_stalls > 0);
+        assert!(l.durable_set().is_empty(), "stall blocked every drain");
+        // Past the window, the next accept drains the backlog.
+        l.record_nt_store(0x8000, 256, 200);
+        assert!(l.stats().drained_xplines > 0);
+    }
+
+    #[test]
+    fn meta_records_carry_their_persist_watermark() {
+        let mut l = small();
+        l.persist_meta(42, 1_000);
+        l.persist_meta(43, 500); // watermark is a max: stays at 1000
+        let img = l.crash_image();
+        assert_eq!(img.meta_at(42), Some(1_000));
+        assert_eq!(img.meta_at(43), Some(1_000));
+        assert_eq!(img.meta_at(44), None);
+    }
+
+    #[test]
+    fn line_durable_resolves_interior_addresses() {
+        let mut l = small();
+        l.record_nt_store(0x2000, 256, 1);
+        l.drain_all(2);
+        let img = l.crash_image();
+        assert!(img.line_durable(0x2000));
+        assert!(img.line_durable(0x2010), "mid-line address maps to line");
+        assert!(img.line_durable(0x20c0));
+        assert!(!img.line_durable(0x2100));
+    }
+}

@@ -10,6 +10,7 @@ use crate::bus::Ledger;
 use crate::cache::LlcModel;
 use crate::device::{AccessKind, DeviceId, DeviceParams, Pattern};
 use crate::fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
+use crate::persist::{CrashImage, DurabilityLedger, PersistConfig};
 use crate::prefetch::PrefetchTable;
 use crate::sampler::TrafficSampler;
 use crate::{Ns, CACHE_LINE};
@@ -36,6 +37,10 @@ pub struct MemConfig {
     pub dram: DeviceParams,
     /// NVM device parameters.
     pub nvm: DeviceParams,
+    /// Persistence-order model configuration. Only devices whose
+    /// parameters mark them [`persistent`](DeviceParams::persistent) get
+    /// a durability ledger, and only when `persist.enabled` is set.
+    pub persist: PersistConfig,
 }
 
 impl Default for MemConfig {
@@ -50,6 +55,7 @@ impl Default for MemConfig {
             fence_ns: 30.0,
             dram: DeviceParams::dram(),
             nvm: DeviceParams::optane(),
+            persist: PersistConfig::default(),
         }
     }
 }
@@ -88,6 +94,9 @@ pub struct MemorySystem {
     spikes: [Vec<(FaultWindow, f64)>; 2],
     /// Accesses whose latency an active spike inflated.
     latency_spikes: u64,
+    /// Durability ledgers for persistent devices (None when the
+    /// persistence model is disabled or the device is volatile).
+    persist: [Option<DurabilityLedger>; 2],
 }
 
 impl MemorySystem {
@@ -99,6 +108,12 @@ impl MemorySystem {
         ];
         let llc = LlcModel::new(cfg.llc_bytes);
         let sampler = TrafficSampler::new(cfg.sample_bin_ns);
+        let persist = [
+            (cfg.persist.enabled && cfg.dram.persistent)
+                .then(|| DurabilityLedger::new(cfg.persist.clone())),
+            (cfg.persist.enabled && cfg.nvm.persistent)
+                .then(|| DurabilityLedger::new(cfg.persist.clone())),
+        ];
         MemorySystem {
             cfg,
             ledgers,
@@ -108,6 +123,7 @@ impl MemorySystem {
             stats: MemStats::default(),
             spikes: [Vec::new(), Vec::new()],
             latency_spikes: 0,
+            persist,
         }
     }
 
@@ -117,6 +133,7 @@ impl MemorySystem {
     pub fn set_fault_plan(&mut self, plan: &MemFaultPlan) {
         let mut stalls: [Vec<FaultWindow>; 2] = [Vec::new(), Vec::new()];
         let mut collapses: [Vec<(FaultWindow, f64)>; 2] = [Vec::new(), Vec::new()];
+        let mut drain_stalls: [Vec<FaultWindow>; 2] = [Vec::new(), Vec::new()];
         self.spikes = [Vec::new(), Vec::new()];
         for ev in &plan.events {
             let di = ev.device().index();
@@ -128,10 +145,16 @@ impl MemorySystem {
                     collapses[di].push((window, factor));
                 }
                 DeviceFault::Stall { window, .. } => stalls[di].push(window),
+                DeviceFault::WcDrainStall { window, .. } => drain_stalls[di].push(window),
             }
         }
         for (di, (s, c)) in stalls.into_iter().zip(collapses).enumerate() {
             self.ledgers[di].set_faults(s, c);
+        }
+        for (di, d) in drain_stalls.into_iter().enumerate() {
+            if let Some(ledger) = &mut self.persist[di] {
+                ledger.set_stall_windows(d);
+            }
         }
         self.latency_spikes = 0;
     }
@@ -143,10 +166,14 @@ impl MemorySystem {
             ..FaultObservations::default()
         };
         for l in &self.ledgers {
-            let (deferrals, aborts, collapsed) = l.fault_counters();
+            let (deferrals, aborts, collapsed, stale) = l.fault_counters();
             obs.stall_deferrals += deferrals;
             obs.stall_retry_aborts += aborts;
             obs.collapsed_grants += collapsed;
+            obs.stale_epoch_grants += stale;
+        }
+        for p in self.persist.iter().flatten() {
+            obs.wc_drain_stalls += p.stats().wc_drain_stalls;
         }
         obs
     }
@@ -281,6 +308,9 @@ impl MemorySystem {
     pub fn write_word(&mut self, tid: usize, dev: DeviceId, addr: u64, now: Ns) -> Ns {
         let _ = tid;
         let hit = self.llc.access(addr);
+        if let Some(p) = &mut self.persist[dev.index()] {
+            p.record_store(addr, CACHE_LINE, now);
+        }
         let done = self.charge(dev, AccessKind::Write, Pattern::Rand, CACHE_LINE, now);
         if hit {
             now + self.cfg.llc_hit_ns as Ns
@@ -345,6 +375,9 @@ impl MemorySystem {
     /// the cache capacity (see [`LlcModel::install_range`]); under LRU
     /// only the tail of an over-capacity stream survives anyway.
     pub fn write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
+        if let Some(p) = &mut self.persist[dev.index()] {
+            p.record_store(addr, len, now);
+        }
         let done = self.charge(dev, AccessKind::Write, Pattern::Seq, len, now);
         self.llc.install_range(addr, len);
         self.finish(dev, AccessKind::Write, Pattern::Seq, len, now, done)
@@ -358,6 +391,9 @@ impl MemorySystem {
     /// so a later read of the written range must go to the device rather
     /// than hit leftover tags from the range's previous life.
     pub fn nt_write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
+        if let Some(p) = &mut self.persist[dev.index()] {
+            p.record_nt_store(addr, len, now);
+        }
         let done = self.charge(dev, AccessKind::NtWrite, Pattern::Seq, len, now);
         self.llc.invalidate_range(addr, len);
         self.finish(dev, AccessKind::NtWrite, Pattern::Seq, len, now, done)
@@ -403,6 +439,66 @@ impl MemorySystem {
     /// Invalidates cached lines for a recycled address range.
     pub fn invalidate_range(&mut self, start: u64, len: u64) {
         self.llc.invalidate_range(start, len);
+    }
+
+    /// Whether durability tracking is active for `dev`.
+    pub fn persist_enabled(&self, dev: DeviceId) -> bool {
+        self.persist[dev.index()].is_some()
+    }
+
+    /// Explicitly writes back `[addr, addr + len)` toward the device
+    /// (CLWB-like): volatile dirty lines in the range are handed to the
+    /// device's write-combining buffer. Timing is the caller's business
+    /// (the paper's flush paths already charge their traffic); this only
+    /// advances durability state, so it is free and a no-op when the
+    /// persistence model is off.
+    pub fn persist_write_back(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) {
+        if let Some(p) = &mut self.persist[dev.index()] {
+            p.write_back(addr, len, now);
+        }
+    }
+
+    /// Synchronously persists a small metadata record under `key`
+    /// (region allocation metadata ahead of its payload). Returns the
+    /// completion time: one fence when the model is active for `dev`,
+    /// `now` otherwise.
+    pub fn persist_meta(&mut self, dev: DeviceId, key: u64, now: Ns) -> Ns {
+        match &mut self.persist[dev.index()] {
+            Some(p) => {
+                p.persist_meta(key, now);
+                now + self.cfg.fence_ns as Ns
+            }
+            None => now,
+        }
+    }
+
+    /// Drains the device's entire write-combining buffer (the cycle-end
+    /// fence on ADR hardware: everything the buffer accepted before the
+    /// fence reaches the medium even across a power failure).
+    pub fn persist_drain_all(&mut self, dev: DeviceId, now: Ns) {
+        if let Some(p) = &mut self.persist[dev.index()] {
+            p.drain_all(now);
+        }
+    }
+
+    /// Forgets durability state for a recycled address range on every
+    /// tracked device (call alongside [`invalidate_range`](Self::invalidate_range)
+    /// when a region is freed).
+    pub fn persist_forget_range(&mut self, start: u64, len: u64) {
+        for p in self.persist.iter_mut().flatten() {
+            p.forget_range(start, len);
+        }
+    }
+
+    /// Snapshot of what `dev`'s medium would hold if power failed now.
+    /// `None` when the persistence model is inactive for the device.
+    pub fn crash_image(&self, dev: DeviceId) -> Option<CrashImage> {
+        self.persist[dev.index()].as_ref().map(|p| p.crash_image())
+    }
+
+    /// The durability ledger for `dev`, if active (test/inspection hook).
+    pub fn persist_ledger(&self, dev: DeviceId) -> Option<&DurabilityLedger> {
+        self.persist[dev.index()].as_ref()
     }
 }
 
@@ -564,6 +660,81 @@ mod tests {
         let n = m.bulk_read(DeviceId::Nvm, Pattern::Seq, 64, 0);
         assert!(n >= 50_000);
         assert_eq!(m.fault_observations().stall_deferrals, 1);
+    }
+
+    fn persist_sys() -> MemorySystem {
+        let mut cfg = MemConfig::default();
+        cfg.persist.enabled = true;
+        cfg.persist.seed = 11;
+        let mut m = MemorySystem::new(cfg);
+        m.set_threads(4);
+        m
+    }
+
+    #[test]
+    fn persistence_tracks_only_persistent_devices() {
+        let mut m = persist_sys();
+        assert!(m.persist_enabled(DeviceId::Nvm));
+        assert!(!m.persist_enabled(DeviceId::Dram));
+        m.nt_write_bulk(DeviceId::Nvm, 0x4000, 256, 0);
+        m.nt_write_bulk(DeviceId::Dram, 0x4000, 256, 0);
+        let img = m.crash_image(DeviceId::Nvm).unwrap();
+        assert!(img.discarded_lines + img.durable_lines() > 0);
+        assert!(m.crash_image(DeviceId::Dram).is_none());
+        // Disabled model: no ledger anywhere.
+        let m2 = sys();
+        assert!(!m2.persist_enabled(DeviceId::Nvm));
+    }
+
+    #[test]
+    fn persistence_tracking_never_changes_timing() {
+        let run = |mut m: MemorySystem| {
+            let mut t = 0;
+            t = m.write_word(0, DeviceId::Nvm, 0x100, t);
+            t = m.write_bulk(DeviceId::Nvm, 0x8000, 4096, t);
+            t = m.nt_write_bulk(DeviceId::Nvm, 0x10_000, 4096, t);
+            m.persist_drain_all(DeviceId::Nvm, t);
+            m.persist_forget_range(0x8000, 4096);
+            t
+        };
+        assert_eq!(run(sys()), run(persist_sys()));
+    }
+
+    #[test]
+    fn persist_meta_costs_one_fence_when_active() {
+        let mut m = persist_sys();
+        let done = m.persist_meta(DeviceId::Nvm, 7, 100);
+        assert_eq!(done, 100 + m.config().fence_ns as Ns);
+        // Inactive device: free no-op.
+        assert_eq!(m.persist_meta(DeviceId::Dram, 7, 100), 100);
+    }
+
+    #[test]
+    fn drain_all_then_crash_keeps_nt_lines() {
+        let mut m = persist_sys();
+        m.nt_write_bulk(DeviceId::Nvm, 0x4000, 4096, 10);
+        m.persist_drain_all(DeviceId::Nvm, 20);
+        let img = m.crash_image(DeviceId::Nvm).unwrap();
+        assert_eq!(img.durable_lines(), 64);
+        assert_eq!(img.discarded_lines, 0);
+    }
+
+    #[test]
+    fn wc_drain_stall_routes_to_the_persist_ledger() {
+        let mut m = persist_sys();
+        m.set_fault_plan(&MemFaultPlan {
+            events: vec![DeviceFault::WcDrainStall {
+                dev: DeviceId::Nvm,
+                window: FaultWindow {
+                    start: 0,
+                    end: 1_000_000,
+                },
+            }],
+        });
+        // Enough NT traffic to exceed the buffer capacity inside the
+        // stall window: drains defer and are counted.
+        m.nt_write_bulk(DeviceId::Nvm, 0, 256 * 128, 10);
+        assert!(m.fault_observations().wc_drain_stalls > 0);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property-based tests for the durability ledger (persistence-order
+//! model).
+//!
+//! For arbitrary interleavings of regular stores, non-temporal stores,
+//! explicit write-backs, metadata persists, and fence drains, the ledger
+//! must satisfy the persistence-order contract:
+//!
+//! - the durable set only ever grows (crash images are monotone in time),
+//! - the same seed replayed over the same operations produces the exact
+//!   same crash image at every intermediate crash point,
+//! - no line is durable without a preceding accepted write, and nothing
+//!   is accepted that was never written,
+//! - a fence (`drain_all`) makes every accepted line durable.
+
+use nvmgc_memsim::{DurabilityLedger, PersistConfig, CACHE_LINE};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One ledger operation: discriminant, address, length.
+type Op = (u8, u64, u64);
+
+/// Small capacities so arbitrary scripts actually overflow the volatile
+/// path and the write-combining buffer.
+fn cfg(seed: u64) -> PersistConfig {
+    PersistConfig {
+        enabled: true,
+        wc_xplines: 4,
+        reorder_window: 3,
+        volatile_lines: 8,
+        seed,
+    }
+}
+
+/// Applies `op` at time `now`; returns the set of lines it wrote.
+fn apply(l: &mut DurabilityLedger, op: Op, now: u64) -> BTreeSet<u64> {
+    let (kind, addr, len) = op;
+    let addr = addr % (1 << 16); // bounded range => overlapping lines
+    let len = (len % 1024).max(1);
+    let mut written = BTreeSet::new();
+    match kind % 5 {
+        0 => {
+            l.record_store(addr, len, now);
+            collect_lines(addr, len, &mut written);
+        }
+        1 => {
+            l.record_nt_store(addr, len, now);
+            collect_lines(addr, len, &mut written);
+        }
+        2 => l.write_back(addr, len, now),
+        3 => l.persist_meta(addr, now),
+        _ => l.drain_all(now),
+    }
+    written
+}
+
+fn collect_lines(addr: u64, len: u64, into: &mut BTreeSet<u64>) {
+    let first = addr & !(CACHE_LINE - 1);
+    let last = (addr + len - 1) & !(CACHE_LINE - 1);
+    let mut a = first;
+    while a <= last {
+        into.insert(a);
+        a += CACHE_LINE;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The durable set is monotone: once a line has drained it stays
+    /// durable forever. Every crash image contains at least the full
+    /// durable set of the instant it was taken (the torn front XPLine
+    /// may add crash-point-specific extra survivors on top).
+    #[test]
+    fn durable_set_is_monotone(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..80),
+    ) {
+        let mut l = DurabilityLedger::new(cfg(seed));
+        let mut prev: BTreeSet<u64> = BTreeSet::new();
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut l, op, (i as u64 + 1) * 100);
+            let cur = l.durable_set();
+            prop_assert!(
+                prev.is_subset(&cur),
+                "durable line vanished at op {i}: {:?}",
+                prev.difference(&cur).collect::<Vec<_>>()
+            );
+            let img = l.crash_image();
+            for &a in &cur {
+                prop_assert!(img.line_durable(a), "durable line missing from image");
+            }
+            prev = cur;
+        }
+    }
+
+    /// Same seed, same operations: byte-identical crash image at every
+    /// intermediate crash point (discarded/torn counts included).
+    #[test]
+    fn same_seed_same_crash_image_at_every_point(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..80),
+    ) {
+        let run = |ops: &[Op]| {
+            let mut l = DurabilityLedger::new(cfg(seed));
+            let mut images = Vec::new();
+            for (i, &op) in ops.iter().enumerate() {
+                apply(&mut l, op, (i as u64 + 1) * 100);
+                images.push(format!("{:?}", l.crash_image()));
+            }
+            images
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    /// Provenance: durable ⊆ ever-accepted ⊆ written. A line can only
+    /// become durable through an accepted write, and only written lines
+    /// are ever accepted.
+    #[test]
+    fn no_line_durable_without_an_accepted_write(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..80),
+    ) {
+        let mut l = DurabilityLedger::new(cfg(seed));
+        let mut written: BTreeSet<u64> = BTreeSet::new();
+        for (i, &op) in ops.iter().enumerate() {
+            written.extend(apply(&mut l, op, (i as u64 + 1) * 100));
+            let durable = l.durable_set();
+            let accepted = l.ever_accepted();
+            prop_assert!(durable.is_subset(accepted), "durable line never accepted");
+            prop_assert!(accepted.is_subset(&written), "accepted line never written");
+        }
+    }
+
+    /// A fence drains the write-combining buffer completely: afterwards
+    /// every ever-accepted line is durable and the crash image loses
+    /// only never-accepted (volatile) lines.
+    #[test]
+    fn drain_all_makes_every_accepted_line_durable(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..80),
+    ) {
+        let mut l = DurabilityLedger::new(cfg(seed));
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut l, op, (i as u64 + 1) * 100);
+        }
+        l.drain_all(1_000_000);
+        let durable = l.durable_set();
+        prop_assert_eq!(&durable, l.ever_accepted());
+        let img = l.crash_image();
+        prop_assert_eq!(img.torn_lines, 0, "nothing left to tear after a fence");
+        for &a in &durable {
+            prop_assert!(img.line_durable(a));
+        }
+    }
+}

@@ -309,7 +309,22 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
     let verify_runs = !cfg.gc.fault.is_empty();
 
     let mut heap = Heap::new(cfg.heap.clone(), cfg.spec.build_classes());
-    let mut mem = MemorySystem::new(cfg.mem.clone());
+    let mut mem_cfg = cfg.mem.clone();
+    // Power-failure faults need the durability ledger; enable it
+    // automatically and key its drain schedule to the fault seed so a
+    // plan replay reproduces the exact same crash images.
+    if cfg
+        .gc
+        .fault
+        .gc
+        .events
+        .iter()
+        .any(|e| matches!(e, nvmgc_core::GcFault::PowerFailure { .. }))
+    {
+        mem_cfg.persist.enabled = true;
+        mem_cfg.persist.seed = cfg.gc.fault.seed;
+    }
+    let mut mem = MemorySystem::new(mem_cfg);
     let threads = cfg.gc.threads.max(1);
     mem.set_threads(threads + 1);
     mem.set_fault_plan(&cfg.gc.fault.mem);
