@@ -1,0 +1,158 @@
+//! Trace-layer harness — not a paper figure, the observability artifact.
+//!
+//! Runs page-rank under a Moderate fault-injection plan (device windows,
+//! a write-cache drain stall, a power-failure probe that switches the
+//! persistence model on) with tracing enabled, once per collector
+//! configuration, and exports:
+//!
+//! - a chrome://tracing document per cell (per-worker GC sub-phase spans,
+//!   whole-cycle spans, mutator intervals, fault-window annotations and
+//!   persistence fences, all in simulated time);
+//! - the paper's Fig. 2-style bandwidth-over-time table, one row per
+//!   sampler bin, with the overlapping trace events folded into a marks
+//!   column — the write-share collapse is visible directly in the rows.
+//!
+//! Everything is a pure function of the seed: `results/trace_timeline.json`
+//! is byte-identical across repeated runs and any `NVMGC_JOBS` value (the
+//! CI trace suite diffs two runs).
+
+use nvmgc_bench::{banner, results_dir, run_labeled_cells, seed, sized_config};
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_metrics::{
+    bandwidth_timeline, chrome_trace, timeline_rows, write_json, ChromeTrace, ExperimentReport,
+    TimelineRow,
+};
+use nvmgc_memsim::TraceCat;
+use nvmgc_workloads::{app, run_app};
+use serde::Serialize;
+
+/// Fault-schedule horizon, matching the `fault_matrix` sweep.
+const HORIZON_NS: u64 = 40_000_000;
+
+/// GC workers for the optimized cell: above the header-map activation
+/// threshold, like the fault matrix.
+const THREADS: usize = 12;
+
+#[derive(Serialize)]
+struct Cell {
+    config: String,
+    cycles: usize,
+    /// Total trace events recorded.
+    events: usize,
+    /// Fault-window annotations among them.
+    fault_events: usize,
+    /// Persistence fences/drains among them.
+    fence_events: usize,
+    bin_ms: f64,
+    timeline: Vec<TimelineRow>,
+    trace: ChromeTrace,
+}
+
+fn cell(config_name: &str, gc: GcConfig) -> Cell {
+    let mut cfg = sized_config(app("page-rank"), gc);
+    // Same reduced heap as the fault matrix: cheap enough to re-run twice
+    // in CI, large enough to hold the profile's live set.
+    cfg.heap.region_size = 32 << 10;
+    cfg.heap.heap_regions = 256;
+    cfg.heap.young_regions = 64;
+    let heap_bytes = cfg.heap_bytes();
+    if cfg.gc.write_cache.enabled && cfg.gc.write_cache.max_bytes != u64::MAX {
+        cfg.gc.write_cache.max_bytes = (heap_bytes / 32).max(cfg.heap.region_size as u64);
+    }
+    if cfg.gc.header_map.enabled {
+        cfg.gc.header_map.max_bytes = (heap_bytes / 32).max(1 << 20);
+    }
+    cfg.sample_series = true;
+    cfg.trace = true;
+    cfg.keep_gc_log = true;
+    cfg.gc.fault = FaultPlan::generate(seed(), Severity::Moderate, HORIZON_NS);
+    let r = run_app(&cfg).expect("trace run completes");
+    let fault_events = r.trace.iter().filter(|e| e.cat == TraceCat::Fault).count();
+    let fence_events = r.trace.iter().filter(|e| e.cat == TraceCat::Fence).count();
+    Cell {
+        config: config_name.to_owned(),
+        cycles: r.gc.cycles(),
+        events: r.trace.len(),
+        fault_events,
+        fence_events,
+        bin_ms: r.bin_ns as f64 / 1e6,
+        timeline: timeline_rows(&r.nvm_series, r.bin_ns, &r.trace),
+        trace: chrome_trace(&r.trace),
+    }
+}
+
+fn print_cell(c: &Cell) {
+    println!(
+        "--- {} — {} cycles, {} events ({} fault windows, {} fences) ---",
+        c.config, c.cycles, c.events, c.fault_events, c.fence_events
+    );
+    // First 40 bins are enough to show the shape.
+    let shown: Vec<TimelineRow> = c.timeline.iter().take(40).cloned().collect();
+    println!("{}", bandwidth_timeline(&shown).render());
+    // Shape check (paper Fig. 2 on NVM): bins dominated by writes carry
+    // less total bandwidth than read-dominated ones.
+    let total = |r: &TimelineRow| r.read_mbps + r.write_mbps;
+    let busy: Vec<&TimelineRow> = c.timeline.iter().filter(|r| total(r) > 0.0).collect();
+    let wavg = |rows: &[&TimelineRow]| {
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(|r| total(r)).sum::<f64>() / rows.len() as f64
+        }
+    };
+    let (hi, lo): (Vec<&TimelineRow>, Vec<&TimelineRow>) =
+        busy.into_iter().partition(|r| r.write_share > 0.5);
+    println!(
+        "shape check: write-heavy bins {:.0} MB/s vs read-heavy {:.0} MB/s ({})",
+        wavg(&hi),
+        wavg(&lo),
+        if wavg(&hi) < wavg(&lo) {
+            "write share collapses total bandwidth"
+        } else {
+            "no collapse — unexpected on NVM"
+        }
+    );
+    println!();
+}
+
+fn main() {
+    banner("trace_timeline", "trace layer (Fig. 2-style timeline)");
+    let roster: Vec<(String, GcConfig)> = vec![
+        ("vanilla".to_owned(), GcConfig::vanilla(4)),
+        ("+all".to_owned(), GcConfig::plus_all(THREADS, 0)),
+    ];
+    let cells = roster
+        .into_iter()
+        .map(|(name, gc)| {
+            let label = name.clone();
+            (label.clone(), move || cell(&label, gc))
+        })
+        .collect();
+    let (rows, stats) = run_labeled_cells(cells);
+    println!(
+        "runner: {} cells on {} job(s) in {:.2} s",
+        stats.cells, stats.jobs, stats.wall_seconds
+    );
+    println!();
+    for c in &rows {
+        print_cell(c);
+        assert!(c.fault_events > 0, "plan must annotate fault windows");
+    }
+    // Fences come from the persistence machinery (write-cache drains, NT
+    // stores), which the vanilla collector never touches — the optimized
+    // cell is the one that must stamp them.
+    let fences: usize = rows.iter().map(|c| c.fence_events).sum();
+    assert!(fences > 0, "persistence model must stamp fences");
+    let report = ExperimentReport {
+        id: "trace_timeline".to_owned(),
+        paper_ref: "trace layer (Fig. 2-style timeline)".to_owned(),
+        notes: format!(
+            "page-rank under a Moderate fault plan (seed {:#x}); deterministic across NVMGC_JOBS",
+            seed()
+        ),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+}

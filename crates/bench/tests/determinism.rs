@@ -7,8 +7,9 @@
 //! the JSON written under a results directory is byte-identical.
 
 use nvmgc_bench::run_cells_with;
+use nvmgc_core::fault::{FaultPlan, Severity};
 use nvmgc_core::GcConfig;
-use nvmgc_metrics::{write_json, ExperimentReport};
+use nvmgc_metrics::{chrome_trace, timeline_rows, write_json, ChromeTrace, ExperimentReport, TimelineRow};
 use nvmgc_workloads::{app, run_app, AppRunConfig};
 use serde::Serialize;
 
@@ -78,4 +79,65 @@ fn serial_and_parallel_runs_write_identical_json() {
     let serial_json = write_report("serial", serial);
     let parallel_json = write_report("parallel", parallel);
     assert_eq!(serial_json, parallel_json, "results JSON must be byte-identical");
+}
+
+#[derive(Serialize)]
+struct TraceCell {
+    config: String,
+    timeline: Vec<TimelineRow>,
+    trace: ChromeTrace,
+}
+
+/// Traced cells under a fault plan — the shape the `trace` harness
+/// exports. Tracing must not perturb runner determinism, and the event
+/// log itself (timestamps, order, annotations) must serialize to the
+/// same bytes at any job count.
+fn traced_grid() -> Vec<Box<dyn FnOnce() -> TraceCell + Send>> {
+    let mut cells: Vec<Box<dyn FnOnce() -> TraceCell + Send>> = Vec::new();
+    for (label, gc) in [
+        ("vanilla", GcConfig::vanilla(4)),
+        ("+all", GcConfig::plus_all(4, 0)),
+    ] {
+        cells.push(Box::new(move || {
+            let mut spec = app("page-rank");
+            spec.alloc_young_multiple = spec.alloc_young_multiple.min(3.0);
+            let mut cfg = AppRunConfig::standard(spec, gc);
+            cfg.heap.region_size = 16 << 10;
+            cfg.heap.heap_regions = 96;
+            cfg.heap.young_regions = 32;
+            cfg.sample_series = true;
+            cfg.trace = true;
+            cfg.gc.fault = FaultPlan::generate(0x5EED, Severity::Moderate, 40_000_000);
+            let res = run_app(&cfg).expect("run succeeds");
+            TraceCell {
+                config: label.to_owned(),
+                timeline: timeline_rows(&res.nvm_series, res.bin_ns, &res.trace),
+                trace: chrome_trace(&res.trace),
+            }
+        }));
+    }
+    cells
+}
+
+fn write_trace_report(tag: &str, data: Vec<TraceCell>) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("nvmgc_trace_determinism_{tag}"));
+    let report = ExperimentReport {
+        id: "trace_determinism".to_owned(),
+        paper_ref: "trace layer determinism check".to_owned(),
+        notes: "trace JSON must not depend on NVMGC_JOBS".to_owned(),
+        data,
+    };
+    let path = write_json(&dir, &report).expect("write report");
+    let bytes = std::fs::read(&path).expect("read report back");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+#[test]
+fn trace_json_is_identical_across_job_counts() {
+    let (serial, _) = run_cells_with(1, traced_grid());
+    let (parallel, _) = run_cells_with(2, traced_grid());
+    let serial_json = write_trace_report("serial", serial);
+    let parallel_json = write_trace_report("parallel", parallel);
+    assert_eq!(serial_json, parallel_json, "trace JSON must be byte-identical");
 }

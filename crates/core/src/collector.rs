@@ -27,7 +27,7 @@ use crate::stack::{Task, WorkPool};
 use crate::stats::GcStats;
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::{Addr, Header, Heap, HeapError, RegionId, RegionKind};
-use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern, TraceCat};
 use std::collections::VecDeque;
 
 /// Synthetic DRAM address base for the mutator root array.
@@ -212,6 +212,13 @@ pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
         if due {
             w.slots_since_flush_check = 0;
             let region = sh.cache.take_ready().expect("has_ready checked");
+            sh.mem.trace_mut().instant(
+                "async-flush",
+                TraceCat::Phase,
+                w.id as u32,
+                w.clock,
+                region as u64,
+            );
             w.flush = Some(FlushTask { region, cursor: 0 });
             flush_chunk(w, sh, true);
             return;
@@ -313,7 +320,14 @@ fn process_task(w: &mut Worker, sh: &mut CycleShared<'_>, task: Task) {
             let (v, t) = sh.gx().read_ref(id, a, clock);
             w.clock = t;
             if is_cache {
-                sh.cache.note_slot_done(sh.heap, rid);
+                if let Err((region, reason)) = sh.cache.note_slot_done(sh.heap, rid) {
+                    sh.error = Some(GcError::Oracle(oracle::OracleViolation::DrainOrder {
+                        region,
+                        reason,
+                    }));
+                    w.done = true;
+                    return;
+                }
             }
             (Some((a, rid)), v)
         }
@@ -397,7 +411,7 @@ fn copy_and_forward(
 
     let (copy, cached) = match copy_into_dest(w, sh, obj, size, promote) {
         Ok(pair) => pair,
-        Err(HeapError::OutOfRegions) => {
+        Err(GcError::Heap(HeapError::OutOfRegions)) => {
             // Evacuation failure: leave the object in place, self-forward
             // it (G1's handling), and retain its region at cycle end.
             w.stats.evac_failures += 1;
@@ -409,7 +423,7 @@ fn copy_and_forward(
             (obj, false)
         }
         Err(e) => {
-            sh.error = Some(GcError::Heap(e));
+            sh.error = Some(e);
             w.done = true;
             return None;
         }
@@ -626,7 +640,7 @@ fn copy_into_dest(
     obj: Addr,
     size: u32,
     promote: bool,
-) -> Result<(Addr, bool), HeapError> {
+) -> Result<(Addr, bool), GcError> {
     if promote {
         let region = promo_region(w, sh)?;
         if let Some(copy) = do_copy(w, sh, obj, region) {
@@ -673,7 +687,7 @@ fn g1_survivor_copy(
     sh: &mut CycleShared<'_>,
     obj: Addr,
     size: u32,
-) -> Result<(Addr, bool), HeapError> {
+) -> Result<(Addr, bool), GcError> {
     // Try the worker's cache region first.
     if sh.cache.enabled() {
         loop {
@@ -713,9 +727,9 @@ fn g1_survivor_copy(
         w.survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
         w.clock += REGION_SYNC_NS;
         if sh.heap.region(w.survivor.expect("just set")).capacity() < size {
-            return Err(HeapError::ObjectTooLarge {
+            return Err(GcError::Heap(HeapError::ObjectTooLarge {
                 size: size as usize,
-            });
+            }));
         }
     }
 }
@@ -726,7 +740,7 @@ fn ps_survivor_copy(
     sh: &mut CycleShared<'_>,
     obj: Addr,
     size: u32,
-) -> Result<(Addr, bool), HeapError> {
+) -> Result<(Addr, bool), GcError> {
     // Direct (un-LAB'd, uncached) copy for large objects — PS copies these
     // straight to the target space, so the write cache cannot absorb them
     // (paper §4.4: only address-contiguous buffers are cached). Anything
@@ -734,9 +748,9 @@ fn ps_survivor_copy(
     let lab_bytes = sh.cfg.lab_bytes.min(sh.heap.config().region_size);
     if size >= sh.cfg.direct_copy_bytes || size > lab_bytes {
         if size > sh.heap.config().region_size {
-            return Err(HeapError::ObjectTooLarge {
+            return Err(GcError::Heap(HeapError::ObjectTooLarge {
                 size: size as usize,
-            });
+            }));
         }
         loop {
             if let Some(region) = sh.ps_shared_survivor {
@@ -774,7 +788,12 @@ fn ps_survivor_copy(
             let closed = *lab;
             w.lab = None;
             if closed.cached {
-                sh.cache.note_lab_closed(sh.heap, closed.region);
+                if let Err((region, reason)) = sh.cache.note_lab_closed(sh.heap, closed.region) {
+                    return Err(GcError::Oracle(oracle::OracleViolation::DrainOrder {
+                        region,
+                        reason,
+                    }));
+                }
             }
         }
         // Carve a new LAB from a shared (cache or survivor) region.
@@ -848,6 +867,9 @@ pub fn step_writeback(w: &mut Worker, sh: &mut CycleShared<'_>) {
         }
         None => {
             // One fence before GC ends covers all NT stores (paper §4.1).
+            sh.mem
+                .trace_mut()
+                .instant("fence", TraceCat::Fence, w.id as u32, w.clock, 0);
             w.clock = sh.mem.fence(w.clock);
             w.done = true;
         }

@@ -27,7 +27,7 @@ use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::{Addr, Heap, RegionId, RegionKind};
-use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind, TraceCat, TRACK_CYCLE};
 use std::collections::VecDeque;
 
 /// Result of one collection cycle.
@@ -127,6 +127,14 @@ impl G1Collector {
         );
         let threads = self.cfg.threads.max(1);
         let mark = marking::mark_heap(heap, mem, threads, roots, start)?;
+        mem.trace_mut().span(
+            "mark",
+            TraceCat::Phase,
+            TRACK_CYCLE,
+            start,
+            mark.end_ns,
+            self.run_stats.cycles() as u64,
+        );
 
         // Reclaim dead humongous regions immediately (G1's eager reclaim).
         let mut humongous_freed = 0u64;
@@ -193,6 +201,14 @@ impl G1Collector {
     ) -> Result<GcCycleOutcome, GcError> {
         let threads = self.cfg.threads.max(1);
         let mark = marking::mark_heap(heap, mem, threads, roots, start)?;
+        mem.trace_mut().span(
+            "mark",
+            TraceCat::Phase,
+            TRACK_CYCLE,
+            start,
+            mark.end_ns,
+            self.run_stats.cycles() as u64,
+        );
 
         let mut humongous_freed = 0u64;
         let dead_humongous: Vec<RegionId> = heap
@@ -230,6 +246,7 @@ impl G1Collector {
         extra_old: &[RegionId],
     ) -> Result<GcCycleOutcome, GcError> {
         let threads = self.cfg.threads.max(1);
+        let cycle_idx = self.run_stats.cycles() as u64;
 
         // --- Collection set: every young region + selected old regions. ----
         let cset: Vec<RegionId> = heap
@@ -338,6 +355,14 @@ impl G1Collector {
             return Err(e);
         }
         debug_assert_eq!(sh.pool.outstanding(), 0);
+        // Per-worker phase spans: each worker's final clock under the
+        // engine's (clock, worker id) step order, so the emitted trace is
+        // identical at any host parallelism.
+        for (id, s, e) in engine::phase_spans(&workers, work_start) {
+            sh.mem
+                .trace_mut()
+                .span("scan", TraceCat::Phase, id as u32, s, e, cycle_idx);
+        }
 
         // Retire workers' still-open cache regions and queue everything
         // unflushed for write-back.
@@ -357,7 +382,13 @@ impl G1Collector {
         // stores to fence).
         let wb_end = if self.cfg.write_cache.enabled {
             engine::rebarrier(&mut workers, scan_end);
-            engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))?
+            let end = engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))?;
+            for (id, s, e) in engine::phase_spans(&workers, scan_end) {
+                sh.mem
+                    .trace_mut()
+                    .span("write-back", TraceCat::Phase, id as u32, s, e, cycle_idx);
+            }
+            end
         } else {
             scan_end
         };
@@ -378,7 +409,13 @@ impl G1Collector {
         let clear_end = if let Some(map) = self.hmap.as_ref() {
             collector::assign_clear_ranges(&mut workers, map.capacity());
             engine::rebarrier(&mut workers, wb_end);
-            engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))?
+            let end = engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))?;
+            for (id, s, e) in engine::phase_spans(&workers, wb_end) {
+                sh.mem
+                    .trace_mut()
+                    .span("map-clear", TraceCat::Phase, id as u32, s, e, cycle_idx);
+            }
+            end
         } else {
             wb_end
         };
@@ -456,6 +493,11 @@ impl G1Collector {
             sampler.mark_phase(scan_end, wb_end, PhaseKind::GcWriteBack);
         }
         sampler.mark_phase(start, clear_end, PhaseKind::Gc);
+        // The whole-cycle trace span: start/end are the exact interval the
+        // GC log records, which the trace determinism tests cross-check.
+        sh.mem
+            .trace_mut()
+            .span("cycle", TraceCat::Cycle, TRACK_CYCLE, start, clear_end, cycle_idx);
 
         // Allow the bandwidth ledgers to forget the distant past.
         sh.mem.retire_before(start.saturating_sub(1_000_000));

@@ -35,10 +35,29 @@ impl GcKind {
     }
 }
 
+/// One collection as recorded by the log, in machine-readable form.
+///
+/// The rendered lines are for human eyeballs; cross-checks (e.g. the
+/// trace layer's GC-log/span consistency test) use these entries, whose
+/// timestamps are exact simulated nanoseconds rather than rounded
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcLogEntry {
+    /// What kind of collection ran.
+    pub kind: GcKind,
+    /// Evacuation-pause start, simulated ns. For mixed/full collections
+    /// the stop-the-world mark precedes this point.
+    pub start: Ns,
+    /// Evacuation-pause end (`start + stats.pause_ns()`), simulated ns.
+    /// Identical to the end of the collector's `"cycle"` trace span.
+    pub end: Ns,
+}
+
 /// Accumulates human-readable log lines for a run.
 #[derive(Debug, Default)]
 pub struct GcLog {
     lines: Vec<String>,
+    entries: Vec<GcLogEntry>,
     cycle: usize,
 }
 
@@ -63,6 +82,12 @@ impl GcLog {
     ) {
         let id = self.cycle;
         self.cycle += 1;
+        let evac_start = start + stats.mark_ns;
+        self.entries.push(GcLogEntry {
+            kind,
+            start: evac_start,
+            end: evac_start + stats.pause_ns(),
+        });
         let at = (start + stats.pause_ns()) as f64 / 1e9;
         let mut line = String::new();
         let _ = write!(
@@ -80,11 +105,14 @@ impl GcLog {
                 stats.mark_ns as f64 / 1e6
             ));
         }
+        let named = stats.phases.named();
         self.lines.push(format!(
-            "[{at:.3}s] GC({id})   scan {:.2}ms, write-back {:.2}ms, map-clear {:.2}ms",
-            stats.phases.scan_ns as f64 / 1e6,
-            stats.phases.writeback_ns as f64 / 1e6,
-            stats.phases.clear_ns as f64 / 1e6
+            "[{at:.3}s] GC({id})   {}",
+            named
+                .iter()
+                .map(|(label, ns)| format!("{label} {:.2}ms", *ns as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         let mut detail = format!(
             "[{at:.3}s] GC({id})   copied {}K, promoted {}K, {} slots, {} steals",
@@ -108,6 +136,11 @@ impl GcLog {
     /// The rendered log lines.
     pub fn lines(&self) -> &[String] {
         &self.lines
+    }
+
+    /// The machine-readable per-collection entries, in cycle order.
+    pub fn entries(&self) -> &[GcLogEntry] {
+        &self.entries
     }
 
     /// Renders the whole log as one string.
@@ -176,5 +209,21 @@ mod tests {
         assert!(text.contains("2 humongous freed"));
         assert!(text.contains("3 evacuation failures"));
         assert!(text.contains("GC(1)"));
+    }
+
+    #[test]
+    fn entries_carry_exact_evacuation_intervals() {
+        let mut log = GcLog::new();
+        log.record(GcKind::Young, 1_000, &stats(), 7 << 20, 2 << 20);
+        let mut s = stats();
+        s.mark_ns = 500; // mixed: mark precedes the evacuation pause
+        log.record(GcKind::Mixed, 10_000, &s, 1 << 20, 1 << 19);
+        let e = log.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].kind, GcKind::Young);
+        assert_eq!(e[0].start, 1_000);
+        assert_eq!(e[0].end, 1_000 + stats().pause_ns());
+        assert_eq!(e[1].start, 10_500, "mark excluded from the evac pause");
+        assert_eq!(e[1].end, 10_500 + s.pause_ns());
     }
 }

@@ -21,6 +21,13 @@
 //! The collector front end is shared with G1 — construct a [`PsCollector`]
 //! via the `ps_*` presets of [`GcConfig`] or any config whose
 //! [`GcConfig::collector`] is [`CollectorKind::Ps`].
+//!
+//! Because the front end is shared, the trace/observability layer (the
+//! `"cycle"`, `"scan"`, `"write-back"` and `"map-clear"` spans emitted
+//! into [`nvmgc_memsim::TraceLog`]) covers PS runs with no extra wiring:
+//! a PS cycle traces exactly like a G1 cycle, including the LAB-close
+//! paths unique to PS, whose flush activity shows up as the same
+//! `"async-flush"`/`"fence"` events.
 
 use crate::config::{CollectorKind, GcConfig};
 use crate::g1::G1Collector;

@@ -21,6 +21,19 @@ impl GcPhaseTimes {
     pub fn total(&self) -> Ns {
         self.scan_ns + self.writeback_ns + self.clear_ns
     }
+
+    /// The sub-phases as `(label, duration)` pairs, in execution order.
+    ///
+    /// The labels are the canonical sub-phase names shared by the GC log
+    /// renderer and the trace layer's span events, so the two outputs can
+    /// be cross-checked mechanically.
+    pub fn named(&self) -> [(&'static str, Ns); 3] {
+        [
+            ("scan", self.scan_ns),
+            ("write-back", self.writeback_ns),
+            ("map-clear", self.clear_ns),
+        ]
+    }
 }
 
 /// Statistics for one young-GC cycle.

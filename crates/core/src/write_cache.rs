@@ -134,10 +134,26 @@ impl WriteCachePool {
     /// Reports that a pending slot in `region` was processed; enqueues the
     /// region for async flushing when it has become ready (retired, no
     /// pending slots, never stolen).
-    pub fn note_slot_done(&mut self, heap: &mut Heap, region: RegionId) {
+    ///
+    /// A decrement with no pending slot outstanding is rejected as a typed
+    /// error rather than debug-asserted: in release builds the old
+    /// assertion was silent and the `u32` counter wrapped to `u32::MAX`,
+    /// so the region's readiness condition (`pending_slots == 0`) could
+    /// never hold again — the region was never flushed and its DRAM
+    /// budget silently leaked for the rest of the run. The error carries
+    /// the offending region and the violated condition in the
+    /// [`check_drain_order`](Self::check_drain_order) format so callers
+    /// can surface it as an oracle violation.
+    pub fn note_slot_done(
+        &mut self,
+        heap: &mut Heap,
+        region: RegionId,
+    ) -> Result<(), (RegionId, &'static str)> {
         let retired = self.retired.contains(&region);
         let r = heap.region_mut(region);
-        debug_assert!(r.pending_slots > 0);
+        if r.pending_slots == 0 {
+            return Err((region, "it has no pending reference slots to retire"));
+        }
         r.pending_slots -= 1;
         if self.cfg.async_flush
             && retired
@@ -149,14 +165,26 @@ impl WriteCachePool {
         {
             self.ready.push_back(region);
         }
+        Ok(())
     }
 
     /// Reports that a PS local allocation buffer carved from `region` has
     /// been closed; the region may become flushable.
-    pub fn note_lab_closed(&mut self, heap: &mut Heap, region: RegionId) {
+    ///
+    /// Closing a LAB in a region with no open LABs is a typed error for
+    /// the same reason as in [`note_slot_done`](Self::note_slot_done):
+    /// the release-build wraparound would pin `open_labs` at `u32::MAX`
+    /// and leak the region's DRAM budget silently.
+    pub fn note_lab_closed(
+        &mut self,
+        heap: &mut Heap,
+        region: RegionId,
+    ) -> Result<(), (RegionId, &'static str)> {
         let retired = self.retired.contains(&region);
         let r = heap.region_mut(region);
-        debug_assert!(r.open_labs > 0);
+        if r.open_labs == 0 {
+            return Err((region, "it has no open LABs to close"));
+        }
         r.open_labs -= 1;
         if self.cfg.async_flush
             && retired
@@ -168,6 +196,7 @@ impl WriteCachePool {
         {
             self.ready.push_back(region);
         }
+        Ok(())
     }
 
     /// Marks a region retired from allocation (full); it may become
@@ -351,11 +380,11 @@ mod tests {
         let mut p = WriteCachePool::new(cfg(1 << 20, true));
         let (c, _) = p.alloc_pair(&mut h).unwrap();
         h.region_mut(c).pending_slots = 2;
-        p.note_slot_done(&mut h, c); // not retired yet
+        p.note_slot_done(&mut h, c).unwrap(); // not retired yet
         assert!(!p.has_ready());
         p.note_retired(&h, c); // retired but one slot pending
         assert!(!p.has_ready());
-        p.note_slot_done(&mut h, c); // pending now 0
+        p.note_slot_done(&mut h, c).unwrap(); // pending now 0
         assert!(p.has_ready());
         assert_eq!(p.take_ready(), Some(c));
         assert!(!p.has_ready());
@@ -369,7 +398,7 @@ mod tests {
         h.region_mut(c).pending_slots = 1;
         h.region_mut(c).stolen = true;
         p.note_retired(&h, c);
-        p.note_slot_done(&mut h, c);
+        p.note_slot_done(&mut h, c).unwrap();
         assert!(!p.has_ready());
         assert_eq!(p.unflushed(), vec![c], "still awaits final write-back");
     }
@@ -422,7 +451,31 @@ mod tests {
         let (c, _) = p.alloc_pair(&mut h).unwrap();
         h.region_mut(c).pending_slots = 1;
         p.note_retired(&h, c);
-        p.note_slot_done(&mut h, c);
+        p.note_slot_done(&mut h, c).unwrap();
         assert!(!p.has_ready());
+    }
+
+    #[test]
+    fn slot_underflow_is_a_typed_error_not_a_wrap() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        // No slot was ever registered: retiring one must not wrap to
+        // u32::MAX (which would make the region permanently unflushable).
+        let (region, reason) = p.note_slot_done(&mut h, c).unwrap_err();
+        assert_eq!(region, c);
+        assert!(reason.contains("pending"), "{reason}");
+        assert_eq!(h.region(c).pending_slots, 0, "counter untouched");
+    }
+
+    #[test]
+    fn lab_underflow_is_a_typed_error_not_a_wrap() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c, _) = p.alloc_pair(&mut h).unwrap();
+        let (region, reason) = p.note_lab_closed(&mut h, c).unwrap_err();
+        assert_eq!(region, c);
+        assert!(reason.contains("LAB"), "{reason}");
+        assert_eq!(h.region(c).open_labs, 0, "counter untouched");
     }
 }

@@ -65,6 +65,59 @@ fn flushing_a_foreign_region_is_rejected() {
     assert!(!reason.is_empty());
 }
 
+/// Retiring a pending slot that was never registered is a typed error —
+/// in release builds the old `debug_assert!` let the `u32` counter wrap
+/// to `u32::MAX`, so the `pending_slots == 0` readiness condition could
+/// never hold again and the region's DRAM budget silently leaked.
+#[test]
+fn slot_counter_underflow_returns_a_typed_error() {
+    let mut h = heap();
+    let mut p = pool(1 << 20);
+    let (c, _) = p.alloc_pair(&mut h).expect("pair");
+
+    let (region, reason) = p.note_slot_done(&mut h, c).expect_err("underflow rejected");
+    assert_eq!(region, c);
+    assert!(reason.contains("pending"), "{reason}");
+    assert_eq!(h.region(c).pending_slots, 0, "counter must not wrap");
+    assert!(p.check_drain_order(&h).is_ok(), "pool state stays consistent");
+
+    // The balanced sequence still works after the rejected call.
+    h.region_mut(c).pending_slots = 1;
+    p.note_slot_done(&mut h, c).expect("balanced decrement is fine");
+    assert_eq!(h.region(c).pending_slots, 0);
+}
+
+/// Closing a LAB in a region with no open LABs is the same underflow
+/// class: a wrapped `open_labs` pins the region unflushable forever.
+#[test]
+fn lab_counter_underflow_returns_a_typed_error() {
+    let mut h = heap();
+    let mut p = pool(1 << 20);
+    let (c, _) = p.alloc_pair(&mut h).expect("pair");
+
+    let (region, reason) = p.note_lab_closed(&mut h, c).expect_err("underflow rejected");
+    assert_eq!(region, c);
+    assert!(reason.contains("LAB"), "{reason}");
+    assert_eq!(h.region(c).open_labs, 0, "counter must not wrap");
+
+    h.region_mut(c).open_labs = 1;
+    p.note_lab_closed(&mut h, c).expect("balanced close is fine");
+    assert_eq!(h.region(c).open_labs, 0);
+}
+
+/// The underflow errors render as oracle violations exactly like the
+/// other drain-order failures, so the fault matrix stays greppable.
+#[test]
+fn underflow_violation_renders_like_a_drain_order_error() {
+    let mut h = heap();
+    let mut p = pool(1 << 20);
+    let (c, _) = p.alloc_pair(&mut h).expect("pair");
+    let (region, reason) = p.note_slot_done(&mut h, c).expect_err("underflow");
+    let text = GcError::Oracle(OracleViolation::DrainOrder { region, reason }).to_string();
+    assert!(text.contains("oracle violation"), "{text}");
+    assert!(text.contains(&format!("cache region {region}")), "{text}");
+}
+
 /// The drain-path error is surfaced to callers as an oracle violation;
 /// pin its rendering so logs and the fault matrix stay greppable.
 #[test]

@@ -90,6 +90,36 @@ impl Ledger {
         self.collapse_windows = collapses;
     }
 
+    /// Whether any injected fault window (stall or collapse) is
+    /// installed. Bulk callers use this as a fast path: with no windows
+    /// there is nothing to split a contiguous run against.
+    pub fn has_fault_windows(&self) -> bool {
+        !self.stall_windows.is_empty() || !self.collapse_windows.is_empty()
+    }
+
+    /// The earliest fault-window edge (start or end of a stall or
+    /// collapse window) strictly after `after`, if any.
+    ///
+    /// A grant samples stall deferral and the collapse factor only at its
+    /// start time, so a multi-epoch bulk transfer must be re-granted at
+    /// every window edge it crosses — otherwise a window opening (or
+    /// closing) mid-burst is invisible to it. This is the query the
+    /// splitting loop in `MemorySystem` iterates on.
+    pub fn next_fault_boundary(&self, after: Ns) -> Option<Ns> {
+        let stall_edges = self
+            .stall_windows
+            .iter()
+            .flat_map(|w| [w.start, w.end]);
+        let collapse_edges = self
+            .collapse_windows
+            .iter()
+            .flat_map(|(w, _)| [w.start, w.end]);
+        stall_edges
+            .chain(collapse_edges)
+            .filter(|&edge| edge > after)
+            .min()
+    }
+
     /// Fault-observation counters: `(stall_deferrals, stall_retry_aborts,
     /// collapsed_grants, stale_epoch_grants)`.
     pub fn fault_counters(&self) -> (u64, u64, u64, u64) {
@@ -432,6 +462,32 @@ mod tests {
         assert_eq!(stale, 1);
         // The charge landed on the base epoch's bucket.
         assert!(l.epoch_use(10).weighted >= 1.0);
+    }
+
+    #[test]
+    fn next_fault_boundary_walks_every_window_edge() {
+        let mut l = nvm_ledger();
+        assert!(!l.has_fault_windows());
+        assert_eq!(l.next_fault_boundary(0), None);
+        l.set_faults(
+            vec![FaultWindow {
+                start: 1_000,
+                end: 2_000,
+            }],
+            vec![(
+                FaultWindow {
+                    start: 1_500,
+                    end: 3_000,
+                },
+                4.0,
+            )],
+        );
+        assert!(l.has_fault_windows());
+        assert_eq!(l.next_fault_boundary(0), Some(1_000));
+        assert_eq!(l.next_fault_boundary(1_000), Some(1_500));
+        assert_eq!(l.next_fault_boundary(1_500), Some(2_000));
+        assert_eq!(l.next_fault_boundary(2_000), Some(3_000));
+        assert_eq!(l.next_fault_boundary(3_000), None);
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub use device::{AccessKind, DeviceId, DeviceParams, Pattern};
 pub use fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
 pub use persist::{CrashImage, DurabilityLedger, PersistConfig, PersistStats};
 pub use prefetch::PrefetchTable;
-pub use sampler::{PhaseKind, TrafficSample, TrafficSampler};
+pub use sampler::{
+    device_track, PhaseKind, TraceCat, TraceEvent, TraceLog, TrafficSample, TrafficSampler,
+    TRACK_CYCLE,
+};
 pub use system::{MemConfig, MemStats, MemorySystem};
 
 /// Simulated time in nanoseconds.

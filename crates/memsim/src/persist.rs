@@ -212,6 +212,24 @@ impl DurabilityLedger {
         self.stall_windows = windows;
     }
 
+    /// Whether any drain-stall window is installed.
+    pub fn has_stall_windows(&self) -> bool {
+        !self.stall_windows.is_empty()
+    }
+
+    /// The earliest drain-stall window edge strictly after `after`, if
+    /// any. Bulk store paths segment their recording at these edges so
+    /// the lines written inside a stall window are attributed to it —
+    /// a single whole-burst record carries only the burst's start time
+    /// and would bypass a window opening mid-burst.
+    pub fn next_stall_boundary(&self, after: Ns) -> Option<Ns> {
+        self.stall_windows
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .filter(|&edge| edge > after)
+            .min()
+    }
+
     /// Advances the ledger watermark (max over all recorded clocks).
     pub fn advance(&mut self, now: Ns) {
         self.watermark = self.watermark.max(now);

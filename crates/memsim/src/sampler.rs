@@ -10,6 +10,144 @@ use crate::device::{AccessKind, DeviceId};
 use crate::Ns;
 use serde::Serialize;
 
+/// Track id of whole-cycle (collection-level) trace spans.
+///
+/// Worker tracks use the worker id directly and the mutator uses the
+/// first id past the GC workers, so collection/device lanes live far
+/// above any plausible thread count.
+pub const TRACK_CYCLE: u32 = 1_000_000;
+
+/// Track id of device lane `dev` (fault windows, fences, bulk splits).
+pub fn device_track(dev: DeviceId) -> u32 {
+    TRACK_CYCLE + 1 + dev.index() as u32
+}
+
+/// Category of a trace event, used to group lanes in viewers and to
+/// filter in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceCat {
+    /// A whole stop-the-world collection (one span per cycle).
+    Cycle,
+    /// A per-worker GC sub-phase span (scan / write-back / map-clear /
+    /// mark).
+    Phase,
+    /// A mutator execution interval.
+    Mutator,
+    /// A persistence-order event (fence, metadata persist, cycle-end
+    /// drain).
+    Fence,
+    /// An injected-fault annotation (window span, bulk-grant split).
+    Fault,
+}
+
+/// One entry of the deterministic trace log.
+///
+/// Timestamps are *simulated* nanoseconds — never host time — so a trace
+/// is a pure function of the configuration and seed. Spans carry a
+/// nonzero `dur`; instants have `dur == 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Event start, simulated ns.
+    pub ts: Ns,
+    /// Span duration in ns (0 for instant events).
+    pub dur: Ns,
+    /// Lane: GC worker id, the mutator lane (one past the workers), or a
+    /// [`TRACK_CYCLE`]/[`device_track`] lane.
+    pub track: u32,
+    /// Static event label (e.g. `"scan"`, `"persist-drain"`).
+    pub name: &'static str,
+    /// Category lane grouping.
+    pub cat: TraceCat,
+    /// Numeric payload: cycle index, byte count, split offset — whatever
+    /// the emitting site documents.
+    pub arg: u64,
+}
+
+/// Deterministic span/instant event log — the reproduction's
+/// observability layer.
+///
+/// Disabled by default (recording costs memory); every recording method
+/// is a no-op until [`TraceLog::set_enabled`] turns it on, which keeps
+/// all existing figures byte-identical. Events are emitted by the
+/// single-threaded discrete-event simulation in `(clock, worker)` step
+/// order, so the log itself is reproducible; [`TraceLog::sorted`]
+/// additionally canonicalizes by `(ts, track)` for byte-stable export
+/// regardless of emission interleaving across phases.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an empty, disabled log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span `[start, end)` on `track`.
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        cat: TraceCat,
+        track: u32,
+        start: Ns,
+        end: Ns,
+        arg: u64,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                ts: start,
+                dur: end.saturating_sub(start),
+                track,
+                name,
+                cat,
+                arg,
+            });
+        }
+    }
+
+    /// Records an instant event at `ts` on `track`.
+    pub fn instant(&mut self, name: &'static str, cat: TraceCat, track: u32, ts: Ns, arg: u64) {
+        self.span(name, cat, track, ts, ts, arg);
+    }
+
+    /// The recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The events canonically ordered by `(ts, track)`, ties preserving
+    /// emission order (stable sort) — the order exporters must use.
+    pub fn sorted(&self) -> Vec<TraceEvent> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| (e.ts, e.track));
+        out
+    }
+
+    /// Removes and returns all recorded events (canonical order).
+    pub fn take_sorted(&mut self) -> Vec<TraceEvent> {
+        let sorted = self.sorted();
+        self.events.clear();
+        sorted
+    }
+
+    /// Clears the log without changing the enabled flag.
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+}
+
 /// What a phase mark denotes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum PhaseKind {
@@ -240,5 +378,49 @@ mod tests {
         s.reset();
         assert!(s.series(DeviceId::Nvm).is_empty());
         assert!(s.phases().is_empty());
+    }
+
+    #[test]
+    fn trace_log_is_disabled_by_default() {
+        let mut t = TraceLog::new();
+        t.span("scan", TraceCat::Phase, 0, 0, 10, 0);
+        t.instant("persist-drain", TraceCat::Fence, device_track(DeviceId::Nvm), 5, 0);
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.span("scan", TraceCat::Phase, 0, 0, 10, 0);
+        assert_eq!(t.events().len(), 1);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn trace_sorted_orders_by_time_then_track() {
+        let mut t = TraceLog::new();
+        t.set_enabled(true);
+        t.span("b", TraceCat::Phase, 2, 50, 60, 0);
+        t.span("a", TraceCat::Phase, 1, 50, 55, 0);
+        t.instant("i", TraceCat::Fence, 0, 10, 0);
+        let sorted = t.sorted();
+        assert_eq!(sorted[0].name, "i");
+        assert_eq!(sorted[1].name, "a");
+        assert_eq!(sorted[2].name, "b");
+        // Instants have zero duration; spans keep theirs.
+        assert_eq!(sorted[0].dur, 0);
+        assert_eq!(sorted[2].dur, 10);
+    }
+
+    #[test]
+    fn trace_take_drains_the_log() {
+        let mut t = TraceLog::new();
+        t.set_enabled(true);
+        t.instant("x", TraceCat::Fault, 0, 1, 0);
+        assert_eq!(t.take_sorted().len(), 1);
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled(), "take keeps the enabled flag");
+    }
+
+    #[test]
+    fn device_tracks_clear_worker_id_space() {
+        assert!(device_track(DeviceId::Dram) > TRACK_CYCLE);
+        assert_ne!(device_track(DeviceId::Dram), device_track(DeviceId::Nvm));
     }
 }

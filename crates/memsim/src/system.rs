@@ -12,7 +12,7 @@ use crate::device::{AccessKind, DeviceId, DeviceParams, Pattern};
 use crate::fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
 use crate::persist::{CrashImage, DurabilityLedger, PersistConfig};
 use crate::prefetch::PrefetchTable;
-use crate::sampler::TrafficSampler;
+use crate::sampler::{device_track, TraceCat, TraceLog, TrafficSampler};
 use crate::{Ns, CACHE_LINE};
 use serde::Serialize;
 
@@ -81,6 +81,16 @@ pub struct MemStats {
     pub prefetch_useful: u64,
 }
 
+/// How a bulk run records into the durability ledger: not at all, as
+/// regular (cacheable) stores from a base address, or as non-temporal
+/// stores from a base address.
+#[derive(Debug, Clone, Copy)]
+enum BulkPersist {
+    None,
+    Store(u64),
+    NtStore(u64),
+}
+
 /// The simulated hybrid DRAM + NVM memory system.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -89,11 +99,15 @@ pub struct MemorySystem {
     llc: LlcModel,
     tables: Vec<PrefetchTable>,
     sampler: TrafficSampler,
+    trace: TraceLog,
     stats: MemStats,
     /// Injected latency-spike windows per device index.
     spikes: [Vec<(FaultWindow, f64)>; 2],
     /// Accesses whose latency an active spike inflated.
     latency_spikes: u64,
+    /// Extra grants issued because a bulk run crossed a fault-window
+    /// edge and was segmented (see [`FaultObservations::bulk_grant_splits`]).
+    bulk_grant_splits: u64,
     /// Durability ledgers for persistent devices (None when the
     /// persistence model is disabled or the device is volatile).
     persist: [Option<DurabilityLedger>; 2],
@@ -120,9 +134,11 @@ impl MemorySystem {
             llc,
             tables: Vec::new(),
             sampler,
+            trace: TraceLog::new(),
             stats: MemStats::default(),
             spikes: [Vec::new(), Vec::new()],
             latency_spikes: 0,
+            bulk_grant_splits: 0,
             persist,
         }
     }
@@ -131,6 +147,25 @@ impl MemorySystem {
     /// go to the per-device ledgers, latency-spike windows stay local.
     /// Replaces any previously installed plan.
     pub fn set_fault_plan(&mut self, plan: &MemFaultPlan) {
+        // Annotate every scheduled window on the device's trace lane
+        // (no-op while tracing is disabled). Enable tracing *before*
+        // installing the plan to capture these.
+        for ev in &plan.events {
+            let window = match *ev {
+                DeviceFault::LatencySpike { window, .. }
+                | DeviceFault::BandwidthCollapse { window, .. }
+                | DeviceFault::Stall { window, .. }
+                | DeviceFault::WcDrainStall { window, .. } => window,
+            };
+            self.trace.span(
+                ev.name(),
+                TraceCat::Fault,
+                device_track(ev.device()),
+                window.start,
+                window.end,
+                0,
+            );
+        }
         let mut stalls: [Vec<FaultWindow>; 2] = [Vec::new(), Vec::new()];
         let mut collapses: [Vec<(FaultWindow, f64)>; 2] = [Vec::new(), Vec::new()];
         let mut drain_stalls: [Vec<FaultWindow>; 2] = [Vec::new(), Vec::new()];
@@ -163,6 +198,7 @@ impl MemorySystem {
     pub fn fault_observations(&self) -> FaultObservations {
         let mut obs = FaultObservations {
             latency_spikes: self.latency_spikes,
+            bulk_grant_splits: self.bulk_grant_splits,
             ..FaultObservations::default()
         };
         for l in &self.ledgers {
@@ -208,6 +244,19 @@ impl MemorySystem {
         &mut self.sampler
     }
 
+    /// The deterministic trace log (read access).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The trace log (mutable: enable recording, emit spans, drain).
+    ///
+    /// Enable *before* [`set_fault_plan`](Self::set_fault_plan) so the
+    /// plan's windows are annotated on the device lanes.
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
     /// Aggregate statistics snapshot (LLC and prefetch counters included).
     pub fn stats(&self) -> MemStats {
         let mut s = self.stats;
@@ -247,6 +296,112 @@ impl MemorySystem {
             self.stats.read_bytes[di] += bytes;
         }
         done
+    }
+
+    /// The earliest fault-window edge after `after` that a bulk run on
+    /// device index `di` must be re-granted at: bandwidth-ledger edges
+    /// (stall/collapse) always, durability-ledger drain-stall edges only
+    /// when the run records persistent stores.
+    fn bulk_fault_boundary(&self, di: usize, track_persist: bool, after: Ns) -> Option<Ns> {
+        let bus = self.ledgers[di].next_fault_boundary(after);
+        let wc = if track_persist {
+            self.persist[di]
+                .as_ref()
+                .and_then(|p| p.next_stall_boundary(after))
+        } else {
+            None
+        };
+        match (bus, wc) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Records one segment of a bulk store into `di`'s durability ledger.
+    fn record_bulk_persist(&mut self, di: usize, persist: BulkPersist, offset: u64, len: u64, now: Ns) {
+        match (persist, &mut self.persist[di]) {
+            (BulkPersist::Store(addr), Some(p)) => p.record_store(addr + offset, len, now),
+            (BulkPersist::NtStore(addr), Some(p)) => p.record_nt_store(addr + offset, len, now),
+            _ => {}
+        }
+    }
+
+    /// Charges a contiguous bulk run, segmenting the grant at injected
+    /// fault-window edges.
+    ///
+    /// A [`Ledger::grant`] samples stall deferral and the collapse
+    /// factor only at its start time, and the durability ledger records
+    /// a store burst under the burst's start time — so before this
+    /// splitting existed, a fault window opening *mid-burst* was skipped
+    /// entirely by any transfer that started before it. With no windows
+    /// installed the run takes the single-grant fast path, which keeps
+    /// fault-free results byte-identical to the unsplit model.
+    ///
+    /// Segment sizes follow the device's nominal bandwidth for the
+    /// access kind between edges (at least one cache line per segment,
+    /// so termination is unconditional); each segment is then priced
+    /// through the shared epoch budget as its own grant, re-sampling
+    /// fault state at the segment's start. Latency and the per-thread
+    /// bandwidth floor still apply once per run.
+    fn charge_bulk(
+        &mut self,
+        dev: DeviceId,
+        kind: AccessKind,
+        pattern: Pattern,
+        persist: BulkPersist,
+        len: u64,
+        now: Ns,
+    ) -> Ns {
+        let di = dev.index();
+        let track_persist = !matches!(persist, BulkPersist::None) && self.persist[di].is_some();
+        let split = self.ledgers[di].has_fault_windows()
+            || (track_persist
+                && self.persist[di]
+                    .as_ref()
+                    .is_some_and(DurabilityLedger::has_stall_windows));
+        if !split || len == 0 {
+            self.record_bulk_persist(di, persist, 0, len, now);
+            let done = self.charge(dev, kind, pattern, len, now);
+            return self.finish(dev, kind, pattern, len, now, done);
+        }
+        let rate = self.ledgers[di].params().bandwidth(kind, pattern).max(1e-9);
+        let mut offset = 0u64;
+        let mut cur = now;
+        let queued = loop {
+            let remaining = len - offset;
+            let boundary = self.bulk_fault_boundary(di, track_persist, cur);
+            let seg = match boundary {
+                Some(edge) => {
+                    let span = edge.saturating_sub(cur).max(1);
+                    let nominal = (span as f64 * rate) as u64;
+                    nominal.max(CACHE_LINE).min(remaining)
+                }
+                None => remaining,
+            };
+            self.record_bulk_persist(di, persist, offset, seg, cur);
+            let q = self.charge(dev, kind, pattern, seg, cur);
+            offset += seg;
+            if offset >= len {
+                break q;
+            }
+            self.bulk_grant_splits += 1;
+            self.trace
+                .instant("bulk-split", TraceCat::Fault, device_track(dev), cur, offset);
+            // The transfer streams continuously: the portion past the
+            // edge is issued *at* the edge even when the shared queue
+            // paces this kind below nominal bandwidth (otherwise the
+            // queued completion of the pre-edge segment could jump past
+            // a short window and bypass it all over again). `edge` is
+            // strictly greater than the old `cur`, so time still makes
+            // forward progress; termination is by `remaining` shrinking
+            // at least one cache line per iteration regardless.
+            let mut next = q.max(cur);
+            if let Some(edge) = boundary {
+                next = next.min(edge);
+            }
+            cur = next.max(cur);
+        };
+        self.finish(dev, kind, pattern, len, now, queued)
     }
 
     /// Completion time respecting both the shared-device queue and the
@@ -327,8 +482,7 @@ impl MemorySystem {
         bytes: u64,
         now: Ns,
     ) -> Ns {
-        let done = self.charge(dev, AccessKind::Read, pattern, bytes, now);
-        self.finish(dev, AccessKind::Read, pattern, bytes, now, done)
+        self.charge_bulk(dev, AccessKind::Read, pattern, BulkPersist::None, bytes, now)
     }
 
     /// Streams `bytes` of regular stores with the given pattern.
@@ -339,14 +493,19 @@ impl MemorySystem {
         bytes: u64,
         now: Ns,
     ) -> Ns {
-        let done = self.charge(dev, AccessKind::Write, pattern, bytes, now);
-        self.finish(dev, AccessKind::Write, pattern, bytes, now, done)
+        self.charge_bulk(dev, AccessKind::Write, pattern, BulkPersist::None, bytes, now)
     }
 
     /// Streams `bytes` of non-temporal stores (sequential, cache-bypassing).
     pub fn nt_write(&mut self, dev: DeviceId, bytes: u64, now: Ns) -> Ns {
-        let done = self.charge(dev, AccessKind::NtWrite, Pattern::Seq, bytes, now);
-        self.finish(dev, AccessKind::NtWrite, Pattern::Seq, bytes, now, done)
+        self.charge_bulk(
+            dev,
+            AccessKind::NtWrite,
+            Pattern::Seq,
+            BulkPersist::None,
+            bytes,
+            now,
+        )
     }
 
     /// Reads the contiguous sequential run `[addr, addr + len)`: one
@@ -361,8 +520,7 @@ impl MemorySystem {
     /// [`bulk_read`](Self::bulk_read) with `Pattern::Seq`.
     pub fn read_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
         let _ = addr;
-        let done = self.charge(dev, AccessKind::Read, Pattern::Seq, len, now);
-        self.finish(dev, AccessKind::Read, Pattern::Seq, len, now, done)
+        self.charge_bulk(dev, AccessKind::Read, Pattern::Seq, BulkPersist::None, len, now)
     }
 
     /// Writes the contiguous sequential run `[addr, addr + len)` with
@@ -375,12 +533,16 @@ impl MemorySystem {
     /// the cache capacity (see [`LlcModel::install_range`]); under LRU
     /// only the tail of an over-capacity stream survives anyway.
     pub fn write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
-        if let Some(p) = &mut self.persist[dev.index()] {
-            p.record_store(addr, len, now);
-        }
-        let done = self.charge(dev, AccessKind::Write, Pattern::Seq, len, now);
+        let done = self.charge_bulk(
+            dev,
+            AccessKind::Write,
+            Pattern::Seq,
+            BulkPersist::Store(addr),
+            len,
+            now,
+        );
         self.llc.install_range(addr, len);
-        self.finish(dev, AccessKind::Write, Pattern::Seq, len, now, done)
+        done
     }
 
     /// Writes the contiguous run `[addr, addr + len)` with non-temporal
@@ -391,12 +553,16 @@ impl MemorySystem {
     /// so a later read of the written range must go to the device rather
     /// than hit leftover tags from the range's previous life.
     pub fn nt_write_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
-        if let Some(p) = &mut self.persist[dev.index()] {
-            p.record_nt_store(addr, len, now);
-        }
-        let done = self.charge(dev, AccessKind::NtWrite, Pattern::Seq, len, now);
+        let done = self.charge_bulk(
+            dev,
+            AccessKind::NtWrite,
+            Pattern::Seq,
+            BulkPersist::NtStore(addr),
+            len,
+            now,
+        );
         self.llc.invalidate_range(addr, len);
-        self.finish(dev, AccessKind::NtWrite, Pattern::Seq, len, now, done)
+        done
     }
 
     /// Issues a software prefetch for the line containing `addr`.
@@ -466,6 +632,8 @@ impl MemorySystem {
         match &mut self.persist[dev.index()] {
             Some(p) => {
                 p.persist_meta(key, now);
+                self.trace
+                    .instant("persist-fence", TraceCat::Fence, device_track(dev), now, key);
                 now + self.cfg.fence_ns as Ns
             }
             None => now,
@@ -478,6 +646,8 @@ impl MemorySystem {
     pub fn persist_drain_all(&mut self, dev: DeviceId, now: Ns) {
         if let Some(p) = &mut self.persist[dev.index()] {
             p.drain_all(now);
+            self.trace
+                .instant("persist-drain", TraceCat::Fence, device_track(dev), now, 0);
         }
     }
 

@@ -13,9 +13,11 @@ pub mod report;
 pub mod series;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use cost::gc_improvement_per_dollar;
 pub use report::{write_json, ExperimentReport};
 pub use series::BandwidthSeries;
-pub use stats::{geomean, mean, percentile, stddev, Summary};
+pub use stats::{geomean, mean, percentile, stddev, stddev_population, Summary};
 pub use table::TextTable;
+pub use trace::{bandwidth_timeline, chrome_trace, timeline_rows, ChromeTrace, TimelineRow};

@@ -10,8 +10,22 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-/// Population standard deviation; zero for fewer than two samples.
+/// Sample standard deviation (Bessel-corrected, divisor `n - 1`); zero
+/// for fewer than two samples. Benchmark cells report 3–5 repeats, so
+/// the sample estimator is the right default — the population form is
+/// available as [`stddev_population`].
 pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Population standard deviation (divisor `n`); zero for fewer than two
+/// samples. Use only when the slice is the whole population, not a
+/// handful of benchmark repeats.
+pub fn stddev_population(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
@@ -54,7 +68,7 @@ pub struct Summary {
     pub n: usize,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Population standard deviation.
+    /// Sample standard deviation (divisor `n - 1`).
     pub stddev: f64,
     /// Minimum sample.
     pub min: f64,
@@ -92,13 +106,25 @@ mod tests {
     fn mean_and_stddev() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         assert!((mean(&xs) - 5.0).abs() < 1e-12);
-        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+        // Squared deviations sum to 32: sample divisor 7, population 8.
+        assert!((stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((stddev_population(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stddev_exceeds_population_stddev() {
+        let xs = [1.0, 2.0, 4.0];
+        assert!(stddev(&xs) > stddev_population(&xs));
+        // A single sample has no spread estimate under either divisor.
+        assert_eq!(stddev(&[3.0]), 0.0);
+        assert_eq!(stddev_population(&[3.0]), 0.0);
     }
 
     #[test]
     fn empty_slices_are_zero() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev_population(&[]), 0.0);
         assert_eq!(geomean(&[]), 0.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
     }

@@ -14,7 +14,7 @@ use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_core::stats::RunGcStats;
 use nvmgc_heap::verify::{verify_heap, GraphDigest, VerifyError};
 use nvmgc_heap::{DevicePlacement, Heap, HeapConfig};
-use nvmgc_memsim::{DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind};
+use nvmgc_memsim::{DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind, TraceCat, TraceEvent};
 use std::fmt;
 
 /// When collections beyond young GCs are triggered.
@@ -52,6 +52,10 @@ pub struct AppRunConfig {
     /// Record full bandwidth time series (costs memory; timeline figures
     /// only).
     pub sample_series: bool,
+    /// Record the deterministic trace log (per-worker phase spans, fault
+    /// windows, persistence fences) into
+    /// [`AppRunResult::trace`]. Costs memory; off by default.
+    pub trace: bool,
 }
 
 impl AppRunConfig {
@@ -79,6 +83,7 @@ impl AppRunConfig {
             trigger: GcTrigger::YoungOnly,
             keep_gc_log: false,
             sample_series: false,
+            trace: false,
         }
     }
 
@@ -252,6 +257,9 @@ pub struct AppRunResult {
     pub mixed_cycles: usize,
     /// The HotSpot-style GC log (empty unless requested).
     pub gc_log: GcLog,
+    /// The deterministic trace events in canonical `(ts, track)` order
+    /// (empty unless [`AppRunConfig::trace`] was set).
+    pub trace: Vec<TraceEvent>,
     /// Peak old-generation footprint in regions.
     pub peak_old_regions: usize,
     /// Objects the mutator allocated.
@@ -327,6 +335,9 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
     let mut mem = MemorySystem::new(mem_cfg);
     let threads = cfg.gc.threads.max(1);
     mem.set_threads(threads + 1);
+    // Tracing is enabled before the fault plan is installed so the plan's
+    // windows land on the device lanes as annotations.
+    mem.trace_mut().set_enabled(cfg.trace);
     mem.set_fault_plan(&cfg.gc.fault.mem);
     mem.sampler_mut().set_enabled(cfg.sample_series);
 
@@ -361,6 +372,15 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
         let gc_start = mutator.clock;
         mem.sampler_mut()
             .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
+        // The mutator runs on the lane one past the GC workers.
+        mem.trace_mut().span(
+            "mutator",
+            TraceCat::Mutator,
+            threads as u32,
+            phase_start,
+            gc_start,
+            cycles.len() as u64,
+        );
         match step {
             MutatorStep::Done => break,
             MutatorStep::NeedsGc => {
@@ -457,6 +477,7 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
         pause_intervals,
         mixed_cycles,
         gc_log,
+        trace: mem.trace_mut().take_sorted(),
         peak_old_regions,
         allocated_objects: mutator.allocated_objects(),
         digest_checks,

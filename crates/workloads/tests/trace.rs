@@ -1,0 +1,116 @@
+//! The deterministic trace layer, end to end through `run_app`.
+//!
+//! Three guarantees under test:
+//!
+//! - tracing is opt-in: a default run records nothing and costs nothing;
+//! - the event log is a pure function of the configuration and seed —
+//!   two runs produce byte-identical JSON, which is what lets the CI
+//!   trace suite `diff` artifacts across `NVMGC_JOBS` settings;
+//! - the trace agrees with the GC log: every logged collection has a
+//!   matching `"cycle"` span with *identical* simulated timestamps, even
+//!   under a fault-injection plan with persistence enabled.
+
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_memsim::{TraceCat, TRACK_CYCLE};
+use nvmgc_workloads::spec::ClassMix;
+use nvmgc_workloads::{run_app, AppRunConfig, WorkloadSpec};
+
+/// Matches the fault-matrix horizon so generated windows overlap the run.
+const HORIZON_NS: u64 = 40_000_000;
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "trace-test",
+        alloc_young_multiple: 3.0,
+        mix: vec![ClassMix {
+            num_refs: 2,
+            data_bytes: 24,
+            weight: 1,
+        }],
+        survival: 0.4,
+        keep_gcs: 1,
+        old_link_fraction: 0.1,
+        chain_fraction: 0.0,
+        cpu_per_alloc_ns: 20.0,
+        touches_per_alloc: 1,
+        app_threads: 4,
+        share_fraction: 0.15,
+        old_anchor_bytes: 8 << 10,
+    }
+}
+
+fn traced_cfg() -> AppRunConfig {
+    let mut cfg = AppRunConfig::standard(small_spec(), GcConfig::plus_all(12, 1 << 20));
+    cfg.heap.region_size = 16 << 10;
+    cfg.heap.heap_regions = 96;
+    cfg.heap.young_regions = 32;
+    cfg.trace = true;
+    cfg.keep_gc_log = true;
+    cfg
+}
+
+#[test]
+fn trace_is_empty_unless_requested() {
+    let mut cfg = traced_cfg();
+    cfg.trace = false;
+    let r = run_app(&cfg).unwrap();
+    assert!(r.trace.is_empty());
+    assert!(r.gc.cycles() > 0, "workload must actually collect");
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let a = run_app(&traced_cfg()).unwrap();
+    let b = run_app(&traced_cfg()).unwrap();
+    assert!(!a.trace.is_empty());
+    assert_eq!(a.trace, b.trace);
+    // The serialized form (what the trace harness writes and CI diffs)
+    // must match byte for byte, not just structurally.
+    let ja = serde_json::to_string(&a.trace).unwrap();
+    let jb = serde_json::to_string(&b.trace).unwrap();
+    assert_eq!(ja, jb);
+}
+
+#[test]
+fn canonical_order_is_time_then_track() {
+    let r = run_app(&traced_cfg()).unwrap();
+    let keys: Vec<(u64, u32)> = r.trace.iter().map(|e| (e.ts, e.track)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn every_logged_cycle_has_a_matching_trace_span() {
+    // A Moderate plan includes a WcDrainStall and a PowerFailure probe,
+    // the latter auto-enabling the persistence model — so this one run
+    // exercises fault-window annotation and fence emission too.
+    let mut cfg = traced_cfg();
+    cfg.gc.fault = FaultPlan::generate(0x7ACE, Severity::Moderate, HORIZON_NS);
+    let r = run_app(&cfg).unwrap();
+
+    let cycles: Vec<_> = r
+        .trace
+        .iter()
+        .filter(|e| e.cat == TraceCat::Cycle && e.name == "cycle")
+        .collect();
+    let entries = r.gc_log.entries();
+    assert!(!entries.is_empty());
+    assert_eq!(cycles.len(), entries.len());
+    for (span, entry) in cycles.iter().zip(entries) {
+        assert_eq!(span.track, TRACK_CYCLE);
+        assert_eq!(span.ts, entry.start, "evacuation start must agree");
+        assert_eq!(span.ts + span.dur, entry.end, "pause end must agree");
+    }
+
+    // Each cycle span is accompanied by per-worker sub-phase spans that
+    // lie inside the collection interval.
+    let scans = r.trace.iter().filter(|e| e.name == "scan").count();
+    assert!(scans >= entries.len() * cfg.gc.threads);
+
+    // The injected plan annotates device lanes and the persistence model
+    // stamps fences.
+    assert!(r.trace.iter().any(|e| e.cat == TraceCat::Fault));
+    assert!(r.trace.iter().any(|e| e.cat == TraceCat::Fence));
+}
