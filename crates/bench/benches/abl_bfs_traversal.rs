@@ -30,8 +30,8 @@ fn main() {
             cfg.gc.traversal = order;
             cfg.gc.prefetch = prefetch;
             let r = run_app(&cfg).expect("run succeeds");
-            let useful = r.mem_stats.prefetch_useful as f64
-                / r.mem_stats.prefetch_issued.max(1) as f64;
+            let useful =
+                r.mem_stats.prefetch_useful as f64 / r.mem_stats.prefetch_issued.max(1) as f64;
             table.row(vec![
                 label.to_owned(),
                 prefetch.to_string(),
@@ -59,7 +59,9 @@ fn main() {
         (get("bfs", false) / get("bfs", true) - 1.0) * 100.0,
         (get("bfs", true) / get("dfs", true) - 1.0) * 100.0,
     );
-    println!("(paper keeps DFS: BFS's deterministic prefetch distance does not repay its locality loss)");
+    println!(
+        "(paper keeps DFS: BFS's deterministic prefetch distance does not repay its locality loss)"
+    );
     let report = ExperimentReport {
         id: "abl_bfs_traversal".to_owned(),
         paper_ref: "§4.3 (traversal order)".to_owned(),

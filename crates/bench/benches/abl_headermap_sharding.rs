@@ -23,7 +23,10 @@ struct Row {
 }
 
 fn main() {
-    banner("abl_headermap_sharding", "§3.3 global-vs-per-thread design choice");
+    banner(
+        "abl_headermap_sharding",
+        "§3.3 global-vs-per-thread design choice",
+    );
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec![
         "threads",

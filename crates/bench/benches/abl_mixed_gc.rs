@@ -27,7 +27,10 @@ struct Row {
 }
 
 fn main() {
-    banner("abl_mixed_gc", "§2.1 mixed collections (adaptive IHOP trigger)");
+    banner(
+        "abl_mixed_gc",
+        "§2.1 mixed collections (adaptive IHOP trigger)",
+    );
     // A promotion-heavy variant: survivors live long enough to tenure.
     let mut spec = app("scala-stm-bench7");
     spec.keep_gcs = 4; // beyond the tenure age → heavy promotion

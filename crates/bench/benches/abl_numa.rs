@@ -51,7 +51,11 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    let find = |c: &str, s: &str| rows.iter().find(|r| r.config == c && r.socket == s).expect("row");
+    let find = |c: &str, s: &str| {
+        rows.iter()
+            .find(|r| r.config == c && r.socket == s)
+            .expect("row")
+    };
     println!(
         "remote-socket NVM inflates vanilla GC {:.2}x and whole-run {:.2}x — the paper's reason for numactl binding",
         find("vanilla", "remote").gc_ms / find("vanilla", "local").gc_ms,

@@ -7,6 +7,10 @@
 //! every collection, so a digest divergence under fault surfaces as a
 //! typed error, never silent corruption.
 //!
+//! The grid itself lives in [`nvmgc_bench::grids`] so the
+//! `sim_throughput` self-benchmark and the golden-digest regression test
+//! exercise the exact same cells.
+//!
 //! The sweep asserts the plane's two guarantees:
 //!
 //! - **determinism** — the emitted `results/fault_matrix.json` is
@@ -21,148 +25,29 @@
 //! structural verification failure.
 
 use nvmgc_bench::{
-    banner, maybe_trim, results_dir, run_labeled_cells, sized_config, write_throughput,
+    banner, fast_mode, fault_matrix_cells, fault_matrix_report, results_dir, run_fault_cell,
+    run_labeled_cells, write_throughput, FaultRow, WorkCounters, FAULT_MATRIX_HORIZON_NS,
 };
 use nvmgc_core::fault::{FaultPlan, GcFault, Severity};
-use nvmgc_core::GcConfig;
-use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
-use nvmgc_workloads::runner::RunFailure;
-use nvmgc_workloads::{app, run_app};
-use serde::Serialize;
-
-/// Simulated-time horizon fault schedules are generated over. The small
-/// matrix heaps finish their runs within a few tens of milliseconds, so
-/// this keeps the generated windows overlapping real GC activity.
-const HORIZON_NS: u64 = 40_000_000;
-
-/// GC worker threads: above the header-map activation threshold so the
-/// `+all` cells exercise saturation faults.
-const THREADS: usize = 12;
-
-#[derive(Serialize, Clone)]
-struct Row {
-    app: String,
-    config: String,
-    severity: String,
-    plan_seed: u64,
-    /// "ok", or the typed error's rendering.
-    outcome: String,
-    ok: bool,
-    /// True only for digest-mismatch / structural-verification failures —
-    /// the one class of failure the fault plane must never produce.
-    corruption: bool,
-    cycles: usize,
-    digest_checks: usize,
-    gc_fault_events: u64,
-    /// Power-failure recoverability checks the oracle ran.
-    power_failure_checks: u64,
-    /// Non-durable lines the crash images discarded across those checks.
-    discarded_lines: u64,
-    /// Lines lost to torn 256 B XPLines mid-drain.
-    torn_lines: u64,
-    total_ns: u64,
-    total_pause_ns: u64,
-}
-
-fn cell(app_name: &'static str, config_name: &str, gc: GcConfig, severity: Severity, seed: u64) -> Row {
-    let mut cfg = sized_config(app(app_name), gc);
-    // Reduced matrix heap: the sweep is about fault behavior, not paper
-    // ratios, and it must stay cheap enough to run at every severity. It
-    // still has to hold the Spark profiles' live sets (anchors + a couple
-    // of survivor generations) with room to spare, or cells die of heap
-    // exhaustion instead of exercising the fault plane.
-    cfg.heap.region_size = 32 << 10;
-    cfg.heap.heap_regions = 256;
-    cfg.heap.young_regions = 64;
-    let heap_bytes = cfg.heap_bytes();
-    if cfg.gc.write_cache.enabled && cfg.gc.write_cache.max_bytes != u64::MAX {
-        cfg.gc.write_cache.max_bytes = (heap_bytes / 32).max(cfg.heap.region_size as u64);
-    }
-    if cfg.gc.header_map.enabled {
-        cfg.gc.header_map.max_bytes = (heap_bytes / 32).max(1 << 20);
-    }
-    cfg.gc.fault = FaultPlan::generate(seed, severity, HORIZON_NS);
-
-    let base = Row {
-        app: app_name.to_owned(),
-        config: config_name.to_owned(),
-        severity: severity.name().to_owned(),
-        plan_seed: seed,
-        outcome: String::new(),
-        ok: false,
-        corruption: false,
-        cycles: 0,
-        digest_checks: 0,
-        gc_fault_events: 0,
-        power_failure_checks: 0,
-        discarded_lines: 0,
-        torn_lines: 0,
-        total_ns: 0,
-        total_pause_ns: 0,
-    };
-    match run_app(&cfg) {
-        Ok(res) => Row {
-            outcome: "ok".to_owned(),
-            ok: true,
-            cycles: res.gc.cycles(),
-            digest_checks: res.digest_checks,
-            gc_fault_events: res.cycles.iter().map(|c| c.fault_events.total()).sum(),
-            power_failure_checks: res
-                .cycles
-                .iter()
-                .map(|c| c.fault_events.power_failure_checks)
-                .sum(),
-            discarded_lines: res.cycles.iter().map(|c| c.fault_events.discarded_lines).sum(),
-            torn_lines: res.cycles.iter().map(|c| c.fault_events.torn_lines).sum(),
-            total_ns: res.total_ns,
-            total_pause_ns: res.gc.total_pause_ns(),
-            ..base
-        },
-        Err(e) => Row {
-            corruption: matches!(
-                e.failure,
-                RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
-            ),
-            outcome: e.to_string(),
-            ..base
-        },
-    }
-}
+use nvmgc_metrics::{write_json, TextTable};
 
 fn main() {
     banner("fault_matrix", "robustness sweep (no paper figure)");
-    let apps: Vec<&'static str> = maybe_trim(vec!["page-rank", "kmeans"], 1);
-    let seeds: Vec<u64> = maybe_trim(vec![0xB0A7, 0xC0FFEE], 1);
-    let configs: Vec<(&'static str, GcConfig)> = vec![
-        ("vanilla", GcConfig::vanilla(THREADS)),
-        ("+all", GcConfig::plus_all(THREADS, 0)),
-    ];
+    let cells: Vec<(String, _)> = fault_matrix_cells(fast_mode())
+        .into_iter()
+        .map(|cell| (cell.label(), move || run_fault_cell(&cell)))
+        .collect();
 
-    let mut cells: Vec<(String, Box<dyn FnOnce() -> Row + Send>)> = Vec::new();
-    for &app_name in &apps {
-        for (config_name, gc) in &configs {
-            for severity in Severity::ALL {
-                for &seed in &seeds {
-                    let label = format!(
-                        "app={app_name} gc={config_name} severity={} seed={seed:#x}",
-                        severity.name()
-                    );
-                    let (config_name, gc) = (config_name.to_owned(), gc.clone());
-                    cells.push((
-                        label,
-                        Box::new(move || cell(app_name, config_name, gc, severity, seed)),
-                    ));
-                }
-            }
-        }
+    let (results, pool) = run_labeled_cells(cells);
+    let mut totals = WorkCounters::default();
+    let mut rows: Vec<FaultRow> = Vec::with_capacity(results.len());
+    for (row, counters) in results {
+        totals.add(&counters);
+        rows.push(row);
     }
 
-    let (rows, pool) = run_labeled_cells(cells);
-    let simulated_ns: u64 = rows.iter().map(|r| r.total_ns).sum();
-
     let mut table = TextTable::new(vec![
-        "app", "config", "severity", "seed", "cycles", "digests", "faults", "pf", "lost",
-        "outcome",
+        "app", "config", "severity", "seed", "cycles", "digests", "faults", "pf", "lost", "outcome",
     ]);
     for r in &rows {
         table.row(vec![
@@ -194,18 +79,10 @@ fn main() {
         corrupted
     );
 
-    let report = ExperimentReport {
-        id: "fault_matrix".to_owned(),
-        paper_ref: "robustness sweep (no paper figure)".to_owned(),
-        notes: format!(
-            "{THREADS} GC threads; fault horizon {HORIZON_NS} ns; severities {:?}",
-            Severity::ALL.map(|s| s.name())
-        ),
-        data: rows.clone(),
-    };
+    let report = fault_matrix_report(rows.clone());
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
-    write_throughput("fault_matrix", &pool, simulated_ns).expect("write throughput");
+    write_throughput("fault_matrix", &pool, &totals).expect("write throughput");
 
     if corrupted > 0 {
         eprintln!("fault_matrix: {corrupted} cell(s) reported graph corruption");
@@ -218,7 +95,7 @@ fn main() {
     // and (b) no completing cell may sail past its scheduled failure
     // without the oracle running — a zero-check cell is only legitimate
     // when the run ended before the failure instant.
-    let pf_cells: Vec<&Row> = rows
+    let pf_cells: Vec<&FaultRow> = rows
         .iter()
         .filter(|r| matches!(r.severity.as_str(), "moderate" | "severe"))
         .collect();
@@ -241,7 +118,7 @@ fn main() {
                 "moderate" => Severity::Moderate,
                 _ => Severity::Severe,
             };
-            let plan = FaultPlan::generate(r.plan_seed, severity, HORIZON_NS);
+            let plan = FaultPlan::generate(r.plan_seed, severity, FAULT_MATRIX_HORIZON_NS);
             let first_pf = plan
                 .gc
                 .events

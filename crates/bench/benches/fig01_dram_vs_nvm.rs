@@ -5,25 +5,12 @@
 //! then on NVM. The paper reports GC pause time inflating 2.02×–8.25×
 //! (avg 6.53×) while non-GC application time inflates far less (avg
 //! 2.68×, some apps near 1×).
+//!
+//! Roster, per-app computation, and report assembly live in
+//! [`nvmgc_bench::grids`], shared with the golden-digest regression test.
 
-use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
-use nvmgc_core::GcConfig;
-use nvmgc_heap::DevicePlacement;
-use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
-use nvmgc_workloads::{fig1_apps, run_app};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: String,
-    dram_app_ms: f64,
-    dram_gc_ms: f64,
-    nvm_app_ms: f64,
-    nvm_gc_ms: f64,
-    gc_slowdown: f64,
-    app_slowdown: f64,
-    nvm_gc_share: f64,
-}
+use nvmgc_bench::{banner, fast_mode, fig01_apps, fig01_report, results_dir, run_fig01_app};
+use nvmgc_metrics::{geomean, write_json, TextTable};
 
 fn main() {
     banner("fig01_dram_vs_nvm", "Figure 1 + §2.2 findings");
@@ -38,24 +25,8 @@ fn main() {
         "nvm gc%",
     ]);
     let mut rows = Vec::new();
-    for spec in fig1_apps() {
-        let run = |placement: DevicePlacement| {
-            let mut cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));
-            cfg.heap.placement = placement;
-            run_app(&cfg).expect("run succeeds")
-        };
-        let dram = run(DevicePlacement::all_dram());
-        let nvm = run(DevicePlacement::all_nvm());
-        let row = Row {
-            app: spec.name.to_owned(),
-            dram_app_ms: dram.mutator_seconds() * 1e3,
-            dram_gc_ms: dram.gc_seconds() * 1e3,
-            nvm_app_ms: nvm.mutator_seconds() * 1e3,
-            nvm_gc_ms: nvm.gc_seconds() * 1e3,
-            gc_slowdown: nvm.gc_seconds() / dram.gc_seconds().max(1e-12),
-            app_slowdown: nvm.mutator_seconds() / dram.mutator_seconds().max(1e-12),
-            nvm_gc_share: nvm.gc_share(),
-        };
+    for spec in fig01_apps(fast_mode()) {
+        let row = run_fig01_app(&spec);
         table.row(vec![
             row.app.clone(),
             format!("{:.1}", row.dram_app_ms),
@@ -79,12 +50,7 @@ fn main() {
         "non-GC app slowdown:  avg {:.2}x (paper: 2.68x avg)",
         geomean(&app_slowdowns)
     );
-    let report = ExperimentReport {
-        id: "fig01_dram_vs_nvm".to_owned(),
-        paper_ref: "Figure 1".to_owned(),
-        notes: format!("vanilla G1, {PAPER_THREADS} threads, scaled heaps"),
-        data: rows,
-    };
+    let report = fig01_report(rows);
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
 }

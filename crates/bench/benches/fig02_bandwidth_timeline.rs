@@ -99,7 +99,10 @@ fn print_timeline(t: &Timeline) {
     );
     // Compact sparkline-style printout (first 60 bins).
     let n = t.read_mbps.len().min(60);
-    println!("{:>6}  {:>10} {:>10} {:>10}  gc", "ms", "read", "write", "total");
+    println!(
+        "{:>6}  {:>10} {:>10} {:>10}  gc",
+        "ms", "read", "write", "total"
+    );
     for i in 0..n {
         let gc = t
             .gc_intervals_ms

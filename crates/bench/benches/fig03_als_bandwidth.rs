@@ -36,7 +36,10 @@ fn phase_bw(series: &[(u64, u64)], pauses: &[(u64, u64)], bin_ns: u64) -> (f64, 
     if dur == 0 {
         (0.0, 0.0)
     } else {
-        (rd as f64 / dur as f64 * 1000.0, wr as f64 / dur as f64 * 1000.0)
+        (
+            rd as f64 / dur as f64 * 1000.0,
+            wr as f64 / dur as f64 * 1000.0,
+        )
     }
 }
 

@@ -7,7 +7,8 @@
 //! young-gen-dram beats the optimizations for most applications.
 
 use nvmgc_bench::{
-    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, PAPER_THREADS,
+    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, WorkCounters,
+    PAPER_THREADS,
 };
 use nvmgc_core::GcConfig;
 use nvmgc_heap::DevicePlacement;
@@ -36,10 +37,16 @@ fn main() {
         (GcConfig::plus_all(PAPER_THREADS, 0), nvm),
         (GcConfig::plus_writecache(PAPER_THREADS, 0), nvm),
         (GcConfig::vanilla(PAPER_THREADS), nvm),
-        (GcConfig::vanilla(PAPER_THREADS), DevicePlacement::all_dram()),
-        (GcConfig::vanilla(PAPER_THREADS), DevicePlacement::young_dram()),
+        (
+            GcConfig::vanilla(PAPER_THREADS),
+            DevicePlacement::all_dram(),
+        ),
+        (
+            GcConfig::vanilla(PAPER_THREADS),
+            DevicePlacement::young_dram(),
+        ),
     ];
-    let mut cells: Vec<Box<dyn FnOnce() -> (f64, u64) + Send>> = Vec::new();
+    let mut cells: Vec<Box<dyn FnOnce() -> (f64, WorkCounters) + Send>> = Vec::new();
     for spec in &apps {
         for (gc, placement) in variants.clone() {
             let spec = spec.clone();
@@ -47,12 +54,15 @@ fn main() {
                 let mut cfg = sized_config(spec, gc);
                 cfg.heap.placement = placement;
                 let res = run_app(&cfg).expect("run succeeds");
-                (res.gc_seconds() * 1e3, res.total_ns)
+                (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
             }));
         }
     }
     let (measured, pool) = run_cells(cells);
-    let simulated_ns: u64 = measured.iter().map(|&(_, ns)| ns).sum();
+    let mut totals = WorkCounters::default();
+    for (_, c) in &measured {
+        totals.add(c);
+    }
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = TextTable::new(vec![
@@ -88,7 +98,10 @@ fn main() {
 
     // §5.2 aggregate statistics.
     let speedup_all: Vec<f64> = rows.iter().map(|r| r.vanilla_ms / r.all_ms).collect();
-    let speedup_wc: Vec<f64> = rows.iter().map(|r| r.vanilla_ms / r.writecache_ms).collect();
+    let speedup_wc: Vec<f64> = rows
+        .iter()
+        .map(|r| r.vanilla_ms / r.writecache_ms)
+        .collect();
     let gap_vanilla: Vec<f64> = rows
         .iter()
         .map(|r| r.vanilla_ms / r.vanilla_dram_ms)
@@ -131,5 +144,5 @@ fn main() {
     };
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
-    write_throughput("fig05_gc_time", &pool, simulated_ns).expect("write throughput");
+    write_throughput("fig05_gc_time", &pool, &totals).expect("write throughput");
 }

@@ -54,7 +54,11 @@ fn main() {
             run_app(&cfg).expect("run succeeds")
         };
         let peak = |r: &nvmgc_workloads::AppRunResult| {
-            r.cycles.iter().map(|c| c.cache_peak_bytes).max().unwrap_or(0)
+            r.cycles
+                .iter()
+                .map(|c| c.cache_peak_bytes)
+                .max()
+                .unwrap_or(0)
         };
         let row = Row {
             app: spec.name.to_owned(),
@@ -72,7 +76,10 @@ fn main() {
             format!("{:.1}", row.sync_unlimited_ms),
             format!("{:.1}", row.async_ms),
             format!("{:.1}", row.dram_ms),
-            format!("{:+.0}%", (row.sync_ms / row.sync_unlimited_ms - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (row.sync_ms / row.sync_unlimited_ms - 1.0) * 100.0
+            ),
             format!("{:+.0}%", (row.async_ms / row.sync_ms - 1.0) * 100.0),
         ]);
         rows.push(row);

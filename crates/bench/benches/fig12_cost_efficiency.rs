@@ -34,8 +34,7 @@ fn main() {
         let vanilla = run_app(&vanilla_cfg).expect("run succeeds");
 
         let opt_cfg = sized_config(spec.clone(), GcConfig::plus_all(PAPER_THREADS, 0));
-        let extra_dram =
-            opt_cfg.gc.write_cache.max_bytes + opt_cfg.gc.header_map.max_bytes;
+        let extra_dram = opt_cfg.gc.write_cache.max_bytes + opt_cfg.gc.header_map.max_bytes;
         let opt = run_app(&opt_cfg).expect("run succeeds");
 
         let mut dram_cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));

@@ -9,7 +9,8 @@
 //! expect several minutes, or set `NVMGC_FAST=1`.
 
 use nvmgc_bench::{
-    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, THREAD_SWEEP,
+    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, WorkCounters,
+    THREAD_SWEEP,
 };
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport};
@@ -32,7 +33,7 @@ fn main() {
     // Flatten the app × thread-count × config grid into independent cells
     // for the parallel runner; results come back in declaration order so
     // the curves (and the JSON) match a serial sweep byte for byte.
-    let mut cells: Vec<Box<dyn FnOnce() -> (f64, u64) + Send>> = Vec::new();
+    let mut cells: Vec<Box<dyn FnOnce() -> (f64, WorkCounters) + Send>> = Vec::new();
     for spec in &apps {
         for &t in &threads {
             let configs = [
@@ -45,13 +46,16 @@ fn main() {
                 cells.push(Box::new(move || {
                     let cfg = sized_config(spec, gc);
                     let res = run_app(&cfg).expect("run succeeds");
-                    (res.gc_seconds() * 1e3, res.total_ns)
+                    (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
                 }));
             }
         }
     }
     let (measured, pool) = run_cells(cells);
-    let simulated_ns: u64 = measured.iter().map(|&(_, ns)| ns).sum();
+    let mut totals = WorkCounters::default();
+    for (_, c) in &measured {
+        totals.add(c);
+    }
 
     let mut curves = Vec::new();
     let per_app = threads.len() * 3;
@@ -119,5 +123,5 @@ fn main() {
     };
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
-    write_throughput("fig13_thread_scaling", &pool, simulated_ns).expect("write throughput");
+    write_throughput("fig13_thread_scaling", &pool, &totals).expect("write throughput");
 }

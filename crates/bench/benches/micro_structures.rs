@@ -211,7 +211,9 @@ fn bench_engine_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_scheduler");
     for n in [2usize, 8, 56, 256] {
         let make_workers = move || -> Vec<Worker> {
-            (0..n).map(|i| Worker::new(i, (i as u64 * 97) % 13)).collect()
+            (0..n)
+                .map(|i| Worker::new(i, (i as u64 * 97) % 13))
+                .collect()
         };
         let step = |w: &mut Worker| {
             w.clock += 1 + (w.clock ^ w.id as u64) % 28;

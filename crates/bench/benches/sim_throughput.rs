@@ -1,0 +1,120 @@
+//! Simulator self-benchmark — measures the simulator, not the paper.
+//!
+//! Re-runs the fault-matrix grid (the densest exercise of the memory
+//! model: faults, crash oracle, write cache, header map) and reports two
+//! things with different trust levels:
+//!
+//! - **deterministic work counters** — engine steps, bus grants, LLC
+//!   installs, bulk grant splits, oracle checks, simulated ns. These are
+//!   pure functions of the grid and are byte-identical on any host; CI
+//!   budgets against them via `NVMGC_PERF_BASELINE`.
+//! - **wall-clock throughput** — simulated ns per wall second,
+//!   informational only.
+//!
+//! Both land in `results/sim_throughput.json` via [`write_throughput`]:
+//! the counter block is the gated payload, wall-clock the sidecar.
+//!
+//! # Perf gate
+//!
+//! With `NVMGC_PERF_BASELINE=<path>` set, the harness compares every
+//! counter against the same-named value in that JSON file and exits
+//! nonzero if any deviates by more than 10% in either direction. A
+//! counter regression means the simulator is doing materially more (or
+//! suspiciously less) work per run — unlike wall clock, it cannot be
+//! noise. The vendored `serde_json` is serialize-only, so the baseline
+//! is read back with a small `"key": <integer>` scanner rather than a
+//! parser; every counter key is unique within the file.
+//!
+//! To bless a new baseline after an intentional change, re-run this
+//! harness with `NVMGC_FAST=1 NVMGC_JOBS=1` and commit the regenerated
+//! `results/sim_throughput.json` (see EXPERIMENTS.md).
+
+use nvmgc_bench::runner::{scan_counter, within_budget};
+use nvmgc_bench::{
+    banner, fast_mode, fault_matrix_cells, run_fault_cell, run_labeled_cells, write_throughput,
+    WorkCounters,
+};
+use std::path::PathBuf;
+
+/// Resolves `NVMGC_PERF_BASELINE`: absolute paths are used as-is,
+/// relative ones are anchored at the workspace root (bench targets run
+/// with the package as their working directory, so a bare
+/// `results/sim_throughput.json` would otherwise miss).
+fn resolve_baseline(raw: &str) -> PathBuf {
+    let p = PathBuf::from(raw);
+    if p.is_absolute() {
+        p
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn main() {
+    banner(
+        "sim_throughput",
+        "simulator self-benchmark (no paper figure)",
+    );
+    // Snapshot the baseline *before* running: the run rewrites
+    // `results/sim_throughput.json`, which is also the usual baseline.
+    let baseline = std::env::var("NVMGC_PERF_BASELINE").ok().map(|raw| {
+        let path = resolve_baseline(&raw);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        (path, text)
+    });
+    let cells: Vec<(String, _)> = fault_matrix_cells(fast_mode())
+        .into_iter()
+        .map(|cell| (cell.label(), move || run_fault_cell(&cell).1))
+        .collect();
+
+    let (per_cell, pool) = run_labeled_cells(cells);
+    let mut totals = WorkCounters::default();
+    for c in &per_cell {
+        totals.add(c);
+    }
+
+    println!("deterministic work counters (gated):");
+    for (name, value) in totals.named() {
+        println!("  {name:>20} {value}");
+    }
+    println!();
+    write_throughput("fault_matrix", &pool, &totals).expect("write throughput");
+
+    let Some((baseline_path, baseline)) = baseline else {
+        println!("NVMGC_PERF_BASELINE not set; skipping budget check");
+        return;
+    };
+    println!(
+        "perf budget vs {} (±10% per counter):",
+        baseline_path.display()
+    );
+    let mut failed = false;
+    for (name, now) in totals.named() {
+        let Some(base) = scan_counter(&baseline, name) else {
+            println!("  {name:>20} MISSING from baseline");
+            failed = true;
+            continue;
+        };
+        let ok = within_budget(base, now);
+        let delta = if base == 0 {
+            0.0
+        } else {
+            (now as f64 - base as f64) * 100.0 / base as f64
+        };
+        println!(
+            "  {name:>20} baseline {base} now {now} ({delta:+.2}%) {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "sim_throughput: counter budget exceeded — if the change is intentional, \
+             bless a new baseline (EXPERIMENTS.md, 'Perf budgets')"
+        );
+        std::process::exit(1);
+    }
+    println!("all counters within budget");
+}

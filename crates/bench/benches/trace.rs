@@ -19,11 +19,11 @@
 use nvmgc_bench::{banner, results_dir, run_labeled_cells, seed, sized_config};
 use nvmgc_core::fault::{FaultPlan, Severity};
 use nvmgc_core::GcConfig;
+use nvmgc_memsim::TraceCat;
 use nvmgc_metrics::{
     bandwidth_timeline, chrome_trace, timeline_rows, write_json, ChromeTrace, ExperimentReport,
     TimelineRow,
 };
-use nvmgc_memsim::TraceCat;
 use nvmgc_workloads::{app, run_app};
 use serde::Serialize;
 

@@ -1,0 +1,336 @@
+//! Shared experiment-grid definitions.
+//!
+//! The fault-injection matrix and the Figure 1 sweep are exercised from
+//! three places: their bench targets, the `sim_throughput` self-benchmark
+//! (which re-runs the fault grid to measure deterministic work), and the
+//! golden-digest regression test (which asserts the emitted JSON is
+//! byte-identical to committed files). Defining the grids once here
+//! guarantees all three agree on every cell parameter — a drifted copy
+//! would silently invalidate the golden files and the perf baseline.
+
+use crate::runner::WorkCounters;
+use crate::{sized_config, PAPER_THREADS};
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_heap::DevicePlacement;
+use nvmgc_metrics::ExperimentReport;
+use nvmgc_workloads::runner::RunFailure;
+use nvmgc_workloads::{app, fig1_apps, run_app, AppRunConfig, WorkloadSpec};
+use serde::Serialize;
+
+/// Simulated-time horizon fault-matrix schedules are generated over. The
+/// small matrix heaps finish their runs within a few tens of
+/// milliseconds, so this keeps the generated windows overlapping real GC
+/// activity.
+pub const FAULT_MATRIX_HORIZON_NS: u64 = 40_000_000;
+
+/// Fault-matrix GC worker threads: above the header-map activation
+/// threshold so the `+all` cells exercise saturation faults.
+pub const FAULT_MATRIX_THREADS: usize = 12;
+
+/// One cell of the fault-injection matrix.
+#[derive(Clone)]
+pub struct FaultCell {
+    /// Workload name (resolvable by [`nvmgc_workloads::app`]).
+    pub app: &'static str,
+    /// Collector configuration label used in rows and cell labels.
+    pub config_name: &'static str,
+    /// The collector configuration itself.
+    pub gc: GcConfig,
+    /// Fault-plan severity.
+    pub severity: Severity,
+    /// Fault-plan schedule seed.
+    pub seed: u64,
+}
+
+impl FaultCell {
+    /// The cell's display label (used by the parallel runner to name a
+    /// panicking cell).
+    pub fn label(&self) -> String {
+        format!(
+            "app={} gc={} severity={} seed={:#x}",
+            self.app,
+            self.config_name,
+            self.severity.name(),
+            self.seed
+        )
+    }
+}
+
+/// The fault-matrix grid, in declaration (= output) order. `fast` trims
+/// apps and seeds to one each, matching `NVMGC_FAST=1` harness behavior.
+pub fn fault_matrix_cells(fast: bool) -> Vec<FaultCell> {
+    let apps: &[&'static str] = if fast {
+        &["page-rank"]
+    } else {
+        &["page-rank", "kmeans"]
+    };
+    let seeds: &[u64] = if fast { &[0xB0A7] } else { &[0xB0A7, 0xC0FFEE] };
+    let configs: Vec<(&'static str, GcConfig)> = vec![
+        ("vanilla", GcConfig::vanilla(FAULT_MATRIX_THREADS)),
+        ("+all", GcConfig::plus_all(FAULT_MATRIX_THREADS, 0)),
+    ];
+    let mut cells = Vec::new();
+    for &app in apps {
+        for (config_name, gc) in &configs {
+            for severity in Severity::ALL {
+                for &seed in seeds {
+                    cells.push(FaultCell {
+                        app,
+                        config_name,
+                        gc: gc.clone(),
+                        severity,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Builds the run configuration of a fault-matrix cell.
+///
+/// Reduced matrix heap: the sweep is about fault behavior, not paper
+/// ratios, and it must stay cheap enough to run at every severity. It
+/// still has to hold the Spark profiles' live sets (anchors + a couple
+/// of survivor generations) with room to spare, or cells die of heap
+/// exhaustion instead of exercising the fault plane.
+pub fn fault_matrix_config(cell: &FaultCell) -> AppRunConfig {
+    let mut cfg = sized_config(app(cell.app), cell.gc.clone());
+    cfg.heap.region_size = 32 << 10;
+    cfg.heap.heap_regions = 256;
+    cfg.heap.young_regions = 64;
+    let heap_bytes = cfg.heap_bytes();
+    if cfg.gc.write_cache.enabled && cfg.gc.write_cache.max_bytes != u64::MAX {
+        cfg.gc.write_cache.max_bytes = (heap_bytes / 32).max(cfg.heap.region_size as u64);
+    }
+    if cfg.gc.header_map.enabled {
+        cfg.gc.header_map.max_bytes = (heap_bytes / 32).max(1 << 20);
+    }
+    cfg.gc.fault = FaultPlan::generate(cell.seed, cell.severity, FAULT_MATRIX_HORIZON_NS);
+    cfg
+}
+
+/// One row of `results/fault_matrix.json`.
+#[derive(Serialize, Clone)]
+pub struct FaultRow {
+    /// Workload name.
+    pub app: String,
+    /// Collector configuration label.
+    pub config: String,
+    /// Fault-plan severity name.
+    pub severity: String,
+    /// Fault-plan schedule seed.
+    pub plan_seed: u64,
+    /// "ok", or the typed error's rendering.
+    pub outcome: String,
+    /// Whether the cell completed without error.
+    pub ok: bool,
+    /// True only for digest-mismatch / structural-verification failures —
+    /// the one class of failure the fault plane must never produce.
+    pub corruption: bool,
+    /// Collection cycles the run performed.
+    pub cycles: usize,
+    /// Graph-digest comparisons performed.
+    pub digest_checks: usize,
+    /// GC fault events injected over the run.
+    pub gc_fault_events: u64,
+    /// Power-failure recoverability checks the oracle ran.
+    pub power_failure_checks: u64,
+    /// Non-durable lines the crash images discarded across those checks.
+    pub discarded_lines: u64,
+    /// Lines lost to torn 256 B XPLines mid-drain.
+    pub torn_lines: u64,
+    /// Total simulated run time, ns.
+    pub total_ns: u64,
+    /// Total simulated GC pause time, ns.
+    pub total_pause_ns: u64,
+}
+
+/// Runs one fault-matrix cell, returning its result row and the
+/// deterministic work counters the run accumulated (zero for cells that
+/// end in a typed error — an errored run has no complete counter set).
+pub fn run_fault_cell(cell: &FaultCell) -> (FaultRow, WorkCounters) {
+    let cfg = fault_matrix_config(cell);
+    let base = FaultRow {
+        app: cell.app.to_owned(),
+        config: cell.config_name.to_owned(),
+        severity: cell.severity.name().to_owned(),
+        plan_seed: cell.seed,
+        outcome: String::new(),
+        ok: false,
+        corruption: false,
+        cycles: 0,
+        digest_checks: 0,
+        gc_fault_events: 0,
+        power_failure_checks: 0,
+        discarded_lines: 0,
+        torn_lines: 0,
+        total_ns: 0,
+        total_pause_ns: 0,
+    };
+    match run_app(&cfg) {
+        Ok(res) => {
+            let counters = WorkCounters::from_run(&res);
+            let row = FaultRow {
+                outcome: "ok".to_owned(),
+                ok: true,
+                cycles: res.gc.cycles(),
+                digest_checks: res.digest_checks,
+                gc_fault_events: res.cycles.iter().map(|c| c.fault_events.total()).sum(),
+                power_failure_checks: res
+                    .cycles
+                    .iter()
+                    .map(|c| c.fault_events.power_failure_checks)
+                    .sum(),
+                discarded_lines: res
+                    .cycles
+                    .iter()
+                    .map(|c| c.fault_events.discarded_lines)
+                    .sum(),
+                torn_lines: res.cycles.iter().map(|c| c.fault_events.torn_lines).sum(),
+                total_ns: res.total_ns,
+                total_pause_ns: res.gc.total_pause_ns(),
+                ..base
+            };
+            (row, counters)
+        }
+        Err(e) => {
+            let row = FaultRow {
+                corruption: matches!(
+                    e.failure,
+                    RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+                ),
+                outcome: e.to_string(),
+                ..base
+            };
+            (row, WorkCounters::default())
+        }
+    }
+}
+
+/// Assembles the `results/fault_matrix.json` report from its rows.
+pub fn fault_matrix_report(rows: Vec<FaultRow>) -> ExperimentReport<Vec<FaultRow>> {
+    ExperimentReport {
+        id: "fault_matrix".to_owned(),
+        paper_ref: "robustness sweep (no paper figure)".to_owned(),
+        notes: format!(
+            "{FAULT_MATRIX_THREADS} GC threads; fault horizon {FAULT_MATRIX_HORIZON_NS} ns; \
+             severities {:?}",
+            Severity::ALL.map(|s| s.name())
+        ),
+        data: rows,
+    }
+}
+
+/// One row of `results/fig01_dram_vs_nvm.json`.
+#[derive(Serialize, Clone)]
+pub struct Fig01Row {
+    /// Workload name.
+    pub app: String,
+    /// Mutator time with the whole heap on DRAM, ms.
+    pub dram_app_ms: f64,
+    /// GC pause time with the whole heap on DRAM, ms.
+    pub dram_gc_ms: f64,
+    /// Mutator time with the whole heap on NVM, ms.
+    pub nvm_app_ms: f64,
+    /// GC pause time with the whole heap on NVM, ms.
+    pub nvm_gc_ms: f64,
+    /// NVM / DRAM GC-time ratio.
+    pub gc_slowdown: f64,
+    /// NVM / DRAM mutator-time ratio.
+    pub app_slowdown: f64,
+    /// Fraction of NVM run time spent in GC pauses.
+    pub nvm_gc_share: f64,
+}
+
+/// The Figure 1 roster. `fast` trims to the first two applications (the
+/// full roster is what the committed results were produced with).
+pub fn fig01_apps(fast: bool) -> Vec<WorkloadSpec> {
+    let mut apps = fig1_apps();
+    if fast && apps.len() > 2 {
+        apps.truncate(2);
+    }
+    apps
+}
+
+/// Runs one Figure 1 application under vanilla G1 on all-DRAM and then
+/// all-NVM placement.
+pub fn run_fig01_app(spec: &WorkloadSpec) -> Fig01Row {
+    let run = |placement: DevicePlacement| {
+        let mut cfg = sized_config(spec.clone(), GcConfig::vanilla(PAPER_THREADS));
+        cfg.heap.placement = placement;
+        run_app(&cfg).expect("run succeeds")
+    };
+    let dram = run(DevicePlacement::all_dram());
+    let nvm = run(DevicePlacement::all_nvm());
+    Fig01Row {
+        app: spec.name.to_owned(),
+        dram_app_ms: dram.mutator_seconds() * 1e3,
+        dram_gc_ms: dram.gc_seconds() * 1e3,
+        nvm_app_ms: nvm.mutator_seconds() * 1e3,
+        nvm_gc_ms: nvm.gc_seconds() * 1e3,
+        gc_slowdown: nvm.gc_seconds() / dram.gc_seconds().max(1e-12),
+        app_slowdown: nvm.mutator_seconds() / dram.mutator_seconds().max(1e-12),
+        nvm_gc_share: nvm.gc_share(),
+    }
+}
+
+/// Assembles the `results/fig01_dram_vs_nvm.json` report from its rows.
+pub fn fig01_report(rows: Vec<Fig01Row>) -> ExperimentReport<Vec<Fig01Row>> {
+    ExperimentReport {
+        id: "fig01_dram_vs_nvm".to_owned(),
+        paper_ref: "Figure 1".to_owned(),
+        notes: format!("vanilla G1, {PAPER_THREADS} threads, scaled heaps"),
+        data: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_grid_is_a_prefix_slice_of_the_full_grid() {
+        let fast = fault_matrix_cells(true);
+        let full = fault_matrix_cells(false);
+        assert_eq!(fast.len(), Severity::ALL.len() * 2);
+        assert_eq!(full.len(), fast.len() * 4);
+        // Every fast cell appears in the full grid with the same label.
+        let full_labels: Vec<String> = full.iter().map(|c| c.label()).collect();
+        for c in &fast {
+            assert!(full_labels.contains(&c.label()), "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn fault_config_applies_matrix_heap_and_plan() {
+        let cells = fault_matrix_cells(true);
+        let off = cells
+            .iter()
+            .find(|c| c.severity == Severity::Off)
+            .expect("grid has an Off cell");
+        assert!(fault_matrix_config(off).gc.fault.is_empty());
+        let severe = cells
+            .iter()
+            .find(|c| c.severity == Severity::Severe)
+            .expect("grid has a Severe cell");
+        let cfg = fault_matrix_config(severe);
+        assert_eq!(cfg.heap.region_size, 32 << 10);
+        assert_eq!(cfg.heap.heap_regions, 256);
+        assert_eq!(cfg.heap.young_regions, 64);
+        assert!(!cfg.gc.fault.is_empty());
+    }
+
+    #[test]
+    fn fig01_fast_roster_is_a_prefix_of_the_full_roster() {
+        let fast = fig01_apps(true);
+        let full = fig01_apps(false);
+        assert_eq!(fast.len(), 2);
+        assert!(full.len() >= fast.len());
+        for (a, b) in fast.iter().zip(full.iter()) {
+            assert_eq!(a.name, b.name);
+        }
+    }
+}

@@ -17,11 +17,17 @@
 
 #![warn(missing_docs)]
 
+pub mod grids;
 pub mod runner;
 
+pub use grids::{
+    fault_matrix_cells, fault_matrix_config, fault_matrix_report, fig01_apps, fig01_report,
+    run_fault_cell, run_fig01_app, FaultCell, FaultRow, Fig01Row, FAULT_MATRIX_HORIZON_NS,
+    FAULT_MATRIX_THREADS,
+};
 pub use runner::{
-    jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with,
-    write_throughput, PoolStats,
+    jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with, write_throughput,
+    PoolStats, WorkCounters,
 };
 
 use nvmgc_core::GcConfig;
@@ -49,7 +55,9 @@ pub fn results_dir() -> PathBuf {
 
 /// Whether the fast (smoke) mode is requested.
 pub fn fast_mode() -> bool {
-    std::env::var("NVMGC_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NVMGC_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The workload seed (`NVMGC_SEED` override).

@@ -9,7 +9,9 @@
 use nvmgc_bench::run_cells_with;
 use nvmgc_core::fault::{FaultPlan, Severity};
 use nvmgc_core::GcConfig;
-use nvmgc_metrics::{chrome_trace, timeline_rows, write_json, ChromeTrace, ExperimentReport, TimelineRow};
+use nvmgc_metrics::{
+    chrome_trace, timeline_rows, write_json, ChromeTrace, ExperimentReport, TimelineRow,
+};
 use nvmgc_workloads::{app, run_app, AppRunConfig};
 use serde::Serialize;
 
@@ -78,7 +80,10 @@ fn serial_and_parallel_runs_write_identical_json() {
     }
     let serial_json = write_report("serial", serial);
     let parallel_json = write_report("parallel", parallel);
-    assert_eq!(serial_json, parallel_json, "results JSON must be byte-identical");
+    assert_eq!(
+        serial_json, parallel_json,
+        "results JSON must be byte-identical"
+    );
 }
 
 #[derive(Serialize)]
@@ -139,5 +144,8 @@ fn trace_json_is_identical_across_job_counts() {
     let (parallel, _) = run_cells_with(2, traced_grid());
     let serial_json = write_trace_report("serial", serial);
     let parallel_json = write_trace_report("parallel", parallel);
-    assert_eq!(serial_json, parallel_json, "trace JSON must be byte-identical");
+    assert_eq!(
+        serial_json, parallel_json,
+        "trace JSON must be byte-identical"
+    );
 }

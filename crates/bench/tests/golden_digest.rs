@@ -1,0 +1,78 @@
+//! Golden-digest regression test.
+//!
+//! Runs the FAST fig01 and fault-matrix grids through the exact shared
+//! grid code the bench harnesses use ([`nvmgc_bench::grids`]) and
+//! asserts the produced JSON is byte-identical to the golden files
+//! committed under `tests/golden/`. Any change to simulator timing,
+//! scheduling, RNG consumption, or report formatting shows up here as a
+//! byte diff — the same property CI checks for the full-scale committed
+//! `results/*.json`, but cheap enough to run in every test pass.
+//!
+//! When a change *intentionally* alters simulated behavior, regenerate
+//! the goldens by running this test with `NVMGC_BLESS_GOLDEN=1` and
+//! commit the rewritten files (see EXPERIMENTS.md, "Golden digests").
+
+use nvmgc_bench::{
+    fault_matrix_cells, fault_matrix_report, fig01_apps, fig01_report, run_fault_cell,
+    run_fig01_app, run_labeled_cells,
+};
+use nvmgc_metrics::write_json;
+use std::path::Path;
+
+/// Serializes `report` exactly as a harness would (via [`write_json`])
+/// and compares the bytes against `tests/golden/<name>`. With
+/// `NVMGC_BLESS_GOLDEN=1`, rewrites the golden instead of comparing.
+fn assert_matches_golden<T: serde::Serialize>(
+    report: &nvmgc_metrics::ExperimentReport<T>,
+    name: &str,
+) {
+    let dir = std::env::temp_dir().join(format!("nvmgc_golden_{}_{name}", std::process::id()));
+    let path = write_json(&dir, report).expect("write report");
+    let produced = std::fs::read(&path).expect("read produced report");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("NVMGC_BLESS_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        std::fs::create_dir_all(golden_path.parent().expect("golden dir"))
+            .expect("create golden dir");
+        std::fs::write(&golden_path, &produced).expect("bless golden");
+        println!("blessed {}", golden_path.display());
+        return;
+    }
+    let golden = std::fs::read(&golden_path)
+        .unwrap_or_else(|e| panic!("read golden {}: {e}", golden_path.display()));
+    assert!(
+        produced == golden,
+        "{name}: produced JSON differs from committed golden {} \
+         ({} vs {} bytes). If the simulated behavior changed on purpose, \
+         re-bless with NVMGC_BLESS_GOLDEN=1.",
+        golden_path.display(),
+        produced.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn fault_matrix_fast_json_matches_golden() {
+    let cells: Vec<(String, _)> = fault_matrix_cells(true)
+        .into_iter()
+        .map(|cell| (cell.label(), move || run_fault_cell(&cell).0))
+        .collect();
+    let (rows, _) = run_labeled_cells(cells);
+    assert_matches_golden(&fault_matrix_report(rows), "fault_matrix.fast.json");
+}
+
+#[test]
+fn fig01_fast_json_matches_golden() {
+    let cells: Vec<(String, _)> = fig01_apps(true)
+        .into_iter()
+        .map(|spec| (spec.name.to_owned(), move || run_fig01_app(&spec)))
+        .collect();
+    let (rows, _) = run_labeled_cells(cells);
+    assert_matches_golden(&fig01_report(rows), "fig01_dram_vs_nvm.fast.json");
+}

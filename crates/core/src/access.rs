@@ -42,7 +42,9 @@ impl<'a> Gx<'a> {
         let mut t = self.mem.write_word(tid, dev, slot.raw(), now);
         if self.heap.write_ref_with_barrier(slot, value) {
             // Remset insertion: card-table-like DRAM metadata update.
-            t = self.mem.write_word(tid, DeviceId::Dram, 0x6000_0000_0000_0000 | slot.raw(), t);
+            t = self
+                .mem
+                .write_word(tid, DeviceId::Dram, 0x6000_0000_0000_0000 | slot.raw(), t);
         }
         t
     }
@@ -85,12 +87,7 @@ impl<'a> Gx<'a> {
     /// a regular-store memcpy leaves the destination cache-hot.
     ///
     /// Returns the copy address (or `None` when `to_region` is full).
-    pub fn copy_object(
-        &mut self,
-        from: Addr,
-        to_region: RegionId,
-        now: Ns,
-    ) -> (Option<Addr>, Ns) {
+    pub fn copy_object(&mut self, from: Addr, to_region: RegionId, now: Ns) -> (Option<Addr>, Ns) {
         let size = self.heap.object_size(from) as u64;
         let src_dev = self.heap.device_of(from);
         let dst_dev = self.heap.region(to_region).device();
@@ -127,7 +124,9 @@ impl<'a> Gx<'a> {
     /// read.
     pub fn read_data(&mut self, tid: usize, obj: Addr, w: u32, now: Ns) -> (u64, Ns) {
         let dev = self.heap.device_of(obj);
-        let t = self.mem.read_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now);
+        let t = self
+            .mem
+            .read_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now);
         (self.heap.read_data(obj, w), t)
     }
 
@@ -135,7 +134,8 @@ impl<'a> Gx<'a> {
     pub fn write_data(&mut self, tid: usize, obj: Addr, w: u32, value: u64, now: Ns) -> Ns {
         let dev = self.heap.device_of(obj);
         self.heap.write_data(obj, w, value);
-        self.mem.write_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now)
+        self.mem
+            .write_word(tid, dev, obj.raw() + 8 + (w as u64) * 8, now)
     }
 
     /// Issues a software prefetch for the object at `addr`.

@@ -82,6 +82,9 @@ pub struct Worker {
     pub clock: Ns,
     /// Set when the worker has finished the current phase.
     pub done: bool,
+    /// Engine scheduler steps taken (incremented by the engine itself;
+    /// cumulative across the phases a worker lives through).
+    pub steps: u64,
     stats: WorkerStats,
     flush: Option<FlushTask>,
     cache_pair: Option<(RegionId, RegionId)>,
@@ -110,6 +113,7 @@ impl Worker {
             id,
             clock: start,
             done: false,
+            steps: 0,
             stats: WorkerStats::default(),
             flush: None,
             cache_pair: None,
@@ -182,6 +186,7 @@ impl CycleShared<'_> {
         self.stats.hm_full += s.hm_full;
         self.stats.cache_overflow_copies += s.overflow_copies;
         self.stats.evac_failures += s.evac_failures;
+        self.stats.engine_steps += w.steps;
     }
 }
 
@@ -440,7 +445,9 @@ fn copy_and_forward(
     {
         let id = w.id;
         let clock = w.clock;
-        let t = sh.gx().write_header(id, copy, Header::new(class, age), clock);
+        let t = sh
+            .gx()
+            .write_header(id, copy, Header::new(class, age), clock);
         w.clock = t;
     }
     // Install the forwarding pointer (paper §3.1 step 3 / Algorithm 1).
@@ -586,9 +593,12 @@ fn scan_card_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: u32) {
     // precise remset avoids).
     let dev = sh.heap.region(region).device();
     let used = sh.heap.region(region).used() as u64;
-    w.clock = sh
-        .mem
-        .bulk_read(DeviceId::Dram, Pattern::Seq, ct_cards_bytes(sh.heap, region), w.clock);
+    w.clock = sh.mem.bulk_read(
+        DeviceId::Dram,
+        Pattern::Seq,
+        ct_cards_bytes(sh.heap, region),
+        w.clock,
+    );
     let base = sh.heap.addr_of(region, 0).raw();
     w.clock = sh.mem.read_bulk(dev, base, used, w.clock);
 
@@ -979,7 +989,11 @@ pub fn assign_clear_ranges(workers: &mut [Worker], capacity: usize) {
     for (i, w) in workers.iter_mut().enumerate() {
         let start = (i * per).min(capacity);
         let end = ((i + 1) * per).min(capacity);
-        w.clear_range = if start < end { Some((start, end)) } else { None };
+        w.clear_range = if start < end {
+            Some((start, end))
+        } else {
+            None
+        };
     }
 }
 

@@ -84,6 +84,7 @@ where
         }
         let Some(i) = best else { break };
         step(&mut workers[i]);
+        workers[i].steps += 1;
         steps += 1;
         if steps >= STEP_LIMIT {
             return Err(stuck_worker(workers, i));
@@ -121,6 +122,7 @@ where
         debug_assert_eq!(workers[i].clock, clock, "queue entry out of sync");
         debug_assert!(!workers[i].done, "done worker left a valid entry");
         step(&mut workers[i]);
+        workers[i].steps += 1;
         steps += 1;
         if steps >= STEP_LIMIT {
             return Err(stuck_worker(workers, i));

@@ -535,8 +535,7 @@ mod tests {
         assert_eq!(st.observations.power_failure_checks, 1);
 
         let has_pf = |p: &FaultPlan| {
-            p.gc
-                .events
+            p.gc.events
                 .iter()
                 .any(|e| matches!(e, GcFault::PowerFailure { .. }))
         };

@@ -170,11 +170,11 @@ impl G1Collector {
             .collect();
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN liveness"));
         let budget = (heap.old().len() / 4).max(1);
-        let old_cset: Vec<RegionId> =
-            candidates.iter().take(budget).map(|&(r, _)| r).collect();
+        let old_cset: Vec<RegionId> = candidates.iter().take(budget).map(|&(r, _)| r).collect();
 
         let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
         out.stats.mark_ns = mark.end_ns - start;
+        out.stats.engine_steps += mark.steps;
         out.stats.humongous_freed = humongous_freed;
         Ok(out)
     }
@@ -233,6 +233,7 @@ impl G1Collector {
         let old_cset: Vec<RegionId> = heap.old().to_vec();
         let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
         out.stats.mark_ns = mark.end_ns - start;
+        out.stats.engine_steps += mark.steps;
         out.stats.humongous_freed = humongous_freed;
         Ok(out)
     }
@@ -320,8 +321,7 @@ impl G1Collector {
         // All workers begin after the fixed STW entry overhead (safepoint
         // + phase setup); it is part of the pause.
         let work_start = start + self.cfg.safepoint_ns;
-        let mut workers: Vec<Worker> =
-            (0..threads).map(|i| Worker::new(i, work_start)).collect();
+        let mut workers: Vec<Worker> = (0..threads).map(|i| Worker::new(i, work_start)).collect();
         // Charge the remembered-set scan (DRAM metadata) split over workers.
         let share = remset_bytes / threads as u64;
         for w in workers.iter_mut() {
@@ -349,8 +349,7 @@ impl G1Collector {
         };
 
         // --- Phase 1: copy-and-traverse. -----------------------------------
-        let scan_end =
-            engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh))?;
+        let scan_end = engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh))?;
         if let Some(e) = sh.error.take() {
             return Err(e);
         }
@@ -495,9 +494,14 @@ impl G1Collector {
         sampler.mark_phase(start, clear_end, PhaseKind::Gc);
         // The whole-cycle trace span: start/end are the exact interval the
         // GC log records, which the trace determinism tests cross-check.
-        sh.mem
-            .trace_mut()
-            .span("cycle", TraceCat::Cycle, TRACK_CYCLE, start, clear_end, cycle_idx);
+        sh.mem.trace_mut().span(
+            "cycle",
+            TraceCat::Cycle,
+            TRACK_CYCLE,
+            start,
+            clear_end,
+            cycle_idx,
+        );
 
         // Allow the bandwidth ledgers to forget the distant past.
         sh.mem.retire_before(start.saturating_sub(1_000_000));

@@ -184,7 +184,10 @@ mod tests {
         let mut log = GcLog::new();
         log.record(GcKind::Young, 108_170_000, &stats(), 7 << 20, 2 << 20);
         let text = log.render();
-        assert!(text.contains("GC(0) Pause Young (Normal) 7168K->2048K 4.83ms"), "{text}");
+        assert!(
+            text.contains("GC(0) Pause Young (Normal) 7168K->2048K 4.83ms"),
+            "{text}"
+        );
         assert!(text.contains("scan 3.91ms"));
         assert!(text.contains("31337 slots"));
         assert!(!text.contains("mark"), "no mark line for young GC");

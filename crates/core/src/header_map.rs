@@ -117,12 +117,7 @@ impl HeaderMap {
                     continue;
                 }
                 // Empty: try to claim it.
-                match slot.compare_exchange(
-                    0,
-                    old.raw(),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match slot.compare_exchange(0, old.raw(), Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => {
                         self.values[idx as usize].store(new.raw(), Ordering::Release);
                         return (PutOutcome::Installed, probes);

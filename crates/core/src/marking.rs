@@ -113,6 +113,8 @@ pub struct MarkOutcome {
     pub marked_objects: u64,
     /// Bytes marked live.
     pub marked_bytes: u64,
+    /// Engine scheduler steps the marking pass executed.
+    pub steps: u64,
 }
 
 /// Runs a parallel marking pass over the whole heap from `roots`.
@@ -178,11 +180,13 @@ pub fn mark_heap(
         .map(|r| state.live_objects(r))
         .sum();
     let marked_bytes = state.total_live_bytes();
+    let steps = workers.iter().map(|w| w.steps).sum();
     Ok(MarkOutcome {
         state,
         end_ns: end,
         marked_objects,
         marked_bytes,
+        steps,
     })
 }
 

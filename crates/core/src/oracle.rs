@@ -127,13 +127,13 @@ pub fn check_crash_point(
     // 1. Forwarding entries.
     if let Some(map) = hmap {
         for (old, new) in map.snapshot() {
-            let src = heap.region_of(old).map_err(|_| {
-                OracleViolation::StaleForwarding {
+            let src = heap
+                .region_of(old)
+                .map_err(|_| OracleViolation::StaleForwarding {
                     old,
                     new,
                     reason: "source address outside the heap",
-                }
-            })?;
+                })?;
             if !heap.region(src).in_cset {
                 return Err(OracleViolation::StaleForwarding {
                     old,
@@ -153,13 +153,13 @@ pub fn check_crash_point(
                 }
                 continue;
             }
-            let dst = heap.region_of(new).map_err(|_| {
-                OracleViolation::StaleForwarding {
+            let dst = heap
+                .region_of(new)
+                .map_err(|_| OracleViolation::StaleForwarding {
                     old,
                     new,
                     reason: "destination address outside the heap",
-                }
-            })?;
+                })?;
             let dr = heap.region(dst);
             if dr.in_cset {
                 return Err(OracleViolation::StaleForwarding {
@@ -267,9 +267,7 @@ pub fn check_power_failure(
                 // Stale addresses are check_crash_point's domain.
                 continue;
             };
-            if heap.device_of(new) != DeviceId::Nvm
-                || img.meta_at(region_meta_key(dst)).is_none()
-            {
+            if heap.device_of(new) != DeviceId::Nvm || img.meta_at(region_meta_key(dst)).is_none() {
                 continue;
             }
             // Object size from whichever copy still has a readable
@@ -369,10 +367,7 @@ mod tests {
     #[test]
     fn clean_state_passes() {
         let h = heap();
-        assert_eq!(
-            check_crash_point(&h, None, &no_cache(), &[], &[]),
-            Ok(())
-        );
+        assert_eq!(check_crash_point(&h, None, &no_cache(), &[], &[]), Ok(()));
     }
 
     #[test]
@@ -430,8 +425,7 @@ mod tests {
         let eden = h.take_region(RegionKind::Eden).unwrap();
         let obj = h.alloc_object(eden, 0).unwrap();
         let hdr = h.header(obj);
-        let err =
-            check_crash_point(&h, None, &no_cache(), &[(obj, hdr)], &[]).unwrap_err();
+        let err = check_crash_point(&h, None, &no_cache(), &[(obj, hdr)], &[]).unwrap_err();
         assert_eq!(
             err,
             OracleViolation::UnretainedSelfForward { obj, region: eden }

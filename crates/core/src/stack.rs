@@ -34,7 +34,11 @@ impl Task {
     pub fn encode(self) -> u64 {
         match self {
             Task::Slot(a) => {
-                debug_assert_eq!(a.raw() & (ROOT_TAG | CARD_TAG), 0, "heap addresses stay low");
+                debug_assert_eq!(
+                    a.raw() & (ROOT_TAG | CARD_TAG),
+                    0,
+                    "heap addresses stay low"
+                );
                 a.raw()
             }
             Task::Root(i) => ROOT_TAG | i as u64,

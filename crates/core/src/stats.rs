@@ -80,6 +80,10 @@ pub struct GcStats {
     /// concurrently; this reproduction runs it stop-the-world but reports
     /// it separately from the evacuation pause.
     pub mark_ns: Ns,
+    /// Engine scheduler steps executed for this cycle (evacuation phases
+    /// plus any preceding marking pass). A deterministic work counter:
+    /// it depends only on configuration and workload, never wall-clock.
+    pub engine_steps: u64,
     /// Injected-fault events the collector absorbed this cycle (all zero
     /// when no fault plan is configured).
     pub fault_events: GcFaultObservations,
@@ -105,6 +109,8 @@ pub struct RunGcStats {
     pub slots_processed: u64,
     /// Total steals.
     pub steals: u64,
+    /// Total engine scheduler steps across all cycles.
+    pub engine_steps: u64,
 }
 
 impl RunGcStats {
@@ -115,6 +121,7 @@ impl RunGcStats {
         self.promoted_bytes += s.promoted_bytes;
         self.slots_processed += s.slots_processed;
         self.steals += s.steals;
+        self.engine_steps += s.engine_steps;
     }
 
     /// Number of GC cycles.

@@ -131,7 +131,10 @@ fn wide_fanout_is_load_balanced() {
     let mut roots = vec![hub];
     let out = gc.collect(&mut h2, &mut m, &mut roots, 0).unwrap();
     assert_eq!(out.stats.copied_objects, 401);
-    assert!(out.stats.steals > 0, "fan-out must be stolen across workers");
+    assert!(
+        out.stats.steals > 0,
+        "fan-out must be stolen across workers"
+    );
     verify_heap(&h2, &roots).unwrap();
 }
 

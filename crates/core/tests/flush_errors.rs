@@ -41,13 +41,23 @@ fn double_flush_returns_a_typed_error() {
     let mut h = heap();
     let mut p = pool(1 << 12);
     let (c, _) = p.alloc_pair(&mut h).expect("pair");
-    p.note_flushed(&mut h, c, false).expect("first flush is fine");
+    p.note_flushed(&mut h, c, false)
+        .expect("first flush is fine");
     assert_eq!(p.bytes_in_use(), 0);
 
-    let err = p.note_flushed(&mut h, c, false).expect_err("second flush rejected");
+    let err = p
+        .note_flushed(&mut h, c, false)
+        .expect_err("second flush rejected");
     assert_eq!(err.0, c);
-    assert_eq!(p.bytes_in_use(), 0, "budget untouched by the rejected flush");
-    assert!(p.check_drain_order(&h).is_ok(), "pool state stays consistent");
+    assert_eq!(
+        p.bytes_in_use(),
+        0,
+        "budget untouched by the rejected flush"
+    );
+    assert!(
+        p.check_drain_order(&h).is_ok(),
+        "pool state stays consistent"
+    );
 }
 
 /// Flushing a region the pool never allocated is rejected before any
@@ -61,7 +71,10 @@ fn flushing_a_foreign_region_is_rejected() {
 
     let (region, reason) = p.note_flushed(&mut h, bogus, true).expect_err("rejected");
     assert_eq!(region, bogus);
-    assert!(!h.region(bogus).flushed, "rejection leaves the region untouched");
+    assert!(
+        !h.region(bogus).flushed,
+        "rejection leaves the region untouched"
+    );
     assert!(!reason.is_empty());
 }
 
@@ -79,11 +92,15 @@ fn slot_counter_underflow_returns_a_typed_error() {
     assert_eq!(region, c);
     assert!(reason.contains("pending"), "{reason}");
     assert_eq!(h.region(c).pending_slots, 0, "counter must not wrap");
-    assert!(p.check_drain_order(&h).is_ok(), "pool state stays consistent");
+    assert!(
+        p.check_drain_order(&h).is_ok(),
+        "pool state stays consistent"
+    );
 
     // The balanced sequence still works after the rejected call.
     h.region_mut(c).pending_slots = 1;
-    p.note_slot_done(&mut h, c).expect("balanced decrement is fine");
+    p.note_slot_done(&mut h, c)
+        .expect("balanced decrement is fine");
     assert_eq!(h.region(c).pending_slots, 0);
 }
 
@@ -95,13 +112,16 @@ fn lab_counter_underflow_returns_a_typed_error() {
     let mut p = pool(1 << 20);
     let (c, _) = p.alloc_pair(&mut h).expect("pair");
 
-    let (region, reason) = p.note_lab_closed(&mut h, c).expect_err("underflow rejected");
+    let (region, reason) = p
+        .note_lab_closed(&mut h, c)
+        .expect_err("underflow rejected");
     assert_eq!(region, c);
     assert!(reason.contains("LAB"), "{reason}");
     assert_eq!(h.region(c).open_labs, 0, "counter must not wrap");
 
     h.region_mut(c).open_labs = 1;
-    p.note_lab_closed(&mut h, c).expect("balanced close is fine");
+    p.note_lab_closed(&mut h, c)
+        .expect("balanced close is fine");
     assert_eq!(h.region(c).open_labs, 0);
 }
 

@@ -35,12 +35,7 @@ fn setup(regions: u32) -> (Heap, MemorySystem) {
 }
 
 /// Fills old space with a mix of live and dead promoted data.
-fn churn(
-    h: &mut Heap,
-    m: &mut MemorySystem,
-    gc: &mut G1Collector,
-    roots: &mut Vec<Addr>,
-) -> u64 {
+fn churn(h: &mut Heap, m: &mut MemorySystem, gc: &mut G1Collector, roots: &mut Vec<Addr>) -> u64 {
     let mut t = 0;
     for round in 0..8u64 {
         let eden = h.take_region(RegionKind::Eden).unwrap();
@@ -88,8 +83,7 @@ fn full_gc_compacts_the_whole_heap() {
         "full GC must compact: {occupied_before} -> {occupied_after}"
     );
     // Everything live fits in a minimal set of regions.
-    let live_regions_needed =
-        (after.bytes / h.config().region_size as u64 + 2) as usize;
+    let live_regions_needed = (after.bytes / h.config().region_size as u64 + 2) as usize;
     assert!(
         occupied_after <= live_regions_needed + 2,
         "occupied {occupied_after} vs ~{live_regions_needed} needed"
@@ -140,7 +134,11 @@ fn full_gc_is_deterministic() {
         let mut roots = Vec::new();
         let t = churn(&mut h, &mut m, &mut gc, &mut roots);
         let out = gc.collect_full(&mut h, &mut m, &mut roots, t).unwrap();
-        (out.stats.pause_ns(), out.stats.mark_ns, out.stats.copied_bytes)
+        (
+            out.stats.pause_ns(),
+            out.stats.mark_ns,
+            out.stats.copied_bytes,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -106,7 +106,9 @@ fn collect_and_check(cfg: GcConfig, seed: u64) -> (u64, u64) {
     let used_before: u64 = h.eden().len() as u64 * h.config().region_size as u64;
 
     let mut gc = G1Collector::new(cfg);
-    let outcome = gc.collect(&mut h, &mut m, &mut roots, 0).expect("GC succeeds");
+    let outcome = gc
+        .collect(&mut h, &mut m, &mut roots, 0)
+        .expect("GC succeeds");
     let after = verify_heap(&h, &roots).expect("post-GC heap is well-formed");
 
     assert_eq!(before, after, "reachable graph must be preserved exactly");
@@ -120,8 +122,8 @@ fn collect_and_check(cfg: GcConfig, seed: u64) -> (u64, u64) {
         outcome.stats.copied_objects, before.objects,
         "every reachable object is copied exactly once"
     );
-    let used_after: u64 = (h.survivor().len() + h.old().len()) as u64
-        * h.config().region_size as u64;
+    let used_after: u64 =
+        (h.survivor().len() + h.old().len()) as u64 * h.config().region_size as u64;
     assert!(
         used_after <= used_before,
         "survivor space should not exceed the old footprint"
@@ -245,7 +247,10 @@ fn remembered_sets_keep_old_to_young_refs_alive() {
     let young = h.alloc_object(eden, CLS_LEAF).unwrap();
     h.write_data(young, 0, 777);
     let slot = h.ref_slot(anchor, 0);
-    assert!(h.write_ref_with_barrier(slot, young), "barrier records remset");
+    assert!(
+        h.write_ref_with_barrier(slot, young),
+        "barrier records remset"
+    );
 
     let mut roots = vec![anchor];
     let mut gc = G1Collector::new(cfg);
@@ -321,7 +326,11 @@ fn determinism_same_seed_same_pause() {
         let mut roots = build_graph(&mut h, 5, 2500);
         let mut gc = G1Collector::new(cfg);
         let out = gc.collect(&mut h, &mut m, &mut roots, 0).unwrap();
-        (out.stats.pause_ns(), out.stats.copied_bytes, out.stats.steals)
+        (
+            out.stats.pause_ns(),
+            out.stats.copied_bytes,
+            out.stats.steals,
+        )
     };
     assert_eq!(run(), run(), "simulation must be fully deterministic");
 }
@@ -344,7 +353,10 @@ fn writecache_moves_write_traffic_to_writeback_phase() {
     let (vanilla, _) = measure(GcConfig::vanilla(8));
     let (cached, _) = measure(GcConfig::plus_writecache(8, 4 << 20));
     assert_eq!(vanilla.phases.writeback_ns, 0);
-    assert!(cached.phases.writeback_ns > 0, "write-only sub-phase exists");
+    assert!(
+        cached.phases.writeback_ns > 0,
+        "write-only sub-phase exists"
+    );
     assert!(cached.cache_regions > 0);
 }
 

@@ -26,10 +26,7 @@ fn arb_script() -> impl Strategy<Value = Script> {
     (
         0u64..50,
         any::<bool>(),
-        prop::collection::vec(
-            prop_oneof![Just(0u64), 1u64..40, Just(17u64)],
-            1..12,
-        ),
+        prop::collection::vec(prop_oneof![Just(0u64), 1u64..40, Just(17u64)], 1..12),
     )
         .prop_map(|(start, coin, increments)| Script {
             start,

@@ -85,10 +85,7 @@ fn arb_severity() -> impl Strategy<Value = Severity> {
 /// outcome summary.
 type Outcome = (u64, GcFaultObservations, u64, String);
 
-fn collect_once(
-    script: &[(u8, u16, u8, bool)],
-    cfg: &GcConfig,
-) -> Result<Outcome, TestCaseError> {
+fn collect_once(script: &[(u8, u16, u8, bool)], cfg: &GcConfig) -> Result<Outcome, TestCaseError> {
     let mut h = heap();
     let mut mc = MemConfig {
         llc_bytes: 128 << 10,
@@ -116,11 +113,21 @@ fn collect_once(
         Ok(out) => {
             let after = verify_heap(&h, &roots).expect("post-GC graph verifies");
             prop_assert_eq!(&before, &after, "graph changed under {:?}", cfg.fault);
-            Ok((out.end_ns, out.stats.fault_events, before.checksum, String::new()))
+            Ok((
+                out.end_ns,
+                out.stats.fault_events,
+                before.checksum,
+                String::new(),
+            ))
         }
         // A typed error is an acceptable degraded outcome; the heap may be
         // mid-flight, so only determinism is asserted for it.
-        Err(e) => Ok((0, GcFaultObservations::default(), before.checksum, e.to_string())),
+        Err(e) => Ok((
+            0,
+            GcFaultObservations::default(),
+            before.checksum,
+            e.to_string(),
+        )),
     }
 }
 
@@ -170,8 +177,9 @@ proptest! {
 /// pass it — on an ordinary collection.
 #[test]
 fn crash_point_fires_the_oracle_and_passes() {
-    let script: Vec<(u8, u16, u8, bool)> =
-        (0..200).map(|i| (i as u8, i as u16, i as u8, i % 2 == 0)).collect();
+    let script: Vec<(u8, u16, u8, bool)> = (0..200)
+        .map(|i| (i as u8, i as u16, i as u8, i % 2 == 0))
+        .collect();
     let mut cfg = GcConfig::plus_all(10, 1 << 20);
     cfg.header_map.min_threads = 0;
     cfg.fault.gc = GcFaultPlan {
@@ -196,8 +204,9 @@ fn crash_point_fires_the_oracle_and_passes() {
 /// violation — never a silent pass and never a panic.
 #[test]
 fn power_failure_fires_the_recoverability_oracle() {
-    let script: Vec<(u8, u16, u8, bool)> =
-        (0..200).map(|i| (i as u8, i as u16, i as u8, i % 2 == 0)).collect();
+    let script: Vec<(u8, u16, u8, bool)> = (0..200)
+        .map(|i| (i as u8, i as u16, i as u8, i % 2 == 0))
+        .collect();
     let mut cfg = GcConfig::plus_all(10, 1 << 20);
     cfg.header_map.min_threads = 0;
     cfg.fault.gc = GcFaultPlan {

@@ -1,8 +1,8 @@
 //! Property-based GC tests: arbitrary object graphs and arbitrary
 //! optimization configurations must preserve the reachable graph exactly.
 
-use nvmgc_core::{G1Collector, GcConfig, Traversal};
 use nvmgc_core::header_map::{HeaderMap, PutOutcome};
+use nvmgc_core::{G1Collector, GcConfig, Traversal};
 use nvmgc_heap::verify::{verify_heap, verify_remsets};
 use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Heap, HeapConfig, RegionKind};
 use nvmgc_memsim::{MemConfig, MemorySystem};
@@ -61,7 +61,19 @@ fn arb_cfg() -> impl Strategy<Value = ArbCfg> {
         any::<bool>(),
     )
         .prop_map(
-            |(threads, write_cache, cache_bytes, header_map, map_bytes, async_flush, nt, prefetch, bfs, tenure, ps)| ArbCfg {
+            |(
+                threads,
+                write_cache,
+                cache_bytes,
+                header_map,
+                map_bytes,
+                async_flush,
+                nt,
+                prefetch,
+                bfs,
+                tenure,
+                ps,
+            )| ArbCfg {
                 threads,
                 write_cache,
                 cache_bytes,
@@ -95,7 +107,11 @@ fn to_gc_config(a: &ArbCfg) -> GcConfig {
         c.header_map.min_threads = 0; // always active when enabled
     }
     c.prefetch = a.prefetch;
-    c.traversal = if a.bfs { Traversal::Bfs } else { Traversal::Dfs };
+    c.traversal = if a.bfs {
+        Traversal::Bfs
+    } else {
+        Traversal::Dfs
+    };
     c.tenure_age = a.tenure;
     c
 }

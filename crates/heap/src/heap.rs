@@ -256,7 +256,9 @@ impl Heap {
     pub fn alloc_humongous(&mut self, class: ClassId) -> Result<Addr, HeapError> {
         let size = self.classes.get(class).size();
         if size > self.cfg.region_size {
-            return Err(HeapError::ObjectTooLarge { size: size as usize });
+            return Err(HeapError::ObjectTooLarge {
+                size: size as usize,
+            });
         }
         let id = self.free.pop().ok_or(HeapError::OutOfRegions)?;
         let device = self.cfg.placement.heap;
@@ -266,7 +268,9 @@ impl Heap {
         self.humongous.push(id);
         // invariant: the region was just reset, and `size <= region_size`
         // was checked above, so a fresh bump allocation cannot fail.
-        let obj = self.alloc_object(id, class).expect("fresh region fits the object");
+        let obj = self
+            .alloc_object(id, class)
+            .expect("fresh region fits the object");
         Ok(obj)
     }
 
@@ -575,7 +579,10 @@ impl Heap {
         let from_off = from.offset(shift);
         debug_assert_ne!(from_region, to_region);
         let (src, dst) = self.two_regions_mut(from_region, to_region);
-        debug_assert!(offset + size <= dst.used(), "offset must be inside bumped space");
+        debug_assert!(
+            offset + size <= dst.used(),
+            "offset must be inside bumped space"
+        );
         let bytes = src.bytes(from_off, size);
         dst.bytes_mut(offset, size).copy_from_slice(bytes);
         Addr::from_parts(to_region, offset, shift)
@@ -657,7 +664,10 @@ mod tests {
         for _ in 0..8 {
             h.take_region(RegionKind::Old).unwrap();
         }
-        assert_eq!(h.take_region(RegionKind::Eden), Err(HeapError::OutOfRegions));
+        assert_eq!(
+            h.take_region(RegionKind::Eden),
+            Err(HeapError::OutOfRegions)
+        );
     }
 
     #[test]

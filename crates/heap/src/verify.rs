@@ -74,17 +74,15 @@ pub fn verify_heap(heap: &Heap, roots: &[Addr]) -> Result<GraphDigest, VerifyErr
     let mut bytes = 0u64;
 
     let push = |addr: Addr,
-                    order: &mut HashMap<u64, u64>,
-                    stack: &mut Vec<Addr>|
+                order: &mut HashMap<u64, u64>,
+                stack: &mut Vec<Addr>|
      -> Result<Option<u64>, VerifyError> {
         if addr.is_null() {
             return Ok(None);
         }
         let region = match heap.region_of(addr) {
             Ok(r) => r,
-            Err(HeapError::BadAddress(_)) => {
-                return Err(VerifyError::DanglingRef { target: addr })
-            }
+            Err(HeapError::BadAddress(_)) => return Err(VerifyError::DanglingRef { target: addr }),
             Err(_) => unreachable!(),
         };
         let r = heap.region(region);
@@ -179,11 +177,7 @@ pub fn verify_remsets(heap: &Heap, roots: &[Addr]) -> Result<u64, VerifyError> {
             };
             if src_old && dst_region != src_region {
                 checked += 1;
-                let recorded = heap
-                    .region(dst_region)
-                    .remset
-                    .iter()
-                    .any(|s| s == slot);
+                let recorded = heap.region(dst_region).remset.iter().any(|s| s == slot);
                 if !recorded {
                     return Err(VerifyError::MissingRemsetEntry { slot, target });
                 }
@@ -215,11 +209,7 @@ pub enum LineCoverage {
 /// Classifies the cache-line coverage of `[addr, addr + size)` under a
 /// per-line predicate (e.g. "is this line durable in the crash image").
 /// The predicate receives each 64 B line base address exactly once.
-pub fn classify_lines(
-    addr: u64,
-    size: u32,
-    durable: &mut dyn FnMut(u64) -> bool,
-) -> LineCoverage {
+pub fn classify_lines(addr: u64, size: u32, durable: &mut dyn FnMut(u64) -> bool) -> LineCoverage {
     const LINE: u64 = 64;
     let first = addr & !(LINE - 1);
     let last = (addr + u64::from(size.max(1)) - 1) & !(LINE - 1);

@@ -7,9 +7,7 @@
 //! diagnosable failures, so their precision is load-bearing.
 
 use nvmgc_heap::verify::{verify_heap, verify_remsets, VerifyError};
-use nvmgc_heap::{
-    Addr, ClassTable, DevicePlacement, Header, Heap, HeapConfig, RegionKind,
-};
+use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Header, Heap, HeapConfig, RegionKind};
 
 fn heap() -> Heap {
     let mut classes = ClassTable::new();

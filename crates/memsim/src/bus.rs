@@ -59,6 +59,9 @@ pub struct Ledger {
     /// legally replay an epoch the minimum-clock retirement already
     /// dropped; before the clamp, the index subtraction wrapped.
     stale_epoch_grants: u64,
+    /// Non-empty grant requests served. A deterministic work counter:
+    /// it depends only on the simulated access stream.
+    grants: u64,
 }
 
 impl Ledger {
@@ -80,6 +83,7 @@ impl Ledger {
             stall_retry_aborts: 0,
             collapsed_grants: 0,
             stale_epoch_grants: 0,
+            grants: 0,
         }
     }
 
@@ -106,10 +110,7 @@ impl Ledger {
     /// closing) mid-burst is invisible to it. This is the query the
     /// splitting loop in `MemorySystem` iterates on.
     pub fn next_fault_boundary(&self, after: Ns) -> Option<Ns> {
-        let stall_edges = self
-            .stall_windows
-            .iter()
-            .flat_map(|w| [w.start, w.end]);
+        let stall_edges = self.stall_windows.iter().flat_map(|w| [w.start, w.end]);
         let collapse_edges = self
             .collapse_windows
             .iter()
@@ -129,6 +130,11 @@ impl Ledger {
             self.collapsed_grants,
             self.stale_epoch_grants,
         )
+    }
+
+    /// Total non-empty grant requests served.
+    pub fn grants(&self) -> u64 {
+        self.grants
     }
 
     /// Defers `now` past any active stall window with a bounded number of
@@ -193,11 +199,15 @@ impl Ledger {
         bytes as f64 * (self.params.bw_read_seq / bw)
     }
 
-    fn epoch_use(&mut self, epoch: u64) -> &mut EpochUse {
-        // A stall-deferred request can replay an epoch the minimum-clock
-        // retirement already dropped; `epoch - base_epoch` would wrap.
-        // Charge the ledger base instead — the retired history is gone,
-        // so the oldest tracked epoch is the closest accounting bucket.
+    /// Index of `epoch`'s accounting bucket, extending the tracked range
+    /// as needed.
+    ///
+    /// A stall-deferred request can replay an epoch the minimum-clock
+    /// retirement already dropped; `epoch - base_epoch` would wrap.
+    /// Charge the ledger base instead — the retired history is gone,
+    /// so the oldest tracked epoch is the closest accounting bucket.
+    #[inline]
+    fn epoch_index(&mut self, epoch: u64) -> usize {
         let epoch = if epoch < self.base_epoch {
             self.stale_epoch_grants += 1;
             self.base_epoch
@@ -205,18 +215,26 @@ impl Ledger {
             epoch
         };
         let idx = (epoch - self.base_epoch) as usize;
-        while self.epochs.len() <= idx {
-            self.epochs.push_back(EpochUse::default());
+        if self.epochs.len() <= idx {
+            self.epochs.resize(idx + 1, EpochUse::default());
         }
+        idx
+    }
+
+    /// Test-only accessor for an epoch's accounting bucket (the grant
+    /// path resolves the index once and reuses it instead).
+    #[cfg(test)]
+    fn epoch_use(&mut self, epoch: u64) -> &mut EpochUse {
+        let idx = self.epoch_index(epoch);
         &mut self.epochs[idx]
     }
 
-    /// Budget (weighted bytes) of an epoch given its current write share
-    /// and one more request of `kind` pending.
-    fn capacity(&mut self, epoch: u64, kind: AccessKind) -> f64 {
-        let base = self.params.bw_read_seq * self.epoch_ns as f64;
-        let u = *self.epoch_use(epoch);
-        let share = if u.weighted <= 0.0 {
+    /// The epoch's effective write share: its current weighted-write
+    /// ratio, or (for an untouched epoch) 1 or 0 depending on whether the
+    /// pending request writes.
+    #[inline]
+    fn write_share(u: &EpochUse, kind: AccessKind) -> f64 {
+        if u.weighted <= 0.0 {
             if kind.is_write() {
                 1.0
             } else {
@@ -224,8 +242,7 @@ impl Ledger {
             }
         } else {
             u.weighted_write / u.weighted
-        };
-        base * self.params.interference_factor(share)
+        }
     }
 
     /// Grants bandwidth for a request starting at `now` and returns the
@@ -237,21 +254,31 @@ impl Ledger {
         if bytes == 0 {
             return now;
         }
+        self.grants += 1;
         let now = self.defer_past_stalls(now);
         let mut remaining = self.weight(kind, pattern, bytes) * self.collapse_factor(now);
         let start_epoch = (now / self.epoch_ns).max(self.base_epoch);
         let mut completion = now;
+        let base_budget = self.params.bw_read_seq * self.epoch_ns as f64;
+        let is_write = kind.is_write();
         // Bound the loop defensively; a single request spanning this many
-        // epochs would indicate a configuration error.
+        // epochs would indicate a configuration error. Every epoch in the
+        // range is ≥ `base_epoch` (the start is clamped and the base
+        // cannot advance mid-grant), so the accounting bucket is resolved
+        // once per iteration — this loop runs once per word access and is
+        // the simulator's hottest code after the engine scheduler itself.
         for epoch in start_epoch..start_epoch + 1_000_000 {
-            let cap = self.capacity(epoch, kind).max(1.0);
-            let used = self.epoch_use(epoch).weighted;
+            let idx = self.epoch_index(epoch);
+            let u = self.epochs[idx];
+            let cap = (base_budget * self.params.interference_factor(Self::write_share(&u, kind)))
+                .max(1.0);
+            let used = u.weighted;
             let avail = (cap - used).max(0.0);
             let take = remaining.min(avail);
             if take > 0.0 {
-                let u = self.epoch_use(epoch);
+                let u = &mut self.epochs[idx];
                 u.weighted += take;
-                if kind.is_write() {
+                if is_write {
                     u.weighted_write += take;
                 }
                 remaining -= take;
@@ -290,6 +317,7 @@ impl Ledger {
         self.stall_retry_aborts = 0;
         self.collapsed_grants = 0;
         self.stale_epoch_grants = 0;
+        self.grants = 0;
     }
 }
 
@@ -399,7 +427,13 @@ mod tests {
     #[test]
     fn stall_window_defers_grants_past_its_end() {
         let mut l = nvm_ledger();
-        l.set_faults(vec![FaultWindow { start: 0, end: 10_000 }], vec![]);
+        l.set_faults(
+            vec![FaultWindow {
+                start: 0,
+                end: 10_000,
+            }],
+            vec![],
+        );
         let done = l.grant(5_000, AccessKind::Read, Pattern::Seq, 64);
         assert!(done >= 10_000, "grant inside stall must defer: {done}");
         let (deferrals, aborts, _, _) = l.fault_counters();
@@ -437,13 +471,16 @@ mod tests {
         let mut l2 = nvm_ledger();
         l2.set_faults(
             vec![],
-            vec![(FaultWindow { start: 0, end: 1_000_000_000 }, 4.0)],
+            vec![(
+                FaultWindow {
+                    start: 0,
+                    end: 1_000_000_000,
+                },
+                4.0,
+            )],
         );
         let collapsed = l2.grant(0, AccessKind::Read, Pattern::Seq, 1 << 20);
-        assert!(
-            collapsed > 3 * base,
-            "collapsed {collapsed} vs base {base}"
-        );
+        assert!(collapsed > 3 * base, "collapsed {collapsed} vs base {base}");
         let (_, _, inflated, _) = l2.fault_counters();
         assert_eq!(inflated, 1);
     }

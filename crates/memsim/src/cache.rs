@@ -26,6 +26,7 @@ pub struct LlcModel {
     set_mask: u64,
     hits: u64,
     misses: u64,
+    installs: u64,
 }
 
 const EMPTY: u64 = u64::MAX;
@@ -51,6 +52,7 @@ impl LlcModel {
             set_mask: num_sets.saturating_sub(1) as u64,
             hits: 0,
             misses: 0,
+            installs: 0,
         }
     }
 
@@ -106,6 +108,7 @@ impl LlcModel {
     /// Installs a line without counting a demand access (used by the
     /// prefetch engine when a fill completes).
     pub fn install(&mut self, addr: u64) {
+        self.installs += 1;
         if self.sets.is_empty() {
             return;
         }
@@ -194,6 +197,13 @@ impl LlcModel {
     /// Total demand misses recorded.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Total non-demand line installs recorded (prefetch fills and bulk
+    /// store runs). A deterministic work counter: it depends only on the
+    /// simulated access stream, never on wall-clock.
+    pub fn installs(&self) -> u64 {
+        self.installs
     }
 
     /// Demand hit rate in `[0, 1]`; zero when no accesses were recorded.

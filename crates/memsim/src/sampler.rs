@@ -384,7 +384,13 @@ mod tests {
     fn trace_log_is_disabled_by_default() {
         let mut t = TraceLog::new();
         t.span("scan", TraceCat::Phase, 0, 0, 10, 0);
-        t.instant("persist-drain", TraceCat::Fence, device_track(DeviceId::Nvm), 5, 0);
+        t.instant(
+            "persist-drain",
+            TraceCat::Fence,
+            device_track(DeviceId::Nvm),
+            5,
+            0,
+        );
         assert!(t.events().is_empty());
         t.set_enabled(true);
         t.span("scan", TraceCat::Phase, 0, 0, 10, 0);

@@ -79,6 +79,15 @@ pub struct MemStats {
     pub prefetch_issued: u64,
     /// Prefetches that serviced a later demand access.
     pub prefetch_useful: u64,
+    /// Bandwidth-ledger grant requests served, summed over devices. A
+    /// deterministic work counter (depends only on the access stream).
+    pub bus_grants: u64,
+    /// LLC line installs from prefetch fills and bulk store runs.
+    /// Deterministic, like `bus_grants`.
+    pub llc_installs: u64,
+    /// Bulk grants segmented at fault-window edges (zero without an
+    /// injected fault plan). Deterministic, like `bus_grants`.
+    pub bulk_grant_splits: u64,
 }
 
 /// How a bulk run records into the durability ledger: not at all, as
@@ -262,6 +271,11 @@ impl MemorySystem {
         let mut s = self.stats;
         s.llc_hits = self.llc.hits();
         s.llc_misses = self.llc.misses();
+        s.llc_installs = self.llc.installs();
+        s.bulk_grant_splits = self.bulk_grant_splits;
+        for l in &self.ledgers {
+            s.bus_grants += l.grants();
+        }
         for t in &self.tables {
             s.prefetch_issued += t.issued();
             s.prefetch_useful += t.useful();
@@ -318,7 +332,14 @@ impl MemorySystem {
     }
 
     /// Records one segment of a bulk store into `di`'s durability ledger.
-    fn record_bulk_persist(&mut self, di: usize, persist: BulkPersist, offset: u64, len: u64, now: Ns) {
+    fn record_bulk_persist(
+        &mut self,
+        di: usize,
+        persist: BulkPersist,
+        offset: u64,
+        len: u64,
+        now: Ns,
+    ) {
         match (persist, &mut self.persist[di]) {
             (BulkPersist::Store(addr), Some(p)) => p.record_store(addr + offset, len, now),
             (BulkPersist::NtStore(addr), Some(p)) => p.record_nt_store(addr + offset, len, now),
@@ -385,8 +406,13 @@ impl MemorySystem {
                 break q;
             }
             self.bulk_grant_splits += 1;
-            self.trace
-                .instant("bulk-split", TraceCat::Fault, device_track(dev), cur, offset);
+            self.trace.instant(
+                "bulk-split",
+                TraceCat::Fault,
+                device_track(dev),
+                cur,
+                offset,
+            );
             // The transfer streams continuously: the portion past the
             // edge is issued *at* the edge even when the shared queue
             // paces this kind below nominal bandwidth (otherwise the
@@ -475,25 +501,27 @@ impl MemorySystem {
     }
 
     /// Streams `bytes` of reads with the given pattern, bypassing the LLC.
-    pub fn bulk_read(
-        &mut self,
-        dev: DeviceId,
-        pattern: Pattern,
-        bytes: u64,
-        now: Ns,
-    ) -> Ns {
-        self.charge_bulk(dev, AccessKind::Read, pattern, BulkPersist::None, bytes, now)
+    pub fn bulk_read(&mut self, dev: DeviceId, pattern: Pattern, bytes: u64, now: Ns) -> Ns {
+        self.charge_bulk(
+            dev,
+            AccessKind::Read,
+            pattern,
+            BulkPersist::None,
+            bytes,
+            now,
+        )
     }
 
     /// Streams `bytes` of regular stores with the given pattern.
-    pub fn bulk_write(
-        &mut self,
-        dev: DeviceId,
-        pattern: Pattern,
-        bytes: u64,
-        now: Ns,
-    ) -> Ns {
-        self.charge_bulk(dev, AccessKind::Write, pattern, BulkPersist::None, bytes, now)
+    pub fn bulk_write(&mut self, dev: DeviceId, pattern: Pattern, bytes: u64, now: Ns) -> Ns {
+        self.charge_bulk(
+            dev,
+            AccessKind::Write,
+            pattern,
+            BulkPersist::None,
+            bytes,
+            now,
+        )
     }
 
     /// Streams `bytes` of non-temporal stores (sequential, cache-bypassing).
@@ -520,7 +548,14 @@ impl MemorySystem {
     /// [`bulk_read`](Self::bulk_read) with `Pattern::Seq`.
     pub fn read_bulk(&mut self, dev: DeviceId, addr: u64, len: u64, now: Ns) -> Ns {
         let _ = addr;
-        self.charge_bulk(dev, AccessKind::Read, Pattern::Seq, BulkPersist::None, len, now)
+        self.charge_bulk(
+            dev,
+            AccessKind::Read,
+            Pattern::Seq,
+            BulkPersist::None,
+            len,
+            now,
+        )
     }
 
     /// Writes the contiguous sequential run `[addr, addr + len)` with
@@ -575,7 +610,14 @@ impl MemorySystem {
             return issue_done;
         }
         let queued = self.charge(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now);
-        let ready = self.finish(dev, AccessKind::Read, Pattern::Rand, CACHE_LINE, now, queued);
+        let ready = self.finish(
+            dev,
+            AccessKind::Read,
+            Pattern::Rand,
+            CACHE_LINE,
+            now,
+            queued,
+        );
         self.tables[tid].issue(addr, ready);
         issue_done
     }
@@ -632,8 +674,13 @@ impl MemorySystem {
         match &mut self.persist[dev.index()] {
             Some(p) => {
                 p.persist_meta(key, now);
-                self.trace
-                    .instant("persist-fence", TraceCat::Fence, device_track(dev), now, key);
+                self.trace.instant(
+                    "persist-fence",
+                    TraceCat::Fence,
+                    device_track(dev),
+                    now,
+                    key,
+                );
                 now + self.cfg.fence_ns as Ns
             }
             None => now,
@@ -662,7 +709,7 @@ impl MemorySystem {
 
     /// Snapshot of what `dev`'s medium would hold if power failed now.
     /// `None` when the persistence model is inactive for the device.
-    pub fn crash_image(&self, dev: DeviceId) -> Option<CrashImage> {
+    pub fn crash_image(&self, dev: DeviceId) -> Option<CrashImage<'_>> {
         self.persist[dev.index()].as_ref().map(|p| p.crash_image())
     }
 

@@ -126,7 +126,7 @@ proptest! {
             written.extend(apply(&mut l, op, (i as u64 + 1) * 100));
             let durable = l.durable_set();
             let accepted = l.ever_accepted();
-            prop_assert!(durable.is_subset(accepted), "durable line never accepted");
+            prop_assert!(durable.is_subset(&accepted), "durable line never accepted");
             prop_assert!(accepted.is_subset(&written), "accepted line never written");
         }
     }
@@ -145,7 +145,7 @@ proptest! {
         }
         l.drain_all(1_000_000);
         let durable = l.durable_set();
-        prop_assert_eq!(&durable, l.ever_accepted());
+        prop_assert_eq!(&durable, &l.ever_accepted());
         let img = l.crash_image();
         prop_assert_eq!(img.torn_lines, 0, "nothing left to tear after a fence");
         for &a in &durable {

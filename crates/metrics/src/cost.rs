@@ -27,11 +27,7 @@ pub fn nvm_cost(bytes: u64) -> f64 {
 /// `baseline_gc_s` and `config_gc_s` are accumulated GC times in seconds;
 /// `extra_dollars` is the additional memory cost over the baseline.
 /// Returns zero when no extra money was spent (the baseline itself).
-pub fn gc_improvement_per_dollar(
-    baseline_gc_s: f64,
-    config_gc_s: f64,
-    extra_dollars: f64,
-) -> f64 {
+pub fn gc_improvement_per_dollar(baseline_gc_s: f64, config_gc_s: f64, extra_dollars: f64) -> f64 {
     if extra_dollars <= 0.0 {
         return 0.0;
     }

@@ -74,12 +74,7 @@ impl TextTable {
                 s.clone()
             }
         };
-        let mut out = self
-            .header
-            .iter()
-            .map(esc)
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = self.header.iter().map(esc).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));

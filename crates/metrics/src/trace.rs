@@ -166,7 +166,13 @@ pub fn timeline_rows(series: &[(u64, u64)], bin_ns: Ns, events: &[TraceEvent]) -
 /// Renders timeline rows as a plain-text table (printed by the trace
 /// harness next to the JSON artifact).
 pub fn bandwidth_timeline(rows: &[TimelineRow]) -> TextTable {
-    let mut t = TextTable::new(vec!["t (ms)", "read MB/s", "write MB/s", "w-share", "marks"]);
+    let mut t = TextTable::new(vec![
+        "t (ms)",
+        "read MB/s",
+        "write MB/s",
+        "w-share",
+        "marks",
+    ]);
     for r in rows {
         t.row(vec![
             format!("{:.1}", r.t_ms),
@@ -220,7 +226,13 @@ mod tests {
         let series = vec![(1_000_000, 0), (0, 3_000_000)];
         let events = vec![
             ev("cycle", TraceCat::Cycle, 1_000_000, 100_000, 200_000),
-            ev("device-stall", TraceCat::Fault, 1_000_002, 1_200_000, 500_000),
+            ev(
+                "device-stall",
+                TraceCat::Fault,
+                1_000_002,
+                1_200_000,
+                500_000,
+            ),
             ev("scan", TraceCat::Phase, 0, 100_000, 200_000),
         ];
         let rows = timeline_rows(&series, 1_000_000, &events);

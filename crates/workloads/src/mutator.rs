@@ -229,7 +229,11 @@ impl Mutator {
     /// operations overlap in the bandwidth model — this is what lets a
     /// memory-intensive application phase saturate NVM like the paper's
     /// multi-threaded Spark executors do.
-    pub fn run(&mut self, heap: &mut Heap, mem: &mut MemorySystem) -> Result<MutatorStep, HeapError> {
+    pub fn run(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+    ) -> Result<MutatorStep, HeapError> {
         loop {
             let lane = self.enter_lane();
             if self.allocated_bytes >= self.target_bytes {
@@ -326,8 +330,8 @@ impl Mutator {
             // remembered-set entry). Overwriting the slot retires the
             // previous referent. The anchor is re-read through the root
             // array — mixed/full collections may have moved it.
-            let idx =
-                self.old_anchor_roots[self.rng.random_range(0..self.old_anchor_roots.len() as u32) as usize];
+            let idx = self.old_anchor_roots
+                [self.rng.random_range(0..self.old_anchor_roots.len() as u32) as usize];
             let anchor = self.root_read(mem, idx);
             debug_assert!(!anchor.is_null());
             let nrefs = heap.num_refs(anchor);
@@ -338,7 +342,8 @@ impl Mutator {
         }
         // Plain medium-lived root.
         let idx = self.take_root_slot(mem, obj);
-        self.expiries.push((self.gc_count + self.spec.keep_gcs, idx));
+        self.expiries
+            .push((self.gc_count + self.spec.keep_gcs, idx));
     }
 
     /// Adds a cross-reference between two random live objects, creating

@@ -10,11 +10,13 @@ use crate::mutator::{Mutator, MutatorStep};
 use crate::spec::WorkloadSpec;
 use nvmgc_core::fault::FaultPlan;
 use nvmgc_core::gclog::{GcKind, GcLog};
-use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_core::stats::RunGcStats;
+use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_heap::verify::{verify_heap, GraphDigest, VerifyError};
 use nvmgc_heap::{DevicePlacement, Heap, HeapConfig};
-use nvmgc_memsim::{DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind, TraceCat, TraceEvent};
+use nvmgc_memsim::{
+    DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind, TraceCat, TraceEvent,
+};
 use std::fmt;
 
 /// When collections beyond young GCs are triggered.
@@ -407,9 +409,10 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                 };
                 let before_bytes = occupied(&heap);
                 let before_digest = if verify_runs {
-                    Some(verify_heap(&heap, &mutator.roots).map_err(|e| {
-                        fail(RunPhase::Verify, cycle, RunFailure::Verify(e))
-                    })?)
+                    Some(
+                        verify_heap(&heap, &mutator.roots)
+                            .map_err(|e| fail(RunPhase::Verify, cycle, RunFailure::Verify(e)))?,
+                    )
                 } else {
                     None
                 };
@@ -421,9 +424,8 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                 }
                 .map_err(|e| fail(RunPhase::Gc, cycle, RunFailure::Gc(e)))?;
                 if let Some(before) = before_digest {
-                    let after = verify_heap(&heap, &mutator.roots).map_err(|e| {
-                        fail(RunPhase::Verify, cycle, RunFailure::Verify(e))
-                    })?;
+                    let after = verify_heap(&heap, &mutator.roots)
+                        .map_err(|e| fail(RunPhase::Verify, cycle, RunFailure::Verify(e)))?;
                     if after != before {
                         return Err(fail(
                             RunPhase::Verify,
@@ -435,7 +437,13 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                 }
                 if cfg.keep_gc_log {
                     let kind = if mixed { GcKind::Mixed } else { GcKind::Young };
-                    gc_log.record(kind, gc_start, &outcome.stats, before_bytes, occupied(&heap));
+                    gc_log.record(
+                        kind,
+                        gc_start,
+                        &outcome.stats,
+                        before_bytes,
+                        occupied(&heap),
+                    );
                 }
                 peak_old_regions = peak_old_regions.max(heap.old().len());
                 pause_intervals.push((gc_start, outcome.end_ns));
@@ -546,7 +554,11 @@ mod tests {
     #[test]
     fn run_completes_with_multiple_gcs() {
         let r = run_app(&small_cfg(GcConfig::vanilla(4))).unwrap();
-        assert!(r.gc.cycles() >= 2, "expected several GCs, got {}", r.gc.cycles());
+        assert!(
+            r.gc.cycles() >= 2,
+            "expected several GCs, got {}",
+            r.gc.cycles()
+        );
         assert!(r.total_ns > 0);
         assert!(r.mutator_ns > 0);
         assert!(r.mutator_ns < r.total_ns);

@@ -39,10 +39,7 @@ fn promotion_heavy_young_only_survives_via_self_forwarding() {
 
 #[test]
 fn adaptive_trigger_runs_mixed_gcs_and_avoids_evac_failures() {
-    let (cycles, mixed, failures) = run(
-        GcConfig::vanilla(28),
-        GcTrigger::Adaptive { ihop: 0.25 },
-    );
+    let (cycles, mixed, failures) = run(GcConfig::vanilla(28), GcTrigger::Adaptive { ihop: 0.25 });
     assert!(cycles > 5);
     assert!(mixed > 0, "old occupancy must trip the IHOP threshold");
     assert_eq!(

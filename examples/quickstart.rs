@@ -11,7 +11,11 @@ use nvmgc_workloads::{app, run_app, AppRunConfig};
 
 fn main() {
     let spec = app("page-rank");
-    println!("workload: {} (avg object {:.0} B)", spec.name, spec.avg_object_bytes());
+    println!(
+        "workload: {} (avg object {:.0} B)",
+        spec.name,
+        spec.avg_object_bytes()
+    );
     println!();
     println!(
         "{:<18} {:>6} {:>12} {:>12} {:>10} {:>8}",
@@ -20,7 +24,10 @@ fn main() {
 
     let mut base_gc = 0.0f64;
     let rows: Vec<(&str, AppRunConfig)> = vec![
-        ("vanilla (NVM)", AppRunConfig::standard(spec.clone(), GcConfig::vanilla(28))),
+        (
+            "vanilla (NVM)",
+            AppRunConfig::standard(spec.clone(), GcConfig::vanilla(28)),
+        ),
         ("+writecache", {
             let c = AppRunConfig::standard(spec.clone(), GcConfig::plus_writecache(28, 0));
             with_sized_cache(c)

@@ -39,7 +39,12 @@ fn main() {
         ("unlimited", u64::MAX),
     ] {
         let r = run(|c| c.gc.write_cache.max_bytes = bytes);
-        let peak = r.cycles.iter().map(|c| c.cache_peak_bytes).max().unwrap_or(0);
+        let peak = r
+            .cycles
+            .iter()
+            .map(|c| c.cache_peak_bytes)
+            .max()
+            .unwrap_or(0);
         let overflow: u64 = r.cycles.iter().map(|c| c.cache_overflow_copies).sum();
         println!(
             "{:>12} {:>10.1} {:>14} {:>14}",
@@ -60,12 +65,7 @@ fn main() {
     ] {
         let r = run(|c| c.gc.header_map.max_bytes = bytes);
         let full: u64 = r.cycles.iter().map(|c| c.hm_full).sum();
-        println!(
-            "{:>12} {:>10.1} {:>14}",
-            label,
-            r.gc_seconds() * 1e3,
-            full
-        );
+        println!("{:>12} {:>10.1} {:>14}", label, r.gc_seconds() * 1e3, full);
     }
 
     println!("\nasynchronous flushing (cache at heap/32):");
@@ -75,7 +75,12 @@ fn main() {
     );
     for (label, asyncf) in [("sync", false), ("async", true)] {
         let r = run(|c| c.gc.write_cache.async_flush = asyncf);
-        let peak = r.cycles.iter().map(|c| c.cache_peak_bytes).max().unwrap_or(0);
+        let peak = r
+            .cycles
+            .iter()
+            .map(|c| c.cache_peak_bytes)
+            .max()
+            .unwrap_or(0);
         let cycles = r.cycles.len().max(1) as f64;
         let flushed: u64 = r.cycles.iter().map(|c| c.async_flushed).sum();
         println!(

@@ -85,7 +85,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn list() -> ExitCode {
-    println!("{:<18} {:>8} {:>9} {:>7} {:>9} {:>7}", "app", "avg obj", "survival", "keep", "oldlink", "chain");
+    println!(
+        "{:<18} {:>8} {:>9} {:>7} {:>9} {:>7}",
+        "app", "avg obj", "survival", "keep", "oldlink", "chain"
+    );
     for spec in all_apps() {
         println!(
             "{:<18} {:>7.0}B {:>9.2} {:>7} {:>9.2} {:>7.2}",
@@ -259,9 +262,17 @@ fn micro(flags: &HashMap<String, String>) -> ExitCode {
     };
     let t = MicroTable::run(&cfg);
     println!("accesses: {accesses}");
-    println!("DRAM: {:.2} ms → {:.2} ms with prefetch ({:.2}x)",
-        t.dram_nopf as f64 / 1e6, t.dram_pf as f64 / 1e6, t.dram_speedup());
-    println!("NVM:  {:.2} ms → {:.2} ms with prefetch ({:.2}x)",
-        t.nvm_nopf as f64 / 1e6, t.nvm_pf as f64 / 1e6, t.nvm_speedup());
+    println!(
+        "DRAM: {:.2} ms → {:.2} ms with prefetch ({:.2}x)",
+        t.dram_nopf as f64 / 1e6,
+        t.dram_pf as f64 / 1e6,
+        t.dram_speedup()
+    );
+    println!(
+        "NVM:  {:.2} ms → {:.2} ms with prefetch ({:.2}x)",
+        t.nvm_nopf as f64 / 1e6,
+        t.nvm_pf as f64 / 1e6,
+        t.nvm_speedup()
+    );
     ExitCode::SUCCESS
 }

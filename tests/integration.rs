@@ -40,8 +40,7 @@ fn every_profile_runs_under_every_headline_config() {
         ] {
             let mut cfg = small(spec.name, gc);
             cfg.spec.alloc_young_multiple = if cfg!(debug_assertions) { 1.5 } else { 2.5 };
-            let r = run_app(&cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            let r = run_app(&cfg).unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
             assert!(r.total_ns > 0, "{}", spec.name);
             assert!(r.gc.cycles() >= 1, "{} had no GC", spec.name);
         }
@@ -78,12 +77,20 @@ fn nvm_gap_shrinks_with_optimizations() {
         gap_all < gap_vanilla,
         "optimizations must shrink the DRAM gap: {gap_all:.2} vs {gap_vanilla:.2}"
     );
-    assert!(gap_vanilla > 2.0, "NVM must hurt vanilla GC: {gap_vanilla:.2}");
+    assert!(
+        gap_vanilla > 2.0,
+        "NVM must hurt vanilla GC: {gap_vanilla:.2}"
+    );
 }
 
 #[test]
 fn vanilla_does_not_scale_past_eight_threads_but_all_does() {
-    let gc_at = |gc: GcConfig| run_app(&small("page-rank", gc)).unwrap().gc.total_pause_ns();
+    let gc_at = |gc: GcConfig| {
+        run_app(&small("page-rank", gc))
+            .unwrap()
+            .gc
+            .total_pause_ns()
+    };
     let v8 = gc_at(GcConfig::vanilla(8));
     let v28 = gc_at(GcConfig::vanilla(28));
     let a8 = gc_at(GcConfig::plus_all(8, 0));

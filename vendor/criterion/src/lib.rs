@@ -16,7 +16,10 @@ use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 fn measure_window() -> Duration {
-    if std::env::var("NVMGC_FAST").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("NVMGC_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         Duration::from_millis(20)
     } else {
         Duration::from_millis(200)
@@ -121,14 +124,18 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { window: measure_window() }
+        Criterion {
+            window: measure_window(),
+        }
     }
 }
 
 impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { window: self.window };
+        let mut b = Bencher {
+            window: self.window,
+        };
         LAST_MEASUREMENT.with(|c| c.set(None));
         f(&mut b);
         if let Some((ns, iters)) = LAST_MEASUREMENT.with(|c| c.take()) {
@@ -139,7 +146,10 @@ impl Criterion {
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
     }
 }
 
@@ -188,7 +198,9 @@ mod tests {
 
     #[test]
     fn iter_records_positive_time() {
-        let mut c = Criterion { window: Duration::from_millis(5) };
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
         c.bench_function("spin", |b| {
             b.iter(|| (0..100u64).sum::<u64>());
         });
@@ -196,7 +208,9 @@ mod tests {
 
     #[test]
     fn iter_batched_runs_routine_on_fresh_inputs() {
-        let mut c = Criterion { window: Duration::from_millis(5) };
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
         let mut g = c.benchmark_group("grp");
         g.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);

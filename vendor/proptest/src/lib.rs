@@ -242,7 +242,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 
 /// Collection strategies.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::RngExt;
     use std::ops::Range;
 
@@ -270,7 +270,9 @@ pub mod collection {
 /// Deterministic per-case RNG (used by the `proptest!` expansion).
 #[doc(hidden)]
 pub fn __case_rng(case: u32) -> StdRng {
-    StdRng::seed_from_u64(0x5052_4F50_7465_7374 ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    StdRng::seed_from_u64(
+        0x5052_4F50_7465_7374 ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
 }
 
 /// The common imports for property tests.
@@ -397,7 +399,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

@@ -222,9 +222,7 @@ fn parse_unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, Str
                              serde_derive does not support"
                         ));
                     }
-                    Some(other) => {
-                        return Err(format!("unexpected token in enum body: {other:?}"))
-                    }
+                    Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
                 }
             }
             other => return Err(format!("unexpected token in enum body: {other:?}")),
@@ -234,7 +232,9 @@ fn parse_unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, Str
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
 }
 
 /// Derives `serde::Serialize` by emitting a `to_value` that builds the
@@ -255,11 +255,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = if is_struct {
         let fields = items
             .iter()
-            .map(|f| {
-                format!(
-                    "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
-                )
-            })
+            .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
             .collect::<String>();
         format!("serde::Value::Object(vec![{fields}])")
     } else {

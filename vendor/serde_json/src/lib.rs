@@ -159,10 +159,7 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(
-            to_string(&"a\"b\\c\nd").unwrap(),
-            r#""a\"b\\c\nd""#
-        );
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
     }
 
     #[test]
