@@ -8,11 +8,13 @@
 //! generation at the price of occasional longer pauses, with the
 //! NVM-aware optimizations applying to the mixed evacuations too.
 
-use nvmgc_bench::{banner, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_bench::{
+    banner, fork_summary, results_dir, run_forked_cells, sized_config, PAPER_THREADS,
+};
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
 use nvmgc_workloads::runner::GcTrigger;
-use nvmgc_workloads::{app, run_app};
+use nvmgc_workloads::{app, AppRunConfig, AppRunResult, RunError};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -36,6 +38,34 @@ fn main() {
     spec.keep_gcs = 4; // beyond the tenure age → heavy promotion
     spec.alloc_young_multiple = 16.0;
 
+    // All four cells share one warm group: the trigger policy only
+    // matters once collections start, so it is not part of the warm key,
+    // and both configs run the same thread count. One warmup, four forks.
+    type Post = Box<dyn FnOnce(Result<AppRunResult, RunError>) -> AppRunResult + Send>;
+    let grid = [
+        ("vanilla", GcConfig::vanilla(PAPER_THREADS)),
+        ("+all", GcConfig::plus_all(PAPER_THREADS, 0)),
+    ];
+    let triggers = [
+        ("young-only", GcTrigger::YoungOnly),
+        ("adaptive", GcTrigger::Adaptive { ihop: 0.25 }),
+    ];
+    let mut cells: Vec<(String, AppRunConfig, Post)> = Vec::new();
+    for (gc_label, gc) in grid.clone() {
+        for (t_label, trigger) in triggers {
+            let mut cfg = sized_config(spec.clone(), gc.clone());
+            cfg.trigger = trigger;
+            cells.push((
+                format!("config={gc_label} trigger={t_label}"),
+                cfg,
+                Box::new(|res| res.expect("run succeeds")),
+            ));
+        }
+    }
+    let (runs, _pool, forks) = run_forked_cells(cells);
+    println!("{}", fork_summary(runs.len(), &forks));
+    let mut runs = runs.into_iter();
+
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec![
         "config",
@@ -45,17 +75,9 @@ fn main() {
         "peak old (regions)",
         "max pause (ms)",
     ]);
-    for (gc_label, gc) in [
-        ("vanilla", GcConfig::vanilla(PAPER_THREADS)),
-        ("+all", GcConfig::plus_all(PAPER_THREADS, 0)),
-    ] {
-        for (t_label, trigger) in [
-            ("young-only", GcTrigger::YoungOnly),
-            ("adaptive", GcTrigger::Adaptive { ihop: 0.25 }),
-        ] {
-            let mut cfg = sized_config(spec.clone(), gc.clone());
-            cfg.trigger = trigger;
-            let r = run_app(&cfg).expect("run succeeds");
+    for (gc_label, _) in grid {
+        for (t_label, _) in triggers {
+            let r = runs.next().expect("one run per cell");
             let row = Row {
                 config: gc_label.to_owned(),
                 trigger: t_label.to_owned(),

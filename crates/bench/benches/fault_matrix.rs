@@ -25,26 +25,27 @@
 //! structural verification failure.
 
 use nvmgc_bench::{
-    banner, fast_mode, fault_matrix_cells, fault_matrix_report, results_dir, run_fault_cell,
-    run_labeled_cells, write_throughput, FaultRow, WorkCounters, FAULT_MATRIX_HORIZON_NS,
+    banner, fast_mode, fault_matrix_report, fork_summary, results_dir, run_fault_grid,
+    write_throughput, FaultRow, WorkCounters, FAULT_MATRIX_HORIZON_NS,
 };
 use nvmgc_core::fault::{FaultPlan, GcFault, Severity};
 use nvmgc_metrics::{write_json, TextTable};
 
 fn main() {
     banner("fault_matrix", "robustness sweep (no paper figure)");
-    let cells: Vec<(String, _)> = fault_matrix_cells(fast_mode())
-        .into_iter()
-        .map(|cell| (cell.label(), move || run_fault_cell(&cell)))
-        .collect();
-
-    let (results, pool) = run_labeled_cells(cells);
+    // Cells sharing a warmup prefix (same app/heap/mem/fault-mem plan)
+    // run that warmup once and fork from the snapshot; rows are
+    // byte-identical to the cold per-cell sweep.
+    let (results, pool, forks) = run_fault_grid(fast_mode());
     let mut totals = WorkCounters::default();
     let mut rows: Vec<FaultRow> = Vec::with_capacity(results.len());
     for (row, counters) in results {
         totals.add(&counters);
         rows.push(row);
     }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(rows.len(), &forks));
 
     let mut table = TextTable::new(vec![
         "app", "config", "severity", "seed", "cycles", "digests", "faults", "pf", "lost", "outcome",

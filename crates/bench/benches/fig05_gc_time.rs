@@ -7,13 +7,13 @@
 //! young-gen-dram beats the optimizations for most applications.
 
 use nvmgc_bench::{
-    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, WorkCounters,
-    PAPER_THREADS,
+    banner, fork_summary, maybe_trim, results_dir, run_forked_cells, sized_config,
+    write_throughput, WorkCounters, PAPER_THREADS,
 };
 use nvmgc_core::GcConfig;
 use nvmgc_heap::DevicePlacement;
 use nvmgc_metrics::{geomean, write_json, ExperimentReport, TextTable};
-use nvmgc_workloads::{all_apps, run_app};
+use nvmgc_workloads::all_apps;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -46,23 +46,39 @@ fn main() {
             DevicePlacement::young_dram(),
         ),
     ];
-    let mut cells: Vec<Box<dyn FnOnce() -> (f64, WorkCounters) + Send>> = Vec::new();
+    // The three all-NVM variants of an app share their warmup prefix
+    // (same spec/heap/mem/seed) and fork from one snapshot; the DRAM and
+    // young-DRAM placements warm separately (placement is part of the
+    // warm key via the heap configuration).
+    type Post = Box<
+        dyn FnOnce(
+                Result<nvmgc_workloads::AppRunResult, nvmgc_workloads::RunError>,
+            ) -> (f64, WorkCounters)
+            + Send,
+    >;
+    let mut cells: Vec<(String, nvmgc_workloads::AppRunConfig, Post)> = Vec::new();
     for spec in &apps {
-        for (gc, placement) in variants.clone() {
-            let spec = spec.clone();
-            cells.push(Box::new(move || {
-                let mut cfg = sized_config(spec, gc);
-                cfg.heap.placement = placement;
-                let res = run_app(&cfg).expect("run succeeds");
-                (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
-            }));
+        for (vi, (gc, placement)) in variants.clone().into_iter().enumerate() {
+            let mut cfg = sized_config(spec.clone(), gc);
+            cfg.heap.placement = placement;
+            cells.push((
+                format!("app={} variant={vi}", spec.name),
+                cfg,
+                Box::new(move |res| {
+                    let res = res.expect("run succeeds");
+                    (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
+                }),
+            ));
         }
     }
-    let (measured, pool) = run_cells(cells);
+    let (measured, pool, forks) = run_forked_cells(cells);
     let mut totals = WorkCounters::default();
     for (_, c) in &measured {
         totals.add(c);
     }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(measured.len(), &forks));
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = TextTable::new(vec![

@@ -5,11 +5,13 @@
 //! 5.09×/4.88×; writes improve 2.74×/2.54×. The mechanism is pause
 //! shortening: requests no longer queue behind long STW pauses.
 
-use nvmgc_bench::{banner, maybe_trim, results_dir, sized_config, PAPER_THREADS};
+use nvmgc_bench::{
+    banner, fork_summary, maybe_trim, results_dir, run_forked_cells, sized_config, PAPER_THREADS,
+};
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport, TextTable};
 use nvmgc_workloads::cassandra::{server_spec, simulate_client, CassandraPhase};
-use nvmgc_workloads::run_app;
+use nvmgc_workloads::{AppRunConfig, AppRunResult, RunError};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,9 +26,31 @@ struct Row {
 fn main() {
     banner("fig08_tail_latency", "Figure 8");
     let throughputs = maybe_trim(vec![10_000.0, 30_000.0, 60_000.0, 100_000.0, 130_000.0], 2);
+    // The opt and vanilla server runs of one phase share their warmup
+    // (same Cassandra spec and heap) and fork from one snapshot.
+    type Post = Box<dyn FnOnce(Result<AppRunResult, RunError>) -> AppRunResult + Send>;
+    let phases = [CassandraPhase::Write, CassandraPhase::Read];
+    let configs = [
+        (GcConfig::plus_all(PAPER_THREADS, 0), "opt"),
+        (GcConfig::vanilla(PAPER_THREADS), "vanilla"),
+    ];
+    let mut cells: Vec<(String, AppRunConfig, Post)> = Vec::new();
+    for phase in phases {
+        for (gc, label) in configs.clone() {
+            cells.push((
+                format!("phase={phase:?} config={label}"),
+                sized_config(server_spec(phase), gc),
+                Box::new(|res| res.expect("server run succeeds")),
+            ));
+        }
+    }
+    let (servers, _pool, forks) = run_forked_cells(cells);
+    println!("{}", fork_summary(servers.len(), &forks));
+    let mut servers = servers.into_iter();
+
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec!["phase", "config", "kqps", "p95 (ms)", "p99 (ms)"]);
-    for phase in [CassandraPhase::Write, CassandraPhase::Read] {
+    for phase in phases {
         let phase_name = match phase {
             CassandraPhase::Write => "write",
             CassandraPhase::Read => "read",
@@ -36,12 +60,8 @@ fn main() {
             CassandraPhase::Write => 5_500.0,
             CassandraPhase::Read => 4_000.0,
         };
-        for (gc, label) in [
-            (GcConfig::plus_all(PAPER_THREADS, 0), "opt"),
-            (GcConfig::vanilla(PAPER_THREADS), "vanilla"),
-        ] {
-            let cfg = sized_config(server_spec(phase), gc);
-            let server = run_app(&cfg).expect("server run succeeds");
+        for (_, label) in configs.clone() {
+            let server = servers.next().expect("one server run per cell");
             for &tput in &throughputs {
                 let lat = simulate_client(
                     &server.pause_intervals,

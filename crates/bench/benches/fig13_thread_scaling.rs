@@ -9,12 +9,12 @@
 //! expect several minutes, or set `NVMGC_FAST=1`.
 
 use nvmgc_bench::{
-    banner, maybe_trim, results_dir, run_cells, sized_config, write_throughput, WorkCounters,
-    THREAD_SWEEP,
+    banner, fork_summary, maybe_trim, results_dir, run_forked_cells, sized_config,
+    write_throughput, WorkCounters, THREAD_SWEEP,
 };
 use nvmgc_core::GcConfig;
 use nvmgc_metrics::{write_json, ExperimentReport};
-use nvmgc_workloads::{all_apps, run_app};
+use nvmgc_workloads::all_apps;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,7 +33,16 @@ fn main() {
     // Flatten the app × thread-count × config grid into independent cells
     // for the parallel runner; results come back in declaration order so
     // the curves (and the JSON) match a serial sweep byte for byte.
-    let mut cells: Vec<Box<dyn FnOnce() -> (f64, WorkCounters) + Send>> = Vec::new();
+    // The three configs at one (app, thread-count) point share a warmup
+    // (thread count is in the warm key — it sizes the prefetch tables)
+    // and fork from one snapshot each.
+    type Post = Box<
+        dyn FnOnce(
+                Result<nvmgc_workloads::AppRunResult, nvmgc_workloads::RunError>,
+            ) -> (f64, WorkCounters)
+            + Send,
+    >;
+    let mut cells: Vec<(String, nvmgc_workloads::AppRunConfig, Post)> = Vec::new();
     for spec in &apps {
         for &t in &threads {
             let configs = [
@@ -41,21 +50,26 @@ fn main() {
                 GcConfig::plus_writecache(t, 0),
                 GcConfig::plus_all(t, 0),
             ];
-            for gc in configs {
-                let spec = spec.clone();
-                cells.push(Box::new(move || {
-                    let cfg = sized_config(spec, gc);
-                    let res = run_app(&cfg).expect("run succeeds");
-                    (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
-                }));
+            for (ci, gc) in configs.into_iter().enumerate() {
+                cells.push((
+                    format!("app={} t={t} config={ci}", spec.name),
+                    sized_config(spec.clone(), gc),
+                    Box::new(move |res| {
+                        let res = res.expect("run succeeds");
+                        (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
+                    }),
+                ));
             }
         }
     }
-    let (measured, pool) = run_cells(cells);
+    let (measured, pool, forks) = run_forked_cells(cells);
     let mut totals = WorkCounters::default();
     for (_, c) in &measured {
         totals.add(c);
     }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(measured.len(), &forks));
 
     let mut curves = Vec::new();
     let per_app = threads.len() * 3;

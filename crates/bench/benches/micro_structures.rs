@@ -206,10 +206,12 @@ fn bench_card_table(c: &mut Criterion) {
 
 fn bench_engine_scheduler(c: &mut Criterion) {
     // Scan vs event-queue scheduling cost at the worker counts the
-    // experiments actually use (2/8 below HEAP_THRESHOLD, 56/256 above).
+    // experiments actually use (2/8 below HEAP_THRESHOLD, 56/256 above),
+    // plus a band around the threshold so the crossover itself stays
+    // measurable when the profile or the schedulers change.
     // Each worker takes 64 steps with varied increments, including ties.
     let mut g = c.benchmark_group("engine_scheduler");
-    for n in [2usize, 8, 56, 256] {
+    for n in [2usize, 8, 10, 12, 14, 16, 20, 24, 56, 256] {
         let make_workers = move || -> Vec<Worker> {
             (0..n)
                 .map(|i| Worker::new(i, (i as u64 * 97) % 13))

@@ -31,8 +31,7 @@
 
 use nvmgc_bench::runner::{scan_counter, within_budget};
 use nvmgc_bench::{
-    banner, fast_mode, fault_matrix_cells, run_fault_cell, run_labeled_cells, write_throughput,
-    WorkCounters,
+    banner, fast_mode, fork_summary, run_fault_grid, write_throughput, WorkCounters,
 };
 use std::path::PathBuf;
 
@@ -64,16 +63,17 @@ fn main() {
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
         (path, text)
     });
-    let cells: Vec<(String, _)> = fault_matrix_cells(fast_mode())
-        .into_iter()
-        .map(|cell| (cell.label(), move || run_fault_cell(&cell).1))
-        .collect();
-
-    let (per_cell, pool) = run_labeled_cells(cells);
+    // Same forked-warmup grid as the fault_matrix harness: the counter
+    // totals (including the fork accounting) must agree between the two,
+    // since both write the same gated baseline.
+    let (per_cell, pool, forks) = run_fault_grid(fast_mode());
     let mut totals = WorkCounters::default();
-    for c in &per_cell {
+    for (_, c) in &per_cell {
         totals.add(c);
     }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(per_cell.len(), &forks));
 
     println!("deterministic work counters (gated):");
     for (name, value) in totals.named() {
@@ -90,11 +90,15 @@ fn main() {
         "perf budget vs {} (±10% per counter):",
         baseline_path.display()
     );
-    let mut failed = false;
+    // Check every counter before deciding: a regression report that
+    // names only the first drifting counter hides how widespread the
+    // drift is, so the failure summary lists all of them with their
+    // drift percentages.
+    let mut drifted: Vec<String> = Vec::new();
     for (name, now) in totals.named() {
         let Some(base) = scan_counter(&baseline, name) else {
             println!("  {name:>20} MISSING from baseline");
-            failed = true;
+            drifted.push(format!("{name} (missing from baseline)"));
             continue;
         };
         let ok = within_budget(base, now);
@@ -107,12 +111,16 @@ fn main() {
             "  {name:>20} baseline {base} now {now} ({delta:+.2}%) {}",
             if ok { "ok" } else { "FAIL" }
         );
-        failed |= !ok;
+        if !ok {
+            drifted.push(format!("{name} ({delta:+.2}%)"));
+        }
     }
-    if failed {
+    if !drifted.is_empty() {
         eprintln!(
-            "sim_throughput: counter budget exceeded — if the change is intentional, \
-             bless a new baseline (EXPERIMENTS.md, 'Perf budgets')"
+            "sim_throughput: {} counter(s) outside the ±10% budget: {} — if the \
+             change is intentional, bless a new baseline (EXPERIMENTS.md, 'Perf budgets')",
+            drifted.len(),
+            drifted.join(", ")
         );
         std::process::exit(1);
     }

@@ -8,14 +8,15 @@
 //! guarantees all three agree on every cell parameter — a drifted copy
 //! would silently invalidate the golden files and the perf baseline.
 
-use crate::runner::WorkCounters;
+use crate::runner::{PoolStats, WorkCounters};
+use crate::warm::{run_forked_cells, ForkStats};
 use crate::{sized_config, PAPER_THREADS};
 use nvmgc_core::fault::{FaultPlan, Severity};
 use nvmgc_core::GcConfig;
 use nvmgc_heap::DevicePlacement;
 use nvmgc_metrics::ExperimentReport;
-use nvmgc_workloads::runner::RunFailure;
-use nvmgc_workloads::{app, fig1_apps, run_app, AppRunConfig, WorkloadSpec};
+use nvmgc_workloads::runner::{RunError, RunFailure};
+use nvmgc_workloads::{app, fig1_apps, run_app, AppRunConfig, AppRunResult, WorkloadSpec};
 use serde::Serialize;
 
 /// Simulated-time horizon fault-matrix schedules are generated over. The
@@ -148,11 +149,39 @@ pub struct FaultRow {
     pub total_pause_ns: u64,
 }
 
-/// Runs one fault-matrix cell, returning its result row and the
+/// Runs one fault-matrix cell cold, returning its result row and the
 /// deterministic work counters the run accumulated (zero for cells that
 /// end in a typed error — an errored run has no complete counter set).
 pub fn run_fault_cell(cell: &FaultCell) -> (FaultRow, WorkCounters) {
     let cfg = fault_matrix_config(cell);
+    fault_cell_outcome(cell, run_app(&cfg))
+}
+
+/// Runs the whole fault-matrix grid with one warmup per warm group,
+/// forking each cell from its group's [`SimSnapshot`] warm image (see
+/// [`crate::warm`]). Vanilla and `+all` cells at the same severity share
+/// a warmup, so the grid runs half the warmups of the cold sweep while
+/// emitting byte-identical rows.
+///
+/// [`SimSnapshot`]: nvmgc_workloads::SimSnapshot
+pub fn run_fault_grid(fast: bool) -> (Vec<(FaultRow, WorkCounters)>, PoolStats, ForkStats) {
+    let cells: Vec<(String, AppRunConfig, _)> = fault_matrix_cells(fast)
+        .into_iter()
+        .map(|cell| {
+            let cfg = fault_matrix_config(&cell);
+            let label = cell.label();
+            (label, cfg, move |res| fault_cell_outcome(&cell, res))
+        })
+        .collect();
+    run_forked_cells(cells)
+}
+
+/// Folds one finished (or failed) run into its fault-matrix row; shared
+/// by the cold per-cell path and the forked grid path.
+fn fault_cell_outcome(
+    cell: &FaultCell,
+    result: Result<AppRunResult, RunError>,
+) -> (FaultRow, WorkCounters) {
     let base = FaultRow {
         app: cell.app.to_owned(),
         config: cell.config_name.to_owned(),
@@ -170,7 +199,7 @@ pub fn run_fault_cell(cell: &FaultCell) -> (FaultRow, WorkCounters) {
         total_ns: 0,
         total_pause_ns: 0,
     };
-    match run_app(&cfg) {
+    match result {
         Ok(res) => {
             let counters = WorkCounters::from_run(&res);
             let row = FaultRow {

@@ -19,16 +19,18 @@
 
 pub mod grids;
 pub mod runner;
+pub mod warm;
 
 pub use grids::{
     fault_matrix_cells, fault_matrix_config, fault_matrix_report, fig01_apps, fig01_report,
-    run_fault_cell, run_fig01_app, FaultCell, FaultRow, Fig01Row, FAULT_MATRIX_HORIZON_NS,
-    FAULT_MATRIX_THREADS,
+    run_fault_cell, run_fault_grid, run_fig01_app, FaultCell, FaultRow, Fig01Row,
+    FAULT_MATRIX_HORIZON_NS, FAULT_MATRIX_THREADS,
 };
 pub use runner::{
     jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with, write_throughput,
     PoolStats, WorkCounters,
 };
+pub use warm::{fork_summary, run_forked_cells, ForkStats};
 
 use nvmgc_core::GcConfig;
 use nvmgc_workloads::{AppRunConfig, WorkloadSpec};

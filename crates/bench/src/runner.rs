@@ -140,16 +140,29 @@ where
 {
     let n = cells.len();
     let jobs = jobs.min(n).max(1);
+    // NVMGC_CELL_TIMES=1: print each cell's wall time to stderr (serial
+    // pool only — parallel timings interleave and mislead). Informational
+    // aid for finding hot cells; never touches result output.
+    let cell_times = std::env::var("NVMGC_CELL_TIMES")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let start = Instant::now();
     let values: Vec<T> = if jobs <= 1 {
         cells
             .into_iter()
-            .map(|(label, f)| match catch_unwind(AssertUnwindSafe(f)) {
-                Ok(v) => v,
-                Err(p) => panic!(
-                    "experiment cell '{label}' panicked: {}",
-                    panic_message(p.as_ref())
-                ),
+            .map(|(label, f)| {
+                let cell_start = Instant::now();
+                let value = match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => v,
+                    Err(p) => panic!(
+                        "experiment cell '{label}' panicked: {}",
+                        panic_message(p.as_ref())
+                    ),
+                };
+                if cell_times {
+                    eprintln!("cell {:>8.3}s  {label}", cell_start.elapsed().as_secs_f64());
+                }
+                value
             })
             .collect()
     } else {
@@ -225,6 +238,15 @@ pub struct WorkCounters {
     pub bulk_grant_splits: u64,
     /// Power-failure recoverability checks the crash oracle ran.
     pub oracle_checks: u64,
+    /// Cells served by forking a shared warm-state snapshot instead of
+    /// re-running their warmup (zero for cold cells and singleton
+    /// groups). A pure function of the grid's cell list, like every
+    /// other counter here.
+    pub snapshot_forks: u64,
+    /// Warmup allocation steps the snapshot forks avoided re-simulating:
+    /// for each warm group, (members beyond the first) × (objects the
+    /// shared warmup allocated). Deterministic for a given grid.
+    pub warmup_steps_saved: u64,
 }
 
 impl WorkCounters {
@@ -241,6 +263,10 @@ impl WorkCounters {
                 .iter()
                 .map(|c| c.fault_events.power_failure_checks)
                 .sum(),
+            // Fork accounting is grid-level, not per-run; the forked-grid
+            // runner adds it onto the summed totals.
+            snapshot_forks: 0,
+            warmup_steps_saved: 0,
         }
     }
 
@@ -252,12 +278,14 @@ impl WorkCounters {
         self.llc_installs += other.llc_installs;
         self.bulk_grant_splits += other.bulk_grant_splits;
         self.oracle_checks += other.oracle_checks;
+        self.snapshot_forks += other.snapshot_forks;
+        self.warmup_steps_saved += other.warmup_steps_saved;
     }
 
     /// The counters as `(JSON key, value)` pairs, in serialization order.
     /// The perf gate iterates this list, so adding a field here extends
     /// the gate automatically.
-    pub fn named(&self) -> [(&'static str, u64); 6] {
+    pub fn named(&self) -> [(&'static str, u64); 8] {
         [
             ("simulated_ns", self.simulated_ns),
             ("engine_steps", self.engine_steps),
@@ -265,6 +293,8 @@ impl WorkCounters {
             ("llc_installs", self.llc_installs),
             ("bulk_grant_splits", self.bulk_grant_splits),
             ("oracle_checks", self.oracle_checks),
+            ("snapshot_forks", self.snapshot_forks),
+            ("warmup_steps_saved", self.warmup_steps_saved),
         ]
     }
 }
@@ -432,6 +462,8 @@ mod tests {
             llc_installs: 4,
             bulk_grant_splits: 5,
             oracle_checks: 6,
+            snapshot_forks: 7,
+            warmup_steps_saved: 8,
         };
         a.add(&a.clone());
         assert_eq!(
@@ -443,6 +475,8 @@ mod tests {
                 ("llc_installs", 8),
                 ("bulk_grant_splits", 10),
                 ("oracle_checks", 12),
+                ("snapshot_forks", 14),
+                ("warmup_steps_saved", 16),
             ]
         );
         // Every counter field is covered by named(): serializing the
@@ -484,6 +518,8 @@ mod tests {
             llc_installs: 17,
             bulk_grant_splits: 19,
             oracle_checks: 23,
+            snapshot_forks: 29,
+            warmup_steps_saved: 31,
         };
         let json = serde_json::to_string_pretty(&counters).expect("serialize");
         for (key, value) in counters.named() {

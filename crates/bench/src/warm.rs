@@ -1,0 +1,221 @@
+//! Warm-state snapshot/fork execution for experiment grids.
+//!
+//! Most sweep grids run many cells that differ only in their *collector*
+//! configuration (GC config, placement-independent knobs, trigger policy,
+//! fault GC-plan) while sharing the exact same warmup prefix: workload
+//! spec, heap geometry, seed, memory-system configuration, and mem-fault
+//! plan. The cold path re-simulates that warmup for every cell; the
+//! forked path runs it once per *warm group*, captures a
+//! [`SimSnapshot`], and forks every member cell from the warm image.
+//!
+//! Grouping is by [`SimSnapshot::warm_key_for`], which covers everything
+//! the warmup can observe — so a fork is bit-for-bit equivalent to a
+//! cold run of the same cell (proven by the snapshot-equivalence
+//! property test in `nvmgc-workloads`). Groups are executed on the same
+//! deterministic parallel pool as unforked grids, and results come back
+//! in cell declaration order, so harness output stays byte-identical for
+//! any `NVMGC_JOBS` value *and* for the cold runner.
+
+use crate::runner::{run_labeled_cells, PoolStats};
+use nvmgc_workloads::runner::RunError;
+use nvmgc_workloads::{run_app, AppRunConfig, AppRunResult, SimSnapshot};
+use std::collections::HashMap;
+
+/// Fork accounting of one forked-grid execution. Every field is a pure
+/// function of the grid's cell list (warm keys are deterministic), so
+/// these numbers are byte-identical across hosts and job counts and can
+/// be folded into the gated [`WorkCounters`](crate::WorkCounters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForkStats {
+    /// Warm groups the grid decomposed into (= warmups actually run).
+    pub groups: usize,
+    /// Cells forked from a shared warm image (members of groups with at
+    /// least two cells; singleton groups run cold).
+    pub snapshot_forks: u64,
+    /// Warmup allocation steps not re-simulated: for each multi-cell
+    /// group, (members − 1) × (objects its shared warmup allocated).
+    pub warmup_steps_saved: u64,
+}
+
+/// Runs a grid of `(label, config, postprocess)` cells with one warmup
+/// per warm group, forking each cell from the group's snapshot.
+///
+/// The postprocess closure receives exactly what a cold `run_app` would
+/// have produced for that cell. Results return in declaration order; the
+/// pool stats time the whole grid including warmups.
+///
+/// If a group's warmup itself fails (a typed setup/mutator error), every
+/// member falls back to a cold run so each cell reports its own error —
+/// identical to the unforked grid's behavior.
+pub fn run_forked_cells<T, F>(
+    cells: Vec<(String, AppRunConfig, F)>,
+) -> (Vec<T>, PoolStats, ForkStats)
+where
+    T: Send,
+    F: FnOnce(Result<AppRunResult, RunError>) -> T + Send,
+{
+    // `NVMGC_COLD=1` forces singleton groups: every cell re-simulates
+    // its own warmup, exactly the pre-snapshot sweep. The emitted rows
+    // must be byte-identical to the forked default — CI's
+    // `snapshot-suite` job diffs the two to re-prove fork == cold on
+    // the full FAST grid, not just the property-test workloads.
+    let cold = std::env::var("NVMGC_COLD")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    // Group cells by warm key, preserving declaration order of both the
+    // groups (first occurrence) and the members within each group.
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Vec<(usize, String, AppRunConfig, F)>> = Vec::new();
+    for (i, (label, cfg, post)) in cells.into_iter().enumerate() {
+        let key = if cold {
+            format!("cold-cell-{i}")
+        } else {
+            SimSnapshot::warm_key_for(&cfg)
+        };
+        let g = *group_of.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push((i, label, cfg, post));
+    }
+    let n_groups = groups.len();
+
+    // One pool task per warm group: warm once, fork each member.
+    type GroupOut<T> = (Vec<(usize, T)>, u64, u64);
+    type GroupTask<'a, T> = Box<dyn FnOnce() -> GroupOut<T> + Send + 'a>;
+    let tasks: Vec<(String, GroupTask<'_, T>)> = groups
+        .into_iter()
+        .map(|members| {
+            let label = format!(
+                "warm-group[{}] {}",
+                members.len(),
+                members.first().map(|(_, l, _, _)| l.as_str()).unwrap_or("")
+            );
+            let task = Box::new(move || {
+                let mut out: Vec<(usize, T)> = Vec::with_capacity(members.len());
+                let mut iter = members.into_iter();
+                if iter.len() == 1 {
+                    let (i, _, cfg, post) = iter.next().expect("one member");
+                    out.push((i, post(run_app(&cfg))));
+                    return (out, 0, 0);
+                }
+                let first_cfg = iter.as_slice()[0].2.clone();
+                match SimSnapshot::capture(&first_cfg) {
+                    Ok(snap) => {
+                        let mut forks = 0u64;
+                        let saved_each = snap.warmup_allocated_objects();
+                        for (i, _, cfg, post) in iter {
+                            out.push((i, post(snap.fork(&cfg))));
+                            forks += 1;
+                        }
+                        let saved = (forks - 1) * saved_each;
+                        (out, forks, saved)
+                    }
+                    // Shared warmup failed: run every member cold so each
+                    // cell surfaces its own typed error.
+                    Err(_) => {
+                        for (i, _, cfg, post) in iter {
+                            out.push((i, post(run_app(&cfg))));
+                        }
+                        (out, 0, 0)
+                    }
+                }
+            }) as Box<dyn FnOnce() -> GroupOut<T> + Send>;
+            (label, task)
+        })
+        .collect();
+
+    let (group_results, pool) = run_labeled_cells(tasks);
+
+    let mut stats = ForkStats {
+        groups: n_groups,
+        ..ForkStats::default()
+    };
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(pool.cells);
+    for (members, forks, saved) in group_results {
+        stats.snapshot_forks += forks;
+        stats.warmup_steps_saved += saved;
+        indexed.extend(members);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    let values: Vec<T> = indexed.into_iter().map(|(_, v)| v).collect();
+    // The pool timed groups, but callers report cell counts.
+    let stats_pool = PoolStats {
+        cells: values.len(),
+        ..pool
+    };
+    (values, stats_pool, stats)
+}
+
+/// One-line, deterministic fork summary for harness banners.
+pub fn fork_summary(cells: usize, stats: &ForkStats) -> String {
+    format!(
+        "warm groups: {} for {} cells — {} forked from snapshots, {} warmup allocs not re-run",
+        stats.groups, cells, stats.snapshot_forks, stats.warmup_steps_saved
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sized_config;
+    use nvmgc_core::GcConfig;
+    use nvmgc_workloads::app;
+
+    fn small_cfg(gc: GcConfig) -> AppRunConfig {
+        let mut cfg = sized_config(app("page-rank"), gc);
+        cfg.spec.alloc_young_multiple = 2.0;
+        cfg.heap.heap_regions = 96;
+        cfg.heap.young_regions = 16;
+        cfg
+    }
+
+    #[test]
+    fn forked_grid_matches_cold_grid() {
+        let variants = [GcConfig::vanilla(4), GcConfig::plus_all(4, 0)];
+        let cold: Vec<u64> = variants
+            .iter()
+            .map(|gc| {
+                run_app(&small_cfg(gc.clone()))
+                    .expect("cold run succeeds")
+                    .total_ns
+            })
+            .collect();
+        let cells: Vec<(String, AppRunConfig, _)> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, gc)| {
+                (
+                    format!("cell#{i}"),
+                    small_cfg(gc.clone()),
+                    |res: Result<AppRunResult, RunError>| res.expect("fork succeeds").total_ns,
+                )
+            })
+            .collect();
+        let (forked, pool, stats) = run_forked_cells(cells);
+        assert_eq!(forked, cold);
+        assert_eq!(pool.cells, 2);
+        assert_eq!(stats.groups, 1, "identical warmups must share one group");
+        assert_eq!(stats.snapshot_forks, 2);
+        assert!(stats.warmup_steps_saved > 0);
+    }
+
+    #[test]
+    fn distinct_warmups_do_not_group() {
+        let cells: Vec<(String, AppRunConfig, _)> = [4usize, 8]
+            .iter()
+            .map(|&t| {
+                (
+                    format!("threads={t}"),
+                    small_cfg(GcConfig::vanilla(t)),
+                    |res: Result<AppRunResult, RunError>| res.expect("run succeeds").total_ns,
+                )
+            })
+            .collect();
+        let (vals, _, stats) = run_forked_cells(cells);
+        assert_eq!(vals.len(), 2);
+        assert_eq!(stats.groups, 2, "thread count is part of the warm key");
+        assert_eq!(stats.snapshot_forks, 0, "singleton groups run cold");
+        assert_eq!(stats.warmup_steps_saved, 0);
+    }
+}

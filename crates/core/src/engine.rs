@@ -22,6 +22,13 @@
 //!   stale and skipped, so a step that re-queues a worker never needs to
 //!   search the heap for its old entry.
 //!
+//! Both schedulers micro-batch: after a step, if the worker's new clock
+//! still precedes every other unfinished worker (ties break to the lower
+//! id), it is stepped again directly — no rescan, no queue round trip.
+//! The decision is re-checked after every step against a bound that
+//! cannot move while the worker runs, so the emitted step sequence is
+//! bit-for-bit the (clock, id) total order of an unbatched scheduler.
+//!
 //! [`run_phase`] dispatches on the worker count ([`HEAP_THRESHOLD`]); a
 //! property test (`tests/prop_engine.rs`) proves both produce the exact
 //! same step order.
@@ -38,9 +45,12 @@ pub const STEP_LIMIT: u64 = 2_000_000_000;
 
 /// Worker counts below this use the linear scan; at or above it, the
 /// event queue. Crossover measured by the `engine_scheduler` group in
-/// `micro_structures`: the scan's per-step cost grows linearly but has
-/// no queue maintenance, and stays ahead up to roughly a dozen workers.
-pub const HEAP_THRESHOLD: usize = 12;
+/// `micro_structures` under the thin-LTO / codegen-units=1 profile: the
+/// scan's per-step cost grows linearly but has no queue maintenance and
+/// stays ahead through 8 workers (tied at 8, ~10% behind at 10, ~20% at
+/// 12 — the pre-LTO crossover); LTO inlines the heap scheduler's
+/// comparator, moving the break-even down from 12.
+pub const HEAP_THRESHOLD: usize = 9;
 
 /// Runs one phase to completion and returns the phase end time (the
 /// maximum worker clock).
@@ -65,29 +75,70 @@ where
 }
 
 /// [`run_phase`] with the O(n)-per-step linear scan scheduler.
+///
+/// Steps are micro-batched: after stepping the minimum-clock worker, the
+/// scheduler compares that worker's new clock against the runner-up from
+/// the same scan instead of rescanning. As long as the worker cannot be
+/// overtaken — its clock stays below the runner-up's, or ties it with a
+/// lower id — it is stepped again immediately. The emitted step order is
+/// exactly the (clock, worker id) total order a scan-per-step scheduler
+/// produces; only redundant scans are elided. Per-worker and global step
+/// counters still advance once per step, so `Worker::steps`, the
+/// [`STEP_LIMIT`] guard, and downstream `engine_steps` counters are
+/// unchanged.
 pub fn run_phase_scan<F>(workers: &mut [Worker], mut step: F) -> Result<Ns, EngineError>
 where
     F: FnMut(&mut Worker),
 {
     let mut steps = 0u64;
     loop {
+        // One scan finds both the minimum (clock, id) worker and the
+        // runner-up bound that limits how far it can be batched.
         let mut best: Option<usize> = None;
+        let mut runner_up: Option<usize> = None;
         for (i, w) in workers.iter().enumerate() {
             if w.done {
                 continue;
             }
             match best {
                 None => best = Some(i),
-                Some(b) if w.clock < workers[b].clock => best = Some(i),
-                _ => {}
+                Some(b) if w.clock < workers[b].clock => {
+                    runner_up = best;
+                    best = Some(i);
+                }
+                _ => match runner_up {
+                    None => runner_up = Some(i),
+                    Some(r) if w.clock < workers[r].clock => runner_up = Some(i),
+                    _ => {}
+                },
             }
         }
         let Some(i) = best else { break };
-        step(&mut workers[i]);
-        workers[i].steps += 1;
-        steps += 1;
-        if steps >= STEP_LIMIT {
-            return Err(stuck_worker(workers, i));
+        loop {
+            step(&mut workers[i]);
+            workers[i].steps += 1;
+            steps += 1;
+            if steps >= STEP_LIMIT {
+                return Err(stuck_worker(workers, i));
+            }
+            if workers[i].done {
+                break;
+            }
+            match runner_up {
+                // Sole unfinished worker: nothing can overtake it.
+                None => continue,
+                // Still strictly first in (clock, id) order: keep
+                // stepping without rescanning. A tie breaks toward the
+                // lower id, so `i < r` keeps the batch going on equal
+                // clocks.
+                Some(r)
+                    if workers[i].clock < workers[r].clock
+                        || (workers[i].clock == workers[r].clock && i < r) =>
+                {
+                    continue
+                }
+                Some(_) => break,
+            }
         }
     }
     Ok(workers.iter().map(|w| w.clock).max().unwrap_or(0))
@@ -121,15 +172,42 @@ where
         }
         debug_assert_eq!(workers[i].clock, clock, "queue entry out of sync");
         debug_assert!(!workers[i].done, "done worker left a valid entry");
-        step(&mut workers[i]);
-        workers[i].steps += 1;
-        steps += 1;
-        if steps >= STEP_LIMIT {
-            return Err(stuck_worker(workers, i));
-        }
-        seq[i] += 1;
-        if !workers[i].done {
+        // Micro-batch: while this worker still precedes the queue head in
+        // (clock, id) order it would be popped right back out, so step it
+        // again without the push/pop round trip. Its own entry is already
+        // popped, so the head is always another worker's; other clocks
+        // cannot move while this worker steps, making the peeked bound
+        // exact. Step counters advance once per step, exactly as before.
+        loop {
+            step(&mut workers[i]);
+            workers[i].steps += 1;
+            steps += 1;
+            if steps >= STEP_LIMIT {
+                return Err(stuck_worker(workers, i));
+            }
+            if workers[i].done {
+                seq[i] += 1;
+                break;
+            }
+            let first = loop {
+                match queue.peek() {
+                    None => break true,
+                    Some(&Reverse((c2, i2, s2))) => {
+                        if s2 != seq[i2] {
+                            queue.pop(); // drop stale entries at the head
+                            continue;
+                        }
+                        // Tie on clocks goes to the lower worker index.
+                        break (workers[i].clock, i) < (c2, i2);
+                    }
+                }
+            };
+            if first {
+                continue;
+            }
+            seq[i] += 1;
             queue.push(Reverse((workers[i].clock, i, seq[i])));
+            break;
         }
     }
     Ok(workers.iter().map(|w| w.clock).max().unwrap_or(0))

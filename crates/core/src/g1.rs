@@ -145,7 +145,7 @@ impl G1Collector {
             .filter(|&r| mark.state.live_bytes(r) == 0)
             .collect();
         let region_size = heap.config().region_size as u64;
-        let mut freed: std::collections::HashSet<RegionId> = std::collections::HashSet::new();
+        let mut freed: nvmgc_memsim::FxHashSet<RegionId> = nvmgc_memsim::FxHashSet::default();
         for r in dead_humongous {
             let base = heap.addr_of(r, 0).raw();
             heap.release_region(r);
@@ -218,7 +218,7 @@ impl G1Collector {
             .filter(|&r| mark.state.live_bytes(r) == 0)
             .collect();
         let region_size = heap.config().region_size as u64;
-        let mut freed: std::collections::HashSet<RegionId> = std::collections::HashSet::new();
+        let mut freed: nvmgc_memsim::FxHashSet<RegionId> = nvmgc_memsim::FxHashSet::default();
         for r in dead_humongous {
             let base = heap.addr_of(r, 0).raw();
             heap.release_region(r);
@@ -453,7 +453,7 @@ impl G1Collector {
         // Old regions about to be freed were remset *sources*; their
         // entries in other regions' remsets must be scrubbed before the
         // regions are recycled.
-        let freed_old: std::collections::HashSet<RegionId> = cset
+        let freed_old: nvmgc_memsim::FxHashSet<RegionId> = cset
             .iter()
             .copied()
             .filter(|r| !retained.contains(r))

@@ -30,7 +30,7 @@ pub struct WriteCachePool {
     ready: VecDeque<RegionId>,
     /// Regions retired from allocation (full); eligibility gate for async
     /// flushing.
-    retired: std::collections::HashSet<RegionId>,
+    retired: nvmgc_memsim::FxHashSet<RegionId>,
     bytes_in_use: u64,
     peak_bytes: u64,
     regions_allocated: u64,
@@ -44,7 +44,7 @@ impl WriteCachePool {
             cfg,
             active: Vec::new(),
             ready: VecDeque::new(),
-            retired: std::collections::HashSet::new(),
+            retired: nvmgc_memsim::FxHashSet::default(),
             bytes_in_use: 0,
             peak_bytes: 0,
             regions_allocated: 0,

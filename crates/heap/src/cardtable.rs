@@ -22,7 +22,7 @@ pub const CARD_BYTES: u64 = 512;
 const CARD_SHIFT: u32 = 9;
 
 /// A card table covering the whole heap address range.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CardTable {
     cards: Vec<u8>,
     region_shift: u32,

@@ -94,7 +94,7 @@ impl HeapConfig {
 }
 
 /// The managed heap.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Heap {
     cfg: HeapConfig,
     shift: u32,
@@ -544,7 +544,7 @@ impl Heap {
     /// repurposed). G1 performs the same scrubbing during cleanup — a
     /// stale entry into a recycled region would otherwise read arbitrary
     /// bytes as a reference.
-    pub fn scrub_remset_sources(&mut self, freed: &std::collections::HashSet<RegionId>) {
+    pub fn scrub_remset_sources(&mut self, freed: &nvmgc_memsim::FxHashSet<RegionId>) {
         if freed.is_empty() {
             return;
         }

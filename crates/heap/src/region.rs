@@ -40,7 +40,7 @@ impl RegionKind {
 }
 
 /// One fixed-size region with real backing storage.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Region {
     id: RegionId,
     kind: RegionKind,

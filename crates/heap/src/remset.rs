@@ -8,12 +8,12 @@
 //! the collector filters them when scanning, as HotSpot does.
 
 use crate::addr::Addr;
-use std::collections::HashSet;
+use nvmgc_memsim::FxHashSet;
 
 /// A per-region remembered set of slot addresses.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RememberedSet {
-    slots: HashSet<u64>,
+    slots: FxHashSet<u64>,
 }
 
 impl RememberedSet {
@@ -38,8 +38,8 @@ impl RememberedSet {
         self.slots.is_empty()
     }
 
-    /// Iterates over the recorded slots in arbitrary (but deterministic
-    /// for a given insertion history) order.
+    /// Iterates over the recorded slots in arbitrary order — deterministic
+    /// for a given insertion history, since the hasher is stateless.
     pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
         self.slots.iter().map(|&s| Addr(s))
     }

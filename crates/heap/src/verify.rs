@@ -9,7 +9,7 @@ use crate::addr::Addr;
 use crate::heap::Heap;
 use crate::region::RegionKind;
 use crate::HeapError;
-use std::collections::HashMap;
+use nvmgc_memsim::{FxHashMap, FxHashSet};
 
 /// A canonical digest of the reachable object graph.
 ///
@@ -67,14 +67,18 @@ fn fold(h: u64, v: u64) -> u64 {
 /// Traces the graph from `roots` and returns its digest, or the first
 /// structural error found.
 pub fn verify_heap(heap: &Heap, roots: &[Addr]) -> Result<GraphDigest, VerifyError> {
-    let mut order: HashMap<u64, u64> = HashMap::new();
+    // The digest numbers objects by first-visit order, so it is a pure
+    // function of the traversal — the map's hasher (a deterministic
+    // FxHash here, for speed on the per-GC-cycle digest passes) cannot
+    // influence it.
+    let mut order: FxHashMap<u64, u64> = FxHashMap::default();
     let mut stack: Vec<Addr> = Vec::new();
     let mut checksum = 0u64;
     let mut objects = 0u64;
     let mut bytes = 0u64;
 
     let push = |addr: Addr,
-                order: &mut HashMap<u64, u64>,
+                order: &mut FxHashMap<u64, u64>,
                 stack: &mut Vec<Addr>|
      -> Result<Option<u64>, VerifyError> {
         if addr.is_null() {
@@ -146,7 +150,7 @@ pub fn verify_heap(heap: &Heap, roots: &[Addr]) -> Result<GraphDigest, VerifyErr
 /// Returns the number of checked references, or the first violation.
 pub fn verify_remsets(heap: &Heap, roots: &[Addr]) -> Result<u64, VerifyError> {
     let shift = heap.shift();
-    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut stack: Vec<Addr> = Vec::new();
     for &root in roots {
         if !root.is_null() && seen.insert(root.raw()) {

@@ -37,9 +37,14 @@ struct EpochUse {
 /// Requests are granted in epoch-sized chunks; a request that does not fit
 /// into the epoch it starts in spills into subsequent epochs, which is what
 /// creates queuing backpressure on the requesting (simulated) thread.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ledger {
     params: DeviceParams,
+    /// `bw_read_seq / bandwidth(kind, pattern)` per (kind, pattern),
+    /// resolved once at construction: the grant path multiplies by this
+    /// ratio instead of re-dividing per request, producing the very same
+    /// `f64` (the division result is computed from identical operands).
+    weight_ratio: [[f64; 2]; 3],
     epoch_ns: Ns,
     /// Index of the first epoch still tracked.
     base_epoch: u64,
@@ -62,6 +67,12 @@ pub struct Ledger {
     /// Non-empty grant requests served. A deterministic work counter:
     /// it depends only on the simulated access stream.
     grants: u64,
+    /// Cache of the last grant's start epoch and that epoch's start
+    /// time. Consecutive grants usually start in the same epoch, so the
+    /// hot path replaces the 64-bit division with a range check. Pure
+    /// cache — no observable effect.
+    last_epoch: u64,
+    last_epoch_start: Ns,
 }
 
 impl Ledger {
@@ -72,8 +83,19 @@ impl Ledger {
     /// Panics if `epoch_ns` is zero.
     pub fn new(params: DeviceParams, epoch_ns: Ns) -> Self {
         assert!(epoch_ns > 0, "epoch length must be positive");
+        let mut weight_ratio = [[0.0; 2]; 3];
+        for (ki, kind) in [AccessKind::Read, AccessKind::Write, AccessKind::NtWrite]
+            .into_iter()
+            .enumerate()
+        {
+            for (pi, pattern) in [Pattern::Seq, Pattern::Rand].into_iter().enumerate() {
+                weight_ratio[ki][pi] =
+                    params.bw_read_seq / params.bandwidth(kind, pattern).max(1e-9);
+            }
+        }
         Ledger {
             params,
+            weight_ratio,
             epoch_ns,
             base_epoch: 0,
             epochs: VecDeque::new(),
@@ -84,6 +106,8 @@ impl Ledger {
             collapsed_grants: 0,
             stale_epoch_grants: 0,
             grants: 0,
+            last_epoch: 0,
+            last_epoch_start: 0,
         }
     }
 
@@ -170,6 +194,9 @@ impl Ledger {
 
     /// Cost multiplier from any collapse window containing `now`.
     fn collapse_factor(&mut self, now: Ns) -> f64 {
+        if self.collapse_windows.is_empty() {
+            return 1.0;
+        }
         let mut factor = 1.0;
         for (w, f) in &self.collapse_windows {
             if w.contains(now) {
@@ -195,8 +222,11 @@ impl Ledger {
     /// Weighted-byte cost of a raw request.
     #[inline]
     fn weight(&self, kind: AccessKind, pattern: Pattern, bytes: u64) -> f64 {
-        let bw = self.params.bandwidth(kind, pattern).max(1e-9);
-        bytes as f64 * (self.params.bw_read_seq / bw)
+        let pi = match pattern {
+            Pattern::Seq => 0,
+            Pattern::Rand => 1,
+        };
+        bytes as f64 * self.weight_ratio[kind.index()][pi]
     }
 
     /// Index of `epoch`'s accounting bucket, extending the tracked range
@@ -257,7 +287,15 @@ impl Ledger {
         self.grants += 1;
         let now = self.defer_past_stalls(now);
         let mut remaining = self.weight(kind, pattern, bytes) * self.collapse_factor(now);
-        let start_epoch = (now / self.epoch_ns).max(self.base_epoch);
+        let epoch_of_now = if now.wrapping_sub(self.last_epoch_start) < self.epoch_ns {
+            self.last_epoch
+        } else {
+            let e = now / self.epoch_ns;
+            self.last_epoch = e;
+            self.last_epoch_start = e * self.epoch_ns;
+            e
+        };
+        let start_epoch = epoch_of_now.max(self.base_epoch);
         let mut completion = now;
         let base_budget = self.params.bw_read_seq * self.epoch_ns as f64;
         let is_write = kind.is_write();
@@ -313,6 +351,8 @@ impl Ledger {
     pub fn reset(&mut self) {
         self.base_epoch = 0;
         self.epochs.clear();
+        self.last_epoch = 0;
+        self.last_epoch_start = 0;
         self.stall_deferrals = 0;
         self.stall_retry_aborts = 0;
         self.collapsed_grants = 0;

@@ -16,7 +16,7 @@ use crate::CACHE_LINE;
 pub const WAYS: usize = 8;
 
 /// A set-associative LLC model with true LRU replacement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LlcModel {
     /// `sets[s][w]` holds the line address tag or `EMPTY`.
     sets: Vec<[u64; WAYS]>,

@@ -51,6 +51,16 @@ impl AccessKind {
     pub fn is_write(self) -> bool {
         !matches!(self, AccessKind::Read)
     }
+
+    /// Index of the kind in per-kind lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::NtWrite => 2,
+        }
+    }
 }
 
 /// The spatial pattern of an access stream.

@@ -1,0 +1,128 @@
+//! Deterministic fast hashing for simulator-state maps.
+//!
+//! `std`'s default `RandomState` seeds SipHash per process, which is both
+//! slow on the word-sized keys the simulator uses (addresses, region ids,
+//! cache lines) and — worse — makes `HashMap`/`HashSet` iteration order
+//! differ between runs. Every structure in the simulator is either
+//! order-insensitive (membership tests) or canonicalizes before iterating
+//! (e.g. `RememberedSet::drain_sorted`), so the engine's byte-identical
+//! outputs never depended on the hasher; this module just makes the
+//! hashing cheap and the iteration order reproducible too.
+//!
+//! The mixing function is the FxHash fold used by rustc: a rotate, xor
+//! and multiply by a large odd constant per word. It is not DoS-resistant
+//! — fine here, since every key is simulator-internal.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style word-at-a-time hasher (not DoS-resistant; simulator
+/// internal keys only).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; stateless, so map iteration order is a
+/// pure function of the insertion history.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed by the deterministic fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by the deterministic fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_hash_across_builders() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0, "mixing must not collapse to zero");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in [9u64, 1, 4, 7, 3, 8, 2] {
+                m.insert(k, k * 10);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(k * 8);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on aligned addresses");
+    }
+}

@@ -44,6 +44,7 @@ pub mod bus;
 pub mod cache;
 pub mod device;
 pub mod fault;
+pub mod hashfast;
 pub mod persist;
 pub mod prefetch;
 pub mod sampler;
@@ -53,6 +54,7 @@ pub use bus::Ledger;
 pub use cache::LlcModel;
 pub use device::{AccessKind, DeviceId, DeviceParams, Pattern};
 pub use fault::{DeviceFault, FaultObservations, FaultWindow, MemFaultPlan};
+pub use hashfast::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use persist::{CrashImage, DurabilityLedger, PersistConfig, PersistStats};
 pub use prefetch::PrefetchTable;
 pub use sampler::{

@@ -53,6 +53,7 @@ use crate::fault::{splitmix64, FaultWindow};
 use crate::{Ns, CACHE_LINE};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Bytes per device-internal XPLine (the 256 B write granularity).
 pub const XPLINE_BYTES: u64 = 256;
@@ -139,13 +140,17 @@ pub struct PersistStats {
 /// [`DENSE_MAX_PAGES`] are a direct `Vec` index; far pages spill into an
 /// ordered map. Iteration is always ascending by page index (the far
 /// keys are all larger than any dense index).
-#[derive(Debug, Default)]
+///
+/// Pages sit behind `Arc` so cloning a table (snapshot/fork of a warm
+/// simulation image) shares every page; a forked table copies a page
+/// only when it is first written (`Arc::make_mut`).
+#[derive(Debug, Default, Clone)]
 struct PageTable<P> {
-    dense: Vec<Option<Box<P>>>,
-    far: BTreeMap<u64, Box<P>>,
+    dense: Vec<Option<Arc<P>>>,
+    far: BTreeMap<u64, Arc<P>>,
 }
 
-impl<P: Default> PageTable<P> {
+impl<P: Default + Clone> PageTable<P> {
     fn get(&self, pi: u64) -> Option<&P> {
         if pi < DENSE_MAX_PAGES {
             self.dense.get(pi as usize).and_then(|s| s.as_deref())
@@ -158,9 +163,9 @@ impl<P: Default> PageTable<P> {
         if pi < DENSE_MAX_PAGES {
             self.dense
                 .get_mut(pi as usize)
-                .and_then(|s| s.as_deref_mut())
+                .and_then(|s| s.as_mut().map(Arc::make_mut))
         } else {
-            self.far.get_mut(&pi).map(|b| &mut **b)
+            self.far.get_mut(&pi).map(Arc::make_mut)
         }
     }
 
@@ -170,9 +175,9 @@ impl<P: Default> PageTable<P> {
             if self.dense.len() <= i {
                 self.dense.resize_with(i + 1, || None);
             }
-            self.dense[i].get_or_insert_with(Box::default)
+            Arc::make_mut(self.dense[i].get_or_insert_with(Arc::default))
         } else {
-            self.far.entry(pi).or_default()
+            Arc::make_mut(self.far.entry(pi).or_default())
         }
     }
 
@@ -211,11 +216,11 @@ impl<P: Default> PageTable<P> {
         let dhi = hi.saturating_add(1).min(self.dense.len() as u64) as usize;
         for (i, slot) in self.dense[dlo..dhi].iter_mut().enumerate() {
             if let Some(p) = slot {
-                f((dlo + i) as u64, p);
+                f((dlo + i) as u64, Arc::make_mut(p));
             }
         }
         for (&pi, p) in self.far.range_mut(lo..=hi) {
-            f(pi, p);
+            f(pi, Arc::make_mut(p));
         }
     }
 }
@@ -242,7 +247,7 @@ fn for_each_word(lo_idx: u64, hi_idx: u64, pi: u64, mut f: impl FnMut(usize, u64
 }
 
 /// One page of line-presence bits.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinePage {
     bits: [u64; PAGE_WORDS],
 }
@@ -256,7 +261,7 @@ impl Default for LinePage {
 }
 
 /// A set of 64 B-aligned line addresses backed by paged bitmaps.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct LineSet {
     pages: PageTable<LinePage>,
     len: u64,
@@ -354,7 +359,7 @@ fn line_idx_bounds(start: u64, end: u64) -> Option<(u64, u64)> {
 /// One page of first-drain records: presence and NT bitmaps plus the
 /// per-line first-drain watermark (lines of one XPLine can drain in
 /// different capacity drains, so the record is genuinely per line).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DurPage {
     present: [u64; PAGE_WORDS],
     nt: [u64; PAGE_WORDS],
@@ -372,7 +377,7 @@ impl Default for DurPage {
 }
 
 /// Ever-drained lines with their first-drain records, paged.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct DurableMap {
     pages: PageTable<DurPage>,
     len: u64,
@@ -484,7 +489,7 @@ impl DurableMap {
 
 /// One page of write-combining buffer masks (one dirty/NT mask byte per
 /// XPLine, plus a live count so drained pages scan for free).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct XpPage {
     mask: [u8; PAGE_XPS],
     nt: [u8; PAGE_XPS],
@@ -502,7 +507,7 @@ impl Default for XpPage {
 }
 
 /// The write-combining buffer: per-XPLine dirty masks, paged.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct XpBuf {
     pages: PageTable<XpPage>,
     /// XPLines with a nonzero dirty mask.
@@ -711,7 +716,10 @@ impl fmt::Debug for CrashImage<'_> {
 }
 
 /// Per-device durability ledger (see the module docs).
-#[derive(Debug)]
+///
+/// Cloning is cheap relative to its footprint: the paged maps share
+/// their pages via `Arc` until a fork writes to them.
+#[derive(Debug, Clone)]
 pub struct DurabilityLedger {
     cfg: PersistConfig,
     /// Latest simulated time any recorded operation carried. Worker
@@ -816,6 +824,17 @@ impl DurabilityLedger {
         self.advance(now);
         let mut line = Self::line_of(addr);
         let end = addr + len.max(1);
+        if end <= line + CACHE_LINE {
+            // Single-line store: the word-store path the mutator and GC
+            // take for every header/reference update. Capacity can only
+            // overflow when the volatile set actually grew.
+            self.stats.stores += 1;
+            if self.volatile.insert(line) {
+                self.volatile_queue.push_back(line);
+                self.evict_volatile_overflow();
+            }
+            return;
+        }
         while line < end {
             self.stats.stores += 1;
             if self.volatile.insert(line) {

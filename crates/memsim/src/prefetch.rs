@@ -21,9 +21,13 @@ struct Entry {
 }
 
 /// A per-thread table of outstanding software prefetches.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrefetchTable {
     entries: VecDeque<Entry>,
+    /// Presence filter over `line % 64`: a demand access whose bit is
+    /// clear cannot be covered, so the (hot) miss path skips the linear
+    /// table scan. False positives just fall through to the scan.
+    filter: u64,
     capacity: usize,
     issued: u64,
     useful: u64,
@@ -35,11 +39,26 @@ impl PrefetchTable {
     pub fn new(capacity: usize) -> Self {
         PrefetchTable {
             entries: VecDeque::with_capacity(capacity),
+            filter: 0,
             capacity,
             issued: 0,
             useful: 0,
             dropped: 0,
         }
+    }
+
+    #[inline]
+    fn filter_bit(line: u64) -> u64 {
+        1u64 << (line & 63)
+    }
+
+    /// Recomputes the presence filter after an entry left the table (the
+    /// departed line may share its bit with a survivor).
+    fn rebuild_filter(&mut self) {
+        self.filter = self
+            .entries
+            .iter()
+            .fold(0, |m, e| m | Self::filter_bit(e.line));
     }
 
     /// Records a prefetch of the line containing `addr`, completing at
@@ -51,13 +70,20 @@ impl PrefetchTable {
         self.issued += 1;
         let line = addr / CACHE_LINE;
         // Re-issuing for a line already in the table refreshes it.
-        if let Some(pos) = self.entries.iter().position(|e| e.line == line) {
-            self.entries.remove(pos);
-        } else if self.entries.len() == self.capacity {
+        if self.filter & Self::filter_bit(line) != 0 {
+            if let Some(pos) = self.entries.iter().position(|e| e.line == line) {
+                self.entries.remove(pos);
+                self.entries.push_back(Entry { line, ready_at });
+                return;
+            }
+        }
+        if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
+            self.rebuild_filter();
         }
         self.entries.push_back(Entry { line, ready_at });
+        self.filter |= Self::filter_bit(line);
     }
 
     /// Consumes a prefetch covering `addr`, if present.
@@ -68,15 +94,20 @@ impl PrefetchTable {
     /// line.
     pub fn consume(&mut self, addr: u64) -> Option<Ns> {
         let line = addr / CACHE_LINE;
+        if self.filter & Self::filter_bit(line) == 0 {
+            return None;
+        }
         let pos = self.entries.iter().position(|e| e.line == line)?;
         let entry = self.entries.remove(pos).expect("position was valid");
         self.useful += 1;
+        self.rebuild_filter();
         Some(entry.ready_at)
     }
 
     /// Discards all outstanding prefetches (e.g. at a phase boundary).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.filter = 0;
     }
 
     /// Total prefetches issued.

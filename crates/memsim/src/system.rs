@@ -101,12 +101,20 @@ enum BulkPersist {
 }
 
 /// The simulated hybrid DRAM + NVM memory system.
-#[derive(Debug)]
+///
+/// `Clone` captures the complete simulation-visible state (ledgers, LLC,
+/// prefetch tables, sampler, trace, durability ledgers), which is what
+/// lets a warm run image be snapshotted and forked.
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     cfg: MemConfig,
     ledgers: [Ledger; 2],
     llc: LlcModel,
     tables: Vec<PrefetchTable>,
+    /// Completion floor of a one-cache-line transfer per `[device][kind]`
+    /// (resolved once at construction from the same division the general
+    /// path computes, so the fast path yields the identical value).
+    line_floor: [[Ns; 3]; 2],
     sampler: TrafficSampler,
     trace: TraceLog,
     stats: MemStats,
@@ -137,11 +145,19 @@ impl MemorySystem {
             (cfg.persist.enabled && cfg.nvm.persistent)
                 .then(|| DurabilityLedger::new(cfg.persist.clone())),
         ];
+        let mut line_floor = [[0 as Ns; 3]; 2];
+        for (di, params) in [&cfg.dram, &cfg.nvm].into_iter().enumerate() {
+            for kind in [AccessKind::Read, AccessKind::Write, AccessKind::NtWrite] {
+                line_floor[di][kind.index()] =
+                    (CACHE_LINE as f64 / params.thread_bandwidth(kind).max(1e-9)) as Ns;
+            }
+        }
         MemorySystem {
             cfg,
             ledgers,
             llc,
             tables: Vec::new(),
+            line_floor,
             sampler,
             trace: TraceLog::new(),
             stats: MemStats::default(),
@@ -443,7 +459,11 @@ impl MemorySystem {
         queued_done: Ns,
     ) -> Ns {
         let p = self.device(dev);
-        let floor_ns = bytes as f64 / p.thread_bandwidth(kind).max(1e-9);
+        let floor = if bytes == CACHE_LINE {
+            self.line_floor[dev.index()][kind.index()]
+        } else {
+            (bytes as f64 / p.thread_bandwidth(kind).max(1e-9)) as Ns
+        };
         let mut latency = p.latency(kind, pattern);
         let mut spiked = false;
         for (w, f) in &self.spikes[dev.index()] {
@@ -455,7 +475,7 @@ impl MemorySystem {
         if spiked {
             self.latency_spikes += 1;
         }
-        let transfer = (queued_done - now).max(floor_ns as Ns);
+        let transfer = (queued_done - now).max(floor);
         now + transfer + latency as Ns
     }
 

@@ -31,6 +31,6 @@ pub mod spec;
 pub use mutator::Mutator;
 pub use profiles::{all_apps, app, fig1_apps, renaissance_apps, spark_apps};
 pub use runner::{
-    fault_names, run_app, AppRunConfig, AppRunResult, RunError, RunFailure, RunPhase,
+    fault_names, run_app, AppRunConfig, AppRunResult, RunError, RunFailure, RunPhase, SimSnapshot,
 };
 pub use spec::{ClassMix, WorkloadSpec};

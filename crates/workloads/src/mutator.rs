@@ -27,7 +27,7 @@ pub enum MutatorStep {
 }
 
 /// The mutator state for one application run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mutator {
     spec: WorkloadSpec,
     rng: StdRng,

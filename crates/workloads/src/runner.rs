@@ -297,32 +297,149 @@ impl AppRunResult {
     }
 }
 
-/// Runs one application to completion.
+/// A warm simulation image: the complete simulation-visible state after
+/// construction, pre-tenuring setup, and the *first mutator phase* of a
+/// run (heap regions and remsets, the memory system with its ledgers,
+/// LLC, prefetch tables, sampler, trace log and durability ledgers, and
+/// the mutator with its RNG stream), plus the first scheduling step the
+/// mutator returned.
 ///
-/// The memory model assigns thread ids `0..gc.threads` to GC workers and
-/// `gc.threads` to the mutator.
-///
-/// When the collector configuration carries a fault-injection plan, the
-/// device-level schedule is installed into the memory system here, and
-/// the reachable graph is traced before and after every collection — a
-/// digest mismatch or structural error surfaces as a typed [`RunError`]
-/// naming the injected faults, never a panic.
-pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
-    let active_faults = fault_names(&cfg.gc.fault);
-    let fail = |phase: RunPhase, cycle: usize, failure: RunFailure| RunError {
-        workload: cfg.spec.name.to_owned(),
-        phase,
-        cycle,
-        active_faults: active_faults.clone(),
-        failure,
-    };
-    let verify_runs = !cfg.gc.fault.is_empty();
+/// Every run whose configuration shares the warmup-relevant prefix —
+/// workload spec, seed, heap geometry, effective memory config, thread
+/// count, sampling/tracing toggles and the device fault plan — executes
+/// this prefix identically, because nothing in it consults the collector
+/// configuration (the collector is constructed *after* the boundary and
+/// touches no heap or memory state on construction). Sweep harnesses
+/// therefore run the warmup once per group ([`SimSnapshot::capture`])
+/// and complete each cell from a cheap clone ([`SimSnapshot::fork`]),
+/// bit-identical to a cold start.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    heap: Heap,
+    mem: MemorySystem,
+    mutator: Mutator,
+    first_step: MutatorStep,
+    warm_key: String,
+    warmup_allocs: u64,
+}
 
-    let mut heap = Heap::new(cfg.heap.clone(), cfg.spec.build_classes());
+impl SimSnapshot {
+    /// The grouping key of `cfg`'s warmup prefix: two configurations
+    /// fork from the same snapshot exactly when their keys are equal.
+    pub fn warm_key_for(cfg: &AppRunConfig) -> String {
+        format!(
+            "{:?}|{:?}|{}|{:?}|{}|{}|{}|{:?}",
+            cfg.spec,
+            cfg.heap,
+            cfg.seed,
+            effective_mem_config(cfg),
+            cfg.gc.threads.max(1),
+            cfg.trace,
+            cfg.sample_series,
+            cfg.gc.fault.mem,
+        )
+    }
+
+    /// Runs the warmup prefix of `cfg` and captures the resulting state.
+    pub fn capture(cfg: &AppRunConfig) -> Result<SimSnapshot, RunError> {
+        let active_faults = fault_names(&cfg.gc.fault);
+        let fail = |phase: RunPhase, failure: RunFailure| RunError {
+            workload: cfg.spec.name.to_owned(),
+            phase,
+            cycle: 0,
+            active_faults: active_faults.clone(),
+            failure,
+        };
+
+        let mut heap = Heap::new(cfg.heap.clone(), cfg.spec.build_classes());
+        let mut mem = MemorySystem::new(effective_mem_config(cfg));
+        let threads = cfg.gc.threads.max(1);
+        mem.set_threads(threads + 1);
+        // Tracing is enabled before the fault plan is installed so the
+        // plan's windows land on the device lanes as annotations.
+        mem.trace_mut().set_enabled(cfg.trace);
+        mem.set_fault_plan(&cfg.gc.fault.mem);
+        mem.sampler_mut().set_enabled(cfg.sample_series);
+
+        let mut mutator = Mutator::new(cfg.spec.clone(), cfg.seed, threads, cfg.young_bytes());
+        mutator
+            .setup(&mut heap, &mut mem)
+            .map_err(|e| fail(RunPhase::Setup, RunFailure::Gc(GcError::Heap(e))))?;
+
+        let phase_start = mutator.clock;
+        let first_step = mutator
+            .run(&mut heap, &mut mem)
+            .map_err(|e| fail(RunPhase::Mutator, RunFailure::Gc(GcError::Heap(e))))?;
+        let gc_start = mutator.clock;
+        mem.sampler_mut()
+            .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
+        // The mutator runs on the lane one past the GC workers.
+        mem.trace_mut().span(
+            "mutator",
+            TraceCat::Mutator,
+            threads as u32,
+            phase_start,
+            gc_start,
+            0,
+        );
+        let warmup_allocs = mutator.allocated_objects();
+        Ok(SimSnapshot {
+            heap,
+            mem,
+            mutator,
+            first_step,
+            warm_key: Self::warm_key_for(cfg),
+            warmup_allocs,
+        })
+    }
+
+    /// The grouping key this snapshot was captured under.
+    pub fn warm_key(&self) -> &str {
+        &self.warm_key
+    }
+
+    /// Objects the mutator allocated during the captured warmup — the
+    /// deterministic amount of work each fork skips re-simulating.
+    pub fn warmup_allocated_objects(&self) -> u64 {
+        self.warmup_allocs
+    }
+
+    /// Clones the captured state back out (heap, memory system, mutator,
+    /// first scheduling step). The snapshot itself stays intact, so any
+    /// number of restores can fork from one warm image.
+    pub fn restore(&self) -> (Heap, MemorySystem, Mutator, MutatorStep) {
+        (
+            self.heap.clone(),
+            self.mem.clone(),
+            self.mutator.clone(),
+            self.first_step,
+        )
+    }
+
+    /// Completes an application run for `cfg` forked from this warm
+    /// image — bit-identical to `run_app(cfg)` from a cold start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg`'s warmup prefix differs from the one captured
+    /// (the forked run would silently diverge from a cold start).
+    pub fn fork(&self, cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
+        assert_eq!(
+            self.warm_key,
+            Self::warm_key_for(cfg),
+            "forked config must share the snapshot's warmup prefix"
+        );
+        let (heap, mem, mutator, first_step) = self.restore();
+        finish_run(cfg, heap, mem, mutator, first_step)
+    }
+}
+
+/// The memory configuration a run actually uses. Power-failure faults
+/// need the durability ledger; enable it automatically and key its drain
+/// schedule to the fault seed so a plan replay reproduces the exact same
+/// crash images.
+fn effective_mem_config(cfg: &AppRunConfig) -> MemConfig {
     let mut mem_cfg = cfg.mem.clone();
-    // Power-failure faults need the durability ledger; enable it
-    // automatically and key its drain schedule to the fault seed so a
-    // plan replay reproduces the exact same crash images.
     if cfg
         .gc
         .fault
@@ -334,19 +451,45 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
         mem_cfg.persist.enabled = true;
         mem_cfg.persist.seed = cfg.gc.fault.seed;
     }
-    let mut mem = MemorySystem::new(mem_cfg);
-    let threads = cfg.gc.threads.max(1);
-    mem.set_threads(threads + 1);
-    // Tracing is enabled before the fault plan is installed so the plan's
-    // windows land on the device lanes as annotations.
-    mem.trace_mut().set_enabled(cfg.trace);
-    mem.set_fault_plan(&cfg.gc.fault.mem);
-    mem.sampler_mut().set_enabled(cfg.sample_series);
+    mem_cfg
+}
 
-    let mut mutator = Mutator::new(cfg.spec.clone(), cfg.seed, threads, cfg.young_bytes());
-    mutator
-        .setup(&mut heap, &mut mem)
-        .map_err(|e| fail(RunPhase::Setup, 0, RunFailure::Gc(GcError::Heap(e))))?;
+/// Runs one application to completion.
+///
+/// The memory model assigns thread ids `0..gc.threads` to GC workers and
+/// `gc.threads` to the mutator.
+///
+/// When the collector configuration carries a fault-injection plan, the
+/// device-level schedule is installed into the memory system here, and
+/// the reachable graph is traced before and after every collection — a
+/// digest mismatch or structural error surfaces as a typed [`RunError`]
+/// naming the injected faults, never a panic.
+pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
+    let snap = SimSnapshot::capture(cfg)?;
+    finish_run(cfg, snap.heap, snap.mem, snap.mutator, snap.first_step)
+}
+
+/// Completes a run from a warm image: constructs the collector and
+/// drives the mutator-phase / collection loop to completion. `first_step`
+/// is the scheduling step the warmup's mutator phase already produced
+/// (its sampler mark and trace span were emitted at capture time).
+fn finish_run(
+    cfg: &AppRunConfig,
+    mut heap: Heap,
+    mut mem: MemorySystem,
+    mut mutator: Mutator,
+    first_step: MutatorStep,
+) -> Result<AppRunResult, RunError> {
+    let active_faults = fault_names(&cfg.gc.fault);
+    let fail = |phase: RunPhase, cycle: usize, failure: RunFailure| RunError {
+        workload: cfg.spec.name.to_owned(),
+        phase,
+        cycle,
+        active_faults: active_faults.clone(),
+        failure,
+    };
+    let verify_runs = !cfg.gc.fault.is_empty();
+    let threads = cfg.gc.threads.max(1);
 
     let mut gc = G1Collector::new(cfg.gc.clone());
     let mut cycles: Vec<GcStats> = Vec::new();
@@ -362,29 +505,62 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
     const FUTILE_GC_LIMIT: usize = 8;
     let mut futile_cycles = 0usize;
     let mut bytes_at_last_gc = u64::MAX;
+    let mut pending_step = Some(first_step);
+    // Scratch attribution timers (NVMGC_CELL_TIMES=1): wall seconds in
+    // the mutator phase, GC phase and verifier per run.
+    let prof = std::env::var("NVMGC_CELL_TIMES")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let mut t_mut = std::time::Duration::ZERO;
+    let mut t_gc = std::time::Duration::ZERO;
+    let mut t_verify = std::time::Duration::ZERO;
 
     loop {
-        let step = mutator.run(&mut heap, &mut mem).map_err(|e| {
-            fail(
-                RunPhase::Mutator,
-                cycles.len(),
-                RunFailure::Gc(GcError::Heap(e)),
-            )
-        })?;
+        let step = match pending_step.take() {
+            Some(step) => step,
+            None => {
+                let t0 = std::time::Instant::now();
+                let step = mutator.run(&mut heap, &mut mem).map_err(|e| {
+                    fail(
+                        RunPhase::Mutator,
+                        cycles.len(),
+                        RunFailure::Gc(GcError::Heap(e)),
+                    )
+                })?;
+                t_mut += t0.elapsed();
+                let gc_start = mutator.clock;
+                mem.sampler_mut()
+                    .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
+                // The mutator runs on the lane one past the GC workers.
+                mem.trace_mut().span(
+                    "mutator",
+                    TraceCat::Mutator,
+                    threads as u32,
+                    phase_start,
+                    gc_start,
+                    cycles.len() as u64,
+                );
+                step
+            }
+        };
         let gc_start = mutator.clock;
-        mem.sampler_mut()
-            .mark_phase(phase_start, gc_start, PhaseKind::Mutator);
-        // The mutator runs on the lane one past the GC workers.
-        mem.trace_mut().span(
-            "mutator",
-            TraceCat::Mutator,
-            threads as u32,
-            phase_start,
-            gc_start,
-            cycles.len() as u64,
-        );
         match step {
-            MutatorStep::Done => break,
+            MutatorStep::Done => {
+                if prof {
+                    let s = mem.stats();
+                    let ops: u64 = s.reads.iter().sum::<u64>() + s.writes.iter().sum::<u64>();
+                    eprintln!(
+                        "  phases: mutator {:>7.3}s  gc {:>7.3}s  verify {:>7.3}s  allocs {}  memops {}  ({})",
+                        t_mut.as_secs_f64(),
+                        t_gc.as_secs_f64(),
+                        t_verify.as_secs_f64(),
+                        mutator.allocated_objects(),
+                        ops,
+                        cfg.spec.name
+                    );
+                }
+                break;
+            }
             MutatorStep::NeedsGc => {
                 let cycle = cycles.len();
                 if mutator.allocated_bytes() == bytes_at_last_gc {
@@ -408,6 +584,7 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                         * h.config().region_size as u64
                 };
                 let before_bytes = occupied(&heap);
+                let tv = std::time::Instant::now();
                 let before_digest = if verify_runs {
                     Some(
                         verify_heap(&heap, &mutator.roots)
@@ -416,6 +593,8 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                 } else {
                     None
                 };
+                t_verify += tv.elapsed();
+                let tg = std::time::Instant::now();
                 let outcome = if mixed {
                     mixed_cycles += 1;
                     gc.collect_mixed(&mut heap, &mut mem, &mut mutator.roots, gc_start)
@@ -423,6 +602,8 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                     gc.collect(&mut heap, &mut mem, &mut mutator.roots, gc_start)
                 }
                 .map_err(|e| fail(RunPhase::Gc, cycle, RunFailure::Gc(e)))?;
+                t_gc += tg.elapsed();
+                let tv = std::time::Instant::now();
                 if let Some(before) = before_digest {
                     let after = verify_heap(&heap, &mutator.roots)
                         .map_err(|e| fail(RunPhase::Verify, cycle, RunFailure::Verify(e)))?;
@@ -435,6 +616,7 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
                     }
                     digest_checks += 1;
                 }
+                t_verify += tv.elapsed();
                 if cfg.keep_gc_log {
                     let kind = if mixed { GcKind::Mixed } else { GcKind::Young };
                     gc_log.record(

@@ -1,0 +1,191 @@
+//! Snapshot-equivalence oracle: forking a run from a warm
+//! [`SimSnapshot`] must be bit-for-bit identical to a cold start.
+//!
+//! The sweep harnesses lean on this equivalence to run one warmup per
+//! warm group and fork every member cell (`nvmgc-bench`'s forked-grid
+//! runner); any divergence there silently invalidates every emitted
+//! `results/*.json`. The property here re-proves it end to end over
+//! random small grids: same config → capture + fork == cold `run_app`,
+//! compared on the *entire* result (digests, per-cycle stats, memory
+//! counters, trace events when enabled) via `Debug` rendering, which
+//! prints every field of [`AppRunResult`] including float bits.
+//!
+//! A pinned companion test puts the snapshot boundary *inside* injected
+//! fault windows and checks the restored image reproduces the window
+//! edges exactly (the trace annotates every window span on the device
+//! lanes, so edge drift would shift those events).
+
+use nvmgc_core::fault::{FaultPlan, GcFaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_memsim::{DeviceFault, DeviceId, FaultWindow, MemFaultPlan, TraceCat};
+use nvmgc_workloads::runner::RunError;
+use nvmgc_workloads::spec::ClassMix;
+use nvmgc_workloads::{run_app, AppRunConfig, AppRunResult, SimSnapshot, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Matches the fault-matrix harness horizon: generated windows overlap
+/// the first few tens of milliseconds of simulated run.
+const HORIZON_NS: u64 = 40_000_000;
+
+fn small_spec(touches: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop-snapshot",
+        alloc_young_multiple: 3.0,
+        mix: vec![ClassMix {
+            num_refs: 2,
+            data_bytes: 24,
+            weight: 1,
+        }],
+        survival: 0.4,
+        keep_gcs: 1,
+        old_link_fraction: 0.1,
+        chain_fraction: 0.0,
+        cpu_per_alloc_ns: 20.0,
+        touches_per_alloc: touches,
+        app_threads: 4,
+        share_fraction: 0.15,
+        old_anchor_bytes: 8 << 10,
+    }
+}
+
+fn small_cfg(gc: GcConfig, seed: u64, touches: u32, trace: bool) -> AppRunConfig {
+    let mut cfg = AppRunConfig::standard(small_spec(touches), gc);
+    cfg.heap.region_size = 16 << 10;
+    cfg.heap.heap_regions = 96;
+    cfg.heap.young_regions = 32;
+    cfg.seed = seed;
+    cfg.trace = trace;
+    cfg
+}
+
+/// Bit-for-bit comparison: `Debug` prints every field of the result
+/// (or the typed error), so equal strings mean equal values.
+fn render(r: &Result<AppRunResult, RunError>) -> String {
+    format!("{r:?}")
+}
+
+fn arb_severity() -> impl Strategy<Value = Option<Severity>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Severity::Mild)),
+        Just(Some(Severity::Moderate)),
+        Just(Some(Severity::Severe)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random small grids: every cell forked from its group's snapshot
+    /// equals the same cell run cold. The two cells share the warmup
+    /// prefix (same spec/seed/severity) and differ in collector config —
+    /// exactly how `run_forked_cells` groups sweep grids.
+    #[test]
+    fn forked_cells_match_cold_runs_bit_for_bit(
+        seed in 0u64..1 << 48,
+        plan_seed in 0u64..1 << 48,
+        sev in arb_severity(),
+        touches in 1u32..4,
+        trace in any::<bool>(),
+    ) {
+        let fault = match sev {
+            Some(s) => FaultPlan::generate(plan_seed, s, HORIZON_NS),
+            None => FaultPlan::none(),
+        };
+        // Vanilla and +all share the warm key: the fault plan's device
+        // half and the thread count must match for both cells.
+        let threads = 12;
+        let mut cells = Vec::new();
+        for gc in [GcConfig::vanilla(threads), GcConfig::plus_all(threads, 1 << 20)] {
+            let mut cfg = small_cfg(gc, seed, touches, trace);
+            cfg.gc.fault = fault.clone();
+            cells.push(cfg);
+        }
+        prop_assert_eq!(
+            SimSnapshot::warm_key_for(&cells[0]),
+            SimSnapshot::warm_key_for(&cells[1]),
+            "grid cells must share one warm group"
+        );
+        let snap = SimSnapshot::capture(&cells[0]).expect("warmup completes");
+        prop_assert!(snap.warmup_allocated_objects() > 0);
+        for cfg in &cells {
+            let cold = run_app(cfg);
+            let forked = snap.fork(cfg);
+            prop_assert_eq!(render(&cold), render(&forked));
+        }
+    }
+}
+
+/// Pinned: the snapshot boundary falls *inside* open fault windows — a
+/// latency spike, a bandwidth collapse, and a stall all span the whole
+/// horizon, so the warmup ends mid-window on every one of them. The
+/// forked run must reproduce the cold run bit-for-bit, and the restored
+/// image must carry the exact window edges: the trace annotates each
+/// window as a span on its device lane, so the fault-category events of
+/// cold and forked runs must agree exactly.
+#[test]
+fn snapshot_inside_fault_windows_restores_edges_exactly() {
+    let window = FaultWindow {
+        start: 0,
+        end: HORIZON_NS,
+    };
+    let mem = MemFaultPlan {
+        events: vec![
+            DeviceFault::LatencySpike {
+                dev: DeviceId::Nvm,
+                window,
+                factor: 2.5,
+            },
+            DeviceFault::BandwidthCollapse {
+                dev: DeviceId::Nvm,
+                window: FaultWindow {
+                    start: 1_000,
+                    end: HORIZON_NS / 2,
+                },
+                factor: 3.0,
+            },
+            DeviceFault::Stall {
+                dev: DeviceId::Dram,
+                window: FaultWindow {
+                    start: 5_000,
+                    end: 50_000,
+                },
+            },
+        ],
+    };
+    let mut cfg = small_cfg(GcConfig::vanilla(4), 0x5EED, 2, true);
+    cfg.gc.fault = FaultPlan {
+        seed: 0,
+        mem,
+        gc: GcFaultPlan::default(),
+    };
+
+    let snap = SimSnapshot::capture(&cfg).expect("warmup completes");
+    let cold = run_app(&cfg).expect("cold run completes");
+    let forked = snap.fork(&cfg).expect("forked run completes");
+
+    // Whole-result equality first: any drift shows up here.
+    assert_eq!(format!("{cold:?}"), format!("{forked:?}"));
+
+    // Then the pinned claim: the injected windows' trace annotations —
+    // emitted from the restored fault state — carry identical edges.
+    let windows = |r: &AppRunResult| {
+        r.trace
+            .iter()
+            .filter(|e| e.cat == TraceCat::Fault && e.dur > 0)
+            .map(|e| (e.name, e.ts, e.dur, e.track))
+            .collect::<Vec<_>>()
+    };
+    let cold_windows = windows(&cold);
+    assert!(
+        !cold_windows.is_empty(),
+        "fault windows must be annotated on the trace"
+    );
+    assert_eq!(cold_windows, windows(&forked));
+    assert!(
+        cold_windows
+            .iter()
+            .any(|&(_, ts, dur, _)| ts == 0 && dur == HORIZON_NS),
+        "the horizon-spanning window must keep its exact edges: {cold_windows:?}"
+    );
+}
