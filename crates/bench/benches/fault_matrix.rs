@@ -48,12 +48,14 @@ fn main() {
     println!("{}", fork_summary(rows.len(), &forks));
 
     let mut table = TextTable::new(vec![
-        "app", "config", "severity", "seed", "cycles", "digests", "faults", "pf", "lost", "outcome",
+        "app", "config", "map", "severity", "seed", "cycles", "digests", "faults", "pf", "lost",
+        "recov", "resumed", "replayed", "outcome",
     ]);
     for r in &rows {
         table.row(vec![
             r.app.clone(),
             r.config.clone(),
+            r.map_mode.clone(),
             r.severity.clone(),
             format!("{:#x}", r.plan_seed),
             r.cycles.to_string(),
@@ -61,6 +63,9 @@ fn main() {
             r.gc_fault_events.to_string(),
             r.power_failure_checks.to_string(),
             r.discarded_lines.to_string(),
+            r.recovered_cycles.to_string(),
+            r.resumed_evacuations.to_string(),
+            r.replayed_map_entries.to_string(),
             if r.ok {
                 "ok".to_owned()
             } else {
@@ -140,6 +145,26 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+
+        // Durable-map crash-recovery acceptance: at least one Moderate+
+        // durable cell must actually crash mid-evacuation, recover from
+        // the crash image, resume, and complete with its digest checks
+        // passing — otherwise the recovery path silently stopped being
+        // exercised.
+        let recovered = pf_cells.iter().any(|r| {
+            r.map_mode == "durable"
+                && r.ok
+                && r.recovered_cycles >= 1
+                && r.resumed_evacuations >= 1
+                && r.digest_checks > 0
+        });
+        if !recovered {
+            eprintln!(
+                "fault_matrix: no durable-map cell crashed mid-evacuation and \
+                 resumed to completion"
+            );
+            std::process::exit(1);
         }
     }
 }

@@ -44,7 +44,7 @@ fn bench_header_map(c: &mut Criterion) {
             || HeaderMap::new(32 << 20, 16),
             |m| {
                 for i in 1..=1_000_000u64 {
-                    black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096)));
+                    let _ = black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096)));
                 }
             },
             BatchSize::LargeInput,
@@ -53,7 +53,7 @@ fn bench_header_map(c: &mut Criterion) {
     g.bench_function("get_hit", |b| {
         let m = HeaderMap::new(32 << 20, 16);
         for i in 1..=100_000u64 {
-            m.put(Addr(i * 8), Addr(i * 8 + 4096));
+            let _ = m.put(Addr(i * 8), Addr(i * 8 + 4096));
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -64,7 +64,7 @@ fn bench_header_map(c: &mut Criterion) {
     g.bench_function("get_miss", |b| {
         let m = HeaderMap::new(32 << 20, 16);
         for i in 1..=100_000u64 {
-            m.put(Addr(i * 8), Addr(i * 8 + 4096));
+            let _ = m.put(Addr(i * 8), Addr(i * 8 + 4096));
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -81,7 +81,7 @@ fn bench_header_map(c: &mut Criterion) {
                         let m = &m;
                         s.spawn(move || {
                             for i in 1..=50_000u64 {
-                                black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096 + t)));
+                                let _ = black_box(m.put(Addr(i * 8), Addr(i * 8 + 4096 + t)));
                             }
                         });
                     }

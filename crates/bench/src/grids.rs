@@ -70,6 +70,15 @@ pub fn fault_matrix_cells(fast: bool) -> Vec<FaultCell> {
     let configs: Vec<(&'static str, GcConfig)> = vec![
         ("vanilla", GcConfig::vanilla(FAULT_MATRIX_THREADS)),
         ("+all", GcConfig::plus_all(FAULT_MATRIX_THREADS, 0)),
+        ("+all/durable", {
+            // The durable-map axis: forwarding installs are persistence-
+            // fenced on NVM, so a mid-evacuation power failure aborts into
+            // crash recovery and the cycle resumes instead of being
+            // declared merely recoverable.
+            let mut gc = GcConfig::plus_all(FAULT_MATRIX_THREADS, 0);
+            gc.header_map.durable = true;
+            gc
+        }),
     ];
     let mut cells = Vec::new();
     for &app in apps {
@@ -120,6 +129,10 @@ pub struct FaultRow {
     pub app: String,
     /// Collector configuration label.
     pub config: String,
+    /// Header-map persistence mode: "volatile" (DRAM map, crash points
+    /// checked by the recoverability oracle) or "durable" (NVM-fenced
+    /// map; power failures crash and resume via recovery).
+    pub map_mode: String,
     /// Fault-plan severity name.
     pub severity: String,
     /// Fault-plan schedule seed.
@@ -143,6 +156,13 @@ pub struct FaultRow {
     pub discarded_lines: u64,
     /// Lines lost to torn 256 B XPLines mid-drain.
     pub torn_lines: u64,
+    /// Cycles that are the resumed completion of a crashed evacuation.
+    pub recovered_cycles: u64,
+    /// Forwarded objects re-evacuated from intact from-space because
+    /// their copy or install missed the durable prefix.
+    pub resumed_evacuations: u64,
+    /// Forwarding records found inside the durable prefix and replayed.
+    pub replayed_map_entries: u64,
     /// Total simulated run time, ns.
     pub total_ns: u64,
     /// Total simulated GC pause time, ns.
@@ -185,6 +205,11 @@ fn fault_cell_outcome(
     let base = FaultRow {
         app: cell.app.to_owned(),
         config: cell.config_name.to_owned(),
+        map_mode: if cell.gc.durable_map_active() {
+            "durable".to_owned()
+        } else {
+            "volatile".to_owned()
+        },
         severity: cell.severity.name().to_owned(),
         plan_seed: cell.seed,
         outcome: String::new(),
@@ -196,6 +221,9 @@ fn fault_cell_outcome(
         power_failure_checks: 0,
         discarded_lines: 0,
         torn_lines: 0,
+        recovered_cycles: 0,
+        resumed_evacuations: 0,
+        replayed_map_entries: 0,
         total_ns: 0,
         total_pause_ns: 0,
     };
@@ -219,6 +247,9 @@ fn fault_cell_outcome(
                     .map(|c| c.fault_events.discarded_lines)
                     .sum(),
                 torn_lines: res.cycles.iter().map(|c| c.fault_events.torn_lines).sum(),
+                recovered_cycles: res.cycles.iter().map(|c| c.recovered_cycles).sum(),
+                resumed_evacuations: res.cycles.iter().map(|c| c.resumed_evacuations).sum(),
+                replayed_map_entries: res.cycles.iter().map(|c| c.replayed_map_entries).sum(),
                 total_ns: res.total_ns,
                 total_pause_ns: res.gc.total_pause_ns(),
                 ..base
@@ -324,7 +355,7 @@ mod tests {
     fn fast_grid_is_a_prefix_slice_of_the_full_grid() {
         let fast = fault_matrix_cells(true);
         let full = fault_matrix_cells(false);
-        assert_eq!(fast.len(), Severity::ALL.len() * 2);
+        assert_eq!(fast.len(), Severity::ALL.len() * 3);
         assert_eq!(full.len(), fast.len() * 4);
         // Every fast cell appears in the full grid with the same label.
         let full_labels: Vec<String> = full.iter().map(|c| c.label()).collect();

@@ -1,0 +1,88 @@
+//! Pinned durable-map recovery cell.
+//!
+//! The acceptance criterion for the crash-recovery plane is a concrete
+//! fault-matrix cell, not just unit tests: a Moderate+ severity durable
+//! cell must demonstrably crash mid-evacuation, replay its durable
+//! forwarding prefix, resume the interrupted cycle and complete with
+//! every digest check passing. This test pins the FAST grid's durable
+//! cells so the property cannot silently rot even if the bench gate is
+//! not run (the `fault_matrix` harness enforces the same condition at
+//! full scale and exits nonzero).
+
+use nvmgc_bench::{fault_matrix_cells, run_fault_cell};
+
+#[test]
+fn severe_durable_cell_crashes_recovers_and_resumes() {
+    let cell = fault_matrix_cells(true)
+        .into_iter()
+        .find(|c| c.config_name == "+all/durable" && c.severity.name() == "severe")
+        .expect("FAST grid contains the severe durable cell");
+    let (row, _) = run_fault_cell(&cell);
+
+    assert_eq!(row.map_mode, "durable");
+    assert!(row.ok, "cell must complete: {}", row.outcome);
+    assert!(!row.corruption, "cell must not corrupt the graph");
+    assert!(
+        row.recovered_cycles >= 1,
+        "at least one cycle crashed and was recovered (got {})",
+        row.recovered_cycles
+    );
+    assert!(
+        row.resumed_evacuations >= 1,
+        "recovery re-evacuated at least one lost copy (got {})",
+        row.resumed_evacuations
+    );
+    assert!(
+        row.replayed_map_entries >= 1,
+        "recovery replayed at least one durable forwarding entry (got {})",
+        row.replayed_map_entries
+    );
+    assert!(
+        row.digest_checks > 0 && row.digest_checks == row.cycles,
+        "every cycle's pre/post digest was compared ({} checks, {} cycles)",
+        row.digest_checks,
+        row.cycles
+    );
+    assert!(
+        row.power_failure_checks >= 1,
+        "the scheduled power failure actually fired"
+    );
+}
+
+#[test]
+fn moderate_durable_cell_recovers() {
+    let cell = fault_matrix_cells(true)
+        .into_iter()
+        .find(|c| c.config_name == "+all/durable" && c.severity.name() == "moderate")
+        .expect("FAST grid contains the moderate durable cell");
+    let (row, _) = run_fault_cell(&cell);
+
+    assert_eq!(row.map_mode, "durable");
+    assert!(row.ok, "cell must complete: {}", row.outcome);
+    assert!(
+        row.recovered_cycles >= 1,
+        "the moderate power failure crashed and recovered"
+    );
+    assert!(row.digest_checks > 0 && row.digest_checks == row.cycles);
+}
+
+#[test]
+fn volatile_cells_never_enter_recovery() {
+    for cell in fault_matrix_cells(true)
+        .into_iter()
+        .filter(|c| c.config_name != "+all/durable")
+    {
+        let (row, _) = run_fault_cell(&cell);
+        assert_eq!(row.map_mode, "volatile", "{}", cell.label());
+        assert_eq!(
+            (
+                row.recovered_cycles,
+                row.resumed_evacuations,
+                row.replayed_map_entries
+            ),
+            (0, 0, 0),
+            "volatile cell {} must not report recovery work",
+            cell.label()
+        );
+    }
+}

@@ -21,7 +21,7 @@ use crate::access::Gx;
 use crate::config::{CollectorKind, GcConfig, Traversal};
 use crate::error::GcError;
 use crate::fault::FaultState;
-use crate::header_map::{HeaderMap, PutOutcome};
+use crate::header_map::{HeaderMap, Put, PutOutcome, ENTRY_BYTES};
 use crate::oracle;
 use crate::stack::{Task, WorkPool};
 use crate::stats::GcStats;
@@ -163,6 +163,15 @@ pub struct CycleShared<'a> {
     /// Collection-set regions retained because they hold self-forwarded
     /// objects (G1's evacuation-failure handling).
     pub retained: Vec<RegionId>,
+    /// Forwarding installs that overflowed the header map into NVM
+    /// headers (`old → new`), recorded in durable-map mode only — crash
+    /// recovery classifies them against the durable prefix exactly like
+    /// map entries.
+    pub full_installs: Vec<(Addr, Addr)>,
+    /// The crash instant, set when an injected power failure fires in
+    /// durable-map mode. Every worker fast-finishes its phase and the
+    /// cycle aborts into crash recovery instead of completing.
+    pub crashed_at: Option<Ns>,
 }
 
 impl CycleShared<'_> {
@@ -198,7 +207,7 @@ impl CycleShared<'_> {
 /// one steal attempt, or an idle wait.
 pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
     debug_assert!(!w.done);
-    if sh.error.is_some() {
+    if sh.error.is_some() || sh.crashed_at.is_some() {
         w.done = true;
         return;
     }
@@ -282,6 +291,14 @@ fn apply_worker_faults(w: &mut Worker, sh: &mut CycleShared<'_>) -> bool {
         }
     }
     if sh.fault.take_power_failure(w.clock) {
+        if sh.cfg.durable_map_active() {
+            // Durable mode: the failure is survivable. Record the crash
+            // instant — every worker fast-finishes and the cycle aborts
+            // into crash recovery instead of completing.
+            sh.crashed_at.get_or_insert(w.clock);
+            w.done = true;
+            return true;
+        }
         match oracle::check_power_failure(sh.heap, sh.hmap, &sh.cache, sh.mem) {
             Ok(Some(report)) => {
                 sh.fault.observations.discarded_lines += report.discarded_lines;
@@ -455,15 +472,43 @@ fn copy_and_forward(
         // Injected probe-chain saturation: behave exactly as if bounded
         // probing failed, charging a full chain walk, and take the
         // abort-to-fallback NVM install below (paper §4.2).
-        let (outcome, probes) = if sh.fault.hmap_saturated(w.clock) {
-            (PutOutcome::Full, map.search_bound())
+        let put = if sh.fault.hmap_saturated(w.clock) {
+            Put {
+                outcome: PutOutcome::Full,
+                probes: map.search_bound(),
+                idx: map.probe_base(obj),
+            }
         } else {
-            map.put(obj, public)
+            match map.put(obj, public) {
+                Ok(p) => p,
+                Err(e) => {
+                    // A null key or value reaching the install path would
+                    // silently corrupt the probe chain; surface it as a
+                    // typed oracle violation in release builds too.
+                    sh.error = Some(GcError::Oracle(oracle::OracleViolation::HeaderMapInstall {
+                        old: e.old,
+                        new: e.new,
+                    }));
+                    w.done = true;
+                    return None;
+                }
+            }
         };
-        charge_map_probes(w, sh, map, obj, probes);
-        match outcome {
+        charge_map_probes(w, sh, map, obj, put.probes);
+        match put.outcome {
             PutOutcome::Installed => {
                 w.stats.hm_installs += 1;
+                if sh.cfg.durable_map_active() {
+                    // Durable-linearizable install (Sela & Petrank): key
+                    // CAS → value publish → fence, all on NVM, stamped
+                    // into the durability ledger by entry index.
+                    durable_install_fence(
+                        w,
+                        sh,
+                        map.entry_addr(put.idx),
+                        oracle::map_entry_meta_key(put.idx),
+                    );
+                }
             }
             PutOutcome::Existing(other) => {
                 // Another worker won (cannot happen under the DES, but the
@@ -480,6 +525,20 @@ fn copy_and_forward(
                     .gx()
                     .write_header(id, obj, Header::forwarding(public), clock);
                 w.clock = t + CAS_EXTRA_NS;
+                if sh.cfg.durable_map_active() {
+                    // The fallback install is fenced too, keyed by the
+                    // from-space address, and remembered so recovery can
+                    // classify it against the durable prefix.
+                    sh.full_installs.push((obj, public));
+                    sh.mem
+                        .persist_write_back(DeviceId::Nvm, obj.raw(), 8, w.clock);
+                    w.clock = if sh.mem.persist_enabled(DeviceId::Nvm) {
+                        sh.mem
+                            .persist_meta(DeviceId::Nvm, oracle::header_meta_key(obj), w.clock)
+                    } else {
+                        sh.mem.fence(w.clock)
+                    };
+                }
             }
         }
     } else {
@@ -553,14 +612,25 @@ fn copy_and_forward(
             // the child (paper §4.3).
             if let Some(map) = sh.hmap {
                 let entry = map.entry_addr(map.probe_base(child));
-                w.clock = sh.mem.prefetch(w.id, DeviceId::Dram, entry, w.clock);
+                let dev = map_device(sh);
+                w.clock = sh.mem.prefetch(w.id, dev, entry, w.clock);
             }
         }
     }
     Some(public)
 }
 
-/// Charges DRAM traffic for `probes` header-map probes.
+/// The device the header map's probe/install/clear traffic is charged
+/// to: DRAM normally, NVM in durable mode (the map itself lives on NVM).
+fn map_device(sh: &CycleShared<'_>) -> DeviceId {
+    if sh.cfg.durable_map_active() {
+        DeviceId::Nvm
+    } else {
+        DeviceId::Dram
+    }
+}
+
+/// Charges memory traffic for `probes` header-map probes.
 fn charge_map_probes(
     w: &mut Worker,
     sh: &mut CycleShared<'_>,
@@ -568,10 +638,41 @@ fn charge_map_probes(
     obj: Addr,
     probes: u32,
 ) {
+    let dev = map_device(sh);
     let base = map.probe_base(obj);
     for k in 0..probes as u64 {
         let addr = map.entry_addr(base.wrapping_add(k));
-        w.clock = sh.mem.read_word(w.id, DeviceId::Dram, addr, w.clock);
+        w.clock = sh.mem.read_word(w.id, dev, addr, w.clock);
+    }
+}
+
+/// Persistence-fences one durable-mode map install: charges the key CAS
+/// and value publish as NVM stores at the entry's address, writes the
+/// entry line back toward the medium, and stamps the install into the
+/// durability ledger under `meta_key` with one synchronous fence — the
+/// durable-linearizable order whose prefix crash recovery replays.
+fn durable_install_fence(w: &mut Worker, sh: &mut CycleShared<'_>, entry_addr: u64, meta_key: u64) {
+    let dev = DeviceId::Nvm;
+    w.clock = sh.mem.write_word(w.id, dev, entry_addr, w.clock) + CAS_EXTRA_NS;
+    w.clock = sh.mem.write_word(w.id, dev, entry_addr + 8, w.clock);
+    sh.mem
+        .persist_write_back(dev, entry_addr, ENTRY_BYTES, w.clock);
+    w.clock = if sh.mem.persist_enabled(dev) {
+        sh.mem.persist_meta(dev, meta_key, w.clock)
+    } else {
+        sh.mem.fence(w.clock)
+    };
+}
+
+/// Durable-map mode: persists a fresh GC destination region's allocation
+/// metadata before any payload lands in it, so recovery never has to
+/// classify payload for a region the persistence order has no record of.
+/// Free in volatile mode.
+fn note_fresh_gc_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: RegionId) {
+    if sh.cfg.durable_map_active() && sh.mem.persist_enabled(DeviceId::Nvm) {
+        w.clock = sh
+            .mem
+            .persist_meta(DeviceId::Nvm, oracle::region_meta_key(region), w.clock);
     }
 }
 
@@ -660,6 +761,7 @@ fn copy_into_dest(
         *sh.promo_region = Some(sh.heap.take_region(RegionKind::Old)?);
         w.clock += REGION_SYNC_NS;
         let region = sh.promo_region.expect("just set");
+        note_fresh_gc_region(w, sh, region);
         let copy = do_copy(w, sh, obj, region).ok_or(HeapError::ObjectTooLarge {
             size: size as usize,
         })?;
@@ -678,6 +780,7 @@ fn promo_region(w: &mut Worker, sh: &mut CycleShared<'_>) -> Result<RegionId, He
     let r = sh.heap.take_region(RegionKind::Old)?;
     *sh.promo_region = Some(r);
     w.clock += REGION_SYNC_NS;
+    note_fresh_gc_region(w, sh, r);
     Ok(r)
 }
 
@@ -736,6 +839,7 @@ fn g1_survivor_copy(
         }
         w.survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
         w.clock += REGION_SYNC_NS;
+        note_fresh_gc_region(w, sh, w.survivor.expect("just set"));
         if sh.heap.region(w.survivor.expect("just set")).capacity() < size {
             return Err(GcError::Heap(HeapError::ObjectTooLarge {
                 size: size as usize,
@@ -769,7 +873,9 @@ fn ps_survivor_copy(
                     return Ok((copy, false));
                 }
             }
-            sh.ps_shared_survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
+            let fresh = sh.heap.take_region(RegionKind::Survivor)?;
+            sh.ps_shared_survivor = Some(fresh);
+            note_fresh_gc_region(w, sh, fresh);
         }
     }
     // LAB allocation.
@@ -846,7 +952,9 @@ fn ps_survivor_copy(
                     break;
                 }
             }
-            sh.ps_shared_survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
+            let fresh = sh.heap.take_region(RegionKind::Survivor)?;
+            sh.ps_shared_survivor = Some(fresh);
+            note_fresh_gc_region(w, sh, fresh);
         }
     }
 }
@@ -859,7 +967,7 @@ fn ps_survivor_copy(
 /// pick up the next one; fence and finish when the queue drains.
 pub fn step_writeback(w: &mut Worker, sh: &mut CycleShared<'_>) {
     debug_assert!(!w.done);
-    if sh.error.is_some() {
+    if sh.error.is_some() || sh.crashed_at.is_some() {
         w.done = true;
         return;
     }
@@ -953,7 +1061,7 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
 /// Executes one header-map-cleanup step (parallel zeroing, paper §3.3).
 pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
     debug_assert!(!w.done);
-    if sh.error.is_some() {
+    if sh.error.is_some() || sh.crashed_at.is_some() {
         w.done = true;
         return;
     }
@@ -971,10 +1079,11 @@ pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
     // Zero up to 4096 entries (64 KiB) per step.
     let step_entries = 4096.min(end - start);
     map.clear_range(start, start + step_entries);
-    let bytes = (step_entries as u64) * crate::header_map::ENTRY_BYTES;
+    let bytes = (step_entries as u64) * ENTRY_BYTES;
+    let dev = map_device(sh);
     w.clock = sh
         .mem
-        .write_bulk(DeviceId::Dram, map.entry_addr(start as u64), bytes, w.clock);
+        .write_bulk(dev, map.entry_addr(start as u64), bytes, w.clock);
     let next = start + step_entries;
     w.clear_range = if next < end { Some((next, end)) } else { None };
     if w.clear_range.is_none() {

@@ -65,6 +65,14 @@ pub struct HeaderMapConfig {
     /// the map's extra lookups cost more than they save (paper §3.3;
     /// default 8).
     pub min_threads: usize,
+    /// Durable variant: the map lives on NVM instead of DRAM and every
+    /// install is persistence-fenced (key CAS → value publish → fence,
+    /// the durable-linearizable order of Sela & Petrank). Installs cost
+    /// NVM line traffic plus a fence, but the crash image then holds a
+    /// well-defined durable prefix of forwarding pointers that
+    /// [`recover_from_crash`](crate::g1::G1Collector::recover_from_crash)
+    /// replays to resume an interrupted evacuation.
+    pub durable: bool,
 }
 
 impl HeaderMapConfig {
@@ -75,6 +83,7 @@ impl HeaderMapConfig {
             max_bytes: 0,
             search_bound: 16,
             min_threads: 8,
+            durable: false,
         }
     }
 }
@@ -172,6 +181,7 @@ impl GcConfig {
             max_bytes: (heap_bytes / 32).max(1 << 20),
             search_bound: 16,
             min_threads: 8,
+            durable: false,
         };
         c
     }
@@ -195,6 +205,12 @@ impl GcConfig {
     /// Whether the header map is active for the configured thread count.
     pub fn header_map_active(&self) -> bool {
         self.header_map.enabled && self.threads > self.header_map.min_threads
+    }
+
+    /// Whether the active header map is the durable (NVM-resident,
+    /// persistence-fenced) variant.
+    pub fn durable_map_active(&self) -> bool {
+        self.header_map_active() && self.header_map.durable
     }
 }
 
@@ -234,6 +250,16 @@ mod tests {
         assert!(c.header_map.enabled);
         assert!(!c.header_map_active(), "at the threshold, not above it");
         assert!(!GcConfig::plus_all(4, 64 << 20).header_map_active());
+    }
+
+    #[test]
+    fn durable_map_requires_an_active_map() {
+        let mut c = GcConfig::plus_all(20, 64 << 20);
+        assert!(!c.durable_map_active(), "presets default to volatile");
+        c.header_map.durable = true;
+        assert!(c.durable_map_active());
+        c.threads = 8; // at the activation threshold the map is off
+        assert!(!c.durable_map_active());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! instead of a process abort.
 
 use crate::oracle::OracleViolation;
+use crate::recovery::CrashState;
 use nvmgc_heap::HeapError;
 use nvmgc_memsim::Ns;
 use std::fmt;
@@ -60,6 +61,12 @@ pub enum GcError {
     Engine(EngineError),
     /// The crash-point oracle found a recoverability violation.
     Oracle(OracleViolation),
+    /// A power failure interrupted a durable-mode evacuation. Not a
+    /// defect: the boxed [`CrashState`] is everything
+    /// [`recover_from_crash`](crate::g1::G1Collector::recover_from_crash)
+    /// needs to replay the durable prefix and finish the cycle. Callers
+    /// that do not recover may treat it as a fatal error.
+    PowerCrash(Box<CrashState>),
 }
 
 impl fmt::Display for GcError {
@@ -68,6 +75,13 @@ impl fmt::Display for GcError {
             GcError::Heap(e) => write!(f, "heap error during GC: {e}"),
             GcError::Engine(e) => write!(f, "engine error during GC: {e}"),
             GcError::Oracle(v) => write!(f, "crash-point oracle violation: {v}"),
+            GcError::PowerCrash(c) => write!(
+                f,
+                "power failure at {} ns interrupted a durable-mode evacuation ({} cset \
+                 regions); recoverable via recover_from_crash",
+                c.at_ns,
+                c.cset.len()
+            ),
         }
     }
 }
@@ -78,6 +92,7 @@ impl std::error::Error for GcError {
             GcError::Heap(e) => Some(e),
             GcError::Engine(e) => Some(e),
             GcError::Oracle(v) => Some(v),
+            GcError::PowerCrash(_) => None,
         }
     }
 }

@@ -341,6 +341,21 @@ impl FaultState {
         self.events.is_empty()
     }
 
+    /// Snapshot of which one-shot events have fired, in plan order. Saved
+    /// into the crash state so a resumed cycle does not re-fire the same
+    /// power failure (or any other one-shot) a second time.
+    pub fn fired_flags(&self) -> Vec<bool> {
+        self.fired.clone()
+    }
+
+    /// Restores a [`fired_flags`](Self::fired_flags) snapshot taken from
+    /// the same plan. Length mismatches (a different plan) are ignored.
+    pub fn restore_fired(&mut self, flags: &[bool]) {
+        if flags.len() == self.fired.len() {
+            self.fired.copy_from_slice(flags);
+        }
+    }
+
     /// Applies pause/slowdown events to worker `id` at clock `now`,
     /// returning the adjusted clock. One-shot pauses fire at most once.
     pub fn worker_tax(&mut self, id: usize, now: Ns) -> Ns {

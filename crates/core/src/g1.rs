@@ -21,11 +21,14 @@ use crate::config::GcConfig;
 use crate::engine;
 use crate::error::GcError;
 use crate::fault::FaultState;
-use crate::header_map::HeaderMap;
+use crate::header_map::{HeaderMap, ENTRY_BYTES};
 use crate::marking;
+use crate::oracle;
+use crate::recovery::CrashState;
 use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
+use nvmgc_heap::verify::{classify_lines, LineCoverage};
 use nvmgc_heap::{Addr, Heap, RegionId, RegionKind};
 use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind, TraceCat, TRACK_CYCLE};
 use std::collections::VecDeque;
@@ -37,6 +40,21 @@ pub struct GcCycleOutcome {
     pub stats: GcStats,
     /// Simulated time at which mutators resume.
     pub end_ns: Ns,
+}
+
+/// Parameters of a resumed (post-crash) collection cycle, produced by
+/// [`G1Collector::recover_from_crash`]'s durable-prefix walk.
+struct ResumeState {
+    /// The crash being recovered from.
+    crash: CrashState,
+    /// Forwarding records found intact inside the durable prefix.
+    replayed: u64,
+    /// Forwarding records re-evacuated from intact from-space.
+    resumed: u64,
+    /// Write-combining lines the crash image reports discarded.
+    discarded: u64,
+    /// XPLines the crash image reports torn.
+    torn: u64,
 }
 
 /// A young-generation copying collector with the paper's NVM-aware
@@ -102,7 +120,181 @@ impl G1Collector {
         roots: &mut [Addr],
         start: Ns,
     ) -> Result<GcCycleOutcome, GcError> {
-        self.collect_with_cset(heap, mem, roots, start, &[])
+        self.collect_with_cset(heap, mem, roots, start, &[], None)
+    }
+
+    /// Recovers from a power failure that interrupted a durable-mode
+    /// evacuation (a [`GcError::PowerCrash`]) and finishes the crashed
+    /// cycle.
+    ///
+    /// The durable header map fences every install (key CAS → value
+    /// publish → fence), so the [`nvmgc_memsim::CrashImage`] holds a
+    /// well-defined durable prefix of forwarding records. Recovery walks
+    /// that prefix: a record whose install fence, destination-region
+    /// metadata and payload lines all predate the crash instant is
+    /// *replayed* as-is; every other forwarded object is *re-evacuated*
+    /// from its intact from-space copy (copy-based GC never mutates
+    /// from-space before the cycle commits, which is what makes the
+    /// crashed cycle recoverable at all). The interrupted cycle is then
+    /// re-run to completion with a reconstructed work list, and
+    /// [`oracle::check_recovery_completion`] asserts that no object was
+    /// lost, duplicated, or double-forwarded across the crash boundary.
+    ///
+    /// The returned outcome has `stats.recovered_cycles == 1`;
+    /// `stats.replayed_map_entries` / `stats.resumed_evacuations` break
+    /// down the prefix walk. A second power failure during the resumed
+    /// cycle surfaces as another [`GcError::PowerCrash`], which can be
+    /// recovered the same way.
+    pub fn recover_from_crash(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemorySystem,
+        roots: &mut [Addr],
+        crash: CrashState,
+    ) -> Result<GcCycleOutcome, GcError> {
+        let at = crash.at_ns;
+        // Every forwarding record the crashed cycle established:
+        // (fence metadata key, NVM entry address for map entries, old, new).
+        let mut records: Vec<(u64, Option<u64>, Addr, Addr)> = Vec::new();
+        if let Some(map) = self.hmap.as_ref() {
+            for (idx, old, new) in map.snapshot_indexed() {
+                records.push((
+                    oracle::map_entry_meta_key(idx),
+                    Some(map.entry_addr(idx)),
+                    old,
+                    new,
+                ));
+            }
+        }
+        for &(old, new) in &crash.full_installs {
+            records.push((oracle::header_meta_key(old), None, old, new));
+        }
+
+        struct Decision {
+            meta_key: u64,
+            entry_addr: Option<u64>,
+            old: Addr,
+            new: Addr,
+            size: u32,
+            dst: RegionId,
+            durable: bool,
+        }
+        let mut decisions: Vec<Decision> = Vec::new();
+        let (mut discarded, mut torn) = (0u64, 0u64);
+        {
+            let img = mem.crash_image(DeviceId::Nvm);
+            if let Some(img) = &img {
+                discarded = img.discarded_lines;
+                torn = img.torn_lines;
+            }
+            for (meta_key, entry_addr, old, new) in records {
+                if old == new {
+                    // Self-forward: the object never moved; its retention
+                    // is re-seeded from the crash state.
+                    continue;
+                }
+                let Ok(dst) = heap.region_of(new) else {
+                    continue;
+                };
+                if heap.region_of(old).is_err() {
+                    continue;
+                }
+                // Size from whichever copy still has a readable header
+                // (full-fallback installs forwarded the from-space one).
+                let size = if !heap.header(old).is_forwarded() {
+                    heap.object_size(old)
+                } else if !heap.header(new).is_forwarded() {
+                    heap.object_size(new)
+                } else {
+                    continue;
+                };
+                // Durable iff the install fence, the destination region's
+                // allocation metadata, and every payload line reached the
+                // medium no later than the crash instant.
+                let durable = img.as_ref().is_some_and(|img| {
+                    if heap.device_of(new) != DeviceId::Nvm {
+                        return false;
+                    }
+                    let fenced = img.meta_at(meta_key).is_some_and(|m| m <= at)
+                        && img
+                            .meta_at(oracle::region_meta_key(dst))
+                            .is_some_and(|m| m <= at);
+                    if !fenced {
+                        return false;
+                    }
+                    let base = new.raw() & !63;
+                    let lines = img.durable_lines_in(base, u64::from(size) + (new.raw() - base));
+                    let mut line_ok = |line: u64| {
+                        lines
+                            .iter()
+                            .any(|&(l, rec)| l == line && rec.first_at <= at)
+                    };
+                    classify_lines(new.raw(), size, &mut line_ok) == LineCoverage::Full
+                });
+                decisions.push(Decision {
+                    meta_key,
+                    entry_addr,
+                    old,
+                    new,
+                    size,
+                    dst,
+                    durable,
+                });
+            }
+        }
+
+        // Charge the recovery pass: the classification read of each
+        // record, then the re-evacuation of every lost copy. The
+        // simulated bytes are already in place (from-space was never
+        // mutated and the crash abort materialized discarded cache
+        // regions), so recovery re-charges the traffic and re-establishes
+        // durability — copy, region metadata, then the forwarding record,
+        // the same install order the cycle itself uses.
+        let mut now = at;
+        let (mut replayed, mut resumed) = (0u64, 0u64);
+        for d in &decisions {
+            now = match d.entry_addr {
+                Some(ea) => mem.read_bulk(DeviceId::Nvm, ea, ENTRY_BYTES, now),
+                None => mem.read_word(0, DeviceId::Nvm, d.old.raw(), now),
+            };
+            if d.durable {
+                replayed += 1;
+                continue;
+            }
+            resumed += 1;
+            let size = u64::from(d.size);
+            now = mem.read_bulk(heap.device_of(d.old), d.old.raw(), size, now);
+            now = mem.write_bulk(DeviceId::Nvm, d.new.raw(), size, now);
+            mem.persist_write_back(DeviceId::Nvm, d.new.raw(), size, now);
+            if mem.persist_enabled(DeviceId::Nvm) {
+                now = mem.persist_meta(DeviceId::Nvm, oracle::region_meta_key(d.dst), now);
+                match d.entry_addr {
+                    Some(ea) => mem.persist_write_back(DeviceId::Nvm, ea, ENTRY_BYTES, now),
+                    None => mem.persist_write_back(DeviceId::Nvm, d.old.raw(), 8, now),
+                }
+                now = mem.persist_meta(DeviceId::Nvm, d.meta_key, now);
+            } else {
+                now = mem.fence(now);
+            }
+        }
+        mem.trace_mut().span(
+            "recover",
+            TraceCat::Phase,
+            TRACK_CYCLE,
+            at,
+            now,
+            self.run_stats.cycles() as u64,
+        );
+
+        let extra_old = crash.extra_old.clone();
+        let rs = ResumeState {
+            crash,
+            replayed,
+            resumed,
+            discarded,
+            torn,
+        };
+        self.collect_with_cset(heap, mem, roots, now, &extra_old, Some(rs))
     }
 
     /// Runs a *mixed* collection (paper §2.1): a stop-the-world marking
@@ -172,7 +364,7 @@ impl G1Collector {
         let budget = (heap.old().len() / 4).max(1);
         let old_cset: Vec<RegionId> = candidates.iter().take(budget).map(|&(r, _)| r).collect();
 
-        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
+        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset, None)?;
         out.stats.mark_ns = mark.end_ns - start;
         out.stats.engine_steps += mark.steps;
         out.stats.humongous_freed = humongous_freed;
@@ -231,7 +423,7 @@ impl G1Collector {
 
         self.promo_region = None;
         let old_cset: Vec<RegionId> = heap.old().to_vec();
-        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset)?;
+        let mut out = self.collect_with_cset(heap, mem, roots, mark.end_ns, &old_cset, None)?;
         out.stats.mark_ns = mark.end_ns - start;
         out.stats.engine_steps += mark.steps;
         out.stats.humongous_freed = humongous_freed;
@@ -245,18 +437,24 @@ impl G1Collector {
         roots: &mut [Addr],
         start: Ns,
         extra_old: &[RegionId],
+        resume: Option<ResumeState>,
     ) -> Result<GcCycleOutcome, GcError> {
         let threads = self.cfg.threads.max(1);
         let cycle_idx = self.run_stats.cycles() as u64;
 
-        // --- Collection set: every young region + selected old regions. ----
-        let cset: Vec<RegionId> = heap
-            .eden()
-            .iter()
-            .chain(heap.survivor().iter())
-            .chain(extra_old.iter())
-            .copied()
-            .collect();
+        // --- Collection set: every young region + selected old regions;
+        // on resume, the crashed cycle's saved set (the abort leaves the
+        // eden/survivor lists and `in_cset` flags untouched). ------------
+        let cset: Vec<RegionId> = match &resume {
+            Some(rs) => rs.crash.cset.clone(),
+            None => heap
+                .eden()
+                .iter()
+                .chain(heap.survivor().iter())
+                .chain(extra_old.iter())
+                .copied()
+                .collect(),
+        };
         for &r in &cset {
             heap.region_mut(r).in_cset = true;
         }
@@ -264,7 +462,42 @@ impl G1Collector {
         // --- Gather initial work: roots + remembered sets / dirty cards. ---
         let mut tasks: Vec<Task> = (0..roots.len() as u32).map(Task::Root).collect();
         let mut remset_bytes = 0u64;
-        if heap.card_table().is_some() {
+        if let Some(rs) = &resume {
+            // The crashed cycle's initial work list (remsets were drained
+            // destructively, so durable mode saves it up front), plus a
+            // re-scan of every established copy and every self-forwarded
+            // object — the interrupted transitive closure completes from
+            // there. Already-processed slots point out of the collection
+            // set and filter as no-ops, so the replay is idempotent.
+            tasks = rs.crash.initial_tasks.clone();
+            let rescan = |tasks: &mut Vec<Task>, heap: &Heap, obj: Addr, n: u32| {
+                for i in 0..n {
+                    tasks.push(Task::Slot(heap.ref_slot(obj, i)));
+                }
+            };
+            if let Some(map) = self.hmap.as_ref() {
+                for (old, new) in map.snapshot() {
+                    if old != new {
+                        rescan(&mut tasks, heap, new, heap.num_refs(new));
+                    }
+                }
+            }
+            for &(old, new) in &rs.crash.full_installs {
+                if old != new {
+                    rescan(&mut tasks, heap, new, heap.num_refs(new));
+                }
+            }
+            for &(obj, hdr) in &rs.crash.self_forwarded {
+                // The live header is a self-forward; the saved original
+                // header supplies the class.
+                rescan(
+                    &mut tasks,
+                    heap,
+                    obj,
+                    heap.classes().get(hdr.class_id()).num_refs,
+                );
+            }
+        } else if heap.card_table().is_some() {
             // Card-table mode (stock PS design): one scan task per old or
             // humongous region with dirty cards. Mixed collections need
             // precise remsets, so extra_old must be empty here.
@@ -312,6 +545,10 @@ impl G1Collector {
             });
         }
 
+        // Durable mode must be able to rebuild this exact work list after
+        // a power failure (the remsets above were consumed), so the crash
+        // state keeps a copy.
+        let saved_tasks = self.cfg.durable_map_active().then(|| tasks.clone());
         let mut pool = WorkPool::new(threads);
         for (i, t) in tasks.into_iter().enumerate() {
             pool.push(i % threads, t);
@@ -346,12 +583,39 @@ impl G1Collector {
             error: None,
             self_forwarded: Vec::new(),
             retained: Vec::new(),
+            full_installs: Vec::new(),
+            crashed_at: None,
         };
+        if let Some(rs) = &resume {
+            // Re-seed the crashed cycle's carried state and counters. The
+            // power-failure observation marks the crash as *handled* — the
+            // fault matrix's silent-pass gate keys on it.
+            sh.stats.recovered_cycles = 1;
+            sh.stats.replayed_map_entries = rs.replayed;
+            sh.stats.resumed_evacuations = rs.resumed;
+            sh.self_forwarded = rs.crash.self_forwarded.clone();
+            sh.retained = rs.crash.retained.clone();
+            sh.full_installs = rs.crash.full_installs.clone();
+            sh.fault.restore_fired(&rs.crash.fired);
+            sh.fault.observations.power_failure_checks += 1;
+            sh.fault.observations.discarded_lines = rs.discarded;
+            sh.fault.observations.torn_lines = rs.torn;
+        }
 
         // --- Phase 1: copy-and-traverse. -----------------------------------
         let scan_end = engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh))?;
         if let Some(e) = sh.error.take() {
             return Err(e);
+        }
+        if sh.crashed_at.is_some() {
+            return Err(crash_abort(
+                sh,
+                &mut workers,
+                &cset,
+                extra_old,
+                start,
+                saved_tasks,
+            ));
         }
         debug_assert_eq!(sh.pool.outstanding(), 0);
         // Per-worker phase spans: each worker's final clock under the
@@ -394,6 +658,16 @@ impl G1Collector {
         if let Some(e) = sh.error.take() {
             return Err(e);
         }
+        if sh.crashed_at.is_some() {
+            return Err(crash_abort(
+                sh,
+                &mut workers,
+                &cset,
+                extra_old,
+                start,
+                saved_tasks,
+            ));
+        }
         // The cycle-end fence lands in the ADR domain: everything the
         // write-combining buffer has accepted drains to the medium before
         // mutators resume. Volatile cache lines are *not* flushed here.
@@ -403,6 +677,14 @@ impl G1Collector {
 
         // Header-map occupancy is measured before cleanup.
         sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
+
+        // The recovery oracle needs the forwarding table before phase 3
+        // zeroes it.
+        let recovery_forwards = resume.as_ref().map(|_| {
+            let mut f = self.hmap.as_ref().map_or_else(Vec::new, |m| m.snapshot());
+            f.extend_from_slice(&sh.full_installs);
+            f
+        });
 
         // --- Phase 3: header-map cleanup. -----------------------------------
         let clear_end = if let Some(map) = self.hmap.as_ref() {
@@ -420,6 +702,16 @@ impl G1Collector {
         };
         if let Some(e) = sh.error.take() {
             return Err(e);
+        }
+        if sh.crashed_at.is_some() {
+            return Err(crash_abort(
+                sh,
+                &mut workers,
+                &cset,
+                extra_old,
+                start,
+                saved_tasks,
+            ));
         }
 
         // --- Post-processing. ------------------------------------------------
@@ -444,6 +736,15 @@ impl G1Collector {
         let self_forwarded = std::mem::take(&mut sh.self_forwarded);
         for (obj, hdr) in self_forwarded {
             sh.heap.set_header(obj, hdr);
+        }
+
+        // Recovery oracle: the resumed cycle must account for every
+        // forwarding exactly once — no object lost, duplicated, or
+        // double-forwarded across the crash boundary, no survivor slot or
+        // root left pointing into an evacuated region.
+        if let Some(forwards) = &recovery_forwards {
+            oracle::check_recovery_completion(sh.heap, forwards, &cset, &sh.retained, sh.roots)
+                .map_err(GcError::Oracle)?;
         }
 
         // Free the collection set — except retained regions, which hold
@@ -513,4 +814,51 @@ impl G1Collector {
             end_ns: clear_end,
         })
     }
+}
+
+/// Aborts a durable-mode cycle at an injected power failure: all volatile
+/// collector state is thrown away and the surviving facts are packaged
+/// into a [`CrashState`] for [`G1Collector::recover_from_crash`].
+///
+/// DRAM-staged cache regions are lost at a real power failure. The
+/// simulator keeps the object graph intact by materializing each
+/// discarded pair (recovery re-charges those copies as re-evacuations);
+/// crucially, the blit leaves the NVM lines *out* of the durability
+/// ledger, so the crash image classifies them as lost.
+fn crash_abort(
+    mut sh: CycleShared<'_>,
+    workers: &mut [Worker],
+    cset: &[RegionId],
+    extra_old: &[RegionId],
+    start: Ns,
+    saved_tasks: Option<Vec<Task>>,
+) -> GcError {
+    let at_ns = sh.crashed_at.expect("crash abort without a crash");
+    for w in workers.iter_mut() {
+        if let Some((cache, _)) = w.take_cache_pair() {
+            sh.cache.note_retired(sh.heap, cache);
+        }
+        w.reset_alloc_state();
+    }
+    if let Some((cache, _)) = sh.ps_shared_cache.take() {
+        sh.cache.note_retired(sh.heap, cache);
+    }
+    let region_size = sh.heap.config().region_size as u64;
+    for (cache, nvm) in sh.cache.discard_for_crash(sh.heap) {
+        sh.heap.blit_region(cache, nvm);
+        let base = sh.heap.addr_of(cache, 0).raw();
+        sh.heap.release_region(cache);
+        sh.mem.invalidate_range(base, region_size);
+    }
+    GcError::PowerCrash(Box::new(CrashState {
+        at_ns,
+        start_ns: start,
+        cset: cset.to_vec(),
+        extra_old: extra_old.to_vec(),
+        initial_tasks: saved_tasks.unwrap_or_default(),
+        full_installs: std::mem::take(&mut sh.full_installs),
+        self_forwarded: std::mem::take(&mut sh.self_forwarded),
+        retained: std::mem::take(&mut sh.retained),
+        fired: sh.fault.fired_flags(),
+    }))
 }

@@ -32,6 +32,34 @@ pub enum PutOutcome {
     Full,
 }
 
+/// A structurally invalid install request: a null key or a null value.
+/// A zero key would read as an empty slot and a zero value would park
+/// every reader in the publish spin, so these are rejected as a typed
+/// error in release builds too (the collector surfaces them as an oracle
+/// violation) rather than silently corrupting the probe chain.
+/// Self-forwards (`old == new`) are *legal* — they are how evacuation
+/// failure pins an object in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallError {
+    /// The offending key (from-space address).
+    pub old: Addr,
+    /// The proposed forwarding target.
+    pub new: Addr,
+}
+
+/// Outcome of one structurally valid [`HeaderMap::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Put {
+    /// What Algorithm 1 decided.
+    pub outcome: PutOutcome,
+    /// Entries probed (the caller charges one access per probe).
+    pub probes: u32,
+    /// The entry index the key resolved to — durable mode keys install
+    /// persistence metadata by entry index. For [`PutOutcome::Full`] it
+    /// is the last index probed and carries no meaning.
+    pub idx: u64,
+}
+
 /// The global forwarding-pointer map.
 #[derive(Debug)]
 pub struct HeaderMap {
@@ -97,16 +125,24 @@ impl HeaderMap {
 
     /// Tries to install `old → new`, following Algorithm 1.
     ///
-    /// Returns the outcome plus the number of entries probed (the caller
-    /// charges one DRAM access per probe to the memory model).
-    pub fn put(&self, old: Addr, new: Addr) -> (PutOutcome, u32) {
-        debug_assert!(!old.is_null() && !new.is_null());
+    /// Returns the outcome, the number of entries probed (the caller
+    /// charges one access per probe to the memory model), and the entry
+    /// index the key resolved to. A null key or value is rejected as a
+    /// typed [`InstallError`] before touching the table.
+    pub fn put(&self, old: Addr, new: Addr) -> Result<Put, InstallError> {
+        if old.is_null() || new.is_null() {
+            return Err(InstallError { old, new });
+        }
         let mut idx = self.hash(old.raw());
         let mut probes = 0u32;
         loop {
             probes += 1;
             if probes > self.search_bound {
-                return (PutOutcome::Full, probes);
+                return Ok(Put {
+                    outcome: PutOutcome::Full,
+                    probes,
+                    idx,
+                });
             }
             idx = (idx + 1) & self.mask;
             let slot = &self.keys[idx as usize];
@@ -120,12 +156,20 @@ impl HeaderMap {
                 match slot.compare_exchange(0, old.raw(), Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => {
                         self.values[idx as usize].store(new.raw(), Ordering::Release);
-                        return (PutOutcome::Installed, probes);
+                        return Ok(Put {
+                            outcome: PutOutcome::Installed,
+                            probes,
+                            idx,
+                        });
                     }
                     Err(winner) if winner == old.raw() => {
                         // Lost the race for our own key: wait for the value.
                         let v = self.spin_value(idx as usize);
-                        return (PutOutcome::Existing(Addr(v)), probes);
+                        return Ok(Put {
+                            outcome: PutOutcome::Existing(Addr(v)),
+                            probes,
+                            idx,
+                        });
                     }
                     Err(_) => {
                         // Someone claimed it for a different object.
@@ -135,7 +179,11 @@ impl HeaderMap {
             } else {
                 // Key already present: wait for / read the value.
                 let v = self.spin_value(idx as usize);
-                return (PutOutcome::Existing(Addr(v)), probes);
+                return Ok(Put {
+                    outcome: PutOutcome::Existing(Addr(v)),
+                    probes,
+                    idx,
+                });
             }
         }
     }
@@ -203,6 +251,17 @@ impl HeaderMap {
     /// diagnostic view for the crash-point oracle, not a synchronization
     /// point. Linear scan; never used on hot paths.
     pub fn snapshot(&self) -> Vec<(Addr, Addr)> {
+        self.snapshot_indexed()
+            .into_iter()
+            .map(|(_, k, v)| (k, v))
+            .collect()
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but carrying each pair's entry
+    /// index — durable-mode recovery matches entries against install
+    /// metadata keyed by index to decide which pairs are in the crash
+    /// image's durable prefix.
+    pub fn snapshot_indexed(&self) -> Vec<(u64, Addr, Addr)> {
         let mut pairs = Vec::new();
         for i in 0..self.keys.len() {
             let k = self.keys[i].load(Ordering::Acquire);
@@ -211,7 +270,7 @@ impl HeaderMap {
             }
             let v = self.values[i].load(Ordering::Acquire);
             if v != 0 {
-                pairs.push((Addr(k), Addr(v)));
+                pairs.push((i as u64, Addr(k), Addr(v)));
             }
         }
         pairs
@@ -229,17 +288,30 @@ mod tests {
     #[test]
     fn put_then_get_roundtrips() {
         let m = HeaderMap::new(1 << 12, 16);
-        let (o, p) = m.put(addr(1), addr(2));
-        assert_eq!(o, PutOutcome::Installed);
-        assert!(p >= 1);
+        let r = m.put(addr(1), addr(2)).expect("valid install");
+        assert_eq!(r.outcome, PutOutcome::Installed);
+        assert!(r.probes >= 1);
         let (got, _) = m.get(addr(1));
         assert_eq!(got, Some(addr(2)));
     }
 
     #[test]
+    fn null_installs_are_typed_errors_but_self_forwards_are_legal() {
+        let m = HeaderMap::new(1 << 12, 16);
+        let null = Addr(0);
+        assert!(m.put(null, addr(2)).is_err(), "null key rejected");
+        assert!(m.put(addr(1), null).is_err(), "null value rejected");
+        assert_eq!(m.occupancy(), 0, "rejected installs touch nothing");
+        // Evacuation failure pins an object by forwarding it to itself.
+        let r = m.put(addr(1), addr(1)).expect("self-forward is legal");
+        assert_eq!(r.outcome, PutOutcome::Installed);
+        assert_eq!(m.get(addr(1)).0, Some(addr(1)));
+    }
+
+    #[test]
     fn get_of_absent_key_returns_none() {
         let m = HeaderMap::new(1 << 12, 16);
-        m.put(addr(1), addr(2));
+        m.put(addr(1), addr(2)).unwrap();
         let (got, _) = m.get(addr(99));
         assert_eq!(got, None);
     }
@@ -247,9 +319,14 @@ mod tests {
     #[test]
     fn duplicate_put_returns_existing_value() {
         let m = HeaderMap::new(1 << 12, 16);
-        m.put(addr(1), addr(2));
-        let (o, _) = m.put(addr(1), addr(3));
-        assert_eq!(o, PutOutcome::Existing(addr(2)), "first install wins");
+        let first = m.put(addr(1), addr(2)).unwrap();
+        let second = m.put(addr(1), addr(3)).unwrap();
+        assert_eq!(
+            second.outcome,
+            PutOutcome::Existing(addr(2)),
+            "first install wins"
+        );
+        assert_eq!(second.idx, first.idx, "both resolve to the same entry");
     }
 
     #[test]
@@ -259,7 +336,7 @@ mod tests {
         assert_eq!(m.capacity(), 8);
         let mut fulls = 0;
         for i in 1..=64 {
-            if let (PutOutcome::Full, _) = m.put(addr(i), addr(i + 1000)) {
+            if m.put(addr(i), addr(i + 1000)).unwrap().outcome == PutOutcome::Full {
                 fulls += 1;
             }
         }
@@ -271,7 +348,7 @@ mod tests {
     fn probes_bounded_by_search_bound() {
         let m = HeaderMap::new(0, 4);
         for i in 1..=64 {
-            let (_, p) = m.put(addr(i), addr(i + 1000));
+            let p = m.put(addr(i), addr(i + 1000)).unwrap().probes;
             assert!(p <= 5, "probes {p} exceed bound+1");
             let (_, p) = m.get(addr(i));
             assert!(p <= 5);
@@ -282,7 +359,7 @@ mod tests {
     fn clear_range_empties_entries() {
         let m = HeaderMap::new(1 << 12, 16);
         for i in 1..=32 {
-            m.put(addr(i), addr(i + 1000));
+            m.put(addr(i), addr(i + 1000)).unwrap();
         }
         assert_eq!(m.occupancy(), 32);
         let cap = m.capacity();
@@ -296,11 +373,18 @@ mod tests {
     #[test]
     fn snapshot_returns_installed_pairs() {
         let m = HeaderMap::new(1 << 12, 16);
-        m.put(addr(1), addr(101));
-        m.put(addr(2), addr(102));
+        let r1 = m.put(addr(1), addr(101)).unwrap();
+        let r2 = m.put(addr(2), addr(102)).unwrap();
         let mut snap = m.snapshot();
         snap.sort();
         assert_eq!(snap, vec![(addr(1), addr(101)), (addr(2), addr(102))]);
+        let indexed = m.snapshot_indexed();
+        assert_eq!(indexed.len(), 2);
+        for &(idx, k, v) in &indexed {
+            let want = if k == addr(1) { r1.idx } else { r2.idx };
+            assert_eq!(idx, want, "index matches what put resolved");
+            assert_eq!(v.raw(), k.raw() + 100 * 8);
+        }
     }
 
     #[test]
@@ -325,7 +409,7 @@ mod tests {
                             .map(|&k| {
                                 // Each thread proposes its own value.
                                 let mine = Addr(k.raw() + 1_000_000 + t as u64 * 8);
-                                match m.put(k, mine).0 {
+                                match m.put(k, mine).expect("valid install").outcome {
                                     PutOutcome::Installed => Some(mine),
                                     PutOutcome::Existing(v) => Some(v),
                                     PutOutcome::Full => None,

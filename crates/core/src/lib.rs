@@ -100,6 +100,7 @@ pub mod header_map;
 pub mod marking;
 pub mod oracle;
 pub mod ps;
+pub mod recovery;
 pub mod stack;
 pub mod stats;
 pub mod write_cache;
@@ -108,9 +109,11 @@ pub use config::{CollectorKind, GcConfig, HeaderMapConfig, Traversal, WriteCache
 pub use error::{EngineError, GcError};
 pub use fault::{FaultPlan, FaultState, GcFault, GcFaultObservations, GcFaultPlan, Severity};
 pub use g1::{G1Collector, GcCycleOutcome};
-pub use header_map::{HeaderMap, PutOutcome};
+pub use header_map::{HeaderMap, InstallError, Put, PutOutcome};
 pub use oracle::{
-    check_crash_point, check_power_failure, region_meta_key, OracleViolation, PowerFailureReport,
+    check_crash_point, check_power_failure, check_recovery_completion, header_meta_key,
+    map_entry_meta_key, region_meta_key, OracleViolation, PowerFailureReport,
 };
+pub use recovery::CrashState;
 pub use stats::{GcPhaseTimes, GcStats};
 pub use write_cache::WriteCachePool;

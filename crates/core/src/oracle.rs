@@ -31,7 +31,7 @@ use crate::header_map::HeaderMap;
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::verify::LineCoverage;
 use nvmgc_heap::{Addr, Header, Heap, RegionId, RegionKind};
-use nvmgc_memsim::{DeviceId, MemorySystem};
+use nvmgc_memsim::{DeviceId, FxHashSet, MemorySystem};
 use std::fmt;
 
 /// A recoverability invariant the oracle found violated.
@@ -80,6 +80,28 @@ pub enum OracleViolation {
         /// Which part of the invariant failed.
         reason: &'static str,
     },
+    /// A structurally invalid header-map install (null key or value)
+    /// reached the collector's install path. Promoted from a
+    /// `debug_assert!` so double-install/foreign-key publishes surface as
+    /// typed errors in release builds too.
+    HeaderMapInstall {
+        /// The offending key (from-space address).
+        old: Addr,
+        /// The proposed forwarding target.
+        new: Addr,
+    },
+    /// After crash recovery resumed and completed an evacuation, the
+    /// forwarding tables are inconsistent across the crash boundary: an
+    /// object was lost, duplicated, or double-forwarded.
+    RecoveryCompletion {
+        /// The forwarding source involved (null when the violation is a
+        /// dangling reference rather than a bad forwarding pair).
+        old: Addr,
+        /// The forwarding target (or offending reference) involved.
+        new: Addr,
+        /// Which completion invariant failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for OracleViolation {
@@ -108,6 +130,18 @@ impl fmt::Display for OracleViolation {
             OracleViolation::MetaOrdering { region, reason } => {
                 write!(f, "persistence meta-ordering for region {region}: {reason}")
             }
+            OracleViolation::HeaderMapInstall { old, new } => write!(
+                f,
+                "structurally invalid header-map install {:#x} -> {:#x} (null key or value)",
+                old.raw(),
+                new.raw()
+            ),
+            OracleViolation::RecoveryCompletion { old, new, reason } => write!(
+                f,
+                "recovery completion violated for {:#x} -> {:#x}: {reason}",
+                old.raw(),
+                new.raw()
+            ),
         }
     }
 }
@@ -199,6 +233,24 @@ pub fn check_crash_point(
 /// heap address, one slot per region.
 pub fn region_meta_key(region: RegionId) -> u64 {
     0x7000_0000_0000_0000 | (u64::from(region) << 6)
+}
+
+/// The durability-ledger metadata key under which a durable-mode
+/// header-map install at entry `idx` records its persistence fence (key
+/// CAS → value publish → fence). Disjoint from [`region_meta_key`]'s
+/// range; one slot per map entry.
+pub fn map_entry_meta_key(idx: u64) -> u64 {
+    0x7400_0000_0000_0000 | (idx << 6)
+}
+
+/// The durability-ledger metadata key for a durable-mode forwarding
+/// install that overflowed the map into the NVM header of `obj`
+/// ([`PutOutcome::Full`] fallback). Disjoint from the other metadata
+/// ranges; keyed by the from-space address.
+///
+/// [`PutOutcome::Full`]: crate::header_map::PutOutcome::Full
+pub fn header_meta_key(obj: Addr) -> u64 {
+    0x7800_0000_0000_0000 | obj.raw()
 }
 
 /// What a power-failure oracle check observed (returned on success so
@@ -339,6 +391,118 @@ pub fn check_power_failure(
     Ok(Some(report))
 }
 
+/// Asserts the forwarding tables are consistent after a crashed
+/// evacuation was recovered and resumed to completion — run by the
+/// resumed cycle's post-processing, before the collection set is freed:
+///
+/// 1. **No double-forward**: each from-space source appears exactly once
+///    across the header map and the NVM-header fallback installs.
+/// 2. **Sources in, targets out**: every source lies in the collection
+///    set; every moved target lies outside it; every self-forward's
+///    region is in the retained set.
+/// 3. **No duplication**: no two sources forward to the same target.
+/// 4. **No object lost**: no root and no reference slot of any completed
+///    copy still points into an evacuated (non-retained) cset region.
+pub fn check_recovery_completion(
+    heap: &Heap,
+    forwards: &[(Addr, Addr)],
+    cset: &[RegionId],
+    retained: &[RegionId],
+    roots: &[Addr],
+) -> Result<(), OracleViolation> {
+    let in_cset: FxHashSet<RegionId> = cset.iter().copied().collect();
+    let kept: FxHashSet<RegionId> = retained.iter().copied().collect();
+    let evacuated = |r: RegionId| in_cset.contains(&r) && !kept.contains(&r);
+    let mut sources: FxHashSet<u64> = FxHashSet::default();
+    let mut targets: FxHashSet<u64> = FxHashSet::default();
+    for &(old, new) in forwards {
+        if !sources.insert(old.raw()) {
+            return Err(OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "source forwarded more than once across the crash boundary",
+            });
+        }
+        let src = heap
+            .region_of(old)
+            .map_err(|_| OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "source address outside the heap",
+            })?;
+        if !in_cset.contains(&src) {
+            return Err(OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "source region not in the collection set",
+            });
+        }
+        if old == new {
+            if !kept.contains(&src) {
+                return Err(OracleViolation::RecoveryCompletion {
+                    old,
+                    new,
+                    reason: "self-forward in an unretained region",
+                });
+            }
+            continue;
+        }
+        if !targets.insert(new.raw()) {
+            return Err(OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "two sources forwarded to one target (object duplicated)",
+            });
+        }
+        let dst = heap
+            .region_of(new)
+            .map_err(|_| OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "target address outside the heap",
+            })?;
+        if in_cset.contains(&dst) {
+            return Err(OracleViolation::RecoveryCompletion {
+                old,
+                new,
+                reason: "target still inside the collection set",
+            });
+        }
+        // The evacuation is only complete if the copy's own references
+        // were processed too.
+        for i in 0..heap.num_refs(new) {
+            let child = heap.read_ref(heap.ref_slot(new, i));
+            if child.is_null() {
+                continue;
+            }
+            if let Ok(cr) = heap.region_of(child) {
+                if evacuated(cr) {
+                    return Err(OracleViolation::RecoveryCompletion {
+                        old,
+                        new: child,
+                        reason: "completed copy still references an evacuated region (object lost)",
+                    });
+                }
+            }
+        }
+    }
+    for &root in roots {
+        if root.is_null() {
+            continue;
+        }
+        if let Ok(r) = heap.region_of(root) {
+            if evacuated(r) {
+                return Err(OracleViolation::RecoveryCompletion {
+                    old: Addr::NULL,
+                    new: root,
+                    reason: "root still points into an evacuated region (object lost)",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,7 +542,7 @@ mod tests {
         let obj = h.alloc_object(eden, 0).unwrap();
         let copy = h.alloc_object(surv, 0).unwrap();
         let map = HeaderMap::new(1 << 12, 16);
-        map.put(obj, copy);
+        map.put(obj, copy).unwrap();
         // Eden region deliberately NOT marked in_cset.
         let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
         assert!(matches!(err, OracleViolation::StaleForwarding { .. }));
@@ -397,7 +561,7 @@ mod tests {
         h.region_mut(eden).in_cset = true;
         h.region_mut(eden2).in_cset = true;
         let map = HeaderMap::new(1 << 12, 16);
-        map.put(obj, dst);
+        map.put(obj, dst).unwrap();
         let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
         assert!(
             matches!(err, OracleViolation::StaleForwarding { reason, .. }
@@ -413,7 +577,7 @@ mod tests {
         let obj = h.alloc_object(eden, 0).unwrap();
         h.region_mut(eden).in_cset = true;
         let map = HeaderMap::new(1 << 12, 16);
-        map.put(obj, obj);
+        map.put(obj, obj).unwrap();
         let err = check_crash_point(&h, Some(&map), &no_cache(), &[], &[]).unwrap_err();
         assert!(matches!(err, OracleViolation::StaleForwarding { .. }));
         assert!(check_crash_point(&h, Some(&map), &no_cache(), &[], &[eden]).is_ok());
@@ -431,6 +595,53 @@ mod tests {
             OracleViolation::UnretainedSelfForward { obj, region: eden }
         );
         assert!(check_crash_point(&h, None, &no_cache(), &[(obj, hdr)], &[eden]).is_ok());
+    }
+
+    #[test]
+    fn recovery_completion_catches_double_forward_duplication_and_loss() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let surv = h.take_region(RegionKind::Survivor).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        let obj2 = h.alloc_object(eden, 0).unwrap();
+        let copy = h.alloc_object(surv, 0).unwrap();
+        h.region_mut(eden).in_cset = true;
+        let fwd = [(obj, copy)];
+        assert!(check_recovery_completion(&h, &fwd, &[eden], &[], &[copy]).is_ok());
+        // The same source forwarded twice across the crash boundary.
+        let dup = [(obj, copy), (obj, copy)];
+        assert!(check_recovery_completion(&h, &dup, &[eden], &[], &[]).is_err());
+        // Two sources sharing one target duplicates the object.
+        let shared = [(obj, copy), (obj2, copy)];
+        assert!(check_recovery_completion(&h, &shared, &[eden], &[], &[]).is_err());
+        // A root left pointing into the evacuated region loses its object.
+        let err = check_recovery_completion(&h, &fwd, &[eden], &[], &[obj]).unwrap_err();
+        assert!(
+            matches!(err, OracleViolation::RecoveryCompletion { reason, .. }
+                if reason.contains("root")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recovery_completion_requires_retained_self_forwards() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let obj = h.alloc_object(eden, 0).unwrap();
+        h.region_mut(eden).in_cset = true;
+        let fwd = [(obj, obj)];
+        assert!(check_recovery_completion(&h, &fwd, &[eden], &[], &[]).is_err());
+        // Retaining the region legalizes both the self-forward and roots
+        // that still point at it.
+        assert!(check_recovery_completion(&h, &fwd, &[eden], &[eden], &[obj]).is_ok());
+    }
+
+    #[test]
+    fn meta_key_ranges_are_disjoint() {
+        let r = region_meta_key(u32::MAX);
+        let m = map_entry_meta_key(1 << 40);
+        let o = header_meta_key(Addr(0x7f_ffff_ffff));
+        assert!(r < m && m < o, "{r:#x} {m:#x} {o:#x}");
     }
 
     #[test]

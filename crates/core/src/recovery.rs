@@ -1,0 +1,81 @@
+//! Crash state captured when a power failure interrupts a durable-mode
+//! evacuation.
+//!
+//! In durable header-map mode every forwarding-pointer install is
+//! persistence-fenced (key CAS → value publish → fence — the
+//! durable-linearizable order of Sela & Petrank), so the NVM crash image
+//! taken at the failure instant contains a *well-defined durable prefix*
+//! of the forwarding table. When the collector detects the failure it
+//! aborts the cycle before any post-processing, packages everything the
+//! resumed cycle needs into a [`CrashState`], and returns it inside
+//! [`GcError::PowerCrash`](crate::error::GcError). The runner hands the
+//! state to [`recover_from_crash`], which replays the durable prefix,
+//! re-evacuates the torn/undurable objects from intact from-space, and
+//! re-runs the interrupted cycle to completion.
+//!
+//! [`recover_from_crash`]: crate::g1::G1Collector::recover_from_crash
+
+use crate::stack::Task;
+use nvmgc_heap::{Addr, Header, RegionId};
+use nvmgc_memsim::Ns;
+
+/// Everything a crashed evacuation cycle leaves behind for recovery.
+///
+/// The state is deliberately *replayable* rather than minimal: the
+/// initial task list is the saved pre-crash snapshot (remembered sets are
+/// drained destructively at cycle start, so it cannot be rebuilt), and
+/// re-running it is idempotent — slots already processed before the crash
+/// now point out of the collection set and are filtered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashState {
+    /// Simulated instant the power failure fired, ns. Durability is
+    /// judged against this clock: ledger entries whose watermark is later
+    /// are phantoms of workers that had not yet observed the crash.
+    pub at_ns: Ns,
+    /// When the interrupted cycle started, ns.
+    pub start_ns: Ns,
+    /// The interrupted cycle's collection set (its regions still carry
+    /// their in-cset flags; from-space is intact).
+    pub cset: Vec<RegionId>,
+    /// The old-generation members of the cset (a mixed collection's
+    /// garbage-first picks), needed to rebuild per-cycle statistics.
+    pub extra_old: Vec<RegionId>,
+    /// The cycle's initial root/remset/card tasks, saved before the work
+    /// pool consumed them.
+    pub initial_tasks: Vec<Task>,
+    /// Forwarding installs that overflowed the map into NVM headers
+    /// (`old → new`); durable mode fences these too, so recovery
+    /// classifies them exactly like map entries.
+    pub full_installs: Vec<(Addr, Addr)>,
+    /// Objects self-forwarded by evacuation failure before the crash,
+    /// with their saved pre-install headers (restored by the resumed
+    /// cycle's post-processing, never by the crashed one).
+    pub self_forwarded: Vec<(Addr, Header)>,
+    /// Regions retained by evacuation failure before the crash.
+    pub retained: Vec<RegionId>,
+    /// Which one-shot fault events had fired, so the resumed cycle does
+    /// not re-fire the same power failure.
+    pub fired: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_state_is_comparable_and_clonable() {
+        let a = CrashState {
+            at_ns: 100,
+            start_ns: 10,
+            cset: vec![1, 2],
+            extra_old: vec![2],
+            initial_tasks: vec![Task::Root(0)],
+            full_installs: vec![(Addr(8), Addr(16))],
+            self_forwarded: vec![(Addr(24), Header(7))],
+            retained: vec![1],
+            fired: vec![true, false],
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

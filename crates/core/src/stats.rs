@@ -87,6 +87,16 @@ pub struct GcStats {
     /// Injected-fault events the collector absorbed this cycle (all zero
     /// when no fault plan is configured).
     pub fault_events: GcFaultObservations,
+    /// 1 if this cycle is the resumed completion of a crashed durable-mode
+    /// evacuation (0 otherwise; summed across a run).
+    pub recovered_cycles: u64,
+    /// Forwarded objects whose copy or install missed the crash image's
+    /// durable prefix and were re-evacuated from intact from-space during
+    /// recovery.
+    pub resumed_evacuations: u64,
+    /// Forwarding entries (map entries and fenced NVM-header fallbacks)
+    /// found inside the durable prefix and replayed as-is.
+    pub replayed_map_entries: u64,
 }
 
 impl GcStats {

@@ -271,6 +271,28 @@ impl WriteCachePool {
         self.active.clone()
     }
 
+    /// Crash abort: returns every still-unflushed cache region with its
+    /// mapped NVM twin and clears all pool state, bypassing the
+    /// drain-order and double-flush gates — the cycle is aborting into
+    /// crash recovery, not completing, and the caller materializes each
+    /// pair (the simulator's stand-in for re-copying from intact
+    /// from-space) and releases the DRAM region. Regions whose counters
+    /// were mid-update (pending slots, open LABs, stolen) are discarded
+    /// like any other: none of that transient state survives a power
+    /// failure.
+    pub fn discard_for_crash(&mut self, heap: &Heap) -> Vec<(RegionId, RegionId)> {
+        let pairs = self
+            .active
+            .iter()
+            .filter_map(|&c| heap.region(c).mapped_to.map(|n| (c, n)))
+            .collect();
+        self.active.clear();
+        self.ready.clear();
+        self.retired.clear();
+        self.bytes_in_use = 0;
+        pairs
+    }
+
     /// Crash-point oracle hook: verifies that every region queued for
     /// asynchronous flushing is actually drainable, and that the DRAM
     /// budget accounting matches the active set. Returns the offending
@@ -453,6 +475,25 @@ mod tests {
         p.note_retired(&h, c);
         p.note_slot_done(&mut h, c).unwrap();
         assert!(!p.has_ready());
+    }
+
+    #[test]
+    fn crash_discard_clears_all_pool_state() {
+        let mut h = heap();
+        let mut p = WriteCachePool::new(cfg(1 << 20, true));
+        let (c1, n1) = p.alloc_pair(&mut h).unwrap();
+        let (c2, n2) = p.alloc_pair(&mut h).unwrap();
+        h.region_mut(c1).pending_slots = 3; // transient mid-scan state
+        p.note_retired(&h, c2);
+        let mut pairs = p.discard_for_crash(&h);
+        pairs.sort_unstable();
+        let mut want = vec![(c1, n1), (c2, n2)];
+        want.sort_unstable();
+        assert_eq!(pairs, want);
+        assert_eq!(p.bytes_in_use(), 0);
+        assert!(!p.has_ready());
+        assert!(p.unflushed().is_empty());
+        assert!(p.check_drain_order(&h).is_ok());
     }
 
     #[test]

@@ -200,7 +200,7 @@ proptest! {
             let k = Addr(key * 8);
             let v = Addr(0x10_0000 + val * 8);
             if is_put {
-                match map.put(k, v).0 {
+                match map.put(k, v).expect("non-null installs").outcome {
                     PutOutcome::Installed => {
                         // The model must not already contain the key.
                         prop_assert!(!model.contains_key(&k.raw()));

@@ -51,7 +51,7 @@
 
 use crate::fault::{splitmix64, FaultWindow};
 use crate::{Ns, CACHE_LINE};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -327,20 +327,18 @@ impl LineSet {
         self.len -= removed;
     }
 
-    /// Member lines in ascending address order.
-    fn to_set(&self) -> BTreeSet<u64> {
-        let mut out = BTreeSet::new();
+    /// Calls `f` for every member line, ascending by address.
+    fn for_each(&self, mut f: impl FnMut(u64)) {
         for (pi, p) in self.pages.pages() {
             for (w, &word) in p.bits.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
                     let b = bits.trailing_zeros() as u64;
                     bits &= bits - 1;
-                    out.insert(((pi << (PAGE_SHIFT - 6)) | ((w as u64) << 6) | b) << 6);
+                    f(((pi << (PAGE_SHIFT - 6)) | ((w as u64) << 6) | b) << 6);
                 }
             }
         }
-        out
     }
 }
 
@@ -470,20 +468,25 @@ impl DurableMap {
         );
     }
 
-    /// Member lines in ascending address order.
-    fn to_set(&self) -> BTreeSet<u64> {
-        let mut out = BTreeSet::new();
+    /// Calls `f` for every recorded line (ascending) with its record.
+    fn for_each(&self, mut f: impl FnMut(u64, LineRec)) {
         for (pi, p) in self.pages.pages() {
             for (w, &word) in p.present.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
                     let b = bits.trailing_zeros() as u64;
                     bits &= bits - 1;
-                    out.insert(((pi << (PAGE_SHIFT - 6)) | ((w as u64) << 6) | b) << 6);
+                    let local = (w as u64) << 6 | b;
+                    f(
+                        ((pi << (PAGE_SHIFT - 6)) | local) << 6,
+                        LineRec {
+                            first_at: p.first_at[local as usize],
+                            via_nt: p.nt[w] & (1u64 << b) != 0,
+                        },
+                    );
                 }
             }
         }
-        out
     }
 }
 
@@ -907,14 +910,39 @@ impl DurabilityLedger {
         self.ever_accepted.clear_range(start, end);
     }
 
-    /// The set of durable line addresses (ever-drained lines).
-    pub fn durable_set(&self) -> BTreeSet<u64> {
-        self.durable.to_set()
+    /// Number of durable (ever-drained) lines. O(1): the paged tables
+    /// keep a running count, so oracles can poll this every check
+    /// without materializing a set.
+    pub fn durable_len(&self) -> u64 {
+        self.durable.len()
     }
 
-    /// Every line ever accepted by the device buffer.
-    pub fn ever_accepted(&self) -> BTreeSet<u64> {
-        self.ever_accepted.to_set()
+    /// Whether the line containing `addr` has ever drained to media.
+    pub fn durable_contains(&self, addr: u64) -> bool {
+        self.durable.contains(Self::line_of(addr))
+    }
+
+    /// Calls `f` for every durable line (ascending by address) with its
+    /// first-drain record. Iteration walks the paged bitmaps in place —
+    /// no per-check `BTreeSet` clone.
+    pub fn for_each_durable(&self, f: impl FnMut(u64, LineRec)) {
+        self.durable.for_each(f)
+    }
+
+    /// Number of lines ever accepted by the device buffer.
+    pub fn ever_accepted_len(&self) -> u64 {
+        self.ever_accepted.len()
+    }
+
+    /// Whether the line containing `addr` was ever accepted by the
+    /// device buffer.
+    pub fn ever_accepted_contains(&self, addr: u64) -> bool {
+        self.ever_accepted.contains(Self::line_of(addr))
+    }
+
+    /// Calls `f` for every ever-accepted line, ascending by address.
+    pub fn for_each_ever_accepted(&self, f: impl FnMut(u64)) {
+        self.ever_accepted.for_each(f)
     }
 
     /// Lines currently buffered (volatile or accepted), i.e. written
@@ -1121,29 +1149,29 @@ mod tests {
         let mut l = small();
         l.record_store(0x1000, 64, 10);
         assert_eq!(l.pending_lines(), 1);
-        assert!(l.durable_set().is_empty());
-        assert!(l.ever_accepted().is_empty());
+        assert_eq!(l.durable_len(), 0);
+        assert_eq!(l.ever_accepted_len(), 0);
         // Fill past the volatile capacity: the oldest line is accepted.
         for i in 1..=4u64 {
             l.record_store(0x1000 + i * 0x1000, 64, 10 + i);
         }
         assert_eq!(l.stats().evictions, 1);
-        assert!(l.ever_accepted().contains(&0x1000));
+        assert!(l.ever_accepted_contains(0x1000));
     }
 
     #[test]
     fn nt_stores_bypass_the_volatile_path() {
         let mut l = small();
         l.record_nt_store(0x2000, 256, 5);
-        assert_eq!(l.ever_accepted().len(), 4);
+        assert_eq!(l.ever_accepted_len(), 4);
         assert_eq!(l.stats().evictions, 0);
         // One XPLine buffered, capacity 2: nothing drained yet.
-        assert!(l.durable_set().is_empty());
+        assert_eq!(l.durable_len(), 0);
         l.record_nt_store(0x3000, 256, 6);
         l.record_nt_store(0x4000, 256, 7);
         // Third XPLine exceeds capacity: one drains.
         assert_eq!(l.stats().drained_xplines, 1);
-        assert_eq!(l.durable_set().len(), 4);
+        assert_eq!(l.durable_len(), 4);
     }
 
     #[test]
@@ -1151,11 +1179,11 @@ mod tests {
         let mut l = small();
         l.record_store(0x1000, 128, 1);
         l.write_back(0x1000, 64, 2);
-        assert!(l.ever_accepted().contains(&0x1000));
-        assert!(!l.ever_accepted().contains(&0x1040));
+        assert!(l.ever_accepted_contains(0x1000));
+        assert!(!l.ever_accepted_contains(0x1040));
         // Write-back of an unwritten range is a no-op.
         l.write_back(0x9000, 4096, 3);
-        assert_eq!(l.ever_accepted().len(), 1);
+        assert_eq!(l.ever_accepted_len(), 1);
     }
 
     #[test]
@@ -1164,9 +1192,8 @@ mod tests {
         l.record_nt_store(0x2000, 512, 5);
         l.record_store(0x8000, 64, 6);
         l.drain_all(7);
-        let durable = l.durable_set();
-        assert_eq!(durable.len(), 8, "all NT lines durable");
-        assert!(!durable.contains(&0x8000), "volatile line unaffected");
+        assert_eq!(l.durable_len(), 8, "all NT lines durable");
+        assert!(!l.durable_contains(0x8000), "volatile line unaffected");
     }
 
     #[test]
@@ -1174,7 +1201,7 @@ mod tests {
         let mut l = small();
         l.record_nt_store(0x2000, 256, 1);
         l.drain_all(2);
-        assert!(l.durable_set().contains(&0x2000));
+        assert!(l.durable_contains(0x2000));
         // Re-store the line: it re-enters the volatile path but the
         // medium still holds the old version.
         l.record_store(0x2000, 64, 3);
@@ -1204,7 +1231,7 @@ mod tests {
         assert_eq!(a, b);
         // And the ledger still drains as if never observed.
         l.drain_all(7);
-        assert_eq!(l.durable_set().len(), 16);
+        assert_eq!(l.durable_len(), 16);
     }
 
     #[test]
@@ -1226,8 +1253,8 @@ mod tests {
         l.drain_all(2);
         l.record_store(0x2000, 64, 3);
         l.forget_range(0x2000, 256);
-        assert!(l.durable_set().is_empty());
-        assert!(l.ever_accepted().is_empty());
+        assert_eq!(l.durable_len(), 0);
+        assert_eq!(l.ever_accepted_len(), 0);
         assert_eq!(l.pending_lines(), 0);
         let img = l.crash_image();
         assert_eq!(img.discarded_lines, 0);
@@ -1240,7 +1267,7 @@ mod tests {
         l.set_stall_windows(vec![FaultWindow { start: 0, end: 100 }]);
         l.record_nt_store(0x2000, 1024, 5); // 4 XPLines > capacity 2
         assert!(l.stats().wc_drain_stalls > 0);
-        assert!(l.durable_set().is_empty(), "stall blocked every drain");
+        assert_eq!(l.durable_len(), 0, "stall blocked every drain");
         // Past the window, the next accept drains the backlog.
         l.record_nt_store(0x8000, 256, 200);
         assert!(l.stats().drained_xplines > 0);
@@ -1287,11 +1314,11 @@ mod tests {
         let mut l = small();
         l.record_nt_store(far, 256, 1);
         l.drain_all(2);
-        assert!(l.durable_set().contains(&far));
+        assert!(l.durable_contains(far));
         let img = l.crash_image();
         assert!(img.line_durable(far));
         l.forget_range(far, 256);
-        assert!(l.durable_set().is_empty());
-        assert!(l.ever_accepted().is_empty());
+        assert_eq!(l.durable_len(), 0);
+        assert_eq!(l.ever_accepted_len(), 0);
     }
 }

@@ -16,6 +16,26 @@ use nvmgc_memsim::{DurabilityLedger, PersistConfig, CACHE_LINE};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
+/// Durable lines collected through the ledger's iteration API (the
+/// `BTreeSet`-cloning accessor is gone; tests materialize sets only
+/// where they genuinely need set algebra).
+fn durable_lines(l: &DurabilityLedger) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    l.for_each_durable(|line, _| {
+        out.insert(line);
+    });
+    out
+}
+
+/// Ever-accepted lines collected through the iteration API.
+fn accepted_lines(l: &DurabilityLedger) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    l.for_each_ever_accepted(|line| {
+        out.insert(line);
+    });
+    out
+}
+
 /// One ledger operation: discriminant, address, length.
 type Op = (u8, u64, u64);
 
@@ -79,10 +99,12 @@ proptest! {
         let mut prev: BTreeSet<u64> = BTreeSet::new();
         for (i, &op) in ops.iter().enumerate() {
             apply(&mut l, op, (i as u64 + 1) * 100);
-            let cur = l.durable_set();
+            let cur = durable_lines(&l);
+            prop_assert_eq!(cur.len() as u64, l.durable_len(), "count tracks iteration");
             prop_assert!(
                 prev.is_subset(&cur),
-                "durable line vanished at op {i}: {:?}",
+                "durable line vanished at op {}: {:?}",
+                i,
                 prev.difference(&cur).collect::<Vec<_>>()
             );
             let img = l.crash_image();
@@ -124,10 +146,20 @@ proptest! {
         let mut written: BTreeSet<u64> = BTreeSet::new();
         for (i, &op) in ops.iter().enumerate() {
             written.extend(apply(&mut l, op, (i as u64 + 1) * 100));
-            let durable = l.durable_set();
-            let accepted = l.ever_accepted();
-            prop_assert!(durable.is_subset(&accepted), "durable line never accepted");
-            prop_assert!(accepted.is_subset(&written), "accepted line never written");
+            let mut durable_never_accepted = None;
+            l.for_each_durable(|line, _| {
+                if !l.ever_accepted_contains(line) {
+                    durable_never_accepted.get_or_insert(line);
+                }
+            });
+            prop_assert_eq!(durable_never_accepted, None, "durable line never accepted");
+            let mut accepted_never_written = None;
+            l.for_each_ever_accepted(|line| {
+                if !written.contains(&line) {
+                    accepted_never_written.get_or_insert(line);
+                }
+            });
+            prop_assert_eq!(accepted_never_written, None, "accepted line never written");
         }
     }
 
@@ -144,8 +176,9 @@ proptest! {
             apply(&mut l, op, (i as u64 + 1) * 100);
         }
         l.drain_all(1_000_000);
-        let durable = l.durable_set();
-        prop_assert_eq!(&durable, &l.ever_accepted());
+        let durable = durable_lines(&l);
+        prop_assert_eq!(&durable, &accepted_lines(&l));
+        prop_assert_eq!(l.durable_len(), l.ever_accepted_len());
         let img = l.crash_image();
         prop_assert_eq!(img.torn_lines, 0, "nothing left to tear after a fence");
         for &a in &durable {

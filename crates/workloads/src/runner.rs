@@ -269,6 +269,11 @@ pub struct AppRunResult {
     /// Pre/post graph-digest comparisons performed (fault runs only;
     /// every one of them matched, or the run would have errored).
     pub digest_checks: usize,
+    /// Address-independent digest of the final reachable object graph.
+    /// Two same-seed runs must agree on it regardless of fault plan,
+    /// collector configuration, or crash recovery — the recovery tests
+    /// compare a crashed-and-resumed run against a never-crashed one.
+    pub final_digest: GraphDigest,
 }
 
 impl AppRunResult {
@@ -595,11 +600,30 @@ fn finish_run(
                 };
                 t_verify += tv.elapsed();
                 let tg = std::time::Instant::now();
-                let outcome = if mixed {
+                let mut attempt = if mixed {
                     mixed_cycles += 1;
                     gc.collect_mixed(&mut heap, &mut mem, &mut mutator.roots, gc_start)
                 } else {
                     gc.collect(&mut heap, &mut mem, &mut mutator.roots, gc_start)
+                };
+                // A durable-map power failure is recoverable, not fatal:
+                // replay the crash image's durable prefix and finish the
+                // interrupted evacuation. A second power failure during
+                // the resumed cycle loops around again. The post-cycle
+                // digest check below then proves the recovered graph
+                // identical to a never-crashed run.
+                let outcome = loop {
+                    match attempt {
+                        Err(GcError::PowerCrash(crash)) => {
+                            attempt = gc.recover_from_crash(
+                                &mut heap,
+                                &mut mem,
+                                &mut mutator.roots,
+                                *crash,
+                            );
+                        }
+                        other => break other,
+                    }
                 }
                 .map_err(|e| fail(RunPhase::Gc, cycle, RunFailure::Gc(e)))?;
                 t_gc += tg.elapsed();
@@ -638,6 +662,10 @@ fn finish_run(
 
     let total_ns = mutator.clock;
     let gc_ns = gc.run_stats.total_pause_ns();
+    // Outside the simulation (charges nothing): the final reachable-graph
+    // digest, for cross-run comparisons.
+    let final_digest = verify_heap(&heap, &mutator.roots)
+        .map_err(|e| fail(RunPhase::Verify, cycles.len(), RunFailure::Verify(e)))?;
     let sampler = mem.sampler();
     let gc_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Gc);
     let app_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Mutator);
@@ -671,6 +699,7 @@ fn finish_run(
         peak_old_regions,
         allocated_objects: mutator.allocated_objects(),
         digest_checks,
+        final_digest,
     })
 }
 

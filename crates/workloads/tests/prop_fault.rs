@@ -121,6 +121,63 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// Durable-map crash recovery: a run whose power failure crashes a
+    /// mid-flight evacuation must recover from the crash image, resume,
+    /// and end with the *byte-identical* final graph digest of a
+    /// never-crashed same-seed run — no object lost, duplicated, or
+    /// corrupted across the crash boundary. The recovered run itself must
+    /// be deterministic: re-running it reproduces every timing and
+    /// recovery counter exactly.
+    #[test]
+    fn durable_recovery_matches_uncrashed_run(
+        seed in any::<u64>(),
+        severe in any::<bool>(),
+    ) {
+        // Moderate+ plans schedule power failures; Mild never does.
+        let sev = if severe { Severity::Severe } else { Severity::Moderate };
+        let mut crashed = faulted_cfg(seed, sev, true);
+        crashed.gc.header_map.durable = true;
+        let mut clean = crashed.clone();
+        clean.gc.fault = FaultPlan::none();
+
+        let crashed_run = || {
+            match run_app(&crashed) {
+                Ok(r) => {
+                    let recovered: u64 = r.cycles.iter().map(|c| c.recovered_cycles).sum();
+                    let resumed: u64 = r.cycles.iter().map(|c| c.resumed_evacuations).sum();
+                    let replayed: u64 = r.cycles.iter().map(|c| c.replayed_map_entries).sum();
+                    Ok((r.total_ns, r.final_digest, recovered, resumed, replayed))
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match crashed_run() {
+            Ok(first) => {
+                // Byte-identical replay of the whole crashed+recovered run.
+                prop_assert_eq!(crashed_run().map_err(|e| e.to_string()), Ok(first.clone()));
+                let clean_res = match run_app(&clean) {
+                    Ok(r) => r,
+                    Err(e) => return Err(TestCaseError::fail(format!("clean run failed: {e}"))),
+                };
+                prop_assert_eq!(
+                    &first.1, &clean_res.final_digest,
+                    "recovered graph differs from the never-crashed run"
+                );
+            }
+            Err(e) => {
+                // Severe plans may legitimately exhaust the small heap;
+                // corruption is never acceptable.
+                prop_assert!(
+                    !matches!(
+                        e.failure,
+                        RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+                    ),
+                    "recovery must never corrupt the graph: {e}"
+                );
+            }
+        }
+    }
 }
 
 /// Unfaulted runs skip digest tracing entirely — the robustness plane is
