@@ -48,14 +48,15 @@ fn main() {
     println!("{}", fork_summary(rows.len(), &forks));
 
     let mut table = TextTable::new(vec![
-        "app", "config", "map", "severity", "seed", "cycles", "digests", "faults", "pf", "lost",
-        "recov", "resumed", "replayed", "outcome",
+        "app", "config", "map", "alloc", "severity", "seed", "cycles", "digests", "faults", "pf",
+        "lost", "recov", "resumed", "replayed", "reconc", "rebuilt", "outcome",
     ]);
     for r in &rows {
         table.row(vec![
             r.app.clone(),
             r.config.clone(),
             r.map_mode.clone(),
+            r.alloc_mode.clone(),
             r.severity.clone(),
             format!("{:#x}", r.plan_seed),
             r.cycles.to_string(),
@@ -66,6 +67,8 @@ fn main() {
             r.recovered_cycles.to_string(),
             r.resumed_evacuations.to_string(),
             r.replayed_map_entries.to_string(),
+            r.alloc_reconciled.to_string(),
+            r.alloc_rebuilt.to_string(),
             if r.ok {
                 "ok".to_owned()
             } else {
@@ -163,6 +166,30 @@ fn main() {
             eprintln!(
                 "fault_matrix: no durable-map cell crashed mid-evacuation and \
                  resumed to completion"
+            );
+            std::process::exit(1);
+        }
+
+        // Allocator-durability crash-recovery acceptance: at least one
+        // Moderate+ durable-allocator cell must crash with partially-
+        // durable allocator metadata (journal entries the crash image had
+        // not yet fenced), reconcile them, rebuild the free stack from
+        // the durable lower tables, resume, and complete with its digest
+        // checks passing. Without this gate the allocator recovery scan
+        // could silently degenerate into a no-op.
+        let alloc_recovered = pf_cells.iter().any(|r| {
+            r.alloc_mode == "durable"
+                && r.ok
+                && r.recovered_cycles >= 1
+                && r.alloc_reconciled >= 1
+                && r.alloc_rebuilt > 0
+                && r.digest_checks > 0
+        });
+        if !alloc_recovered {
+            eprintln!(
+                "fault_matrix: no durable-allocator cell crashed with \
+                 partially-durable allocator metadata and rebuilt its \
+                 free stack on recovery"
             );
             std::process::exit(1);
         }

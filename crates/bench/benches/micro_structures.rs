@@ -156,7 +156,7 @@ fn bench_heap_copy(c: &mut Criterion) {
             while let Some(copy) = h.copy_object(obj, s) {
                 black_box(copy);
             }
-            h.release_region(s);
+            h.release_region(s).expect("region was in use");
         })
     });
 }

@@ -79,6 +79,18 @@ pub fn fault_matrix_cells(fast: bool) -> Vec<FaultCell> {
             gc.header_map.durable = true;
             gc
         }),
+        ("+all/durable/alloc", {
+            // The allocator-durability axis: on top of the durable map,
+            // region take/release/reclassify journal through per-region
+            // lower tables on NVM. A power failure now crashes with
+            // partially-durable allocator metadata; recovery reconciles
+            // the journal against the replayed forwarding records and
+            // rebuilds the volatile free stack before the cycle resumes.
+            let mut gc = GcConfig::plus_all(FAULT_MATRIX_THREADS, 0);
+            gc.header_map.durable = true;
+            gc.allocator.durable = true;
+            gc
+        }),
     ];
     let mut cells = Vec::new();
     for &app in apps {
@@ -163,6 +175,17 @@ pub struct FaultRow {
     pub resumed_evacuations: u64,
     /// Forwarding records found inside the durable prefix and replayed.
     pub replayed_map_entries: u64,
+    /// Region-allocator persistence mode: "volatile" (upper free stack
+    /// only, no journaled lower tables) or "durable" (take/release
+    /// journaled to NVM lower tables; recovery rebuilds the free stack).
+    pub alloc_mode: String,
+    /// Lower-table entries whose volatile state diverged from the crash
+    /// image's durable prefix and were reconciled during recovery.
+    pub alloc_reconciled: u64,
+    /// Free-stack entries rebuilt from the durable lower tables.
+    pub alloc_rebuilt: u64,
+    /// Allocator journal entries persistence-fenced over the run.
+    pub alloc_fences: u64,
     /// Total simulated run time, ns.
     pub total_ns: u64,
     /// Total simulated GC pause time, ns.
@@ -224,6 +247,14 @@ fn fault_cell_outcome(
         recovered_cycles: 0,
         resumed_evacuations: 0,
         replayed_map_entries: 0,
+        alloc_mode: if cell.gc.durable_alloc_active() {
+            "durable".to_owned()
+        } else {
+            "volatile".to_owned()
+        },
+        alloc_reconciled: 0,
+        alloc_rebuilt: 0,
+        alloc_fences: 0,
         total_ns: 0,
         total_pause_ns: 0,
     };
@@ -250,6 +281,9 @@ fn fault_cell_outcome(
                 recovered_cycles: res.cycles.iter().map(|c| c.recovered_cycles).sum(),
                 resumed_evacuations: res.cycles.iter().map(|c| c.resumed_evacuations).sum(),
                 replayed_map_entries: res.cycles.iter().map(|c| c.replayed_map_entries).sum(),
+                alloc_reconciled: res.cycles.iter().map(|c| c.alloc_reconciled).sum(),
+                alloc_rebuilt: res.cycles.iter().map(|c| c.alloc_rebuilt_regions).sum(),
+                alloc_fences: res.cycles.iter().map(|c| c.alloc_fences).sum(),
                 total_ns: res.total_ns,
                 total_pause_ns: res.gc.total_pause_ns(),
                 ..base
@@ -355,7 +389,7 @@ mod tests {
     fn fast_grid_is_a_prefix_slice_of_the_full_grid() {
         let fast = fault_matrix_cells(true);
         let full = fault_matrix_cells(false);
-        assert_eq!(fast.len(), Severity::ALL.len() * 3);
+        assert_eq!(fast.len(), Severity::ALL.len() * 4);
         assert_eq!(full.len(), fast.len() * 4);
         // Every fast cell appears in the full grid with the same label.
         let full_labels: Vec<String> = full.iter().map(|c| c.label()).collect();

@@ -67,13 +67,54 @@ fn moderate_durable_cell_recovers() {
 }
 
 #[test]
+fn durable_alloc_cell_crashes_and_rebuilds_its_free_stack() {
+    // The allocator-axis acceptance cell: a Moderate+ power failure must
+    // catch the region allocator with journal entries the crash image had
+    // not yet fenced (volatile state diverged from the durable lower
+    // tables), reconcile them during recovery, rebuild the free stack,
+    // resume, and finish with every digest check passing.
+    let mut rebuilt_somewhere = false;
+    for sev in ["moderate", "severe"] {
+        let cell = fault_matrix_cells(true)
+            .into_iter()
+            .find(|c| c.config_name == "+all/durable/alloc" && c.severity.name() == sev)
+            .expect("FAST grid contains the durable-allocator cell");
+        let (row, _) = run_fault_cell(&cell);
+
+        assert_eq!(row.map_mode, "durable");
+        assert_eq!(row.alloc_mode, "durable");
+        assert!(row.ok, "cell must complete: {}", row.outcome);
+        assert!(!row.corruption, "cell must not corrupt the graph");
+        assert!(
+            row.alloc_fences > 0,
+            "the durable allocator journaled real entries over the run"
+        );
+        assert!(
+            row.digest_checks > 0 && row.digest_checks == row.cycles,
+            "every cycle's pre/post digest was compared ({} checks, {} cycles)",
+            row.digest_checks,
+            row.cycles
+        );
+        if row.recovered_cycles >= 1 && row.alloc_reconciled >= 1 && row.alloc_rebuilt > 0 {
+            rebuilt_somewhere = true;
+        }
+    }
+    assert!(
+        rebuilt_somewhere,
+        "at least one Moderate+ allocator cell crashed with partially-durable \
+         allocator metadata and rebuilt its free stack on recovery"
+    );
+}
+
+#[test]
 fn volatile_cells_never_enter_recovery() {
     for cell in fault_matrix_cells(true)
         .into_iter()
-        .filter(|c| c.config_name != "+all/durable")
+        .filter(|c| !c.config_name.starts_with("+all/durable"))
     {
         let (row, _) = run_fault_cell(&cell);
         assert_eq!(row.map_mode, "volatile", "{}", cell.label());
+        assert_eq!(row.alloc_mode, "volatile", "{}", cell.label());
         assert_eq!(
             (
                 row.recovered_cycles,
@@ -82,6 +123,12 @@ fn volatile_cells_never_enter_recovery() {
             ),
             (0, 0, 0),
             "volatile cell {} must not report recovery work",
+            cell.label()
+        );
+        assert_eq!(
+            (row.alloc_reconciled, row.alloc_rebuilt, row.alloc_fences),
+            (0, 0, 0),
+            "volatile cell {} must not report allocator journal work",
             cell.label()
         );
     }

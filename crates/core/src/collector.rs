@@ -42,6 +42,45 @@ const STEAL_NS: u64 = 120;
 /// Cost of acquiring a shared region / LAB chunk, ns.
 const REGION_SYNC_NS: u64 = 60;
 
+/// Race-exploration site: a worker takes a region from the allocator.
+pub const RACE_SITE_ALLOC_TAKE: u64 = 1;
+/// Race-exploration site: a worker releases a region to the allocator.
+pub const RACE_SITE_ALLOC_RELEASE: u64 = 2;
+/// Race-exploration site: a header-map forwarding install.
+pub const RACE_SITE_MAP_INSTALL: u64 = 3;
+/// Race-exploration site: a durable persistence fence.
+pub const RACE_SITE_DURABLE_FENCE: u64 = 4;
+
+/// Maximum seeded skew a race synchronization point may inject, ns.
+const RACE_SKEW_MAX_NS: u64 = 400;
+
+/// Race-exploration synchronization point (llfree's `stop.rs` technique
+/// adapted to the deterministic engine): when an exploration seed is
+/// configured, injects a small seeded clock skew before a shared-structure
+/// operation. The engine schedules the lowest-clock worker next, so the
+/// skew reorders which worker reaches the allocator / header map first —
+/// a different adversarial interleaving per seed, byte-reproducible from
+/// the seed, with every schedule still checked by the oracles. Zero cost
+/// when no seed is set.
+pub fn race_sync(w: &mut Worker, sh: &mut CycleShared<'_>, site: u64) {
+    let Some(seed) = sh.cfg.race.seed else {
+        return;
+    };
+    w.race_calls += 1;
+    let mut state = seed
+        ^ (w.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ site.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ w.race_calls;
+    let skew = nvmgc_memsim::fault::splitmix64(&mut state) % RACE_SKEW_MAX_NS;
+    w.clock += skew;
+    sh.stats.race_sync_points += 1;
+    // Order-sensitive fold: the digest differs whenever the sequence of
+    // (worker, site, clock) crossings differs, so distinct digests across
+    // seeds prove distinct schedules were explored.
+    let mut mix = sh.stats.race_digest.rotate_left(7) ^ ((w.id as u64) << 48) ^ site ^ w.clock;
+    sh.stats.race_digest = nvmgc_memsim::fault::splitmix64(&mut mix);
+}
+
 /// An in-progress region flush (chunked so other work interleaves).
 #[derive(Debug, Clone, Copy)]
 struct FlushTask {
@@ -92,6 +131,7 @@ pub struct Worker {
     lab: Option<Lab>,
     slots_since_flush_check: u32,
     clear_range: Option<(usize, usize)>,
+    race_calls: u64,
 }
 
 impl Worker {
@@ -121,6 +161,7 @@ impl Worker {
             lab: None,
             slots_since_flush_check: 0,
             clear_range: None,
+            race_calls: 0,
         }
     }
 }
@@ -469,6 +510,7 @@ fn copy_and_forward(
     }
     // Install the forwarding pointer (paper §3.1 step 3 / Algorithm 1).
     if let Some(map) = sh.hmap {
+        race_sync(w, sh, RACE_SITE_MAP_INSTALL);
         // Injected probe-chain saturation: behave exactly as if bounded
         // probing failed, charging a full chain walk, and take the
         // abort-to-fallback NVM install below (paper §4.2).
@@ -652,6 +694,7 @@ fn charge_map_probes(
 /// durability ledger under `meta_key` with one synchronous fence — the
 /// durable-linearizable order whose prefix crash recovery replays.
 fn durable_install_fence(w: &mut Worker, sh: &mut CycleShared<'_>, entry_addr: u64, meta_key: u64) {
+    race_sync(w, sh, RACE_SITE_DURABLE_FENCE);
     let dev = DeviceId::Nvm;
     w.clock = sh.mem.write_word(w.id, dev, entry_addr, w.clock) + CAS_EXTRA_NS;
     w.clock = sh.mem.write_word(w.id, dev, entry_addr + 8, w.clock);
@@ -758,6 +801,7 @@ fn copy_into_dest(
             return Ok((copy, false));
         }
         // Shared promotion region full: take a fresh one and retry.
+        race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
         *sh.promo_region = Some(sh.heap.take_region(RegionKind::Old)?);
         w.clock += REGION_SYNC_NS;
         let region = sh.promo_region.expect("just set");
@@ -777,6 +821,7 @@ fn promo_region(w: &mut Worker, sh: &mut CycleShared<'_>) -> Result<RegionId, He
     if let Some(r) = *sh.promo_region {
         return Ok(r);
     }
+    race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
     let r = sh.heap.take_region(RegionKind::Old)?;
     *sh.promo_region = Some(r);
     w.clock += REGION_SYNC_NS;
@@ -837,6 +882,7 @@ fn g1_survivor_copy(
                 return Ok((copy, false));
             }
         }
+        race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
         w.survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
         w.clock += REGION_SYNC_NS;
         note_fresh_gc_region(w, sh, w.survivor.expect("just set"));
@@ -873,6 +919,7 @@ fn ps_survivor_copy(
                     return Ok((copy, false));
                 }
             }
+            race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
             let fresh = sh.heap.take_region(RegionKind::Survivor)?;
             sh.ps_shared_survivor = Some(fresh);
             note_fresh_gc_region(w, sh, fresh);
@@ -952,6 +999,7 @@ fn ps_survivor_copy(
                     break;
                 }
             }
+            race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
             let fresh = sh.heap.take_region(RegionKind::Survivor)?;
             sh.ps_shared_survivor = Some(fresh);
             note_fresh_gc_region(w, sh, fresh);
@@ -1053,7 +1101,18 @@ fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
     }
     let base = sh.heap.addr_of(region, 0).raw();
     let len = sh.heap.config().region_size as u64;
-    sh.heap.release_region(region);
+    race_sync(w, sh, RACE_SITE_ALLOC_RELEASE);
+    if let Err(e) = sh.heap.release_region(region) {
+        // A cache region vanishing from under its own flush means the
+        // free-count bookkeeping is already corrupt; surface it instead
+        // of silently double-freeing (pre-PR-8 behavior).
+        sh.error = Some(GcError::Oracle(oracle::OracleViolation::RegionAccounting {
+            detail: e.to_string(),
+        }));
+        w.flush = None;
+        w.done = true;
+        return;
+    }
     sh.mem.invalidate_range(base, len);
     w.flush = None;
 }

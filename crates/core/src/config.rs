@@ -88,6 +88,46 @@ impl HeaderMapConfig {
     }
 }
 
+/// Crash-consistent region-allocator settings (PR 8).
+///
+/// The heap's two-level allocator always maintains its lower table and
+/// journal bookkeeping (so warm snapshots stay config-independent);
+/// this knob only controls whether the collector *charges* the journal
+/// to the NVM durability ledger at safepoints and runs the allocator
+/// recovery scan after a power crash.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocatorConfig {
+    /// Journal per-region lower-table entries through the durability
+    /// ledger (`persist_meta` + charged NVM line traffic) and rebuild
+    /// the free-stack from the durable view during crash recovery.
+    pub durable: bool,
+}
+
+impl AllocatorConfig {
+    /// Volatile allocator metadata (all presets).
+    pub fn volatile() -> Self {
+        AllocatorConfig { durable: false }
+    }
+}
+
+/// Deterministic race-exploration settings (llfree's `stop.rs`
+/// technique). When seeded, allocator and header-map operations pass
+/// through synchronization points that inject seeded clock skew, forcing
+/// the deterministic engine through adversarial interleavings — checked
+/// by the existing oracles, reproducible from the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceConfig {
+    /// Exploration seed; `None` disables the layer (zero cost).
+    pub seed: Option<u64>,
+}
+
+impl RaceConfig {
+    /// Race exploration off (all presets).
+    pub fn off() -> Self {
+        RaceConfig { seed: None }
+    }
+}
+
 /// Full collector configuration.
 #[derive(Debug, Clone)]
 pub struct GcConfig {
@@ -130,6 +170,10 @@ pub struct GcConfig {
     /// schedule is applied by the collector; the runner installs the
     /// device-level schedule into the memory system.
     pub fault: FaultPlan,
+    /// Crash-consistent region-allocator settings.
+    pub allocator: AllocatorConfig,
+    /// Deterministic race-exploration settings.
+    pub race: RaceConfig,
 }
 
 impl GcConfig {
@@ -153,6 +197,8 @@ impl GcConfig {
             flush_interleave: 24,
             flush_chunk_bytes: 64 << 10,
             fault: FaultPlan::none(),
+            allocator: AllocatorConfig::volatile(),
+            race: RaceConfig::off(),
         }
     }
 
@@ -212,6 +258,14 @@ impl GcConfig {
     pub fn durable_map_active(&self) -> bool {
         self.header_map_active() && self.header_map.durable
     }
+
+    /// Whether the region allocator journals durably. Rides on the
+    /// durable header map: crash recovery only exists in that mode, so
+    /// allocator durability without it would charge fences nothing ever
+    /// reads back.
+    pub fn durable_alloc_active(&self) -> bool {
+        self.allocator.durable && self.durable_map_active()
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +314,17 @@ mod tests {
         assert!(c.durable_map_active());
         c.threads = 8; // at the activation threshold the map is off
         assert!(!c.durable_map_active());
+    }
+
+    #[test]
+    fn durable_allocator_rides_on_the_durable_map() {
+        let mut c = GcConfig::plus_all(20, 64 << 20);
+        assert!(!c.allocator.durable, "presets default to volatile");
+        assert!(c.race.seed.is_none(), "presets default to no exploration");
+        c.allocator.durable = true;
+        assert!(!c.durable_alloc_active(), "needs the durable map too");
+        c.header_map.durable = true;
+        assert!(c.durable_alloc_active());
     }
 
     #[test]

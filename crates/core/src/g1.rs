@@ -29,7 +29,7 @@ use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::verify::{classify_lines, LineCoverage};
-use nvmgc_heap::{Addr, Heap, RegionId, RegionKind};
+use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
 use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind, TraceCat, TRACK_CYCLE};
 use std::collections::VecDeque;
 
@@ -55,6 +55,13 @@ struct ResumeState {
     discarded: u64,
     /// XPLines the crash image reports torn.
     torn: u64,
+    /// Allocator lower-table entries the recovery scan found diverged
+    /// from the durable view and reconciled.
+    alloc_reconciled: u64,
+    /// Free regions the recovery scan rebuilt from the lower tables.
+    alloc_rebuilt: u64,
+    /// Allocator journal fences charged during the recovery scan.
+    alloc_fences: u64,
 }
 
 /// A young-generation copying collector with the paper's NVM-aware
@@ -277,6 +284,34 @@ impl G1Collector {
                 now = mem.fence(now);
             }
         }
+        // --- Allocator recovery scan (durable-allocator mode). The crash
+        // caught the lower-table journal partially durable: entries dirtied
+        // since the last safepoint drain never reached the ledger. Compute
+        // the durable view at the crash instant, reconcile every diverged
+        // region against the surviving volatile truth (re-journaling it as
+        // real charged traffic), rebuild the upper free-stack from the
+        // lower tables, and let the oracle assert the rebuild is exact —
+        // and that no rebuilt-free region doubles as the destination of a
+        // durable forwarding record the resumed cycle will replay.
+        let (mut alloc_reconciled, mut alloc_rebuilt, mut alloc_fences) = (0u64, 0u64, 0u64);
+        if self.cfg.durable_alloc_active() {
+            let view = heap.allocator().durable_view(at);
+            let diverged = heap.allocator().diverged(&view);
+            alloc_reconciled = diverged.len() as u64;
+            for r in diverged {
+                heap.allocator_mut().mark_dirty(r);
+            }
+            now = drain_allocator_journal(&self.cfg, heap, mem, &mut alloc_fences, now);
+            let (previous, rebuilt) = heap.allocator_mut().rebuild_free();
+            alloc_rebuilt = rebuilt.len() as u64;
+            let durable_dsts: Vec<RegionId> = decisions
+                .iter()
+                .filter(|d| d.durable)
+                .map(|d| d.dst)
+                .collect();
+            oracle::check_allocator_recovery(heap, &previous, &rebuilt, &durable_dsts)
+                .map_err(GcError::Oracle)?;
+        }
         mem.trace_mut().span(
             "recover",
             TraceCat::Phase,
@@ -293,6 +328,9 @@ impl G1Collector {
             resumed,
             discarded,
             torn,
+            alloc_reconciled,
+            alloc_rebuilt,
+            alloc_fences,
         };
         self.collect_with_cset(heap, mem, roots, now, &extra_old, Some(rs))
     }
@@ -340,7 +378,7 @@ impl G1Collector {
         let mut freed: nvmgc_memsim::FxHashSet<RegionId> = nvmgc_memsim::FxHashSet::default();
         for r in dead_humongous {
             let base = heap.addr_of(r, 0).raw();
-            heap.release_region(r);
+            heap.release_region(r).map_err(accounting)?;
             mem.invalidate_range(base, region_size);
             mem.persist_forget_range(base, region_size);
             humongous_freed += 1;
@@ -413,7 +451,7 @@ impl G1Collector {
         let mut freed: nvmgc_memsim::FxHashSet<RegionId> = nvmgc_memsim::FxHashSet::default();
         for r in dead_humongous {
             let base = heap.addr_of(r, 0).raw();
-            heap.release_region(r);
+            heap.release_region(r).map_err(accounting)?;
             mem.invalidate_range(base, region_size);
             mem.persist_forget_range(base, region_size);
             humongous_freed += 1;
@@ -554,6 +592,13 @@ impl G1Collector {
             pool.push(i % threads, t);
         }
 
+        // Safepoint journal drain: allocator mutations accumulated since
+        // the last safepoint (mutator-phase eden takes, humongous frees)
+        // are journaled in one batch before workers start — fences stay
+        // off the mutator's hot path, paper-style.
+        let mut pre_fences = 0u64;
+        let start = drain_allocator_journal(&self.cfg, heap, mem, &mut pre_fences, start);
+
         // --- Workers. ------------------------------------------------------
         // All workers begin after the fixed STW entry overhead (safepoint
         // + phase setup); it is part of the pause.
@@ -586,6 +631,7 @@ impl G1Collector {
             full_installs: Vec::new(),
             crashed_at: None,
         };
+        sh.stats.alloc_fences += pre_fences;
         if let Some(rs) = &resume {
             // Re-seed the crashed cycle's carried state and counters. The
             // power-failure observation marks the crash as *handled* — the
@@ -593,6 +639,9 @@ impl G1Collector {
             sh.stats.recovered_cycles = 1;
             sh.stats.replayed_map_entries = rs.replayed;
             sh.stats.resumed_evacuations = rs.resumed;
+            sh.stats.alloc_reconciled = rs.alloc_reconciled;
+            sh.stats.alloc_rebuilt_regions = rs.alloc_rebuilt;
+            sh.stats.alloc_fences += rs.alloc_fences;
             sh.self_forwarded = rs.crash.self_forwarded.clone();
             sh.retained = rs.crash.retained.clone();
             sh.full_installs = rs.crash.full_installs.clone();
@@ -626,6 +675,16 @@ impl G1Collector {
                 .trace_mut()
                 .span("scan", TraceCat::Phase, id as u32, s, e, cycle_idx);
         }
+
+        // Journal the worker-phase allocator takes (survivor, promotion)
+        // before the write-back phase begins.
+        let scan_end = drain_allocator_journal(
+            &self.cfg,
+            sh.heap,
+            sh.mem,
+            &mut sh.stats.alloc_fences,
+            scan_end,
+        );
 
         // Retire workers' still-open cache regions and queue everything
         // unflushed for write-back.
@@ -674,6 +733,14 @@ impl G1Collector {
         if self.cfg.write_cache.enabled {
             sh.mem.persist_drain_all(DeviceId::Nvm, wb_end);
         }
+        // Journal the write-back phase's cache-region releases.
+        let wb_end = drain_allocator_journal(
+            &self.cfg,
+            sh.heap,
+            sh.mem,
+            &mut sh.stats.alloc_fences,
+            wb_end,
+        );
 
         // Header-map occupancy is measured before cleanup.
         sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
@@ -775,16 +842,26 @@ impl G1Collector {
                     // Retained eden becomes survivor so the next young
                     // collection re-evacuates it.
                     region.set_kind(RegionKind::Survivor);
-                    sh.heap.eden_to_survivor(r);
+                    sh.heap.eden_to_survivor(r).map_err(accounting)?;
                 }
                 continue;
             }
             let base = sh.heap.addr_of(r, 0).raw();
-            sh.heap.release_region(r);
+            sh.heap.release_region(r).map_err(accounting)?;
             sh.mem.invalidate_range(base, region_size);
             sh.mem.persist_forget_range(base, region_size);
         }
-        sh.heap.survivors_to_young();
+        sh.heap.survivors_to_young().map_err(accounting)?;
+
+        // Journal the cycle-end frees and retention reclassifications so
+        // the next mutator phase starts from a drained journal.
+        let clear_end = drain_allocator_journal(
+            &self.cfg,
+            sh.heap,
+            sh.mem,
+            &mut sh.stats.alloc_fences,
+            clear_end,
+        );
 
         // Phase marks for the bandwidth figures.
         let sampler = sh.mem.sampler_mut();
@@ -814,6 +891,59 @@ impl G1Collector {
             end_ns: clear_end,
         })
     }
+}
+
+/// Promotes a heap region-accounting error (double release, unservable
+/// take, kind-transition mismatch) to a typed oracle violation. These
+/// were silent release-build no-ops before PR 8; surfacing them keeps
+/// free-count bookkeeping honest under fault injection.
+fn accounting(e: HeapError) -> GcError {
+    GcError::Oracle(oracle::OracleViolation::RegionAccounting {
+        detail: e.to_string(),
+    })
+}
+
+/// Journals the allocator's dirty lower-table entries to the NVM
+/// durability ledger (durable-allocator mode): one line write plus
+/// write-back per dirty region at its [`oracle::alloc_meta_key`] slot,
+/// then one batched metadata fence covering every drained key. In
+/// volatile mode the journal is still drained — the heap-side
+/// bookkeeping stays bounded by the region count and warm snapshots stay
+/// config-independent — but no traffic is charged and no time passes, so
+/// volatile runs are byte-identical to the pre-allocator collector.
+fn drain_allocator_journal(
+    cfg: &GcConfig,
+    heap: &mut Heap,
+    mem: &mut MemorySystem,
+    fences: &mut u64,
+    now: Ns,
+) -> Ns {
+    if heap.allocator().dirty_regions().is_empty() {
+        return now;
+    }
+    if !cfg.durable_alloc_active() {
+        heap.allocator_mut().drain_dirty(now);
+        return now;
+    }
+    let dirty: Vec<RegionId> = heap.allocator().dirty_regions().to_vec();
+    let mut t = now;
+    for &r in &dirty {
+        let line = oracle::alloc_meta_key(r);
+        t = mem.write_word(0, DeviceId::Nvm, line, t);
+        mem.persist_write_back(DeviceId::Nvm, line, 8, t);
+    }
+    t = if mem.persist_enabled(DeviceId::Nvm) {
+        mem.persist_meta_many(
+            DeviceId::Nvm,
+            dirty.iter().map(|&r| oracle::alloc_meta_key(r)),
+            t,
+        )
+    } else {
+        mem.fence(t)
+    };
+    *fences += dirty.len() as u64;
+    heap.allocator_mut().drain_dirty(t);
+    t
 }
 
 /// Aborts a durable-mode cycle at an injected power failure: all volatile
@@ -847,7 +977,10 @@ fn crash_abort(
     for (cache, nvm) in sh.cache.discard_for_crash(sh.heap) {
         sh.heap.blit_region(cache, nvm);
         let base = sh.heap.addr_of(cache, 0).raw();
-        sh.heap.release_region(cache);
+        if let Err(e) = sh.heap.release_region(cache) {
+            // Corrupt bookkeeping outranks the crash itself: surface it.
+            return accounting(e);
+        }
         sh.mem.invalidate_range(base, region_size);
     }
     GcError::PowerCrash(Box::new(CrashState {

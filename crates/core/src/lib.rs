@@ -105,14 +105,18 @@ pub mod stack;
 pub mod stats;
 pub mod write_cache;
 
-pub use config::{CollectorKind, GcConfig, HeaderMapConfig, Traversal, WriteCacheConfig};
+pub use config::{
+    AllocatorConfig, CollectorKind, GcConfig, HeaderMapConfig, RaceConfig, Traversal,
+    WriteCacheConfig,
+};
 pub use error::{EngineError, GcError};
 pub use fault::{FaultPlan, FaultState, GcFault, GcFaultObservations, GcFaultPlan, Severity};
 pub use g1::{G1Collector, GcCycleOutcome};
 pub use header_map::{HeaderMap, InstallError, Put, PutOutcome};
 pub use oracle::{
-    check_crash_point, check_power_failure, check_recovery_completion, header_meta_key,
-    map_entry_meta_key, region_meta_key, OracleViolation, PowerFailureReport,
+    alloc_meta_key, check_allocator_recovery, check_crash_point, check_power_failure,
+    check_recovery_completion, header_meta_key, map_entry_meta_key, region_meta_key,
+    OracleViolation, PowerFailureReport,
 };
 pub use recovery::CrashState;
 pub use stats::{GcPhaseTimes, GcStats};

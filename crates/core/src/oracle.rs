@@ -102,6 +102,25 @@ pub enum OracleViolation {
         /// Which completion invariant failed.
         reason: &'static str,
     },
+    /// A heap region-accounting operation failed with a typed error —
+    /// double release, unservable take, or a kind-transition mismatch.
+    /// These were silent release-build no-ops (or `unreachable!`/
+    /// `debug_assert!`s) before PR 8; the collector now surfaces them as
+    /// oracle violations instead of corrupting free-count bookkeeping.
+    RegionAccounting {
+        /// The underlying heap error, rendered.
+        detail: String,
+    },
+    /// The allocator recovery scan rebuilt a free-stack that is
+    /// inconsistent with the region table, the live allocator state, or
+    /// the resumed evacuation's durable forwarding targets.
+    AllocatorRecovery {
+        /// The offending region (`RegionId::MAX` when the violation is
+        /// stack-wide rather than per-region).
+        region: RegionId,
+        /// Which rebuild invariant failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for OracleViolation {
@@ -142,6 +161,15 @@ impl fmt::Display for OracleViolation {
                 old.raw(),
                 new.raw()
             ),
+            OracleViolation::RegionAccounting { detail } => {
+                write!(f, "region accounting violated: {detail}")
+            }
+            OracleViolation::AllocatorRecovery { region, reason } => {
+                write!(
+                    f,
+                    "allocator recovery violated for region {region}: {reason}"
+                )
+            }
         }
     }
 }
@@ -251,6 +279,69 @@ pub fn map_entry_meta_key(idx: u64) -> u64 {
 /// [`PutOutcome::Full`]: crate::header_map::PutOutcome::Full
 pub fn header_meta_key(obj: Addr) -> u64 {
     0x7800_0000_0000_0000 | obj.raw()
+}
+
+/// The durability-ledger metadata key — doubling as the synthetic NVM
+/// line address — under which the durable region allocator journals
+/// region `region`'s lower-table entry ([`nvmgc_heap::LowerEntry`]).
+/// Disjoint from the other metadata ranges; one 64-byte slot per region.
+pub fn alloc_meta_key(region: RegionId) -> u64 {
+    0x7C00_0000_0000_0000 | (u64::from(region) << 6)
+}
+
+/// Asserts the allocator recovery scan's rebuild is sound, after the
+/// durable lower tables were reconciled against the live heap and the
+/// free-stack was rebuilt from them:
+///
+/// 1. **Free means free.** Every region on the rebuilt free-stack is
+///    `Free` in the region table, and every lower-table entry's kind
+///    matches the region table — the durable view and the volatile
+///    truth agree after reconciliation.
+/// 2. **No free evacuation targets.** No rebuilt-free region is the
+///    destination region of a durable forwarding record the resumed
+///    evacuation will replay — a region must never be simultaneously
+///    "free" and a durable copy target.
+/// 3. **Exact reconstruction.** The rebuilt stack is identical to the
+///    live stack it replaced (the epoch-ordered rebuild is exact, so
+///    any divergence means the journal lost an event).
+pub fn check_allocator_recovery(
+    heap: &Heap,
+    previous_free: &[RegionId],
+    rebuilt_free: &[RegionId],
+    durable_dsts: &[RegionId],
+) -> Result<(), OracleViolation> {
+    let dsts: FxHashSet<RegionId> = durable_dsts.iter().copied().collect();
+    for &r in rebuilt_free {
+        if heap.region(r).kind() != RegionKind::Free {
+            return Err(OracleViolation::AllocatorRecovery {
+                region: r,
+                reason: "rebuilt-free region is not free in the region table",
+            });
+        }
+        if dsts.contains(&r) {
+            return Err(OracleViolation::AllocatorRecovery {
+                region: r,
+                reason: "rebuilt-free region is a durable evacuation target",
+            });
+        }
+    }
+    // Auxiliary (cache) regions live beyond the allocator's lower table
+    // and are bookkept separately, so only the Java-heap range is checked.
+    for id in 0..heap.config().heap_regions {
+        if heap.allocator().lower(id).kind != heap.region(id).kind() {
+            return Err(OracleViolation::AllocatorRecovery {
+                region: id,
+                reason: "lower-table kind diverges from the region table",
+            });
+        }
+    }
+    if previous_free != rebuilt_free {
+        return Err(OracleViolation::AllocatorRecovery {
+            region: RegionId::MAX,
+            reason: "rebuilt free-stack diverges from the live stack",
+        });
+    }
+    Ok(())
 }
 
 /// What a power-failure oracle check observed (returned on success so
@@ -641,7 +732,42 @@ mod tests {
         let r = region_meta_key(u32::MAX);
         let m = map_entry_meta_key(1 << 40);
         let o = header_meta_key(Addr(0x7f_ffff_ffff));
-        assert!(r < m && m < o, "{r:#x} {m:#x} {o:#x}");
+        let a = alloc_meta_key(0);
+        assert!(r < m && m < o && o < a, "{r:#x} {m:#x} {o:#x} {a:#x}");
+    }
+
+    #[test]
+    fn allocator_recovery_flags_freed_durable_targets() {
+        let mut h = heap();
+        let eden = h.take_region(RegionKind::Eden).unwrap();
+        let surv = h.take_region(RegionKind::Survivor).unwrap();
+        h.release_region(eden).unwrap();
+        let free: Vec<RegionId> = h.allocator().free_stack().to_vec();
+        assert!(check_allocator_recovery(&h, &free, &free, &[surv]).is_ok());
+        // The freed eden region doubling as a durable copy target is the
+        // free-while-evacuation-destination state recovery must rule out.
+        let err = check_allocator_recovery(&h, &free, &free, &[eden]).unwrap_err();
+        assert!(
+            matches!(err, OracleViolation::AllocatorRecovery { region, .. } if region == eden),
+            "{err}"
+        );
+        // A rebuilt stack that diverges from the live stack is flagged.
+        let mut wrong = free.clone();
+        wrong.pop();
+        let err = check_allocator_recovery(&h, &free, &wrong, &[]).unwrap_err();
+        assert!(
+            matches!(err, OracleViolation::AllocatorRecovery { reason, .. }
+                if reason.contains("diverges from the live stack")),
+            "{err}"
+        );
+        // An in-use region on the rebuilt stack is flagged.
+        let mut bad = free.clone();
+        bad.push(surv);
+        let err = check_allocator_recovery(&h, &bad, &bad, &[]).unwrap_err();
+        assert!(
+            matches!(err, OracleViolation::AllocatorRecovery { region, .. } if region == surv),
+            "{err}"
+        );
     }
 
     #[test]

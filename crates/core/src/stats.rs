@@ -97,6 +97,25 @@ pub struct GcStats {
     /// Forwarding entries (map entries and fenced NVM-header fallbacks)
     /// found inside the durable prefix and replayed as-is.
     pub replayed_map_entries: u64,
+    /// Allocator lower-table entries journaled to the durability ledger
+    /// this cycle (each one NVM line write + fence at the safepoint
+    /// drains; zero when the durable allocator is off).
+    pub alloc_fences: u64,
+    /// Allocator regions whose durable lower-table entry diverged from
+    /// the volatile truth at crash time and was reconciled during
+    /// recovery (the proof that the crash caught the journal
+    /// partially-durable).
+    pub alloc_reconciled: u64,
+    /// Free regions on the allocator's free-stack rebuilt from the
+    /// durable lower tables during crash recovery.
+    pub alloc_rebuilt_regions: u64,
+    /// Race-exploration synchronization points crossed this cycle (zero
+    /// when no exploration seed is configured).
+    pub race_sync_points: u64,
+    /// Order-sensitive digest of the interleaving the race-exploration
+    /// layer drove this cycle (0 when off). Distinct digests across
+    /// seeds prove distinct adversarial schedules were explored.
+    pub race_digest: u64,
 }
 
 impl GcStats {

@@ -7,6 +7,7 @@
 //! the memory model.
 
 use crate::addr::Addr;
+use crate::alloc::RegionAllocator;
 use crate::cardtable::CardTable;
 use crate::class::{ClassId, ClassTable};
 use crate::object::{Header, HEADER_BYTES};
@@ -100,7 +101,7 @@ pub struct Heap {
     shift: u32,
     classes: ClassTable,
     regions: Vec<Region>,
-    free: Vec<RegionId>,
+    alloc: RegionAllocator,
     free_aux: Vec<RegionId>,
     eden: Vec<RegionId>,
     survivor: Vec<RegionId>,
@@ -127,14 +128,16 @@ impl Heap {
         let regions: Vec<Region> = (0..cfg.heap_regions)
             .map(|i| Region::new(i, cfg.region_size, cfg.placement.heap))
             .collect();
-        // LIFO free list, popping lowest ids first for determinism.
-        let free: Vec<RegionId> = (0..cfg.heap_regions).rev().collect();
+        // Two-level allocator: its upper free-stack pops lowest ids
+        // first for determinism, and its lower table is the journaled
+        // persistent truth about every region.
+        let alloc = RegionAllocator::new(cfg.heap_regions);
         Heap {
             cfg,
             shift,
             classes,
             regions,
-            free,
+            alloc,
             free_aux: Vec::new(),
             eden: Vec::new(),
             survivor: Vec::new(),
@@ -207,7 +210,17 @@ impl Heap {
 
     /// Number of free Java-heap regions.
     pub fn free_count(&self) -> usize {
-        self.free.len()
+        self.alloc.free_count()
+    }
+
+    /// The two-level region allocator (journal inspection, recovery).
+    pub fn allocator(&self) -> &RegionAllocator {
+        &self.alloc
+    }
+
+    /// The region allocator, mutable (journal drains, recovery rebuild).
+    pub fn allocator_mut(&mut self) -> &mut RegionAllocator {
+        &mut self.alloc
     }
 
     /// Total regions currently backed (Java heap + auxiliary).
@@ -227,11 +240,13 @@ impl Heap {
 
     /// Takes a free region for the given role, placing it per policy.
     pub fn take_region(&mut self, kind: RegionKind) -> Result<RegionId, HeapError> {
-        debug_assert!(!matches!(
+        if matches!(
             kind,
             RegionKind::Free | RegionKind::Cache | RegionKind::Humongous
-        ));
-        let id = self.free.pop().ok_or(HeapError::OutOfRegions)?;
+        ) {
+            return Err(HeapError::BadTakeKind(kind));
+        }
+        let id = self.alloc.take(kind).ok_or(HeapError::OutOfRegions)?;
         let device = if kind.is_young() {
             self.cfg.placement.young_device()
         } else {
@@ -244,7 +259,10 @@ impl Heap {
             RegionKind::Eden => self.eden.push(id),
             RegionKind::Survivor => self.survivor.push(id),
             RegionKind::Old => self.old.push(id),
-            RegionKind::Free | RegionKind::Cache | RegionKind::Humongous => unreachable!(),
+            // Rejected above; repeated here so the match stays total.
+            RegionKind::Free | RegionKind::Cache | RegionKind::Humongous => {
+                return Err(HeapError::BadTakeKind(kind))
+            }
         }
         Ok(id)
     }
@@ -260,7 +278,10 @@ impl Heap {
                 size: size as usize,
             });
         }
-        let id = self.free.pop().ok_or(HeapError::OutOfRegions)?;
+        let id = self
+            .alloc
+            .take(RegionKind::Humongous)
+            .ok_or(HeapError::OutOfRegions)?;
         let device = self.cfg.placement.heap;
         let r = &mut self.regions[id as usize];
         r.set_device(device);
@@ -280,7 +301,11 @@ impl Heap {
     }
 
     /// Returns a region to the free list.
-    pub fn release_region(&mut self, id: RegionId) {
+    ///
+    /// Releasing an already-free region is a typed error: before PR 8 it
+    /// silently returned, so a double-release in release builds
+    /// corrupted free-count accounting with no signal.
+    pub fn release_region(&mut self, id: RegionId) -> Result<(), HeapError> {
         let kind = self.regions[id as usize].kind();
         match kind {
             RegionKind::Eden => self.eden.retain(|&r| r != id),
@@ -289,13 +314,15 @@ impl Heap {
             RegionKind::Cache => {
                 self.regions[id as usize].reset(RegionKind::Free);
                 self.free_aux.push(id);
-                return;
+                return Ok(());
             }
             RegionKind::Humongous => self.humongous.retain(|&r| r != id),
-            RegionKind::Free => return,
+            RegionKind::Free => return Err(HeapError::DoubleRelease(id)),
         }
+        let watermark = self.regions[id as usize].used();
         self.regions[id as usize].reset(RegionKind::Free);
-        self.free.push(id);
+        self.alloc.release(id, watermark);
+        Ok(())
     }
 
     /// Allocates an auxiliary (non-Java-heap) region on `device`, used for
@@ -317,32 +344,60 @@ impl Heap {
     /// Promotes all current survivor regions into the survivor role for
     /// the next cycle — i.e. after GC, newly filled survivor regions stay
     /// listed; eden regions must have been released by the collector.
-    pub fn survivors_to_young(&mut self) {
+    ///
+    /// A non-survivor region on the survivor list is a typed error
+    /// (release-silent `debug_assert!` before PR 8).
+    pub fn survivors_to_young(&mut self) -> Result<(), HeapError> {
         // Survivor regions remain survivors until the next GC collects
-        // them; nothing to do beyond sanity checks.
-        debug_assert!(self
-            .survivor
-            .iter()
-            .all(|&r| self.regions[r as usize].kind() == RegionKind::Survivor));
+        // them; nothing to do beyond the invariant check.
+        for &r in &self.survivor {
+            let found = self.regions[r as usize].kind();
+            if found != RegionKind::Survivor {
+                return Err(HeapError::KindMismatch {
+                    region: r,
+                    expected: RegionKind::Survivor,
+                    found,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Moves a region from the eden list to the survivor list after its
     /// kind was changed (evacuation-failure retention).
-    pub fn eden_to_survivor(&mut self, id: RegionId) {
-        debug_assert_eq!(self.regions[id as usize].kind(), RegionKind::Survivor);
+    pub fn eden_to_survivor(&mut self, id: RegionId) -> Result<(), HeapError> {
+        let found = self.regions[id as usize].kind();
+        if found != RegionKind::Survivor {
+            return Err(HeapError::KindMismatch {
+                region: id,
+                expected: RegionKind::Survivor,
+                found,
+            });
+        }
+        self.alloc.reclassify(id, RegionKind::Survivor);
         self.eden.retain(|&r| r != id);
         if !self.survivor.contains(&id) {
             self.survivor.push(id);
         }
+        Ok(())
     }
 
     /// Reclassifies a survivor region as old (used when the collector
     /// decides a whole region's population is tenured).
-    pub fn survivor_to_old(&mut self, id: RegionId) {
-        debug_assert_eq!(self.regions[id as usize].kind(), RegionKind::Survivor);
+    pub fn survivor_to_old(&mut self, id: RegionId) -> Result<(), HeapError> {
+        let found = self.regions[id as usize].kind();
+        if found != RegionKind::Survivor {
+            return Err(HeapError::KindMismatch {
+                region: id,
+                expected: RegionKind::Survivor,
+                found,
+            });
+        }
         self.survivor.retain(|&r| r != id);
         self.regions[id as usize].set_kind(RegionKind::Old);
+        self.alloc.reclassify(id, RegionKind::Old);
         self.old.push(id);
+        Ok(())
     }
 
     // ----- addressing ---------------------------------------------------
@@ -421,10 +476,24 @@ impl Heap {
         self.header(obj).class_id()
     }
 
+    /// Checked variant of [`Heap::class_of`]: a forwarded header is a
+    /// typed error instead of garbage class bits.
+    #[inline]
+    pub fn try_class_of(&self, obj: Addr) -> Result<ClassId, HeapError> {
+        self.header(obj).try_class_id()
+    }
+
     /// Total size in bytes of the object at `obj`.
     #[inline]
     pub fn object_size(&self, obj: Addr) -> u32 {
         self.classes.get(self.class_of(obj)).size()
+    }
+
+    /// Checked variant of [`Heap::object_size`] for headers that may be
+    /// forwarded (e.g. crash-recovery scans over suspect records).
+    #[inline]
+    pub fn try_object_size(&self, obj: Addr) -> Result<u32, HeapError> {
+        Ok(self.classes.get(self.try_class_of(obj)?).size())
     }
 
     /// The address of reference slot `i` of `obj`.
@@ -653,9 +722,68 @@ mod tests {
         let e = h.take_region(RegionKind::Eden).unwrap();
         assert_eq!(h.eden(), &[e]);
         assert_eq!(h.free_count(), 7);
-        h.release_region(e);
+        h.release_region(e).unwrap();
         assert_eq!(h.eden().len(), 0);
         assert_eq!(h.free_count(), 8);
+    }
+
+    #[test]
+    fn double_release_is_a_typed_error() {
+        // Pinned regression: before PR 8 a second release of the same
+        // region silently returned, corrupting free-count accounting in
+        // release builds.
+        let mut h = test_heap();
+        let e = h.take_region(RegionKind::Eden).unwrap();
+        h.release_region(e).unwrap();
+        assert_eq!(h.release_region(e), Err(HeapError::DoubleRelease(e)));
+        assert_eq!(h.free_count(), 8, "failed release must not double-push");
+    }
+
+    #[test]
+    fn take_region_rejects_unservable_roles() {
+        let mut h = test_heap();
+        for kind in [RegionKind::Free, RegionKind::Cache, RegionKind::Humongous] {
+            assert_eq!(h.take_region(kind), Err(HeapError::BadTakeKind(kind)));
+        }
+        assert_eq!(h.free_count(), 8, "rejected takes must not consume regions");
+    }
+
+    #[test]
+    fn kind_transitions_are_typed_errors() {
+        let mut h = test_heap();
+        let e = h.take_region(RegionKind::Eden).unwrap();
+        // eden_to_survivor requires the kind to already be Survivor.
+        assert_eq!(
+            h.eden_to_survivor(e),
+            Err(HeapError::KindMismatch {
+                region: e,
+                expected: RegionKind::Survivor,
+                found: RegionKind::Eden,
+            })
+        );
+        assert_eq!(
+            h.survivor_to_old(e),
+            Err(HeapError::KindMismatch {
+                region: e,
+                expected: RegionKind::Survivor,
+                found: RegionKind::Eden,
+            })
+        );
+    }
+
+    #[test]
+    fn allocator_lower_table_tracks_region_lifecycle() {
+        let mut h = test_heap();
+        let e = h.take_region(RegionKind::Eden).unwrap();
+        assert_eq!(h.allocator().lower(e).kind, RegionKind::Eden);
+        h.alloc_object(e, 1).unwrap();
+        h.release_region(e).unwrap();
+        let entry = h.allocator().lower(e);
+        assert_eq!(entry.kind, RegionKind::Free);
+        assert_eq!(entry.watermark, 16, "release records the final used bytes");
+        let s = h.take_region(RegionKind::Survivor).unwrap();
+        h.survivor_to_old(s).unwrap();
+        assert_eq!(h.allocator().lower(s).kind, RegionKind::Old);
     }
 
     #[test]
@@ -715,7 +843,7 @@ mod tests {
         let e = h.take_region(RegionKind::Eden).unwrap();
         let a = h.alloc_object(e, 0).unwrap();
         h.write_data(a, 0, u64::MAX);
-        h.release_region(e);
+        h.release_region(e).unwrap();
         let e2 = h.take_region(RegionKind::Eden).unwrap();
         assert_eq!(e2, e, "LIFO free list reuses the region");
         let a2 = h.alloc_object(e2, 0).unwrap();
@@ -778,7 +906,7 @@ mod tests {
         let mut h = test_heap();
         let c1 = h.alloc_aux_region(DeviceId::Dram);
         assert_eq!(h.region(c1).kind(), RegionKind::Cache);
-        h.release_region(c1);
+        h.release_region(c1).unwrap();
         let c2 = h.alloc_aux_region(DeviceId::Dram);
         assert_eq!(c1, c2, "aux region is reused");
     }
@@ -787,7 +915,7 @@ mod tests {
     fn survivor_to_old_reclassifies() {
         let mut h = test_heap();
         let s = h.take_region(RegionKind::Survivor).unwrap();
-        h.survivor_to_old(s);
+        h.survivor_to_old(s).unwrap();
         assert!(h.survivor().is_empty());
         assert_eq!(h.old(), &[s]);
         assert_eq!(h.region(s).kind(), RegionKind::Old);

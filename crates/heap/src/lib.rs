@@ -10,6 +10,9 @@
 //! Key pieces:
 //!
 //! - [`addr`] — 64-bit heap addresses encoding (region, offset).
+//! - [`alloc`] — the two-level crash-consistent region allocator
+//!   (persistent lower table + volatile upper free-stack) beneath the
+//!   heap's region management.
 //! - [`class`] — a class table describing object layouts (reference slot
 //!   count + payload size), including array-like classes.
 //! - [`object`] — header encoding: class id, GC age, forwarding pointers.
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod alloc;
 pub mod cardtable;
 pub mod class;
 pub mod heap;
@@ -35,6 +39,7 @@ pub mod remset;
 pub mod verify;
 
 pub use addr::Addr;
+pub use alloc::{LowerEntry, RegionAllocator};
 pub use cardtable::CardTable;
 pub use class::{ClassId, ClassInfo, ClassTable};
 pub use heap::{DevicePlacement, Heap, HeapConfig};
@@ -54,6 +59,29 @@ pub enum HeapError {
     },
     /// An address did not decode to a live region.
     BadAddress(Addr),
+    /// A region was released while already free. Silent in release
+    /// builds before PR 8, this corrupted free-count accounting with no
+    /// signal; the collector surfaces it as an oracle violation.
+    DoubleRelease(RegionId),
+    /// [`Heap::take_region`] was asked for a role the free-list
+    /// allocator cannot serve (free, cache, or humongous).
+    BadTakeKind(RegionKind),
+    /// A region-kind transition found the region in an unexpected state.
+    KindMismatch {
+        /// The region being transitioned.
+        region: RegionId,
+        /// The kind the transition requires.
+        expected: RegionKind,
+        /// The kind actually found.
+        found: RegionKind,
+    },
+    /// A header accessor needed a normal header but found a forwarding
+    /// pointer — reading class/age bits out of a forwarded header yields
+    /// garbage, so the checked accessors reject it.
+    ForwardedHeader {
+        /// The raw header word.
+        raw: u64,
+    },
 }
 
 impl std::fmt::Display for HeapError {
@@ -64,6 +92,23 @@ impl std::fmt::Display for HeapError {
                 write!(f, "object of {size} bytes exceeds region size")
             }
             HeapError::BadAddress(a) => write!(f, "bad heap address {a:?}"),
+            HeapError::DoubleRelease(r) => {
+                write!(f, "region {r} released while already free")
+            }
+            HeapError::BadTakeKind(k) => {
+                write!(f, "take_region cannot serve role {k:?}")
+            }
+            HeapError::KindMismatch {
+                region,
+                expected,
+                found,
+            } => write!(
+                f,
+                "region {region} kind transition expected {expected:?}, found {found:?}"
+            ),
+            HeapError::ForwardedHeader { raw } => {
+                write!(f, "forwarded header {raw:#x} has no class/age bits")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! the paper's header map optimization exists to keep off NVM.
 
 use crate::addr::Addr;
+use crate::HeapError;
 
 /// Size of the object header in bytes.
 pub const HEADER_BYTES: u32 = 8;
@@ -55,11 +56,25 @@ impl Header {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds when called on a forwarding header.
+    /// Panics in debug builds when called on a forwarding header. Hot
+    /// paths that have already checked [`Header::is_forwarded`] use
+    /// this; anything handed a header of unknown state (crash-recovery
+    /// scans, verification walks) must use [`Header::try_class_id`],
+    /// which rejects forwarded headers in release builds too.
     #[inline]
     pub fn class_id(self) -> u32 {
         debug_assert!(!self.is_forwarded());
         (self.0 >> 32) as u32
+    }
+
+    /// Checked variant of [`Header::class_id`]: a forwarding header is a
+    /// typed error instead of garbage class bits.
+    #[inline]
+    pub fn try_class_id(self) -> Result<u32, HeapError> {
+        if self.is_forwarded() {
+            return Err(HeapError::ForwardedHeader { raw: self.0 });
+        }
+        Ok((self.0 >> 32) as u32)
     }
 
     /// The GC age of a non-forwarded header.
@@ -69,10 +84,26 @@ impl Header {
         (self.0 >> 8) as u8
     }
 
+    /// Checked variant of [`Header::age`].
+    #[inline]
+    pub fn try_age(self) -> Result<u8, HeapError> {
+        if self.is_forwarded() {
+            return Err(HeapError::ForwardedHeader { raw: self.0 });
+        }
+        Ok((self.0 >> 8) as u8)
+    }
+
     /// A copy of this header with the age incremented (saturating at 255).
     pub fn aged(self) -> Header {
         debug_assert!(!self.is_forwarded());
         Header::new(self.class_id(), self.age().saturating_add(1))
+    }
+
+    /// Checked variant of [`Header::aged`]: aging a forwarding header
+    /// would manufacture a bogus class id, so it is a typed error.
+    pub fn try_aged(self) -> Result<Header, HeapError> {
+        let class = self.try_class_id()?;
+        Ok(Header::new(class, self.try_age()?.saturating_add(1)))
     }
 
     /// The raw header word.
@@ -110,6 +141,22 @@ mod tests {
         assert_eq!(h.class_id(), 3);
         let old = Header::new(3, 255).aged();
         assert_eq!(old.age(), 255);
+    }
+
+    #[test]
+    fn checked_accessors_reject_forwarded_headers() {
+        // Pinned regression: the unchecked accessors only debug_assert,
+        // so in release builds a forwarded header silently decoded to
+        // garbage class/age bits. The try_* variants are typed errors.
+        let fwd = Header::forwarding(Addr(0x10_0040));
+        let err = HeapError::ForwardedHeader { raw: fwd.raw() };
+        assert_eq!(fwd.try_class_id(), Err(err.clone()));
+        assert_eq!(fwd.try_age(), Err(err.clone()));
+        assert_eq!(fwd.try_aged(), Err(err));
+        let normal = Header::new(7, 3);
+        assert_eq!(normal.try_class_id(), Ok(7));
+        assert_eq!(normal.try_age(), Ok(3));
+        assert_eq!(normal.try_aged(), Ok(Header::new(7, 4)));
     }
 
     #[test]

@@ -329,7 +329,7 @@ mod tests {
         let a = h.alloc_object(e, 0).unwrap();
         let b = h.alloc_object(dead, 1).unwrap();
         h.write_ref(h.ref_slot(a, 0), b);
-        h.release_region(dead);
+        h.release_region(dead).unwrap();
         assert!(matches!(
             verify_heap(&h, &[a]),
             Err(VerifyError::RefIntoFreeRegion { .. })

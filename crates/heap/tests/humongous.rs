@@ -63,7 +63,7 @@ fn releasing_a_humongous_region_returns_it_to_the_free_list() {
     let big = h.alloc_humongous(1).unwrap();
     let region = big.region(h.shift());
     let free_before = h.free_count();
-    h.release_region(region);
+    h.release_region(region).unwrap();
     assert_eq!(h.free_count(), free_before + 1);
     assert!(h.humongous().is_empty());
     assert_eq!(h.region(region).kind(), RegionKind::Free);

@@ -131,12 +131,12 @@ proptest! {
                     taken.push(r);
                 }
             } else if let Some(r) = taken.pop() {
-                h.release_region(r);
+                h.release_region(r).unwrap();
             }
         }
         prop_assert_eq!(h.free_count() + taken.len() + h.old().len() - taken.len(), initial);
         for r in taken.drain(..) {
-            h.release_region(r);
+            h.release_region(r).unwrap();
         }
         prop_assert_eq!(h.free_count(), initial);
     }

@@ -67,7 +67,7 @@ fn cycle_through_a_dead_object_is_reported_and_terminates() {
     h.write_ref(h.ref_slot(a, 0), b);
     h.write_ref(h.ref_slot(b, 0), a);
     assert!(verify_heap(&h, &[a]).is_ok(), "cycle is legal while live");
-    h.release_region(eden2);
+    h.release_region(eden2).unwrap();
     assert_eq!(
         verify_heap(&h, &[a]),
         Err(VerifyError::RefIntoFreeRegion { target: b })

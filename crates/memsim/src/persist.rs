@@ -885,6 +885,16 @@ impl DurabilityLedger {
         self.meta.insert(key, self.watermark);
     }
 
+    /// Batch variant of [`DurabilityLedger::persist_meta`]: records every
+    /// key at the same watermark, modeling several metadata slots made
+    /// durable under one fence (the allocator journal's safepoint drain).
+    pub fn persist_meta_many(&mut self, keys: impl IntoIterator<Item = u64>, now: Ns) {
+        self.advance(now);
+        for key in keys {
+            self.meta.insert(key, self.watermark);
+        }
+    }
+
     /// Drains every buffered XPLine to media (the cycle-end fence: on
     /// ADR hardware, everything the device buffer accepted before the
     /// fence reaches the medium even across a power failure). Volatile

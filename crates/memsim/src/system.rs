@@ -707,6 +707,41 @@ impl MemorySystem {
         }
     }
 
+    /// Batch variant of [`MemorySystem::persist_meta`]: synchronously
+    /// persists every key in `keys` under one fence (several metadata
+    /// slots — e.g. the allocator journal's dirty lower-table entries —
+    /// made durable by a single safepoint drain). Returns the completion
+    /// time: one fence when the model is active for `dev` and any key was
+    /// persisted, `now` otherwise.
+    pub fn persist_meta_many(
+        &mut self,
+        dev: DeviceId,
+        keys: impl IntoIterator<Item = u64>,
+        now: Ns,
+    ) -> Ns {
+        match &mut self.persist[dev.index()] {
+            Some(p) => {
+                let mut count = 0u64;
+                for key in keys {
+                    p.persist_meta(key, now);
+                    count += 1;
+                }
+                if count == 0 {
+                    return now;
+                }
+                self.trace.instant(
+                    "persist-fence",
+                    TraceCat::Fence,
+                    device_track(dev),
+                    now,
+                    count,
+                );
+                now + self.cfg.fence_ns as Ns
+            }
+            None => now,
+        }
+    }
+
     /// Drains the device's entire write-combining buffer (the cycle-end
     /// fence on ADR hardware: everything the buffer accepted before the
     /// fence reaches the medium even across a power failure).

@@ -13,7 +13,7 @@ use nvmgc_core::gclog::{GcKind, GcLog};
 use nvmgc_core::stats::RunGcStats;
 use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_heap::verify::{verify_heap, GraphDigest, VerifyError};
-use nvmgc_heap::{DevicePlacement, Heap, HeapConfig};
+use nvmgc_heap::{DevicePlacement, Heap, HeapConfig, RegionId, RegionKind};
 use nvmgc_memsim::{
     DeviceId, MemConfig, MemStats, MemorySystem, Ns, PhaseKind, TraceCat, TraceEvent,
 };
@@ -274,6 +274,13 @@ pub struct AppRunResult {
     /// collector configuration, or crash recovery — the recovery tests
     /// compare a crashed-and-resumed run against a never-crashed one.
     pub final_digest: GraphDigest,
+    /// The region allocator's free stack at the end of the run (top of
+    /// stack last). A crashed-and-recovered run must end with exactly
+    /// the free stack a never-crashed same-seed run ends with.
+    pub final_free_regions: Vec<RegionId>,
+    /// Per-region kinds from the allocator's lower table at the end of
+    /// the run, indexed by region id over `0..heap_regions`.
+    pub final_region_kinds: Vec<RegionKind>,
 }
 
 impl AppRunResult {
@@ -666,6 +673,10 @@ fn finish_run(
     // digest, for cross-run comparisons.
     let final_digest = verify_heap(&heap, &mutator.roots)
         .map_err(|e| fail(RunPhase::Verify, cycles.len(), RunFailure::Verify(e)))?;
+    let final_free_regions = heap.allocator().free_stack().to_vec();
+    let final_region_kinds = (0..heap.config().heap_regions)
+        .map(|r| heap.allocator().lower(r).kind)
+        .collect();
     let sampler = mem.sampler();
     let gc_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Gc);
     let app_nvm_bandwidth = sampler.phase_bandwidth(DeviceId::Nvm, PhaseKind::Mutator);
@@ -700,6 +711,8 @@ fn finish_run(
         allocated_objects: mutator.allocated_objects(),
         digest_checks,
         final_digest,
+        final_free_regions,
+        final_region_kinds,
     })
 }
 

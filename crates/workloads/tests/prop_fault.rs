@@ -178,6 +178,57 @@ proptest! {
             }
         }
     }
+
+    /// Allocator crash recovery: with the durable region allocator on, a
+    /// crashed-and-recovered run's *final allocator state* — the free
+    /// stack and every region's kind — must be byte-identical to a
+    /// never-crashed same-seed run's. The allocator recovery scan rebuilt
+    /// the volatile upper tree from the journaled lower tables and the
+    /// rebuild converged on exactly the state a crash-free execution
+    /// reaches, not merely an equivalent one.
+    #[test]
+    fn allocator_recovery_matches_uncrashed_run(
+        seed in any::<u64>(),
+        severe in any::<bool>(),
+    ) {
+        // Moderate+ plans schedule power failures; Mild never does.
+        let sev = if severe { Severity::Severe } else { Severity::Moderate };
+        let mut crashed = faulted_cfg(seed, sev, true);
+        crashed.gc.header_map.durable = true;
+        crashed.gc.allocator.durable = true;
+        let mut clean = crashed.clone();
+        clean.gc.fault = FaultPlan::none();
+
+        match run_app(&crashed) {
+            Ok(r) => {
+                let clean_res = match run_app(&clean) {
+                    Ok(r) => r,
+                    Err(e) => return Err(TestCaseError::fail(format!("clean run failed: {e}"))),
+                };
+                prop_assert_eq!(
+                    &r.final_digest, &clean_res.final_digest,
+                    "recovered graph differs from the never-crashed run"
+                );
+                prop_assert_eq!(
+                    &r.final_free_regions, &clean_res.final_free_regions,
+                    "recovered free stack differs from the never-crashed run"
+                );
+                prop_assert_eq!(
+                    &r.final_region_kinds, &clean_res.final_region_kinds,
+                    "recovered region kinds differ from the never-crashed run"
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    !matches!(
+                        e.failure,
+                        RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+                    ),
+                    "allocator recovery must never corrupt the graph: {e}"
+                );
+            }
+        }
+    }
 }
 
 /// Unfaulted runs skip digest tracing entirely — the robustness plane is

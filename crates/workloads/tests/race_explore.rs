@@ -1,0 +1,142 @@
+//! Deterministic race exploration over full workload runs.
+//!
+//! With a race seed configured, the collector perturbs worker clocks at
+//! seeded synchronization points (allocator take/release, header-map
+//! install, durable fences), forcing adversarial interleavings under the
+//! deterministic scheduler. These tests pin down that the exploration
+//! layer (a) actually fires, (b) drives *distinct* interleavings across
+//! seeds, (c) never provokes an oracle violation or graph corruption,
+//! and (d) is itself deterministic per seed.
+
+use nvmgc_core::fault::{FaultPlan, Severity};
+use nvmgc_core::GcConfig;
+use nvmgc_workloads::spec::ClassMix;
+use nvmgc_workloads::{run_app, AppRunConfig, RunFailure, WorkloadSpec};
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "race-explore",
+        alloc_young_multiple: 3.0,
+        mix: vec![ClassMix {
+            num_refs: 2,
+            data_bytes: 24,
+            weight: 1,
+        }],
+        survival: 0.4,
+        keep_gcs: 1,
+        old_link_fraction: 0.1,
+        chain_fraction: 0.0,
+        cpu_per_alloc_ns: 20.0,
+        touches_per_alloc: 1,
+        app_threads: 4,
+        share_fraction: 0.15,
+        old_anchor_bytes: 8 << 10,
+    }
+}
+
+fn raced_cfg(race_seed: Option<u64>) -> AppRunConfig {
+    // 12 workers over the optimized configuration: the header map and
+    // survivor/promotion paths are all active, so every race-site kind
+    // (alloc take, alloc release, map install, durable fence) is hit.
+    let mut cfg = AppRunConfig::standard(small_spec(), GcConfig::plus_all(12, 1 << 20));
+    cfg.heap.region_size = 16 << 10;
+    cfg.heap.heap_regions = 96;
+    cfg.heap.young_regions = 32;
+    cfg.gc.race.seed = race_seed;
+    cfg
+}
+
+/// Interleaving fingerprint of a run: the fold of every cycle's race
+/// digest, plus the total number of synchronization points crossed.
+/// Completing at all means every oracle stayed green — accounting
+/// violations and heap-structure errors surface as typed run failures,
+/// and `run_app` structurally verifies the final reachable graph.
+fn fingerprint(seed: u64) -> (u64, u64) {
+    let r = run_app(&raced_cfg(Some(seed))).expect("raced run must not violate any oracle");
+    let digest = r
+        .cycles
+        .iter()
+        .fold(0u64, |acc, c| acc.rotate_left(13) ^ c.race_digest);
+    let points: u64 = r.cycles.iter().map(|c| c.race_sync_points).sum();
+    (digest, points)
+}
+
+#[test]
+fn race_seeds_drive_distinct_interleavings_without_violations() {
+    let baseline = run_app(&raced_cfg(None)).expect("baseline run");
+    assert_eq!(
+        baseline
+            .cycles
+            .iter()
+            .map(|c| c.race_sync_points)
+            .sum::<u64>(),
+        0,
+        "race exploration must be off without a seed"
+    );
+
+    let runs: Vec<_> = [0x000A_11CE, 0x0B0B_5EED, 0xCAFE_F00D]
+        .iter()
+        .map(|&s| fingerprint(s))
+        .collect();
+    for (digest, points) in &runs {
+        assert!(
+            *points > 0,
+            "seeded run must cross synchronization points, got {points}"
+        );
+        assert_ne!(*digest, 0, "interleaving digest must fold in real state");
+    }
+    let mut digests: Vec<u64> = runs.iter().map(|r| r.0).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(
+        digests.len(),
+        3,
+        "three seeds must explore three distinct interleavings"
+    );
+}
+
+#[test]
+fn race_exploration_is_deterministic_per_seed() {
+    assert_eq!(fingerprint(0xDEAD_BEEF), fingerprint(0xDEAD_BEEF));
+}
+
+#[test]
+fn raced_cycles_preserve_the_graph_under_verification() {
+    // A fault plan turns on per-cycle pre/post graph digest comparison;
+    // race skew on top forces adversarial interleavings through the same
+    // cycles. Every surviving cycle must still copy the graph exactly,
+    // and a typed failure must never be a corruption report.
+    let mut cfg = raced_cfg(Some(0x0DD_C0DE));
+    cfg.gc.fault = FaultPlan::generate(7, Severity::Mild, 40_000_000);
+    match run_app(&cfg) {
+        Ok(r) => {
+            assert!(r.cycles.iter().map(|c| c.race_sync_points).sum::<u64>() > 0);
+            assert_eq!(
+                r.digest_checks,
+                r.gc.cycles(),
+                "every raced cycle's pre/post digest was compared"
+            );
+        }
+        Err(e) => {
+            assert!(
+                !matches!(
+                    e.failure,
+                    RunFailure::DigestMismatch { .. } | RunFailure::Verify(_)
+                ),
+                "race exploration must never corrupt the graph: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn race_exploration_composes_with_the_durable_allocator() {
+    // Race skew at allocator sites while the durable allocator journals
+    // every take/release: the accounting and recovery oracles stay green.
+    let mut cfg = raced_cfg(Some(0x5EED_FACE));
+    cfg.gc.header_map.durable = true;
+    cfg.gc.allocator.durable = true;
+    let raced = run_app(&cfg).expect("raced durable-allocator run");
+    assert!(raced.cycles.iter().map(|c| c.race_sync_points).sum::<u64>() > 0);
+    assert!(raced.cycles.iter().map(|c| c.alloc_fences).sum::<u64>() > 0);
+}
