@@ -161,4 +161,129 @@ fn main() {
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
     write_throughput("fig05_gc_time", &pool, &totals).expect("write throughput");
+
+    plan_axis(&apps, &report.data);
+}
+
+/// One row of `results/fig05_plan_axis.json`: the Figure 5 measurement
+/// repeated along the plan axis. The G1 columns are the main grid's (the
+/// runs are deterministic, so re-running them would reproduce the same
+/// numbers byte-for-byte); the PS and semispace columns come from a
+/// second grid run as a separate sweep, leaving `fig05_gc_time.json` and
+/// its throughput accounting untouched.
+#[derive(Serialize)]
+struct PlanRow {
+    app: String,
+    g1_vanilla_ms: f64,
+    g1_all_ms: f64,
+    ps_vanilla_ms: f64,
+    ps_all_ms: f64,
+    semispace_vanilla_ms: f64,
+    semispace_all_ms: f64,
+}
+
+/// Runs the plan axis: every Figure 5 application under the PS and
+/// semispace plans (vanilla and `+all`, all-NVM), reporting them next to
+/// the main grid's G1 columns. The semispace rows quantify what the
+/// regional machinery itself buys atop NVM — the baseline the paper's
+/// collectors are implicitly compared against.
+fn plan_axis(apps: &[nvmgc_workloads::WorkloadSpec], g1_rows: &[Row]) {
+    let nvm = DevicePlacement::all_nvm();
+    let variants: [GcConfig; 4] = [
+        GcConfig::ps_vanilla(PAPER_THREADS),
+        GcConfig::ps_plus_all(PAPER_THREADS, 0),
+        GcConfig::semispace(PAPER_THREADS),
+        GcConfig::semispace_plus_all(PAPER_THREADS, 0),
+    ];
+    type Post = Box<
+        dyn FnOnce(
+                Result<nvmgc_workloads::AppRunResult, nvmgc_workloads::RunError>,
+            ) -> (f64, WorkCounters)
+            + Send,
+    >;
+    let mut cells: Vec<(String, nvmgc_workloads::AppRunConfig, Post)> = Vec::new();
+    for spec in apps {
+        for (vi, gc) in variants.clone().into_iter().enumerate() {
+            let mut cfg = sized_config(spec.clone(), gc);
+            cfg.heap.placement = nvm;
+            cells.push((
+                format!("plan-axis app={} variant={vi}", spec.name),
+                cfg,
+                Box::new(move |res| {
+                    let res = res.expect("run succeeds");
+                    (res.gc_seconds() * 1e3, WorkCounters::from_run(&res))
+                }),
+            ));
+        }
+    }
+    let (measured, pool, forks) = run_forked_cells(cells);
+    let mut totals = WorkCounters::default();
+    for (_, c) in &measured {
+        totals.add(c);
+    }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(measured.len(), &forks));
+
+    let mut rows: Vec<PlanRow> = Vec::new();
+    let mut table = TextTable::new(vec![
+        "app",
+        "g1",
+        "g1+all",
+        "ps",
+        "ps+all",
+        "semispace",
+        "ss+all",
+        "g1/ss",
+    ]);
+    for ((spec, g1), cell) in apps
+        .iter()
+        .zip(g1_rows.iter())
+        .zip(measured.chunks_exact(variants.len()))
+    {
+        let row = PlanRow {
+            app: spec.name.to_owned(),
+            g1_vanilla_ms: g1.vanilla_ms,
+            g1_all_ms: g1.all_ms,
+            ps_vanilla_ms: cell[0].0,
+            ps_all_ms: cell[1].0,
+            semispace_vanilla_ms: cell[2].0,
+            semispace_all_ms: cell[3].0,
+        };
+        table.row(vec![
+            row.app.clone(),
+            format!("{:.1}", row.g1_vanilla_ms),
+            format!("{:.1}", row.g1_all_ms),
+            format!("{:.1}", row.ps_vanilla_ms),
+            format!("{:.1}", row.ps_all_ms),
+            format!("{:.1}", row.semispace_vanilla_ms),
+            format!("{:.1}", row.semispace_all_ms),
+            format!(
+                "{:.2}x",
+                row.semispace_vanilla_ms / row.g1_vanilla_ms.max(1e-9)
+            ),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    let regional_wins = rows
+        .iter()
+        .filter(|r| r.g1_vanilla_ms < r.semispace_vanilla_ms)
+        .count();
+    println!(
+        "regional machinery (g1 vs semispace, vanilla) wins on {}/{} apps",
+        regional_wins,
+        rows.len()
+    );
+
+    let report = ExperimentReport {
+        id: "fig05_plan_axis".to_owned(),
+        paper_ref: "Figure 5, plan axis (no paper figure)".to_owned(),
+        notes: format!("{PAPER_THREADS} GC threads, scaled heaps; G1 columns from the main grid"),
+        data: rows,
+    };
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+    write_throughput("fig05_plan_axis", &pool, &totals).expect("write throughput");
 }

@@ -1,0 +1,137 @@
+//! Plan-axis matrix — the plan/policy decomposition sweep, not a paper
+//! figure.
+//!
+//! Runs every plan (G1, PS, semispace) through the fault matrix at its
+//! vanilla preset and with the full durable stack (write cache + header
+//! map + durable map + durable allocator). The grid lives in
+//! [`nvmgc_bench::grids`] next to the fault matrix so the golden-digest
+//! regression test exercises the exact same cells.
+//!
+//! The sweep asserts the decomposition's payoff:
+//!
+//! - **determinism** — `results/plan_matrix.json` is byte-identical
+//!   across repeated runs and any `NVMGC_JOBS` value (CI diffs runs at
+//!   jobs 1 vs 2);
+//! - **graceful degradation** — no cell panics at any severity: each
+//!   completes with digest checks passing or reports a typed error;
+//! - **shared crash recovery** — the semispace plan, which declares only
+//!   a copy policy and owns zero persistence code, must crash
+//!   mid-evacuation under a Moderate+ durable cell, recover through the
+//!   shared durable header map and allocator journal, resume, and
+//!   complete — proof the plans really do inherit the fault plane from
+//!   the policy layer.
+
+use nvmgc_bench::{
+    banner, fast_mode, fork_summary, plan_matrix_report, results_dir, run_plan_grid,
+    write_throughput, FaultRow, WorkCounters,
+};
+use nvmgc_metrics::{write_json, TextTable};
+
+fn main() {
+    banner(
+        "plan_matrix",
+        "plan/policy decomposition sweep (no paper figure)",
+    );
+    let (results, pool, forks) = run_plan_grid(fast_mode());
+    let mut totals = WorkCounters::default();
+    let mut rows: Vec<FaultRow> = Vec::with_capacity(results.len());
+    for (row, counters) in results {
+        totals.add(&counters);
+        rows.push(row);
+    }
+    totals.snapshot_forks = forks.snapshot_forks;
+    totals.warmup_steps_saved = forks.warmup_steps_saved;
+    println!("{}", fork_summary(rows.len(), &forks));
+
+    let mut table = TextTable::new(vec![
+        "app",
+        "plan/config",
+        "map",
+        "alloc",
+        "severity",
+        "seed",
+        "cycles",
+        "digests",
+        "faults",
+        "pf",
+        "recov",
+        "resumed",
+        "replayed",
+        "reconc",
+        "rebuilt",
+        "outcome",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.app.clone(),
+            r.config.clone(),
+            r.map_mode.clone(),
+            r.alloc_mode.clone(),
+            r.severity.clone(),
+            format!("{:#x}", r.plan_seed),
+            r.cycles.to_string(),
+            r.digest_checks.to_string(),
+            r.gc_fault_events.to_string(),
+            r.power_failure_checks.to_string(),
+            r.recovered_cycles.to_string(),
+            r.resumed_evacuations.to_string(),
+            r.replayed_map_entries.to_string(),
+            r.alloc_reconciled.to_string(),
+            r.alloc_rebuilt.to_string(),
+            if r.ok {
+                "ok".to_owned()
+            } else {
+                format!("error: {}", r.outcome)
+            },
+        ]);
+    }
+    println!("{}", table.render());
+
+    let completed = rows.iter().filter(|r| r.ok).count();
+    let corrupted = rows.iter().filter(|r| r.corruption).count();
+    println!(
+        "{}/{} cells completed; {} typed-error cells; {} corruption cells",
+        completed,
+        rows.len(),
+        rows.len() - completed,
+        corrupted
+    );
+
+    let report = plan_matrix_report(rows.clone());
+    let path = write_json(&results_dir(), &report).expect("write results");
+    println!("results: {}", path.display());
+    write_throughput("plan_matrix", &pool, &totals).expect("write throughput");
+
+    if corrupted > 0 {
+        eprintln!("plan_matrix: {corrupted} cell(s) reported graph corruption");
+        std::process::exit(1);
+    }
+
+    // Decomposition payoff gate: for EVERY plan, at least one Moderate+
+    // cell with the full durable stack must crash mid-evacuation, recover
+    // from the crash image (replaying or re-evacuating forwardings and
+    // rebuilding the allocator free stack), resume, and complete with
+    // digest checks passing. A plan that silently stops exercising the
+    // shared recovery path fails the harness.
+    for plan in ["g1", "ps", "semispace"] {
+        let prefix = format!("{plan}/");
+        let recovered = rows.iter().any(|r| {
+            r.config.starts_with(&prefix)
+                && matches!(r.severity.as_str(), "moderate" | "severe")
+                && r.map_mode == "durable"
+                && r.alloc_mode == "durable"
+                && r.ok
+                && r.recovered_cycles >= 1
+                && (r.resumed_evacuations + r.replayed_map_entries) >= 1
+                && r.alloc_rebuilt > 0
+                && r.digest_checks > 0
+        });
+        if !recovered {
+            eprintln!(
+                "plan_matrix: no durable {plan} cell crashed mid-evacuation \
+                 and resumed to completion through the shared recovery path"
+            );
+            std::process::exit(1);
+        }
+    }
+}

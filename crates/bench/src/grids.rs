@@ -304,6 +304,96 @@ fn fault_cell_outcome(
     }
 }
 
+/// The plan-axis grid: every plan (G1, PS, semispace) through the same
+/// fault matrix, at its vanilla preset and with the full durable stack
+/// (write cache + header map + durable map + durable allocator). The
+/// plan is encoded in the row's `config` label (`<plan>/<preset>`), so
+/// the pre-existing `fault_matrix.json` rows are untouched — this grid
+/// emits a *new* report (`results/plan_matrix.json`).
+///
+/// The semispace rows are the decomposition's payoff check: a plan with
+/// no regional machinery and zero persistence code of its own must still
+/// crash, recover and resume through the shared policy code under the
+/// durable configurations.
+pub fn plan_matrix_cells(fast: bool) -> Vec<FaultCell> {
+    let apps: &[&'static str] = if fast {
+        &["page-rank"]
+    } else {
+        &["page-rank", "kmeans"]
+    };
+    let seeds: &[u64] = if fast { &[0xB0A7] } else { &[0xB0A7, 0xC0FFEE] };
+    fn durable_alloc(mut gc: GcConfig) -> GcConfig {
+        gc.header_map.durable = true;
+        gc.allocator.durable = true;
+        gc
+    }
+    let t = FAULT_MATRIX_THREADS;
+    let configs: Vec<(&'static str, GcConfig)> = vec![
+        ("g1/vanilla", GcConfig::vanilla(t)),
+        (
+            "g1/+all/durable/alloc",
+            durable_alloc(GcConfig::plus_all(t, 0)),
+        ),
+        ("ps/vanilla", GcConfig::ps_vanilla(t)),
+        (
+            "ps/+all/durable/alloc",
+            durable_alloc(GcConfig::ps_plus_all(t, 0)),
+        ),
+        ("semispace/vanilla", GcConfig::semispace(t)),
+        (
+            "semispace/+all/durable/alloc",
+            durable_alloc(GcConfig::semispace_plus_all(t, 0)),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for &app in apps {
+        for (config_name, gc) in &configs {
+            for severity in Severity::ALL {
+                for &seed in seeds {
+                    cells.push(FaultCell {
+                        app,
+                        config_name,
+                        gc: gc.clone(),
+                        severity,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the plan-axis grid with one warmup per warm group. The warm key
+/// excludes the collector kind, so all three plans of a (app, severity,
+/// seed) tuple fork from the same warm image — and still emit rows
+/// byte-identical to cold per-cell runs.
+pub fn run_plan_grid(fast: bool) -> (Vec<(FaultRow, WorkCounters)>, PoolStats, ForkStats) {
+    let cells: Vec<(String, AppRunConfig, _)> = plan_matrix_cells(fast)
+        .into_iter()
+        .map(|cell| {
+            let cfg = fault_matrix_config(&cell);
+            let label = cell.label();
+            (label, cfg, move |res| fault_cell_outcome(&cell, res))
+        })
+        .collect();
+    run_forked_cells(cells)
+}
+
+/// Assembles the `results/plan_matrix.json` report from its rows.
+pub fn plan_matrix_report(rows: Vec<FaultRow>) -> ExperimentReport<Vec<FaultRow>> {
+    ExperimentReport {
+        id: "plan_matrix".to_owned(),
+        paper_ref: "plan/policy decomposition sweep (no paper figure)".to_owned(),
+        notes: format!(
+            "plans g1/ps/semispace over the fault matrix; {FAULT_MATRIX_THREADS} GC threads; \
+             fault horizon {FAULT_MATRIX_HORIZON_NS} ns; severities {:?}",
+            Severity::ALL.map(|s| s.name())
+        ),
+        data: rows,
+    }
+}
+
 /// Assembles the `results/fault_matrix.json` report from its rows.
 pub fn fault_matrix_report(rows: Vec<FaultRow>) -> ExperimentReport<Vec<FaultRow>> {
     ExperimentReport {
@@ -415,6 +505,51 @@ mod tests {
         assert_eq!(cfg.heap.heap_regions, 256);
         assert_eq!(cfg.heap.young_regions, 64);
         assert!(!cfg.gc.fault.is_empty());
+    }
+
+    #[test]
+    fn plan_grid_covers_every_plan_at_every_severity() {
+        let fast = plan_matrix_cells(true);
+        let full = plan_matrix_cells(false);
+        assert_eq!(fast.len(), Severity::ALL.len() * 6);
+        assert_eq!(full.len(), fast.len() * 4);
+        // Every fast cell appears in the full grid with the same label.
+        let full_labels: Vec<String> = full.iter().map(|c| c.label()).collect();
+        for c in &fast {
+            assert!(full_labels.contains(&c.label()), "{}", c.label());
+        }
+        // The payoff cells exist: semispace with the full durable stack at
+        // the power-failure severities.
+        for sev in ["moderate", "severe"] {
+            assert!(
+                fast.iter()
+                    .any(|c| c.config_name == "semispace/+all/durable/alloc"
+                        && c.severity.name() == sev
+                        && c.gc.durable_map_active()
+                        && c.gc.durable_alloc_active()),
+                "missing semispace durable cell at severity {sev}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_grid_labels_name_the_plan() {
+        use nvmgc_core::CollectorKind;
+        for cell in plan_matrix_cells(true) {
+            let plan = nvmgc_core::plan_of(cell.gc.collector).name;
+            assert!(
+                cell.config_name.starts_with(&format!("{plan}/")),
+                "config label {} does not name plan {plan}",
+                cell.config_name
+            );
+            // The semispace preset really is the no-regional-machinery one.
+            if cell.gc.collector == CollectorKind::Semispace
+                && cell.config_name.ends_with("vanilla")
+            {
+                assert!(!cell.gc.prefetch);
+                assert!(!cell.gc.write_cache.enabled);
+            }
+        }
     }
 
     #[test]

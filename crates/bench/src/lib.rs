@@ -23,8 +23,8 @@ pub mod warm;
 
 pub use grids::{
     fault_matrix_cells, fault_matrix_config, fault_matrix_report, fig01_apps, fig01_report,
-    run_fault_cell, run_fault_grid, run_fig01_app, FaultCell, FaultRow, Fig01Row,
-    FAULT_MATRIX_HORIZON_NS, FAULT_MATRIX_THREADS,
+    plan_matrix_cells, plan_matrix_report, run_fault_cell, run_fault_grid, run_fig01_app,
+    run_plan_grid, FaultCell, FaultRow, Fig01Row, FAULT_MATRIX_HORIZON_NS, FAULT_MATRIX_THREADS,
 };
 pub use runner::{
     jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with, write_throughput,

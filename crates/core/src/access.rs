@@ -6,7 +6,7 @@
 //! actor's advanced clock. Keeping the pairing in one place guarantees no
 //! heap operation escapes accounting.
 
-use nvmgc_heap::{Addr, ClassId, Header, Heap, RegionId};
+use nvmgc_heap::{Addr, ClassId, Header, Heap, HeapError, RegionId};
 use nvmgc_memsim::{DeviceId, MemorySystem, Ns};
 
 /// A heap + memory-model execution context.
@@ -79,6 +79,25 @@ impl<'a> Gx<'a> {
         let t = self.write_header(tid, obj, Header::forwarding(new), t);
         // Atomic RMW overhead beyond the plain store.
         (new, t + 15)
+    }
+
+    /// Installs a forwarding pointer over a header the caller believes is
+    /// not yet forwarded, charging a word write. Unlike
+    /// [`Gx::write_header`], which overwrites unconditionally, this
+    /// rejects an already-forwarded header as a typed error: silently
+    /// replacing a forwarding word would lose the original forwardee and
+    /// split the object graph (a `debug_assert!`-only guard before —
+    /// invisible in release builds). The state check itself is free; the
+    /// happy path charges exactly the same single word write.
+    pub fn install_forward(
+        &mut self,
+        tid: usize,
+        obj: Addr,
+        new: Addr,
+        now: Ns,
+    ) -> Result<Ns, HeapError> {
+        let h = self.heap.header(obj).forward_to(new)?;
+        Ok(self.write_header(tid, obj, h, now))
     }
 
     /// Copies the object at `from` into `to_region`, charging a streaming
@@ -233,6 +252,29 @@ mod tests {
         assert_eq!(w1, c1);
         let (w2, _) = gx.cas_forward(1, a, c2, t);
         assert_eq!(w2, c1, "second CAS observes the first forwarding");
+    }
+
+    #[test]
+    fn install_forward_rejects_double_forward() {
+        // Pinned regression: the unchecked install path silently
+        // overwrote an existing forwarding word in release builds,
+        // losing the first forwardee. install_forward surfaces it.
+        let (mut heap, mut mem) = setup();
+        let e = heap.take_region(RegionKind::Eden).unwrap();
+        let s = heap.take_region(RegionKind::Survivor).unwrap();
+        let a = heap.alloc_object(e, 0).unwrap();
+        let c1 = heap.alloc_object(s, 0).unwrap();
+        let c2 = heap.alloc_object(s, 0).unwrap();
+        let mut gx = Gx::new(&mut heap, &mut mem);
+        let t = gx.install_forward(0, a, c1, 0).expect("first install");
+        assert!(t > 0);
+        let raw = gx.heap.header(a).raw();
+        assert_eq!(
+            gx.install_forward(0, a, c2, t),
+            Err(HeapError::AlreadyForwarded { raw })
+        );
+        // The original forwarding word survived the rejected install.
+        assert_eq!(gx.heap.header(a).forwardee(), Some(c1));
     }
 
     #[test]

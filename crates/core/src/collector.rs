@@ -1,4 +1,4 @@
-//! The parallel copy-and-traverse worker.
+//! Shared worker and cycle state for the parallel copying collectors.
 //!
 //! Each simulated GC thread repeats the four steps of the paper's §3.1:
 //!
@@ -12,35 +12,45 @@
 //!    — absorbed by DRAM when the slot lives in a cache region) and push
 //!    the referent's own references.
 //!
-//! Work stealing, promotion (ageing), PS-style LABs, asynchronous region
-//! flushing and the final write-back / header-map-cleanup phases all live
-//! here. Workers never touch wall-clock time: every operation advances
-//! the worker's simulated clock through the memory model.
+//! The *mechanisms* of those steps — tracing, copying, forwarding
+//! installs, write-back flushing, allocator drains — live in the
+//! [`crate::policy`] modules; which survivor policy a cycle runs is
+//! declared by its plan ([`crate::plan`]) and sequenced by the
+//! work-packet scheduler ([`crate::scheduler`]). This module keeps what
+//! every policy shares: the [`Worker`] (a simulated thread and its
+//! clock), the [`CycleShared`] cycle state, the timing constants, and
+//! the race-exploration synchronization points. Workers never touch
+//! wall-clock time: every operation advances the worker's simulated
+//! clock through the memory model.
 
 use crate::access::Gx;
-use crate::config::{CollectorKind, GcConfig, Traversal};
+use crate::config::GcConfig;
 use crate::error::GcError;
 use crate::fault::FaultState;
-use crate::header_map::{HeaderMap, Put, PutOutcome, ENTRY_BYTES};
-use crate::oracle;
-use crate::stack::{Task, WorkPool};
+use crate::header_map::HeaderMap;
+use crate::policy::copy::Lab;
+use crate::policy::flush::FlushTask;
+use crate::stack::WorkPool;
 use crate::stats::GcStats;
 use crate::write_cache::WriteCachePool;
-use nvmgc_heap::{Addr, Header, Heap, HeapError, RegionId, RegionKind};
-use nvmgc_memsim::{DeviceId, MemorySystem, Ns, Pattern, TraceCat};
+use nvmgc_heap::{Addr, Header, Heap, RegionId};
+use nvmgc_memsim::{MemorySystem, Ns};
 use std::collections::VecDeque;
 
-/// Synthetic DRAM address base for the mutator root array.
-pub const ROOT_ARRAY_BASE: u64 = 0x5000_0000_0000_0000;
+// The phase step functions moved into the policy modules with the
+// plan/policy split; they are re-exported here so existing callers (and
+// the paper-era module layout) keep working.
+pub use crate::policy::flush::{assign_clear_ranges, step_clear, step_writeback};
+pub use crate::policy::trace::{step_scan, ROOT_ARRAY_BASE};
 
 /// Extra latency of an atomic RMW beyond a plain store, ns.
-const CAS_EXTRA_NS: u64 = 15;
+pub(crate) const CAS_EXTRA_NS: u64 = 15;
 
 /// Cost of a successful steal (queue synchronization), ns.
-const STEAL_NS: u64 = 120;
+pub(crate) const STEAL_NS: u64 = 120;
 
 /// Cost of acquiring a shared region / LAB chunk, ns.
-const REGION_SYNC_NS: u64 = 60;
+pub(crate) const REGION_SYNC_NS: u64 = 60;
 
 /// Race-exploration site: a worker takes a region from the allocator.
 pub const RACE_SITE_ALLOC_TAKE: u64 = 1;
@@ -81,35 +91,19 @@ pub fn race_sync(w: &mut Worker, sh: &mut CycleShared<'_>, site: u64) {
     sh.stats.race_digest = nvmgc_memsim::fault::splitmix64(&mut mix);
 }
 
-/// An in-progress region flush (chunked so other work interleaves).
-#[derive(Debug, Clone, Copy)]
-struct FlushTask {
-    region: RegionId,
-    cursor: u32,
-}
-
-/// A PS local allocation buffer carved out of a shared region.
-#[derive(Debug, Clone, Copy)]
-struct Lab {
-    region: RegionId,
-    cursor: u32,
-    end: u32,
-    cached: bool,
-}
-
 /// Per-worker counters merged into [`GcStats`] at the end of a cycle.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct WorkerStats {
-    slots: u64,
-    filtered: u64,
-    copied_objects: u64,
-    copied_bytes: u64,
-    promoted_bytes: u64,
-    hm_hits: u64,
-    hm_installs: u64,
-    hm_full: u64,
-    overflow_copies: u64,
-    evac_failures: u64,
+    pub(crate) slots: u64,
+    pub(crate) filtered: u64,
+    pub(crate) copied_objects: u64,
+    pub(crate) copied_bytes: u64,
+    pub(crate) promoted_bytes: u64,
+    pub(crate) hm_hits: u64,
+    pub(crate) hm_installs: u64,
+    pub(crate) hm_full: u64,
+    pub(crate) overflow_copies: u64,
+    pub(crate) evac_failures: u64,
 }
 
 /// One simulated GC worker thread.
@@ -124,14 +118,14 @@ pub struct Worker {
     /// Engine scheduler steps taken (incremented by the engine itself;
     /// cumulative across the phases a worker lives through).
     pub steps: u64,
-    stats: WorkerStats,
-    flush: Option<FlushTask>,
-    cache_pair: Option<(RegionId, RegionId)>,
-    survivor: Option<RegionId>,
-    lab: Option<Lab>,
-    slots_since_flush_check: u32,
-    clear_range: Option<(usize, usize)>,
-    race_calls: u64,
+    pub(crate) stats: WorkerStats,
+    pub(crate) flush: Option<FlushTask>,
+    pub(crate) cache_pair: Option<(RegionId, RegionId)>,
+    pub(crate) survivor: Option<RegionId>,
+    pub(crate) lab: Option<Lab>,
+    pub(crate) slots_since_flush_check: u32,
+    pub(crate) clear_range: Option<(usize, usize)>,
+    pub(crate) race_calls: u64,
 }
 
 impl Worker {
@@ -185,10 +179,12 @@ pub struct CycleShared<'a> {
     /// Shared promotion (old-space) allocation region, persisted across
     /// cycles by the collector front-end.
     pub promo_region: &'a mut Option<RegionId>,
-    /// PS: shared survivor region LABs are carved from.
-    pub ps_shared_survivor: Option<RegionId>,
-    /// PS with write cache: shared (cache, nvm) pair LABs are carved from.
-    pub ps_shared_cache: Option<(RegionId, RegionId)>,
+    /// Shared survivor region: PS carves LABs from it, the semispace plan
+    /// bump-allocates every copy from it.
+    pub shared_survivor: Option<RegionId>,
+    /// With the write cache: shared (cache, nvm) pair PS LABs and
+    /// semispace copies are carved from.
+    pub shared_cache: Option<(RegionId, RegionId)>,
     /// Work list for the final write-back phase.
     pub writeback_queue: VecDeque<RegionId>,
     /// Cycle statistics under construction.
@@ -216,7 +212,7 @@ pub struct CycleShared<'a> {
 }
 
 impl CycleShared<'_> {
-    fn gx(&mut self) -> Gx<'_> {
+    pub(crate) fn gx(&mut self) -> Gx<'_> {
         Gx {
             heap: self.heap,
             mem: self.mem,
@@ -237,944 +233,5 @@ impl CycleShared<'_> {
         self.stats.cache_overflow_copies += s.overflow_copies;
         self.stats.evac_failures += s.evac_failures;
         self.stats.engine_steps += w.steps;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Scan (copy-and-traverse) phase
-// ---------------------------------------------------------------------
-
-/// Executes one scan-phase step for `w`: an async-flush chunk, one task,
-/// one steal attempt, or an idle wait.
-pub fn step_scan(w: &mut Worker, sh: &mut CycleShared<'_>) {
-    debug_assert!(!w.done);
-    if sh.error.is_some() || sh.crashed_at.is_some() {
-        w.done = true;
-        return;
-    }
-    if apply_worker_faults(w, sh) {
-        return;
-    }
-    // Continue or pick up an asynchronous flush.
-    if w.flush.is_some() {
-        flush_chunk(w, sh, true);
-        return;
-    }
-    if sh.cache.config().async_flush && sh.cache.has_ready() {
-        let due = sh.pool.depth(w.id) == 0
-            || w.slots_since_flush_check >= sh.cfg.flush_interleave
-            || sh.fault.take_forced_drain(w.clock);
-        if due {
-            w.slots_since_flush_check = 0;
-            let region = sh.cache.take_ready().expect("has_ready checked");
-            sh.mem.trace_mut().instant(
-                "async-flush",
-                TraceCat::Phase,
-                w.id as u32,
-                w.clock,
-                region as u64,
-            );
-            w.flush = Some(FlushTask { region, cursor: 0 });
-            flush_chunk(w, sh, true);
-            return;
-        }
-    }
-    // Normal work.
-    let task = match sh.cfg.traversal {
-        Traversal::Dfs => sh.pool.pop(w.id),
-        Traversal::Bfs => sh.pool.pop_front(w.id),
-    };
-    if let Some(task) = task {
-        w.slots_since_flush_check += 1;
-        process_task(w, sh, task);
-        return;
-    }
-    // Steal.
-    if let Some((task, _victim)) = sh.pool.steal(w.id) {
-        w.clock += STEAL_NS;
-        if let Task::Slot(a) = task {
-            let rid = a.region(sh.heap.shift());
-            if sh.heap.region(rid).kind() == RegionKind::Cache {
-                sh.heap.region_mut(rid).stolen = true;
-            }
-        }
-        process_task(w, sh, task);
-        return;
-    }
-    if sh.pool.outstanding() == 0 {
-        // No live work anywhere: the phase is over for this worker.
-        w.done = true;
-        return;
-    }
-    w.clock += sh.cfg.idle_step_ns;
-}
-
-/// Applies injected worker faults (pauses, slowdowns, crash points) to
-/// `w` at the top of a step. Returns `true` when a crash-point oracle
-/// violation was recorded — the worker stops and the cycle aborts with a
-/// typed error.
-fn apply_worker_faults(w: &mut Worker, sh: &mut CycleShared<'_>) -> bool {
-    if sh.fault.is_empty() {
-        return false;
-    }
-    w.clock = sh.fault.worker_tax(w.id, w.clock);
-    if sh.fault.take_crash_point(w.clock) {
-        if let Err(v) = oracle::check_crash_point(
-            sh.heap,
-            sh.hmap,
-            &sh.cache,
-            &sh.self_forwarded,
-            &sh.retained,
-        ) {
-            sh.error = Some(GcError::Oracle(v));
-            w.done = true;
-            return true;
-        }
-    }
-    if sh.fault.take_power_failure(w.clock) {
-        if sh.cfg.durable_map_active() {
-            // Durable mode: the failure is survivable. Record the crash
-            // instant — every worker fast-finishes and the cycle aborts
-            // into crash recovery instead of completing.
-            sh.crashed_at.get_or_insert(w.clock);
-            w.done = true;
-            return true;
-        }
-        match oracle::check_power_failure(sh.heap, sh.hmap, &sh.cache, sh.mem) {
-            Ok(Some(report)) => {
-                sh.fault.observations.discarded_lines += report.discarded_lines;
-                sh.fault.observations.torn_lines += report.torn_lines;
-            }
-            Ok(None) => {}
-            Err(v) => {
-                sh.error = Some(GcError::Oracle(v));
-                w.done = true;
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Processes one reference location (paper §3.1 steps 1–4).
-fn process_task(w: &mut Worker, sh: &mut CycleShared<'_>, task: Task) {
-    if let Task::CardRegion(region) = task {
-        scan_card_region(w, sh, region);
-        return;
-    }
-    w.stats.slots += 1;
-    w.clock += sh.cfg.cpu_slot_ns as Ns;
-    // Step 1: load the reference.
-    let (slot, referent) = match task {
-        Task::Root(i) => {
-            w.clock = sh.mem.read_word(
-                w.id,
-                DeviceId::Dram,
-                ROOT_ARRAY_BASE + (i as u64) * 8,
-                w.clock,
-            );
-            (None, sh.roots[i as usize])
-        }
-        Task::Slot(a) => {
-            let rid = a.region(sh.heap.shift());
-            let is_cache = sh.heap.region(rid).kind() == RegionKind::Cache;
-            let id = w.id;
-            let clock = w.clock;
-            let (v, t) = sh.gx().read_ref(id, a, clock);
-            w.clock = t;
-            if is_cache {
-                if let Err((region, reason)) = sh.cache.note_slot_done(sh.heap, rid) {
-                    sh.error = Some(GcError::Oracle(oracle::OracleViolation::DrainOrder {
-                        region,
-                        reason,
-                    }));
-                    w.done = true;
-                    return;
-                }
-            }
-            (Some((a, rid)), v)
-        }
-        Task::CardRegion(_) => unreachable!("handled above"),
-    };
-    // Filter dead/stale entries: null references, references that no
-    // longer point into the collection set (stale remset entries).
-    let in_cset = !referent.is_null()
-        && sh
-            .heap
-            .region_of(referent)
-            .map(|r| sh.heap.region(r).in_cset)
-            .unwrap_or(false);
-    if !in_cset {
-        w.stats.filtered += 1;
-        return;
-    }
-    // Steps 2–3: forward (copying if we are first).
-    let Some(new_addr) = resolve_forward(w, sh, referent) else {
-        return; // fatal error recorded
-    };
-    // Step 4: update the reference.
-    match slot {
-        None => {
-            if let Task::Root(i) = task {
-                sh.roots[i as usize] = new_addr;
-                w.clock = sh.mem.write_word(
-                    w.id,
-                    DeviceId::Dram,
-                    ROOT_ARRAY_BASE + (i as u64) * 8,
-                    w.clock,
-                );
-            }
-        }
-        Some((a, _rid)) => {
-            let id = w.id;
-            let clock = w.clock;
-            w.clock = sh.gx().write_ref(id, a, new_addr, clock);
-        }
-    }
-}
-
-/// Returns the referent's final (public NVM) address, copying it if it has
-/// not been copied yet. `None` means a fatal heap error was recorded.
-fn resolve_forward(w: &mut Worker, sh: &mut CycleShared<'_>, obj: Addr) -> Option<Addr> {
-    // Header-map lookup first (paper §3.3).
-    if let Some(map) = sh.hmap {
-        let (found, probes) = map.get(obj);
-        charge_map_probes(w, sh, map, obj, probes);
-        if let Some(addr) = found {
-            w.stats.hm_hits += 1;
-            return Some(addr);
-        }
-        // Fall through: must still check the NVM header (the map may have
-        // been full when the forwarding pointer was installed).
-    }
-    let id = w.id;
-    let clock = w.clock;
-    let (hdr, t) = sh.gx().read_header(id, obj, clock);
-    w.clock = t;
-    if let Some(fwd) = hdr.forwardee() {
-        return Some(fwd);
-    }
-    copy_and_forward(w, sh, obj, hdr)
-}
-
-/// Copies `obj` to the survivor space (or promotes it), installs the
-/// forwarding pointer, and pushes the copy's reference slots.
-fn copy_and_forward(
-    w: &mut Worker,
-    sh: &mut CycleShared<'_>,
-    obj: Addr,
-    hdr: Header,
-) -> Option<Addr> {
-    let class = hdr.class_id();
-    let size = sh.heap.classes().get(class).size();
-    let age = hdr.age().saturating_add(1);
-    let from_old = sh.heap.region(obj.region(sh.heap.shift())).kind() == RegionKind::Old;
-    let promote = age >= sh.cfg.tenure_age || from_old;
-    w.clock += sh.cfg.cpu_copy_ns as Ns;
-
-    let (copy, cached) = match copy_into_dest(w, sh, obj, size, promote) {
-        Ok(pair) => pair,
-        Err(GcError::Heap(HeapError::OutOfRegions)) => {
-            // Evacuation failure: leave the object in place, self-forward
-            // it (G1's handling), and retain its region at cycle end.
-            w.stats.evac_failures += 1;
-            sh.self_forwarded.push((obj, hdr));
-            let region = obj.region(sh.heap.shift());
-            if !sh.retained.contains(&region) {
-                sh.retained.push(region);
-            }
-            (obj, false)
-        }
-        Err(e) => {
-            sh.error = Some(e);
-            w.done = true;
-            return None;
-        }
-    };
-    // The copy's public address: cache regions translate through the
-    // region mapping; direct copies are already at their final address.
-    let public = if cached {
-        WriteCachePool::translate(sh.heap, copy)
-    } else {
-        copy
-    };
-    // Refresh the copy's header with the new age (cheap: the copy is
-    // cache-hot after the memcpy).
-    {
-        let id = w.id;
-        let clock = w.clock;
-        let t = sh
-            .gx()
-            .write_header(id, copy, Header::new(class, age), clock);
-        w.clock = t;
-    }
-    // Install the forwarding pointer (paper §3.1 step 3 / Algorithm 1).
-    if let Some(map) = sh.hmap {
-        race_sync(w, sh, RACE_SITE_MAP_INSTALL);
-        // Injected probe-chain saturation: behave exactly as if bounded
-        // probing failed, charging a full chain walk, and take the
-        // abort-to-fallback NVM install below (paper §4.2).
-        let put = if sh.fault.hmap_saturated(w.clock) {
-            Put {
-                outcome: PutOutcome::Full,
-                probes: map.search_bound(),
-                idx: map.probe_base(obj),
-            }
-        } else {
-            match map.put(obj, public) {
-                Ok(p) => p,
-                Err(e) => {
-                    // A null key or value reaching the install path would
-                    // silently corrupt the probe chain; surface it as a
-                    // typed oracle violation in release builds too.
-                    sh.error = Some(GcError::Oracle(oracle::OracleViolation::HeaderMapInstall {
-                        old: e.old,
-                        new: e.new,
-                    }));
-                    w.done = true;
-                    return None;
-                }
-            }
-        };
-        charge_map_probes(w, sh, map, obj, put.probes);
-        match put.outcome {
-            PutOutcome::Installed => {
-                w.stats.hm_installs += 1;
-                if sh.cfg.durable_map_active() {
-                    // Durable-linearizable install (Sela & Petrank): key
-                    // CAS → value publish → fence, all on NVM, stamped
-                    // into the durability ledger by entry index.
-                    durable_install_fence(
-                        w,
-                        sh,
-                        map.entry_addr(put.idx),
-                        oracle::map_entry_meta_key(put.idx),
-                    );
-                }
-            }
-            PutOutcome::Existing(other) => {
-                // Another worker won (cannot happen under the DES, but the
-                // algorithm handles it): our copy is wasted, use theirs.
-                w.stats.hm_hits += 1;
-                return Some(other);
-            }
-            PutOutcome::Full => {
-                // Bounded probing failed: install into the NVM header.
-                w.stats.hm_full += 1;
-                let id = w.id;
-                let clock = w.clock;
-                let t = sh
-                    .gx()
-                    .write_header(id, obj, Header::forwarding(public), clock);
-                w.clock = t + CAS_EXTRA_NS;
-                if sh.cfg.durable_map_active() {
-                    // The fallback install is fenced too, keyed by the
-                    // from-space address, and remembered so recovery can
-                    // classify it against the durable prefix.
-                    sh.full_installs.push((obj, public));
-                    sh.mem
-                        .persist_write_back(DeviceId::Nvm, obj.raw(), 8, w.clock);
-                    w.clock = if sh.mem.persist_enabled(DeviceId::Nvm) {
-                        sh.mem
-                            .persist_meta(DeviceId::Nvm, oracle::header_meta_key(obj), w.clock)
-                    } else {
-                        sh.mem.fence(w.clock)
-                    };
-                }
-            }
-        }
-    } else {
-        let id = w.id;
-        let clock = w.clock;
-        let t = sh
-            .gx()
-            .write_header(id, obj, Header::forwarding(public), clock);
-        w.clock = t + CAS_EXTRA_NS;
-    }
-
-    w.stats.copied_objects += 1;
-    if promote {
-        w.stats.promoted_bytes += size as u64;
-    } else {
-        w.stats.copied_bytes += size as u64;
-    }
-
-    // Push the copy's reference slots (paper §3.1 step 4, second half).
-    let nrefs = sh.heap.classes().get(class).num_refs;
-    let shift = sh.heap.shift();
-    let copy_rid = copy.region(shift);
-    let copy_is_cache = sh.heap.region(copy_rid).kind() == RegionKind::Cache;
-    let copy_is_old = sh.heap.region(copy_rid).kind() == RegionKind::Old;
-    for i in 0..nrefs {
-        let child_slot = sh.heap.ref_slot(copy, i);
-        // Reading the just-copied slot is cheap (cache-hot).
-        let id = w.id;
-        let clock = w.clock;
-        let (child, t) = sh.gx().read_ref(id, child_slot, clock);
-        w.clock = t;
-        if child.is_null() {
-            continue;
-        }
-        let child_in_cset = sh
-            .heap
-            .region_of(child)
-            .map(|r| sh.heap.region(r).in_cset)
-            .unwrap_or(false);
-        if !child_in_cset {
-            // Promotion remset maintenance: an old-located slot now holds
-            // a cross-region reference to a non-collected region; record
-            // it so a future mixed collection of that region finds it
-            // (real G1 enqueues these for remset refinement).
-            if copy_is_old {
-                if let Ok(child_region) = sh.heap.region_of(child) {
-                    if child_region != copy_rid
-                        && sh.heap.region_mut(child_region).remset.insert(child_slot)
-                    {
-                        w.clock = sh.mem.write_word(
-                            w.id,
-                            DeviceId::Dram,
-                            0x6000_0000_0000_0000 | child_slot.raw(),
-                            w.clock,
-                        );
-                    }
-                }
-            }
-            continue;
-        }
-        sh.pool.push(w.id, Task::Slot(child_slot));
-        if copy_is_cache {
-            sh.heap.region_mut(copy_rid).pending_slots += 1;
-        }
-        if sh.cfg.prefetch {
-            let id = w.id;
-            let clock = w.clock;
-            let t = sh.gx().prefetch_obj(id, child, clock);
-            w.clock = t;
-            // Extended prefetching: warm the header-map probe line for
-            // the child (paper §4.3).
-            if let Some(map) = sh.hmap {
-                let entry = map.entry_addr(map.probe_base(child));
-                let dev = map_device(sh);
-                w.clock = sh.mem.prefetch(w.id, dev, entry, w.clock);
-            }
-        }
-    }
-    Some(public)
-}
-
-/// The device the header map's probe/install/clear traffic is charged
-/// to: DRAM normally, NVM in durable mode (the map itself lives on NVM).
-fn map_device(sh: &CycleShared<'_>) -> DeviceId {
-    if sh.cfg.durable_map_active() {
-        DeviceId::Nvm
-    } else {
-        DeviceId::Dram
-    }
-}
-
-/// Charges memory traffic for `probes` header-map probes.
-fn charge_map_probes(
-    w: &mut Worker,
-    sh: &mut CycleShared<'_>,
-    map: &HeaderMap,
-    obj: Addr,
-    probes: u32,
-) {
-    let dev = map_device(sh);
-    let base = map.probe_base(obj);
-    for k in 0..probes as u64 {
-        let addr = map.entry_addr(base.wrapping_add(k));
-        w.clock = sh.mem.read_word(w.id, dev, addr, w.clock);
-    }
-}
-
-/// Persistence-fences one durable-mode map install: charges the key CAS
-/// and value publish as NVM stores at the entry's address, writes the
-/// entry line back toward the medium, and stamps the install into the
-/// durability ledger under `meta_key` with one synchronous fence — the
-/// durable-linearizable order whose prefix crash recovery replays.
-fn durable_install_fence(w: &mut Worker, sh: &mut CycleShared<'_>, entry_addr: u64, meta_key: u64) {
-    race_sync(w, sh, RACE_SITE_DURABLE_FENCE);
-    let dev = DeviceId::Nvm;
-    w.clock = sh.mem.write_word(w.id, dev, entry_addr, w.clock) + CAS_EXTRA_NS;
-    w.clock = sh.mem.write_word(w.id, dev, entry_addr + 8, w.clock);
-    sh.mem
-        .persist_write_back(dev, entry_addr, ENTRY_BYTES, w.clock);
-    w.clock = if sh.mem.persist_enabled(dev) {
-        sh.mem.persist_meta(dev, meta_key, w.clock)
-    } else {
-        sh.mem.fence(w.clock)
-    };
-}
-
-/// Durable-map mode: persists a fresh GC destination region's allocation
-/// metadata before any payload lands in it, so recovery never has to
-/// classify payload for a region the persistence order has no record of.
-/// Free in volatile mode.
-fn note_fresh_gc_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: RegionId) {
-    if sh.cfg.durable_map_active() && sh.mem.persist_enabled(DeviceId::Nvm) {
-        w.clock = sh
-            .mem
-            .persist_meta(DeviceId::Nvm, oracle::region_meta_key(region), w.clock);
-    }
-}
-
-/// Scans the dirty cards of an old/humongous region (card-table remset
-/// mode): walk the region's objects, and for every reference slot whose
-/// card is dirty and whose target is in the collection set, process the
-/// slot. Cards are cleared first; slots that still point to young objects
-/// after the update are re-dirtied by the write barrier.
-fn scan_card_region(w: &mut Worker, sh: &mut CycleShared<'_>, region: u32) {
-    let Some(ct) = sh.heap.card_table_mut() else {
-        return;
-    };
-    let dirty = ct.clear_region(region);
-    if dirty == 0 {
-        return;
-    }
-    // Charge: read the region's card bytes + stream over the used part of
-    // the region to find reference slots (the card-scanning cost that the
-    // precise remset avoids).
-    let dev = sh.heap.region(region).device();
-    let used = sh.heap.region(region).used() as u64;
-    w.clock = sh.mem.bulk_read(
-        DeviceId::Dram,
-        Pattern::Seq,
-        ct_cards_bytes(sh.heap, region),
-        w.clock,
-    );
-    let base = sh.heap.addr_of(region, 0).raw();
-    w.clock = sh.mem.read_bulk(dev, base, used, w.clock);
-
-    // Collect the interesting slots first (cheap pass over real memory),
-    // then process each like a remset entry.
-    let mut slots: Vec<Addr> = Vec::new();
-    let heap = &mut *sh.heap;
-    let shift = heap.shift();
-    let mut scan_offsets: Vec<(Addr, u32)> = Vec::new();
-    heap.walk_region(region, |obj, class| {
-        let nrefs = heap.classes().get(class).num_refs;
-        if nrefs > 0 {
-            scan_offsets.push((obj, nrefs));
-        }
-    });
-    for (obj, nrefs) in scan_offsets {
-        for i in 0..nrefs {
-            let slot = heap.ref_slot(obj, i);
-            let value = heap.read_ref(slot);
-            if value.is_null() {
-                continue;
-            }
-            let vr = value.region(shift);
-            if heap.region(vr).in_cset {
-                slots.push(slot);
-            }
-        }
-    }
-    for slot in slots {
-        process_task(w, sh, Task::Slot(slot));
-    }
-}
-
-fn ct_cards_bytes(heap: &Heap, _region: u32) -> u64 {
-    heap.card_table()
-        .map(|ct| ct.cards_per_region() as u64)
-        .unwrap_or(0)
-}
-
-// ---------------------------------------------------------------------
-// Copy destinations (G1 survivor regions, PS LABs, promotion)
-// ---------------------------------------------------------------------
-
-/// Copies `obj` into an appropriate destination, returning the physical
-/// copy address and whether it lives in a DRAM cache region.
-fn copy_into_dest(
-    w: &mut Worker,
-    sh: &mut CycleShared<'_>,
-    obj: Addr,
-    size: u32,
-    promote: bool,
-) -> Result<(Addr, bool), GcError> {
-    if promote {
-        let region = promo_region(w, sh)?;
-        if let Some(copy) = do_copy(w, sh, obj, region) {
-            return Ok((copy, false));
-        }
-        // Shared promotion region full: take a fresh one and retry.
-        race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
-        *sh.promo_region = Some(sh.heap.take_region(RegionKind::Old)?);
-        w.clock += REGION_SYNC_NS;
-        let region = sh.promo_region.expect("just set");
-        note_fresh_gc_region(w, sh, region);
-        let copy = do_copy(w, sh, obj, region).ok_or(HeapError::ObjectTooLarge {
-            size: size as usize,
-        })?;
-        return Ok((copy, false));
-    }
-    match sh.cfg.collector {
-        CollectorKind::G1 => g1_survivor_copy(w, sh, obj, size),
-        CollectorKind::Ps => ps_survivor_copy(w, sh, obj, size),
-    }
-}
-
-fn promo_region(w: &mut Worker, sh: &mut CycleShared<'_>) -> Result<RegionId, HeapError> {
-    if let Some(r) = *sh.promo_region {
-        return Ok(r);
-    }
-    race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
-    let r = sh.heap.take_region(RegionKind::Old)?;
-    *sh.promo_region = Some(r);
-    w.clock += REGION_SYNC_NS;
-    note_fresh_gc_region(w, sh, r);
-    Ok(r)
-}
-
-/// Bump-copies `obj` into `region`, charging the streaming traffic.
-fn do_copy(w: &mut Worker, sh: &mut CycleShared<'_>, obj: Addr, region: RegionId) -> Option<Addr> {
-    let clock = w.clock;
-    let (copy, t) = sh.gx().copy_object(obj, region, clock);
-    if copy.is_some() {
-        w.clock = t;
-    }
-    copy
-}
-
-/// G1: per-worker survivor region, cache-backed when enabled.
-fn g1_survivor_copy(
-    w: &mut Worker,
-    sh: &mut CycleShared<'_>,
-    obj: Addr,
-    size: u32,
-) -> Result<(Addr, bool), GcError> {
-    // Try the worker's cache region first.
-    if sh.cache.enabled() {
-        loop {
-            if let Some((cache, _nvm)) = w.cache_pair {
-                if let Some(copy) = do_copy(w, sh, obj, cache) {
-                    return Ok((copy, true));
-                }
-                // Retire the full cache region.
-                sh.cache.note_retired(sh.heap, cache);
-                w.cache_pair = None;
-            }
-            let reserve = sh.fault.cache_reserve(w.clock);
-            match sh.cache.alloc_pair_pressured(sh.heap, reserve) {
-                Some(pair) => {
-                    w.cache_pair = Some(pair);
-                    w.clock += REGION_SYNC_NS;
-                }
-                None => {
-                    // Budget exhausted (or squeezed by injected pressure):
-                    // fall back to a direct NVM copy.
-                    if reserve > 0 {
-                        sh.fault.note_pressure_denial();
-                    }
-                    w.stats.overflow_copies += 1;
-                    break;
-                }
-            }
-        }
-    }
-    // Direct copy into a per-worker NVM survivor region (vanilla path).
-    loop {
-        if let Some(region) = w.survivor {
-            if let Some(copy) = do_copy(w, sh, obj, region) {
-                return Ok((copy, false));
-            }
-        }
-        race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
-        w.survivor = Some(sh.heap.take_region(RegionKind::Survivor)?);
-        w.clock += REGION_SYNC_NS;
-        note_fresh_gc_region(w, sh, w.survivor.expect("just set"));
-        if sh.heap.region(w.survivor.expect("just set")).capacity() < size {
-            return Err(GcError::Heap(HeapError::ObjectTooLarge {
-                size: size as usize,
-            }));
-        }
-    }
-}
-
-/// PS: LABs carved from shared regions; large objects copy directly.
-fn ps_survivor_copy(
-    w: &mut Worker,
-    sh: &mut CycleShared<'_>,
-    obj: Addr,
-    size: u32,
-) -> Result<(Addr, bool), GcError> {
-    // Direct (un-LAB'd, uncached) copy for large objects — PS copies these
-    // straight to the target space, so the write cache cannot absorb them
-    // (paper §4.4: only address-contiguous buffers are cached). Anything
-    // that cannot fit a LAB must also go direct, whatever the threshold.
-    let lab_bytes = sh.cfg.lab_bytes.min(sh.heap.config().region_size);
-    if size >= sh.cfg.direct_copy_bytes || size > lab_bytes {
-        if size > sh.heap.config().region_size {
-            return Err(GcError::Heap(HeapError::ObjectTooLarge {
-                size: size as usize,
-            }));
-        }
-        loop {
-            if let Some(region) = sh.ps_shared_survivor {
-                w.clock += REGION_SYNC_NS; // shared bump is synchronized
-                if let Some(copy) = do_copy(w, sh, obj, region) {
-                    return Ok((copy, false));
-                }
-            }
-            race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
-            let fresh = sh.heap.take_region(RegionKind::Survivor)?;
-            sh.ps_shared_survivor = Some(fresh);
-            note_fresh_gc_region(w, sh, fresh);
-        }
-    }
-    // LAB allocation.
-    loop {
-        if let Some(lab) = &mut w.lab {
-            if lab.cursor + size <= lab.end {
-                let off = lab.cursor;
-                lab.cursor += size;
-                let region = lab.region;
-                let cached = lab.cached;
-                let id = w.id;
-                let clock = w.clock;
-                let gx = Gx {
-                    heap: sh.heap,
-                    mem: sh.mem,
-                };
-                let copy = gx.heap.copy_object_to_offset(obj, region, off);
-                let src_dev = gx.heap.device_of(obj);
-                let dst_dev = gx.heap.region(region).device();
-                let tr = gx.mem.read_bulk(src_dev, obj.raw(), size as u64, clock);
-                let tw = gx.mem.write_bulk(dst_dev, copy.raw(), size as u64, clock);
-                let _ = id;
-                w.clock = tr.max(tw);
-                return Ok((copy, cached));
-            }
-            let closed = *lab;
-            w.lab = None;
-            if closed.cached {
-                if let Err((region, reason)) = sh.cache.note_lab_closed(sh.heap, closed.region) {
-                    return Err(GcError::Oracle(oracle::OracleViolation::DrainOrder {
-                        region,
-                        reason,
-                    }));
-                }
-            }
-        }
-        // Carve a new LAB from a shared (cache or survivor) region.
-        w.clock += REGION_SYNC_NS;
-        if sh.cache.enabled() {
-            if let Some((cache, _nvm)) = sh.ps_shared_cache {
-                if let Some(off) = sh.heap.region_mut(cache).bump(lab_bytes) {
-                    sh.heap.region_mut(cache).open_labs += 1;
-                    w.lab = Some(Lab {
-                        region: cache,
-                        cursor: off,
-                        end: off + lab_bytes,
-                        cached: true,
-                    });
-                    continue;
-                }
-                sh.cache.note_retired(sh.heap, cache);
-                sh.ps_shared_cache = None;
-            }
-            let reserve = sh.fault.cache_reserve(w.clock);
-            if let Some(pair) = sh.cache.alloc_pair_pressured(sh.heap, reserve) {
-                sh.ps_shared_cache = Some(pair);
-                continue;
-            }
-            if reserve > 0 {
-                sh.fault.note_pressure_denial();
-            }
-            w.stats.overflow_copies += 1;
-        }
-        // Uncached LAB from the shared survivor region.
-        loop {
-            if let Some(region) = sh.ps_shared_survivor {
-                if let Some(off) = sh.heap.region_mut(region).bump(lab_bytes) {
-                    w.lab = Some(Lab {
-                        region,
-                        cursor: off,
-                        end: off + lab_bytes,
-                        cached: false,
-                    });
-                    break;
-                }
-            }
-            race_sync(w, sh, RACE_SITE_ALLOC_TAKE);
-            let fresh = sh.heap.take_region(RegionKind::Survivor)?;
-            sh.ps_shared_survivor = Some(fresh);
-            note_fresh_gc_region(w, sh, fresh);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Write-back and cleanup phases
-// ---------------------------------------------------------------------
-
-/// Executes one write-back-phase step: flush a chunk of a cache region or
-/// pick up the next one; fence and finish when the queue drains.
-pub fn step_writeback(w: &mut Worker, sh: &mut CycleShared<'_>) {
-    debug_assert!(!w.done);
-    if sh.error.is_some() || sh.crashed_at.is_some() {
-        w.done = true;
-        return;
-    }
-    if apply_worker_faults(w, sh) {
-        return;
-    }
-    if w.flush.is_some() {
-        flush_chunk(w, sh, false);
-        return;
-    }
-    match sh.writeback_queue.pop_front() {
-        Some(region) => {
-            w.flush = Some(FlushTask { region, cursor: 0 });
-            flush_chunk(w, sh, false);
-        }
-        None => {
-            // One fence before GC ends covers all NT stores (paper §4.1).
-            sh.mem
-                .trace_mut()
-                .instant("fence", TraceCat::Fence, w.id as u32, w.clock, 0);
-            w.clock = sh.mem.fence(w.clock);
-            w.done = true;
-        }
-    }
-}
-
-/// Streams one chunk of a cache region back to its mapped NVM region.
-fn flush_chunk(w: &mut Worker, sh: &mut CycleShared<'_>, during_scan: bool) {
-    let task = w.flush.expect("flush task present");
-    let region = task.region;
-    let used = sh.heap.region(region).used();
-    let chunk = sh.cfg.flush_chunk_bytes.min(used - task.cursor);
-    if chunk > 0 {
-        let src = sh.heap.addr_of(region, task.cursor).raw();
-        let tr = sh.mem.read_bulk(DeviceId::Dram, src, chunk as u64, w.clock);
-        let nvm_region = sh
-            .heap
-            .region(region)
-            .mapped_to
-            .expect("cache region is mapped");
-        let nvm = sh.heap.region(region).device_of_mapped(sh.heap);
-        let dst = sh.heap.addr_of(nvm_region, task.cursor).raw();
-        // Drain-path persistence ordering: the target region's allocation
-        // metadata reaches the medium before any of its payload (one
-        // synchronous fence at the start of the region's flush).
-        if task.cursor == 0 && sh.mem.persist_enabled(nvm) {
-            w.clock = sh
-                .mem
-                .persist_meta(nvm, oracle::region_meta_key(nvm_region), w.clock);
-        }
-        let tw = if sh.cache.config().nt_store {
-            sh.mem.nt_write_bulk(nvm, dst, chunk as u64, w.clock)
-        } else {
-            let t = sh.mem.write_bulk(nvm, dst, chunk as u64, w.clock);
-            // Regular-store drains are explicitly written back (CLWB
-            // over the chunk) so the flush still advances durability.
-            sh.mem.persist_write_back(nvm, dst, chunk as u64, t);
-            t
-        };
-        w.clock = tr.max(tw);
-    }
-    let cursor = task.cursor + chunk;
-    if cursor < used {
-        w.flush = Some(FlushTask { region, cursor });
-        return;
-    }
-    // Chunk done: materialize the bytes in the NVM region and release the
-    // DRAM cache region.
-    let nvm_region = sh
-        .heap
-        .region(region)
-        .mapped_to
-        .expect("cache region is mapped");
-    sh.heap.blit_region(region, nvm_region);
-    if let Err((r, reason)) = sh.cache.note_flushed(sh.heap, region, during_scan) {
-        sh.error = Some(GcError::Oracle(oracle::OracleViolation::DrainOrder {
-            region: r,
-            reason,
-        }));
-        w.flush = None;
-        w.done = true;
-        return;
-    }
-    let base = sh.heap.addr_of(region, 0).raw();
-    let len = sh.heap.config().region_size as u64;
-    race_sync(w, sh, RACE_SITE_ALLOC_RELEASE);
-    if let Err(e) = sh.heap.release_region(region) {
-        // A cache region vanishing from under its own flush means the
-        // free-count bookkeeping is already corrupt; surface it instead
-        // of silently double-freeing (pre-PR-8 behavior).
-        sh.error = Some(GcError::Oracle(oracle::OracleViolation::RegionAccounting {
-            detail: e.to_string(),
-        }));
-        w.flush = None;
-        w.done = true;
-        return;
-    }
-    sh.mem.invalidate_range(base, len);
-    w.flush = None;
-}
-
-/// Executes one header-map-cleanup step (parallel zeroing, paper §3.3).
-pub fn step_clear(w: &mut Worker, sh: &mut CycleShared<'_>) {
-    debug_assert!(!w.done);
-    if sh.error.is_some() || sh.crashed_at.is_some() {
-        w.done = true;
-        return;
-    }
-    if apply_worker_faults(w, sh) {
-        return;
-    }
-    let Some(map) = sh.hmap else {
-        w.done = true;
-        return;
-    };
-    let Some((start, end)) = w.clear_range else {
-        w.done = true;
-        return;
-    };
-    // Zero up to 4096 entries (64 KiB) per step.
-    let step_entries = 4096.min(end - start);
-    map.clear_range(start, start + step_entries);
-    let bytes = (step_entries as u64) * ENTRY_BYTES;
-    let dev = map_device(sh);
-    w.clock = sh
-        .mem
-        .write_bulk(dev, map.entry_addr(start as u64), bytes, w.clock);
-    let next = start + step_entries;
-    w.clear_range = if next < end { Some((next, end)) } else { None };
-    if w.clear_range.is_none() {
-        w.done = true;
-    }
-}
-
-/// Assigns header-map clear ranges to workers.
-pub fn assign_clear_ranges(workers: &mut [Worker], capacity: usize) {
-    let n = workers.len().max(1);
-    let per = capacity.div_ceil(n);
-    for (i, w) in workers.iter_mut().enumerate() {
-        let start = (i * per).min(capacity);
-        let end = ((i + 1) * per).min(capacity);
-        w.clear_range = if start < end {
-            Some((start, end))
-        } else {
-            None
-        };
-    }
-}
-
-/// Helper trait to find the device of a cache region's mapped NVM region.
-trait MappedDevice {
-    fn device_of_mapped(&self, heap: &Heap) -> DeviceId;
-}
-
-impl MappedDevice for nvmgc_heap::Region {
-    fn device_of_mapped(&self, heap: &Heap) -> DeviceId {
-        match self.mapped_to {
-            Some(nvm) => heap.region(nvm).device(),
-            None => self.device(),
-        }
     }
 }

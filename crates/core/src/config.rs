@@ -10,6 +10,10 @@ pub enum CollectorKind {
     /// Parallel-Scavenge-like young collection (small LABs within shared
     /// regions, direct copy for large objects).
     Ps,
+    /// Semispace baseline: every survivor copy bump-allocates from one
+    /// shared region — no per-worker regions, no LABs. The control plan
+    /// that isolates what the regional machinery itself contributes.
+    Semispace,
 }
 
 /// Heap-traversal order (ablation; the paper discusses and rejects BFS in
@@ -245,6 +249,24 @@ impl GcConfig {
     pub fn ps_plus_all(threads: usize, heap_bytes: u64) -> Self {
         let mut c = GcConfig::plus_all(threads, heap_bytes);
         c.collector = CollectorKind::Ps;
+        c
+    }
+
+    /// Semispace baseline: one shared bump destination, no prefetching
+    /// (the stock semispace scavenger does none) and no regional
+    /// machinery.
+    pub fn semispace(threads: usize) -> Self {
+        let mut c = GcConfig::vanilla(threads);
+        c.collector = CollectorKind::Semispace;
+        c.prefetch = false;
+        c
+    }
+
+    /// Semispace with all optimizations (write cache + header map +
+    /// prefetching) — the baseline riding the full NVM-bridging stack.
+    pub fn semispace_plus_all(threads: usize, heap_bytes: u64) -> Self {
+        let mut c = GcConfig::plus_all(threads, heap_bytes);
+        c.collector = CollectorKind::Semispace;
         c
     }
 

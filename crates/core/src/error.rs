@@ -103,6 +103,17 @@ impl From<HeapError> for GcError {
     }
 }
 
+/// Wraps a heap bookkeeping error as a region-accounting oracle
+/// violation. The uniform surfacing for the release-silent accounting
+/// class promoted to typed errors in PR 8: double releases, bad kind
+/// transitions, forwarded-header misuse and allocator-view mismatches
+/// all land here so fault-injection runs attribute them consistently.
+pub(crate) fn accounting(e: HeapError) -> GcError {
+    GcError::Oracle(OracleViolation::RegionAccounting {
+        detail: e.to_string(),
+    })
+}
+
 impl From<EngineError> for GcError {
     fn from(e: EngineError) -> Self {
         GcError::Engine(e)

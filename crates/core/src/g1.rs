@@ -16,20 +16,22 @@
 //! — the two differ in survivor-space allocation and prefetch policy, which
 //! live in [`crate::collector`].
 
-use crate::collector::{self, CycleShared, Worker};
+use crate::collector::{CycleShared, Worker};
 use crate::config::GcConfig;
-use crate::engine;
-use crate::error::GcError;
+use crate::error::{accounting, GcError};
 use crate::fault::FaultState;
 use crate::header_map::{HeaderMap, ENTRY_BYTES};
 use crate::marking;
 use crate::oracle;
+use crate::plan;
+use crate::policy::drain::drain_allocator_journal;
 use crate::recovery::CrashState;
+use crate::scheduler::{self, PacketKind};
 use crate::stack::{Task, WorkPool};
 use crate::stats::{GcStats, RunGcStats};
 use crate::write_cache::WriteCachePool;
 use nvmgc_heap::verify::{classify_lines, LineCoverage};
-use nvmgc_heap::{Addr, Heap, HeapError, RegionId, RegionKind};
+use nvmgc_heap::{Addr, Heap, RegionId, RegionKind};
 use nvmgc_memsim::{DeviceId, MemorySystem, Ns, PhaseKind, TraceCat, TRACK_CYCLE};
 use std::collections::VecDeque;
 
@@ -296,7 +298,7 @@ impl G1Collector {
         let (mut alloc_reconciled, mut alloc_rebuilt, mut alloc_fences) = (0u64, 0u64, 0u64);
         if self.cfg.durable_alloc_active() {
             let view = heap.allocator().durable_view(at);
-            let diverged = heap.allocator().diverged(&view);
+            let diverged = heap.allocator().diverged(&view).map_err(accounting)?;
             alloc_reconciled = diverged.len() as u64;
             for r in diverged {
                 heap.allocator_mut().mark_dirty(r);
@@ -620,8 +622,8 @@ impl G1Collector {
             hmap: self.hmap.as_ref(),
             roots,
             promo_region: &mut self.promo_region,
-            ps_shared_survivor: None,
-            ps_shared_cache: None,
+            shared_survivor: None,
+            shared_cache: None,
             writeback_queue: VecDeque::new(),
             stats: GcStats::default(),
             fault: FaultState::new(&self.cfg.fault.gc),
@@ -651,135 +653,91 @@ impl G1Collector {
             sh.fault.observations.torn_lines = rs.torn;
         }
 
-        // --- Phase 1: copy-and-traverse. -----------------------------------
-        let scan_end = engine::run_phase(&mut workers, |w| collector::step_scan(w, &mut sh))?;
-        if let Some(e) = sh.error.take() {
-            return Err(e);
-        }
-        if sh.crashed_at.is_some() {
-            return Err(crash_abort(
-                sh,
-                &mut workers,
-                &cset,
-                extra_old,
-                start,
-                saved_tasks,
-            ));
-        }
-        debug_assert_eq!(sh.pool.outstanding(), 0);
-        // Per-worker phase spans: each worker's final clock under the
-        // engine's (clock, worker id) step order, so the emitted trace is
-        // identical at any host parallelism.
-        for (id, s, e) in engine::phase_spans(&workers, work_start) {
-            sh.mem
-                .trace_mut()
-                .span("scan", TraceCat::Phase, id as u32, s, e, cycle_idx);
-        }
-
-        // Journal the worker-phase allocator takes (survivor, promotion)
-        // before the write-back phase begins.
-        let scan_end = drain_allocator_journal(
-            &self.cfg,
-            sh.heap,
-            sh.mem,
-            &mut sh.stats.alloc_fences,
-            scan_end,
-        );
-
-        // Retire workers' still-open cache regions and queue everything
-        // unflushed for write-back.
-        for w in &mut workers {
-            if let Some((cache, _)) = w.take_cache_pair() {
-                sh.cache.note_retired(sh.heap, cache);
+        // --- Work packets (plan-declared, scheduler-executed). --------------
+        // The plan names the packets; the scheduler runs each one with its
+        // exact protocol (barriers, spans, error/crash ordering). The glue
+        // between packets — allocator journal drains, cache-region
+        // retirement, occupancy snapshots — is packet-specific and stays
+        // here in the front end.
+        let plan = plan::plan_of(self.cfg.collector);
+        let mut boundary = work_start;
+        let mut scan_end = work_start;
+        let mut wb_end = work_start;
+        let mut clear_end = work_start;
+        let mut recovery_forwards = None;
+        for &kind in plan.packets {
+            let run = scheduler::run_packet(kind, &mut workers, &mut sh, boundary, cycle_idx)?;
+            if run.crashed {
+                return Err(crash_abort(
+                    sh,
+                    &mut workers,
+                    &cset,
+                    extra_old,
+                    start,
+                    saved_tasks,
+                ));
             }
-            w.reset_alloc_state();
+            boundary = match kind {
+                PacketKind::Scan => {
+                    // Journal the worker-phase allocator takes (survivor,
+                    // promotion) before the write-back packet begins.
+                    let end = drain_allocator_journal(
+                        &self.cfg,
+                        sh.heap,
+                        sh.mem,
+                        &mut sh.stats.alloc_fences,
+                        run.end,
+                    );
+                    // Retire workers' still-open cache regions and queue
+                    // everything unflushed for write-back.
+                    for w in &mut workers {
+                        if let Some((cache, _)) = w.take_cache_pair() {
+                            sh.cache.note_retired(sh.heap, cache);
+                        }
+                        w.reset_alloc_state();
+                    }
+                    if let Some((cache, _)) = sh.shared_cache.take() {
+                        sh.cache.note_retired(sh.heap, cache);
+                    }
+                    sh.writeback_queue = sh.cache.unflushed().into();
+                    scan_end = end;
+                    end
+                }
+                PacketKind::WriteBack => {
+                    // The cycle-end fence lands in the ADR domain:
+                    // everything the write-combining buffer has accepted
+                    // drains to the medium before mutators resume. Volatile
+                    // cache lines are *not* flushed here.
+                    if self.cfg.write_cache.enabled {
+                        sh.mem.persist_drain_all(DeviceId::Nvm, run.end);
+                    }
+                    // Journal the write-back packet's cache-region releases.
+                    let end = drain_allocator_journal(
+                        &self.cfg,
+                        sh.heap,
+                        sh.mem,
+                        &mut sh.stats.alloc_fences,
+                        run.end,
+                    );
+                    // Header-map occupancy is measured before cleanup.
+                    sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
+                    // The recovery oracle needs the forwarding table before
+                    // the cleanup packet zeroes it.
+                    recovery_forwards = resume.as_ref().map(|_| {
+                        let mut f = self.hmap.as_ref().map_or_else(Vec::new, |m| m.snapshot());
+                        f.extend_from_slice(&sh.full_installs);
+                        f
+                    });
+                    wb_end = end;
+                    end
+                }
+                PacketKind::MapClear => {
+                    clear_end = run.end;
+                    run.end
+                }
+            };
         }
-        if let Some((cache, _)) = sh.ps_shared_cache.take() {
-            sh.cache.note_retired(sh.heap, cache);
-        }
-        sh.writeback_queue = sh.cache.unflushed().into();
-
-        // --- Phase 2: write-back (write-only sub-phase). --------------------
-        // Skipped entirely for vanilla collectors (no cache regions, no NT
-        // stores to fence).
-        let wb_end = if self.cfg.write_cache.enabled {
-            engine::rebarrier(&mut workers, scan_end);
-            let end = engine::run_phase(&mut workers, |w| collector::step_writeback(w, &mut sh))?;
-            for (id, s, e) in engine::phase_spans(&workers, scan_end) {
-                sh.mem
-                    .trace_mut()
-                    .span("write-back", TraceCat::Phase, id as u32, s, e, cycle_idx);
-            }
-            end
-        } else {
-            scan_end
-        };
-        if let Some(e) = sh.error.take() {
-            return Err(e);
-        }
-        if sh.crashed_at.is_some() {
-            return Err(crash_abort(
-                sh,
-                &mut workers,
-                &cset,
-                extra_old,
-                start,
-                saved_tasks,
-            ));
-        }
-        // The cycle-end fence lands in the ADR domain: everything the
-        // write-combining buffer has accepted drains to the medium before
-        // mutators resume. Volatile cache lines are *not* flushed here.
-        if self.cfg.write_cache.enabled {
-            sh.mem.persist_drain_all(DeviceId::Nvm, wb_end);
-        }
-        // Journal the write-back phase's cache-region releases.
-        let wb_end = drain_allocator_journal(
-            &self.cfg,
-            sh.heap,
-            sh.mem,
-            &mut sh.stats.alloc_fences,
-            wb_end,
-        );
-
-        // Header-map occupancy is measured before cleanup.
-        sh.stats.hm_occupancy = self.hmap.as_ref().map_or(0, |m| m.occupancy() as u64);
-
-        // The recovery oracle needs the forwarding table before phase 3
-        // zeroes it.
-        let recovery_forwards = resume.as_ref().map(|_| {
-            let mut f = self.hmap.as_ref().map_or_else(Vec::new, |m| m.snapshot());
-            f.extend_from_slice(&sh.full_installs);
-            f
-        });
-
-        // --- Phase 3: header-map cleanup. -----------------------------------
-        let clear_end = if let Some(map) = self.hmap.as_ref() {
-            collector::assign_clear_ranges(&mut workers, map.capacity());
-            engine::rebarrier(&mut workers, wb_end);
-            let end = engine::run_phase(&mut workers, |w| collector::step_clear(w, &mut sh))?;
-            for (id, s, e) in engine::phase_spans(&workers, wb_end) {
-                sh.mem
-                    .trace_mut()
-                    .span("map-clear", TraceCat::Phase, id as u32, s, e, cycle_idx);
-            }
-            end
-        } else {
-            wb_end
-        };
-        if let Some(e) = sh.error.take() {
-            return Err(e);
-        }
-        if sh.crashed_at.is_some() {
-            return Err(crash_abort(
-                sh,
-                &mut workers,
-                &cset,
-                extra_old,
-                start,
-                saved_tasks,
-            ));
-        }
+        let _ = boundary;
 
         // --- Post-processing. ------------------------------------------------
         for w in &workers {
@@ -893,59 +851,6 @@ impl G1Collector {
     }
 }
 
-/// Promotes a heap region-accounting error (double release, unservable
-/// take, kind-transition mismatch) to a typed oracle violation. These
-/// were silent release-build no-ops before PR 8; surfacing them keeps
-/// free-count bookkeeping honest under fault injection.
-fn accounting(e: HeapError) -> GcError {
-    GcError::Oracle(oracle::OracleViolation::RegionAccounting {
-        detail: e.to_string(),
-    })
-}
-
-/// Journals the allocator's dirty lower-table entries to the NVM
-/// durability ledger (durable-allocator mode): one line write plus
-/// write-back per dirty region at its [`oracle::alloc_meta_key`] slot,
-/// then one batched metadata fence covering every drained key. In
-/// volatile mode the journal is still drained — the heap-side
-/// bookkeeping stays bounded by the region count and warm snapshots stay
-/// config-independent — but no traffic is charged and no time passes, so
-/// volatile runs are byte-identical to the pre-allocator collector.
-fn drain_allocator_journal(
-    cfg: &GcConfig,
-    heap: &mut Heap,
-    mem: &mut MemorySystem,
-    fences: &mut u64,
-    now: Ns,
-) -> Ns {
-    if heap.allocator().dirty_regions().is_empty() {
-        return now;
-    }
-    if !cfg.durable_alloc_active() {
-        heap.allocator_mut().drain_dirty(now);
-        return now;
-    }
-    let dirty: Vec<RegionId> = heap.allocator().dirty_regions().to_vec();
-    let mut t = now;
-    for &r in &dirty {
-        let line = oracle::alloc_meta_key(r);
-        t = mem.write_word(0, DeviceId::Nvm, line, t);
-        mem.persist_write_back(DeviceId::Nvm, line, 8, t);
-    }
-    t = if mem.persist_enabled(DeviceId::Nvm) {
-        mem.persist_meta_many(
-            DeviceId::Nvm,
-            dirty.iter().map(|&r| oracle::alloc_meta_key(r)),
-            t,
-        )
-    } else {
-        mem.fence(t)
-    };
-    *fences += dirty.len() as u64;
-    heap.allocator_mut().drain_dirty(t);
-    t
-}
-
 /// Aborts a durable-mode cycle at an injected power failure: all volatile
 /// collector state is thrown away and the surviving facts are packaged
 /// into a [`CrashState`] for [`G1Collector::recover_from_crash`].
@@ -970,7 +875,7 @@ fn crash_abort(
         }
         w.reset_alloc_state();
     }
-    if let Some((cache, _)) = sh.ps_shared_cache.take() {
+    if let Some((cache, _)) = sh.shared_cache.take() {
         sh.cache.note_retired(sh.heap, cache);
     }
     let region_size = sh.heap.config().region_size as u64;

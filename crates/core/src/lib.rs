@@ -2,9 +2,12 @@
 //!
 //! This crate implements the young-generation copy-and-traverse collection
 //! of two HotSpot-style collectors — a regional, G1-like collector and a
-//! LAB-based, Parallel-Scavenge-like collector — together with the
-//! NVM-aware optimizations proposed by *"Bridging the Performance Gap for
-//! Copy-based Garbage Collectors atop Non-Volatile Memory"* (EuroSys '21):
+//! LAB-based, Parallel-Scavenge-like collector — plus a semispace
+//! baseline, decomposed MMTk-style into [`plan`]s (pure declarations),
+//! [`policy`] modules (the shared mechanisms) and a work-packet
+//! [`scheduler`], together with the NVM-aware optimizations proposed by
+//! *"Bridging the Performance Gap for Copy-based Garbage Collectors atop
+//! Non-Volatile Memory"* (EuroSys '21):
 //!
 //! - **Write cache** (§3.2): survivor regions are staged in DRAM and
 //!   written back to NVM sequentially before GC ends, splitting the pause
@@ -99,8 +102,11 @@ pub mod gclog;
 pub mod header_map;
 pub mod marking;
 pub mod oracle;
+pub mod plan;
+pub mod policy;
 pub mod ps;
 pub mod recovery;
+pub mod scheduler;
 pub mod stack;
 pub mod stats;
 pub mod write_cache;
@@ -118,6 +124,8 @@ pub use oracle::{
     check_recovery_completion, header_meta_key, map_entry_meta_key, region_meta_key,
     OracleViolation, PowerFailureReport,
 };
+pub use plan::{plan_of, CopyPolicyKind, PlanSpec, G1_PLAN, PS_PLAN, SEMISPACE_PLAN};
 pub use recovery::CrashState;
+pub use scheduler::{run_packet, PacketKind, PacketRun};
 pub use stats::{GcPhaseTimes, GcStats};
 pub use write_cache::WriteCachePool;

@@ -1,0 +1,55 @@
+//! Safepoint allocator-drain policy.
+//!
+//! The heap's two-level region allocator journals lower-table mutations;
+//! this policy drains that journal at safepoints — before workers start,
+//! between packets, and at cycle end — so fences stay off the mutator's
+//! hot path (paper-style). Every plan drains at the same points; only the
+//! configuration decides whether the drain charges durable traffic.
+
+use crate::config::GcConfig;
+use crate::oracle;
+use nvmgc_heap::{Heap, RegionId};
+use nvmgc_memsim::{DeviceId, MemorySystem, Ns};
+
+/// Journals the allocator's dirty lower-table entries to the NVM
+/// durability ledger (durable-allocator mode): one line write plus
+/// write-back per dirty region at its [`oracle::alloc_meta_key`] slot,
+/// then one batched metadata fence covering every drained key. In
+/// volatile mode the journal is still drained — the heap-side
+/// bookkeeping stays bounded by the region count and warm snapshots stay
+/// config-independent — but no traffic is charged and no time passes, so
+/// volatile runs are byte-identical to the pre-allocator collector.
+pub(crate) fn drain_allocator_journal(
+    cfg: &GcConfig,
+    heap: &mut Heap,
+    mem: &mut MemorySystem,
+    fences: &mut u64,
+    now: Ns,
+) -> Ns {
+    if heap.allocator().dirty_regions().is_empty() {
+        return now;
+    }
+    if !cfg.durable_alloc_active() {
+        heap.allocator_mut().drain_dirty(now);
+        return now;
+    }
+    let dirty: Vec<RegionId> = heap.allocator().dirty_regions().to_vec();
+    let mut t = now;
+    for &r in &dirty {
+        let line = oracle::alloc_meta_key(r);
+        t = mem.write_word(0, DeviceId::Nvm, line, t);
+        mem.persist_write_back(DeviceId::Nvm, line, 8, t);
+    }
+    t = if mem.persist_enabled(DeviceId::Nvm) {
+        mem.persist_meta_many(
+            DeviceId::Nvm,
+            dirty.iter().map(|&r| oracle::alloc_meta_key(r)),
+            t,
+        )
+    } else {
+        mem.fence(t)
+    };
+    *fences += dirty.len() as u64;
+    heap.allocator_mut().drain_dirty(t);
+    t
+}

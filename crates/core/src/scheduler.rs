@@ -1,0 +1,156 @@
+//! The work-packet scheduler: executes a plan's packets on the
+//! deterministic event-queue engine.
+//!
+//! Each [`PacketKind`] names one stop-the-world work packet; the
+//! scheduler binds it to its policy step function and runs it through
+//! [`crate::engine::run_phase`], preserving each packet's established
+//! protocol exactly:
+//!
+//! - **Scan** assumes the workers were constructed at the packet's start
+//!   time (no re-barrier — the caller already charged the safepoint and
+//!   remset-scan entry costs into the worker clocks), checks for a
+//!   surfaced error or injected crash *before* emitting trace spans, and
+//!   asserts the work pool drained.
+//! - **Write-back** self-skips at zero simulated cost when the write
+//!   cache is disabled; otherwise it re-barriers the workers to the
+//!   packet start, runs the flush policy, and emits its spans before the
+//!   error/crash checks (a crashed write-back still records how far each
+//!   worker got).
+//! - **Map-clear** self-skips when no header map is armed; otherwise it
+//!   partitions the map across workers, re-barriers, and zeroes in
+//!   parallel, again emitting spans before the error/crash checks.
+//!
+//! Because the packet protocol lives here once, every plan — G1, PS,
+//! semispace — schedules byte-identically; a plan cannot accidentally
+//! reorder a crash check against a span emission.
+
+use crate::collector::{CycleShared, Worker};
+use crate::engine;
+use crate::error::GcError;
+use crate::policy::{flush, trace};
+use nvmgc_memsim::{Ns, TraceCat};
+
+/// One stop-the-world work packet of a collection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Copy-and-traverse: evacuate live objects, install forwardings,
+    /// scan cards and roots (the only packet every configuration runs).
+    Scan,
+    /// Stream DRAM write-cache regions back to NVM; skipped when the
+    /// write cache is disabled.
+    WriteBack,
+    /// Zero the header map in parallel; skipped when no map is armed.
+    MapClear,
+}
+
+/// The outcome of one packet: where the simulated clock ended, and
+/// whether an injected power failure fired during the packet (the caller
+/// aborts the cycle into crash-state capture when it did).
+#[derive(Debug, Clone, Copy)]
+pub struct PacketRun {
+    /// Packet end time (max worker clock; `from` if the packet self-skipped).
+    pub end: Ns,
+    /// True if a power crash fired inside the packet.
+    pub crashed: bool,
+}
+
+/// Runs one work packet to completion on the engine.
+///
+/// `from` is the packet's start barrier. The scan packet does not
+/// re-barrier (its workers carry pre-charged entry costs); the cleanup
+/// packets re-barrier to `from` inside their enabled branch only, so a
+/// skipped packet leaves the clock untouched (`end == from`).
+///
+/// # Errors
+///
+/// Propagates a stuck-worker engine error or any typed error a policy
+/// surfaced into [`CycleShared::error`]. An injected crash is *not* an
+/// error here — it returns `crashed: true` so the caller can capture
+/// resumable crash state.
+pub fn run_packet(
+    kind: PacketKind,
+    workers: &mut [Worker],
+    sh: &mut CycleShared<'_>,
+    from: Ns,
+    cycle_idx: u64,
+) -> Result<PacketRun, GcError> {
+    match kind {
+        PacketKind::Scan => {
+            let end = engine::run_phase(workers, |w| trace::step_scan(w, sh))?;
+            if let Some(e) = sh.error.take() {
+                return Err(e);
+            }
+            if sh.crashed_at.is_some() {
+                return Ok(PacketRun { end, crashed: true });
+            }
+            debug_assert_eq!(sh.pool.outstanding(), 0);
+            // Per-worker phase spans: each worker's final clock under the
+            // engine's (clock, worker id) step order, so the emitted trace
+            // is identical at any host parallelism.
+            for (id, s, e) in engine::phase_spans(workers, from) {
+                sh.mem
+                    .trace_mut()
+                    .span("scan", TraceCat::Phase, id as u32, s, e, cycle_idx);
+            }
+            Ok(PacketRun {
+                end,
+                crashed: false,
+            })
+        }
+        PacketKind::WriteBack => {
+            // Skipped entirely for vanilla collectors (no cache regions,
+            // no NT stores to fence).
+            let end = if sh.cfg.write_cache.enabled {
+                engine::rebarrier(workers, from);
+                let end = engine::run_phase(workers, |w| flush::step_writeback(w, sh))?;
+                for (id, s, e) in engine::phase_spans(workers, from) {
+                    sh.mem.trace_mut().span(
+                        "write-back",
+                        TraceCat::Phase,
+                        id as u32,
+                        s,
+                        e,
+                        cycle_idx,
+                    );
+                }
+                end
+            } else {
+                from
+            };
+            if let Some(e) = sh.error.take() {
+                return Err(e);
+            }
+            Ok(PacketRun {
+                end,
+                crashed: sh.crashed_at.is_some(),
+            })
+        }
+        PacketKind::MapClear => {
+            let end = if let Some(map) = sh.hmap {
+                flush::assign_clear_ranges(workers, map.capacity());
+                engine::rebarrier(workers, from);
+                let end = engine::run_phase(workers, |w| flush::step_clear(w, sh))?;
+                for (id, s, e) in engine::phase_spans(workers, from) {
+                    sh.mem.trace_mut().span(
+                        "map-clear",
+                        TraceCat::Phase,
+                        id as u32,
+                        s,
+                        e,
+                        cycle_idx,
+                    );
+                }
+                end
+            } else {
+                from
+            };
+            if let Some(e) = sh.error.take() {
+                return Err(e);
+            }
+            Ok(PacketRun {
+                end,
+                crashed: sh.crashed_at.is_some(),
+            })
+        }
+    }
+}

@@ -34,6 +34,7 @@
 //! stack after `nvmgc-core` reconciles the divergent entries.
 
 use crate::region::{RegionId, RegionKind};
+use crate::HeapError;
 
 /// One persistent lower-table entry: the durable facts about a region
 /// that recovery needs to rebuild the free-set.
@@ -162,8 +163,16 @@ impl RegionAllocator {
 
     /// Releases a region back to the free stack. `watermark` is the
     /// final allocation watermark of the life that just ended.
-    pub fn release(&mut self, id: RegionId, watermark: u32) {
-        debug_assert_ne!(self.lower[id as usize].kind, RegionKind::Free);
+    ///
+    /// Releasing a region whose lower entry is already `Free` is a typed
+    /// error: it would push a duplicate onto the free stack and stamp a
+    /// bogus epoch, corrupting the exact-reconstruction property recovery
+    /// relies on. (This was a `debug_assert_ne!` before — silent in
+    /// release builds.)
+    pub fn release(&mut self, id: RegionId, watermark: u32) -> Result<(), HeapError> {
+        if self.lower[id as usize].kind == RegionKind::Free {
+            return Err(HeapError::DoubleRelease(id));
+        }
         self.clock += 1;
         self.lower[id as usize] = LowerEntry {
             kind: RegionKind::Free,
@@ -172,6 +181,7 @@ impl RegionAllocator {
         };
         self.mark(id);
         self.free.push(id);
+        Ok(())
     }
 
     /// Records a role change that does not pass through the free stack
@@ -214,15 +224,26 @@ impl RegionAllocator {
 
     /// Regions whose volatile lower entry diverges from `view` (the
     /// durable state). Recovery re-journals exactly these.
-    pub fn diverged(&self, view: &[LowerEntry]) -> Vec<RegionId> {
-        debug_assert_eq!(view.len(), self.lower.len());
-        self.lower
+    ///
+    /// A view of the wrong length is a typed error: `zip` would silently
+    /// truncate the comparison and recovery would mis-classify the tail
+    /// regions. (This was a `debug_assert_eq!` before — silent in
+    /// release builds.)
+    pub fn diverged(&self, view: &[LowerEntry]) -> Result<Vec<RegionId>, HeapError> {
+        if view.len() != self.lower.len() {
+            return Err(HeapError::ViewLenMismatch {
+                expected: self.lower.len(),
+                found: view.len(),
+            });
+        }
+        Ok(self
+            .lower
             .iter()
             .zip(view)
             .enumerate()
             .filter(|(_, (cur, dur))| cur != dur)
             .map(|(i, _)| i as RegionId)
-            .collect()
+            .collect())
     }
 
     /// Marks a region dirty without changing its entry — reconciliation
@@ -270,11 +291,11 @@ mod tests {
     fn release_pushes_on_top_and_records_watermark() {
         let mut a = RegionAllocator::new(4);
         let r = a.take(RegionKind::Eden).unwrap();
-        a.release(r, 512);
+        a.release(r, 512).unwrap();
         assert_eq!(a.take(RegionKind::Eden), Some(r), "LIFO reuse");
         let mut b = RegionAllocator::new(4);
         let r = b.take(RegionKind::Eden).unwrap();
-        b.release(r, 512);
+        b.release(r, 512).unwrap();
         assert_eq!(b.lower(r).watermark, 512);
         assert_eq!(b.lower(r).kind, RegionKind::Free);
     }
@@ -301,7 +322,7 @@ mod tests {
                 live.push(a.take(RegionKind::Old).unwrap());
             } else {
                 let r = live.remove(idx);
-                a.release(r, 64);
+                a.release(r, 64).unwrap();
             }
             let before = a.free_stack().to_vec();
             let (previous, rebuilt) = a.rebuild_free();
@@ -317,13 +338,13 @@ mod tests {
         // Nothing drained: the durable view still says everything free.
         let v = a.durable_view(1_000);
         assert_eq!(v[r as usize], LowerEntry::INITIAL);
-        assert_eq!(a.diverged(&v), vec![r]);
+        assert_eq!(a.diverged(&v).unwrap(), vec![r]);
 
         assert_eq!(a.drain_dirty(500), vec![r]);
         assert!(a.dirty_regions().is_empty());
         let v = a.durable_view(1_000);
         assert_eq!(v[r as usize].kind, RegionKind::Survivor);
-        assert!(a.diverged(&v).is_empty());
+        assert!(a.diverged(&v).unwrap().is_empty());
         // A crash before the fence sees the previous snapshot.
         let v = a.durable_view(499);
         assert_eq!(v[r as usize], LowerEntry::INITIAL);
@@ -335,11 +356,11 @@ mod tests {
         let e = a.take(RegionKind::Eden).unwrap();
         a.drain_dirty(100);
         let s = a.take(RegionKind::Survivor).unwrap();
-        a.release(e, 256);
+        a.release(e, 256).unwrap();
         // Crash at 150: the survivor take and the eden release were never
         // journaled — partially-durable metadata.
         let view = a.durable_view(150);
-        let diverged = a.diverged(&view);
+        let diverged = a.diverged(&view).unwrap();
         assert_eq!(diverged, vec![e, s]);
         // Reconcile: re-journal the divergent volatile truth, then rebuild.
         let before = a.free_stack().to_vec();
@@ -350,7 +371,7 @@ mod tests {
         let (previous, rebuilt) = a.rebuild_free();
         assert_eq!(previous, before);
         assert_eq!(rebuilt, before);
-        assert!(a.diverged(&a.durable_view(250)).is_empty());
+        assert!(a.diverged(&a.durable_view(250)).unwrap().is_empty());
     }
 
     #[test]

@@ -321,8 +321,7 @@ impl Heap {
         }
         let watermark = self.regions[id as usize].used();
         self.regions[id as usize].reset(RegionKind::Free);
-        self.alloc.release(id, watermark);
-        Ok(())
+        self.alloc.release(id, watermark)
     }
 
     /// Allocates an auxiliary (non-Java-heap) region on `device`, used for

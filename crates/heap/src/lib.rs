@@ -82,6 +82,23 @@ pub enum HeapError {
         /// The raw header word.
         raw: u64,
     },
+    /// A forwarding install found the header already forwarded.
+    /// Overwriting it would silently drop the original forwardee —
+    /// release builds used to only `debug_assert!` here; the collector
+    /// surfaces this as an oracle violation.
+    AlreadyForwarded {
+        /// The raw (forwarded) header word that would have been lost.
+        raw: u64,
+    },
+    /// A durable-view comparison was handed a view whose length does not
+    /// match the lower table — comparing misaligned tables would silently
+    /// mis-classify divergent regions during crash recovery.
+    ViewLenMismatch {
+        /// The lower-table length the allocator expected.
+        expected: usize,
+        /// The length of the view actually supplied.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for HeapError {
@@ -108,6 +125,19 @@ impl std::fmt::Display for HeapError {
             ),
             HeapError::ForwardedHeader { raw } => {
                 write!(f, "forwarded header {raw:#x} has no class/age bits")
+            }
+            HeapError::AlreadyForwarded { raw } => {
+                write!(
+                    f,
+                    "header {raw:#x} is already a forwarding pointer; \
+                     overwriting it would lose the forwardee"
+                )
+            }
+            HeapError::ViewLenMismatch { expected, found } => {
+                write!(
+                    f,
+                    "durable view has {found} entries, lower table has {expected}"
+                )
             }
         }
     }

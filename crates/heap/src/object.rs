@@ -106,6 +106,18 @@ impl Header {
         Ok(Header::new(class, self.try_age()?.saturating_add(1)))
     }
 
+    /// Checked forwarding install: the forwarding header replacing this
+    /// one. Forwarding an already-forwarded header would silently drop
+    /// the original forwardee (the install paths used to guard this with
+    /// a `debug_assert!` only — release builds overwrote the word), so a
+    /// forwarded receiver is a typed error.
+    pub fn forward_to(self, new_addr: Addr) -> Result<Header, HeapError> {
+        if self.is_forwarded() {
+            return Err(HeapError::AlreadyForwarded { raw: self.0 });
+        }
+        Ok(Header::forwarding(new_addr))
+    }
+
     /// The raw header word.
     #[inline]
     pub fn raw(self) -> u64 {
@@ -157,6 +169,25 @@ mod tests {
         assert_eq!(normal.try_class_id(), Ok(7));
         assert_eq!(normal.try_age(), Ok(3));
         assert_eq!(normal.try_aged(), Ok(Header::new(7, 4)));
+    }
+
+    #[test]
+    fn forward_to_rejects_already_forwarded_headers() {
+        // Pinned regression: installing a forwarding pointer over a
+        // header that is already a forwarding pointer used to be a
+        // debug_assert!-only guard — release builds silently overwrote
+        // the word, losing the original forwardee. It is now a typed
+        // error the collector surfaces as an oracle violation.
+        let fwd = Header::forwarding(Addr(0x10_0040));
+        assert_eq!(
+            fwd.forward_to(Addr(0x10_0080)),
+            Err(HeapError::AlreadyForwarded { raw: fwd.raw() })
+        );
+        let normal = Header::new(7, 3);
+        assert_eq!(
+            normal.forward_to(Addr(0x10_0080)),
+            Ok(Header::forwarding(Addr(0x10_0080)))
+        );
     }
 
     #[test]

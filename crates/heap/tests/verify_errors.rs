@@ -7,7 +7,10 @@
 //! diagnosable failures, so their precision is load-bearing.
 
 use nvmgc_heap::verify::{verify_heap, verify_remsets, VerifyError};
-use nvmgc_heap::{Addr, ClassTable, DevicePlacement, Header, Heap, HeapConfig, RegionKind};
+use nvmgc_heap::{
+    Addr, ClassTable, DevicePlacement, Header, Heap, HeapConfig, HeapError, RegionAllocator,
+    RegionKind,
+};
 
 fn heap() -> Heap {
     let mut classes = ClassTable::new();
@@ -123,4 +126,66 @@ fn missing_remset_entry_is_reported() {
     // The barrier repairs it.
     h.write_ref_with_barrier(slot, young);
     assert!(verify_remsets(&h, &[anchor]).is_ok());
+}
+
+#[test]
+fn double_release_is_a_typed_error_not_a_debug_assert() {
+    // Pinned regression: `RegionAllocator::release` on an already-free
+    // region used to be a `debug_assert_ne!` — silent free-count
+    // corruption in release builds. It is now a typed error.
+    let mut a = RegionAllocator::new(4);
+    let r = a.take(RegionKind::Eden).unwrap();
+    a.release(r, 128).unwrap();
+    assert_eq!(a.release(r, 128), Err(HeapError::DoubleRelease(r)));
+    // The failed release did not double-push the free stack.
+    assert_eq!(a.free_count(), 4);
+}
+
+#[test]
+fn heap_double_release_surfaces_the_allocator_error() {
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    h.release_region(eden).unwrap();
+    assert_eq!(h.release_region(eden), Err(HeapError::DoubleRelease(eden)));
+}
+
+#[test]
+fn diverged_rejects_mismatched_view_lengths() {
+    // Pinned regression: `diverged` used to `debug_assert_eq!` the view
+    // length; in release builds a truncated durable view would silently
+    // mis-classify regions during crash recovery.
+    let mut a = RegionAllocator::new(4);
+    let _ = a.take(RegionKind::Eden).unwrap();
+    let short = a.durable_view(0);
+    let view = RegionAllocator::new(5).durable_view(0);
+    assert_eq!(
+        a.diverged(&view),
+        Err(HeapError::ViewLenMismatch {
+            expected: 4,
+            found: 5
+        })
+    );
+    // A well-formed view still classifies normally.
+    assert!(a.diverged(&short).is_ok());
+}
+
+#[test]
+fn forward_to_refuses_to_clobber_a_forwarding_word() {
+    // Pinned regression: installing a forwarding pointer over an
+    // already-forwarded header was `debug_assert!`-only — release builds
+    // silently lost the first forwardee, splitting the object graph.
+    let mut h = heap();
+    let eden = h.take_region(RegionKind::Eden).unwrap();
+    let surv = h.take_region(RegionKind::Survivor).unwrap();
+    let a = h.alloc_object(eden, 0).unwrap();
+    let c1 = h.alloc_object(surv, 0).unwrap();
+    let c2 = h.alloc_object(surv, 0).unwrap();
+    let first = h.header(a).forward_to(c1).unwrap();
+    h.set_header(a, first);
+    let raw = h.header(a).raw();
+    assert_eq!(
+        h.header(a).forward_to(c2),
+        Err(HeapError::AlreadyForwarded { raw })
+    );
+    assert_eq!(h.header(a).forwardee(), Some(c1));
 }

@@ -126,7 +126,7 @@ impl fmt::Display for RunPhase {
 }
 
 /// What went wrong.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub enum RunFailure {
     /// The collector (or heap bookkeeping under it) failed.
     Gc(GcError),
@@ -148,6 +148,16 @@ pub enum RunFailure {
         /// How many back-to-back collections made no allocation progress.
         futile_cycles: usize,
     },
+    /// Accumulated GC pause time exceeded the total simulated run time —
+    /// an accounting impossibility that a `saturating_sub` used to mask
+    /// as `mutator_ns == 0`, poisoning every derived share and bandwidth
+    /// figure downstream. Surfaced as a typed error instead.
+    PauseExceedsTotal {
+        /// Total simulated run time, ns.
+        total_ns: Ns,
+        /// Accumulated GC pause time, ns.
+        gc_ns: Ns,
+    },
 }
 
 impl fmt::Display for RunFailure {
@@ -163,6 +173,11 @@ impl fmt::Display for RunFailure {
                 f,
                 "heap exhausted: {futile_cycles} consecutive collections reclaimed no \
                  space for the mutator"
+            ),
+            RunFailure::PauseExceedsTotal { total_ns, gc_ns } => write!(
+                f,
+                "accumulated GC pause time ({gc_ns} ns) exceeds total simulated run \
+                 time ({total_ns} ns): pause accounting is corrupt"
             ),
         }
     }
@@ -481,6 +496,18 @@ pub fn run_app(cfg: &AppRunConfig) -> Result<AppRunResult, RunError> {
     finish_run(cfg, snap.heap, snap.mem, snap.mutator, snap.first_step)
 }
 
+/// Mutator (non-pause) time of a run: total minus accumulated GC pauses,
+/// as a *checked* subtraction. GC time exceeding total time is an
+/// accounting impossibility; the old `saturating_sub` silently clamped it
+/// to zero, hiding corrupt pause bookkeeping inside plausible-looking
+/// results. Kept as a standalone function so the regression test pins the
+/// error arm directly.
+fn mutator_time(total_ns: Ns, gc_ns: Ns) -> Result<Ns, RunFailure> {
+    total_ns
+        .checked_sub(gc_ns)
+        .ok_or(RunFailure::PauseExceedsTotal { total_ns, gc_ns })
+}
+
 /// Completes a run from a warm image: constructs the collector and
 /// drives the mutator-phase / collection loop to completion. `first_step`
 /// is the scheduling step the warmup's mutator phase already produced
@@ -669,6 +696,8 @@ fn finish_run(
 
     let total_ns = mutator.clock;
     let gc_ns = gc.run_stats.total_pause_ns();
+    let mutator_ns = mutator_time(total_ns, gc_ns)
+        .map_err(|failure| fail(RunPhase::Gc, cycles.len(), failure))?;
     // Outside the simulation (charges nothing): the final reachable-graph
     // digest, for cross-run comparisons.
     let final_digest = verify_heap(&heap, &mutator.roots)
@@ -694,7 +723,7 @@ fn finish_run(
     Ok(AppRunResult {
         name: cfg.spec.name.to_owned(),
         total_ns,
-        mutator_ns: total_ns.saturating_sub(gc_ns),
+        mutator_ns,
         gc: gc.run_stats.clone(),
         cycles,
         gc_nvm_bandwidth,
@@ -773,6 +802,25 @@ mod tests {
             ),
             "unexpected failure: {err}"
         );
+    }
+
+    #[test]
+    fn mutator_time_is_a_checked_subtraction() {
+        // Pinned regression: `mutator_ns` was `total_ns.saturating_sub(gc_ns)`,
+        // so GC time exceeding total time — impossible unless pause
+        // accounting is corrupt — clamped silently to zero instead of
+        // surfacing. It is now a typed failure carrying both operands.
+        assert_eq!(mutator_time(100, 30), Ok(70));
+        assert_eq!(mutator_time(30, 30), Ok(0));
+        let err = mutator_time(30, 100).expect_err("gc > total must not clamp");
+        assert_eq!(
+            err,
+            RunFailure::PauseExceedsTotal {
+                total_ns: 30,
+                gc_ns: 100
+            }
+        );
+        assert!(err.to_string().contains("exceeds total simulated run time"));
     }
 
     #[test]
