@@ -23,6 +23,20 @@ struct Row {
     p99_ms: f64,
 }
 
+/// One row of the plan-axis companion sweep (`fig08_plan_axis.json`):
+/// the same client simulation with the collector plan as an extra axis.
+#[derive(Serialize)]
+struct PlanRow {
+    phase: String,
+    plan: String,
+    config: String,
+    throughput_kqps: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    gc_cycles: usize,
+    max_pause_ms: f64,
+}
+
 fn main() {
     banner("fig08_tail_latency", "Figure 8");
     let throughputs = maybe_trim(vec![10_000.0, 30_000.0, 60_000.0, 100_000.0, 130_000.0], 2);
@@ -120,4 +134,96 @@ fn main() {
     };
     let path = write_json(&results_dir(), &report).expect("write results");
     println!("results: {}", path.display());
+
+    // Plan axis (ROADMAP: thread the plan axis through fig08): the same
+    // client simulation with the collector plan as an extra dimension,
+    // at each plan's vanilla and +all presets. A separate grid and a
+    // separate result file so the rows above stay byte-stable; within a
+    // phase all six configurations fork from one server warmup.
+    let plan_configs = [
+        ("g1/vanilla", GcConfig::vanilla(PAPER_THREADS)),
+        ("g1/+all", GcConfig::plus_all(PAPER_THREADS, 0)),
+        ("ps/vanilla", GcConfig::ps_vanilla(PAPER_THREADS)),
+        ("ps/+all", GcConfig::ps_plus_all(PAPER_THREADS, 0)),
+        ("semispace/vanilla", GcConfig::semispace(PAPER_THREADS)),
+        (
+            "semispace/+all",
+            GcConfig::semispace_plus_all(PAPER_THREADS, 0),
+        ),
+    ];
+    let mut plan_cells: Vec<(String, AppRunConfig, Post)> = Vec::new();
+    for phase in phases {
+        for (label, gc) in plan_configs.clone() {
+            plan_cells.push((
+                format!("phase={phase:?} config={label}"),
+                sized_config(server_spec(phase), gc),
+                Box::new(|res| res.expect("server run succeeds")),
+            ));
+        }
+    }
+    let (plan_servers, _pool, plan_forks) = run_forked_cells(plan_cells);
+    println!("{}", fork_summary(plan_servers.len(), &plan_forks));
+    let mut plan_servers = plan_servers.into_iter();
+
+    let mut plan_rows = Vec::new();
+    let mut plan_table = TextTable::new(vec![
+        "phase",
+        "config",
+        "kqps",
+        "p95 (ms)",
+        "p99 (ms)",
+        "cycles",
+        "max pause (ms)",
+    ]);
+    for phase in phases {
+        let phase_name = match phase {
+            CassandraPhase::Write => "write",
+            CassandraPhase::Read => "read",
+        };
+        let service_ns = match phase {
+            CassandraPhase::Write => 5_500.0,
+            CassandraPhase::Read => 4_000.0,
+        };
+        for (label, _) in plan_configs.clone() {
+            let server = plan_servers.next().expect("one server run per cell");
+            let max_pause_ms = server.gc.max_pause_ns() as f64 / 1e6;
+            for &tput in &throughputs {
+                let lat = simulate_client(
+                    &server.pause_intervals,
+                    server.total_ns,
+                    service_ns,
+                    tput,
+                    42,
+                );
+                plan_table.row(vec![
+                    phase_name.to_owned(),
+                    label.to_owned(),
+                    format!("{:.0}", tput / 1e3),
+                    format!("{:.2}", lat.p95_ms),
+                    format!("{:.2}", lat.p99_ms),
+                    server.gc.cycles().to_string(),
+                    format!("{max_pause_ms:.2}"),
+                ]);
+                plan_rows.push(PlanRow {
+                    phase: phase_name.to_owned(),
+                    plan: label.split('/').next().unwrap_or(label).to_owned(),
+                    config: label.to_owned(),
+                    throughput_kqps: tput / 1e3,
+                    p95_ms: lat.p95_ms,
+                    p99_ms: lat.p99_ms,
+                    gc_cycles: server.gc.cycles(),
+                    max_pause_ms,
+                });
+            }
+        }
+    }
+    println!("{}", plan_table.render());
+    let plan_report = ExperimentReport {
+        id: "fig08_plan_axis".to_owned(),
+        paper_ref: "Figure 8, plan axis (no paper figure)".to_owned(),
+        notes: "tail latency per collector plan (g1/ps/semispace), vanilla vs +all".to_owned(),
+        data: plan_rows,
+    };
+    let plan_path = write_json(&results_dir(), &plan_report).expect("write results");
+    println!("results: {}", plan_path.display());
 }

@@ -15,7 +15,9 @@ use nvmgc_core::fault::{FaultPlan, Severity};
 use nvmgc_core::GcConfig;
 use nvmgc_heap::DevicePlacement;
 use nvmgc_metrics::ExperimentReport;
+use nvmgc_workloads::cassandra::{server_spec, CassandraPhase};
 use nvmgc_workloads::runner::{RunError, RunFailure};
+use nvmgc_workloads::scenario::{run_scenario, ScenarioKind, ScenarioSpec, SloWindow};
 use nvmgc_workloads::{app, fig1_apps, run_app, AppRunConfig, AppRunResult, WorkloadSpec};
 use serde::Serialize;
 
@@ -408,6 +410,264 @@ pub fn fault_matrix_report(rows: Vec<FaultRow>) -> ExperimentReport<Vec<FaultRow
     }
 }
 
+/// One cell of the latency scenario matrix: a load shape from the
+/// open-loop cohort engine crossed with a collector plan/preset and a
+/// fault-plan severity on the Cassandra-like write server.
+#[derive(Clone)]
+pub struct ScenarioCell {
+    /// The client-side load shape.
+    pub scenario: ScenarioKind,
+    /// Collector configuration label (`<plan>/<preset>`, as in the
+    /// plan matrix).
+    pub config_name: &'static str,
+    /// The collector configuration itself.
+    pub gc: GcConfig,
+    /// Fault-plan severity on the server run.
+    pub severity: Severity,
+    /// Seed shared by the fault schedule and the client arrival stream.
+    pub seed: u64,
+}
+
+impl ScenarioCell {
+    /// The cell's display label.
+    pub fn label(&self) -> String {
+        format!(
+            "scenario={} gc={} severity={} seed={:#x}",
+            self.scenario.label(),
+            self.config_name,
+            self.severity.name(),
+            self.seed
+        )
+    }
+
+    /// The client population this cell simulates. Shared by the run
+    /// path and the report so "≥1e6 open-loop clients" is pinned in one
+    /// place.
+    pub fn scenario_spec(&self) -> ScenarioSpec {
+        ScenarioSpec::new(self.scenario, self.seed)
+    }
+}
+
+/// The scenario-matrix grid, in declaration (= output) order: every load
+/// shape × four plan/preset configurations × {Off, Moderate} fault
+/// severity. `fast` trims to two scenarios and the two G1 presets —
+/// enough to demonstrate a GC-attributed violation and the
+/// write-cache's tail rescue — and stays a label-subset of the full
+/// grid (pinned by a test below).
+pub fn scenario_matrix_cells(fast: bool) -> Vec<ScenarioCell> {
+    let scenarios: &[ScenarioKind] = if fast {
+        &[ScenarioKind::Steady, ScenarioKind::FlashCrowd]
+    } else {
+        &ScenarioKind::all()
+    };
+    let t = FAULT_MATRIX_THREADS;
+    let mut configs: Vec<(&'static str, GcConfig)> = vec![
+        ("g1/vanilla", GcConfig::vanilla(t)),
+        ("g1/+all", GcConfig::plus_all(t, 0)),
+    ];
+    if !fast {
+        configs.push(("ps/+all", GcConfig::ps_plus_all(t, 0)));
+        configs.push(("semispace/vanilla", GcConfig::semispace(t)));
+    }
+    let severities = [Severity::Off, Severity::Moderate];
+    let mut cells = Vec::new();
+    for &scenario in scenarios {
+        for (config_name, gc) in &configs {
+            for severity in severities {
+                cells.push(ScenarioCell {
+                    scenario,
+                    config_name,
+                    gc: gc.clone(),
+                    severity,
+                    seed: 0xB0A7,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Builds the server-side run configuration of a scenario cell: the
+/// Cassandra-like write server on the reduced matrix heap, traced so
+/// violation windows can be attributed to fault windows and
+/// persistence fences as well as GC pauses.
+pub fn scenario_matrix_config(cell: &ScenarioCell) -> AppRunConfig {
+    let mut cfg = sized_config(server_spec(CassandraPhase::Write), cell.gc.clone());
+    cfg.heap.region_size = 32 << 10;
+    cfg.heap.heap_regions = 256;
+    cfg.heap.young_regions = 64;
+    let heap_bytes = cfg.heap_bytes();
+    if cfg.gc.write_cache.enabled && cfg.gc.write_cache.max_bytes != u64::MAX {
+        cfg.gc.write_cache.max_bytes = (heap_bytes / 32).max(cfg.heap.region_size as u64);
+    }
+    if cfg.gc.header_map.enabled {
+        cfg.gc.header_map.max_bytes = (heap_bytes / 32).max(1 << 20);
+    }
+    cfg.gc.fault = FaultPlan::generate(cell.seed, cell.severity, FAULT_MATRIX_HORIZON_NS);
+    cfg.trace = true;
+    cfg
+}
+
+/// One row of `results/scenario_matrix.json`.
+#[derive(Serialize, Clone)]
+pub struct ScenarioRow {
+    /// Load-shape label.
+    pub scenario: String,
+    /// Collector configuration label.
+    pub config: String,
+    /// Fault-plan severity name.
+    pub severity: String,
+    /// Shared fault/arrival seed.
+    pub seed: u64,
+    /// "ok", or the typed error's rendering.
+    pub outcome: String,
+    /// Whether the server run completed without error.
+    pub ok: bool,
+    /// Simulated open-loop clients in the cohort population.
+    pub clients: u64,
+    /// Client requests simulated.
+    pub requests: u64,
+    /// Cohort micro-batches those requests were bulk-charged in.
+    pub batches: u64,
+    /// Server-run horizon the arrivals were generated over, ns.
+    pub horizon_ns: u64,
+    /// Server GC cycles over the horizon.
+    pub gc_cycles: usize,
+    /// Total server GC pause time, ns.
+    pub total_pause_ns: u64,
+    /// Longest single server pause, ns.
+    pub max_pause_ns: u64,
+    /// The latency SLO the windows were accounted against, ns.
+    pub slo_ns: u64,
+    /// Median request latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// 99.99th-percentile latency, ms.
+    pub p9999_ms: f64,
+    /// Worst request latency, ms.
+    pub max_ms: f64,
+    /// The full latency distribution (canonical histogram encoding).
+    pub histogram: String,
+    /// SLO-violation windows, in time order, with attribution.
+    pub violations: Vec<SloWindow>,
+    /// How many violation windows overlap at least one GC pause.
+    pub gc_attributed_windows: usize,
+    /// Requests inside violation windows.
+    pub violating_requests: u64,
+}
+
+/// Runs one scenario cell cold: server run, then the cohort client
+/// simulation over its pause schedule and trace.
+pub fn run_scenario_cell(cell: &ScenarioCell) -> (ScenarioRow, WorkCounters) {
+    let cfg = scenario_matrix_config(cell);
+    scenario_cell_outcome(cell, run_app(&cfg))
+}
+
+/// Runs the whole scenario grid with one warmup per warm group (all
+/// configurations of a severity share the same server warmup). The
+/// client simulation happens inside each cell's post-processing closure,
+/// so its cost parallelizes with the server runs.
+pub fn run_scenario_grid(fast: bool) -> (Vec<(ScenarioRow, WorkCounters)>, PoolStats, ForkStats) {
+    let cells: Vec<(String, AppRunConfig, _)> = scenario_matrix_cells(fast)
+        .into_iter()
+        .map(|cell| {
+            let cfg = scenario_matrix_config(&cell);
+            let label = cell.label();
+            (label, cfg, move |res| scenario_cell_outcome(&cell, res))
+        })
+        .collect();
+    run_forked_cells(cells)
+}
+
+/// Folds one finished (or failed) server run into its scenario row by
+/// driving the cohort client engine over the run's pause spans and
+/// trace; shared by the cold path and the forked grid path.
+fn scenario_cell_outcome(
+    cell: &ScenarioCell,
+    result: Result<AppRunResult, RunError>,
+) -> (ScenarioRow, WorkCounters) {
+    let spec = cell.scenario_spec();
+    let base = ScenarioRow {
+        scenario: cell.scenario.label().to_owned(),
+        config: cell.config_name.to_owned(),
+        severity: cell.severity.name().to_owned(),
+        seed: cell.seed,
+        outcome: String::new(),
+        ok: false,
+        clients: spec.clients,
+        requests: 0,
+        batches: 0,
+        horizon_ns: 0,
+        gc_cycles: 0,
+        total_pause_ns: 0,
+        max_pause_ns: 0,
+        slo_ns: spec.slo_ns,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+        p999_ms: 0.0,
+        p9999_ms: 0.0,
+        max_ms: 0.0,
+        histogram: String::new(),
+        violations: Vec::new(),
+        gc_attributed_windows: 0,
+        violating_requests: 0,
+    };
+    match result {
+        Ok(res) => {
+            let sc = run_scenario(&spec, &res.pause_spans, &res.trace, res.total_ns);
+            let q = sc.quantiles_ms();
+            let mut counters = WorkCounters::from_run(&res);
+            counters.client_requests = sc.requests;
+            counters.client_cohorts = sc.batches;
+            let row = ScenarioRow {
+                outcome: "ok".to_owned(),
+                ok: true,
+                requests: sc.requests,
+                batches: sc.batches,
+                horizon_ns: res.total_ns,
+                gc_cycles: res.gc.cycles(),
+                total_pause_ns: res.gc.total_pause_ns(),
+                max_pause_ns: res.gc.max_pause_ns(),
+                p50_ms: q.p50_ms,
+                p99_ms: q.p99_ms,
+                p999_ms: q.p999_ms,
+                p9999_ms: q.p9999_ms,
+                max_ms: q.max_ms,
+                histogram: sc.histogram.encode(),
+                gc_attributed_windows: sc.gc_attributed_windows(),
+                violating_requests: sc.violating_requests(),
+                violations: sc.violations,
+                ..base
+            };
+            (row, counters)
+        }
+        Err(e) => {
+            let row = ScenarioRow {
+                outcome: e.to_string(),
+                ..base
+            };
+            (row, WorkCounters::default())
+        }
+    }
+}
+
+/// Assembles the `results/scenario_matrix.json` report from its rows.
+pub fn scenario_matrix_report(rows: Vec<ScenarioRow>) -> ExperimentReport<Vec<ScenarioRow>> {
+    ExperimentReport {
+        id: "scenario_matrix".to_owned(),
+        paper_ref: "Figure 8 generalized: open-loop latency scenario suite".to_owned(),
+        notes: format!(
+            "million-client cohorts on the cassandra-write server; \
+             {FAULT_MATRIX_THREADS} GC threads; fault horizon {FAULT_MATRIX_HORIZON_NS} ns; \
+             severities [off, moderate]"
+        ),
+        data: rows,
+    }
+}
+
 /// One row of `results/fig01_dram_vs_nvm.json`.
 #[derive(Serialize, Clone)]
 pub struct Fig01Row {
@@ -549,6 +809,34 @@ mod tests {
                 assert!(!cell.gc.prefetch);
                 assert!(!cell.gc.write_cache.enabled);
             }
+        }
+    }
+
+    #[test]
+    fn scenario_fast_grid_is_a_label_subset_of_the_full_grid() {
+        let fast = scenario_matrix_cells(true);
+        let full = scenario_matrix_cells(false);
+        assert_eq!(fast.len(), 2 * 2 * 2);
+        assert_eq!(full.len(), 5 * 4 * 2);
+        let full_labels: Vec<String> = full.iter().map(|c| c.label()).collect();
+        for c in &fast {
+            assert!(full_labels.contains(&c.label()), "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn scenario_cells_simulate_a_million_clients_traced() {
+        for cell in scenario_matrix_cells(true) {
+            assert!(
+                cell.scenario_spec().clients >= 1_000_000,
+                "{} simulates fewer than 1e6 clients",
+                cell.label()
+            );
+            let cfg = scenario_matrix_config(&cell);
+            // Attribution needs the trace layer's fault/fence events.
+            assert!(cfg.trace, "{} must run traced", cell.label());
+            assert_eq!(cfg.heap.region_size, 32 << 10);
+            assert_eq!(cfg.gc.fault.is_empty(), cell.severity == Severity::Off);
         }
     }
 

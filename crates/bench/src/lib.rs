@@ -24,7 +24,9 @@ pub mod warm;
 pub use grids::{
     fault_matrix_cells, fault_matrix_config, fault_matrix_report, fig01_apps, fig01_report,
     plan_matrix_cells, plan_matrix_report, run_fault_cell, run_fault_grid, run_fig01_app,
-    run_plan_grid, FaultCell, FaultRow, Fig01Row, FAULT_MATRIX_HORIZON_NS, FAULT_MATRIX_THREADS,
+    run_plan_grid, run_scenario_cell, run_scenario_grid, scenario_matrix_cells,
+    scenario_matrix_config, scenario_matrix_report, FaultCell, FaultRow, Fig01Row, ScenarioCell,
+    ScenarioRow, FAULT_MATRIX_HORIZON_NS, FAULT_MATRIX_THREADS,
 };
 pub use runner::{
     jobs, run_cells, run_cells_with, run_labeled_cells, run_labeled_cells_with, write_throughput,

@@ -247,6 +247,14 @@ pub struct WorkCounters {
     /// for each warm group, (members beyond the first) × (objects the
     /// shared warmup allocated). Deterministic for a given grid.
     pub warmup_steps_saved: u64,
+    /// Open-loop client requests simulated by scenario cells (zero for
+    /// grids without a client side). Seeded arrivals over a
+    /// deterministic pause schedule, so a pure function of the grid.
+    pub client_requests: u64,
+    /// Cohort micro-batches those requests were bulk-charged in — the
+    /// actual queue operations performed; `client_requests /
+    /// client_cohorts` is the bulk-charging leverage.
+    pub client_cohorts: u64,
 }
 
 impl WorkCounters {
@@ -264,9 +272,12 @@ impl WorkCounters {
                 .map(|c| c.fault_events.power_failure_checks)
                 .sum(),
             // Fork accounting is grid-level, not per-run; the forked-grid
-            // runner adds it onto the summed totals.
+            // runner adds it onto the summed totals. Client counters come
+            // from the scenario layer, which runs after the server sim.
             snapshot_forks: 0,
             warmup_steps_saved: 0,
+            client_requests: 0,
+            client_cohorts: 0,
         }
     }
 
@@ -280,12 +291,14 @@ impl WorkCounters {
         self.oracle_checks += other.oracle_checks;
         self.snapshot_forks += other.snapshot_forks;
         self.warmup_steps_saved += other.warmup_steps_saved;
+        self.client_requests += other.client_requests;
+        self.client_cohorts += other.client_cohorts;
     }
 
     /// The counters as `(JSON key, value)` pairs, in serialization order.
     /// The perf gate iterates this list, so adding a field here extends
     /// the gate automatically.
-    pub fn named(&self) -> [(&'static str, u64); 8] {
+    pub fn named(&self) -> [(&'static str, u64); 10] {
         [
             ("simulated_ns", self.simulated_ns),
             ("engine_steps", self.engine_steps),
@@ -295,6 +308,8 @@ impl WorkCounters {
             ("oracle_checks", self.oracle_checks),
             ("snapshot_forks", self.snapshot_forks),
             ("warmup_steps_saved", self.warmup_steps_saved),
+            ("client_requests", self.client_requests),
+            ("client_cohorts", self.client_cohorts),
         ]
     }
 }
@@ -464,6 +479,8 @@ mod tests {
             oracle_checks: 6,
             snapshot_forks: 7,
             warmup_steps_saved: 8,
+            client_requests: 9,
+            client_cohorts: 10,
         };
         a.add(&a.clone());
         assert_eq!(
@@ -477,6 +494,8 @@ mod tests {
                 ("oracle_checks", 12),
                 ("snapshot_forks", 14),
                 ("warmup_steps_saved", 16),
+                ("client_requests", 18),
+                ("client_cohorts", 20),
             ]
         );
         // Every counter field is covered by named(): serializing the
@@ -520,6 +539,8 @@ mod tests {
             oracle_checks: 23,
             snapshot_forks: 29,
             warmup_steps_saved: 31,
+            client_requests: 37,
+            client_cohorts: 41,
         };
         let json = serde_json::to_string_pretty(&counters).expect("serialize");
         for (key, value) in counters.named() {

@@ -1,0 +1,88 @@
+//! Pinned scenario-matrix cells.
+//!
+//! The suite's acceptance criterion is a concrete cell, not just unit
+//! tests: a flash-crowd burst over the vanilla collector must produce
+//! SLO-violation windows whose attribution names the overlapping GC
+//! pauses. This test pins the FAST grid's cells so the property cannot
+//! silently rot even when the `scenario_matrix` harness (which enforces
+//! the same gate across the grid and exits nonzero) is not run.
+
+use nvmgc_bench::{run_scenario_cell, scenario_matrix_cells};
+use nvmgc_core::fault::Severity;
+use nvmgc_workloads::scenario::ScenarioKind;
+
+#[test]
+fn flash_crowd_violations_carry_gc_pause_attribution() {
+    let cell = scenario_matrix_cells(true)
+        .into_iter()
+        .find(|c| {
+            c.scenario == ScenarioKind::FlashCrowd
+                && c.config_name == "g1/vanilla"
+                && c.severity == Severity::Off
+        })
+        .expect("FAST grid contains the fault-free flash-crowd vanilla cell");
+    let (row, counters) = run_scenario_cell(&cell);
+
+    assert!(row.ok, "server run must complete: {}", row.outcome);
+    assert!(
+        row.clients >= 1_000_000,
+        "the cohort population simulates at least a million open-loop clients (got {})",
+        row.clients
+    );
+    assert!(
+        row.requests > 0 && row.batches > 0 && row.requests > row.batches,
+        "requests are bulk-charged in cohort batches ({} requests, {} batches)",
+        row.requests,
+        row.batches
+    );
+    assert_eq!(counters.client_requests, row.requests);
+    assert_eq!(counters.client_cohorts, row.batches);
+
+    // The burst pushes the server past its SLO; at least one of the
+    // resulting windows must overlap a GC pause and say so.
+    assert!(
+        !row.violations.is_empty(),
+        "a flash crowd over the vanilla collector violates the SLO"
+    );
+    assert!(
+        row.gc_attributed_windows >= 1,
+        "at least one violation window is attributed to a GC pause"
+    );
+    let attributed = row
+        .violations
+        .iter()
+        .find(|w| !w.gc_causes.is_empty())
+        .expect("an attributed window names its GC pause kinds");
+    assert!(
+        attributed.gc_pause_ns > 0,
+        "the attributed window accounts overlapped pause time"
+    );
+    assert!(
+        attributed.gc_causes.iter().all(|k| k.starts_with("gc-")),
+        "pause kinds use the gc-* vocabulary: {:?}",
+        attributed.gc_causes
+    );
+    assert!(attributed.requests > 0 && attributed.worst_ns > row.slo_ns);
+}
+
+#[test]
+fn fault_free_cells_have_no_fault_attribution() {
+    let cell = scenario_matrix_cells(true)
+        .into_iter()
+        .find(|c| {
+            c.scenario == ScenarioKind::Steady
+                && c.config_name == "g1/+all"
+                && c.severity == Severity::Off
+        })
+        .expect("FAST grid contains the fault-free steady +all cell");
+    let (row, _) = run_scenario_cell(&cell);
+
+    assert!(row.ok, "server run must complete: {}", row.outcome);
+    for w in &row.violations {
+        assert!(
+            w.fault_causes.is_empty(),
+            "severity=off cells cannot blame injected faults: {:?}",
+            w.fault_causes
+        );
+    }
+}

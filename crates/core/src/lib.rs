@@ -127,5 +127,5 @@ pub use oracle::{
 pub use plan::{plan_of, CopyPolicyKind, PlanSpec, G1_PLAN, PS_PLAN, SEMISPACE_PLAN};
 pub use recovery::CrashState;
 pub use scheduler::{run_packet, PacketKind, PacketRun};
-pub use stats::{GcPhaseTimes, GcStats};
+pub use stats::{GcPhaseTimes, GcStats, PauseSpan};
 pub use write_cache::WriteCachePool;

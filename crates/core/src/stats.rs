@@ -36,6 +36,45 @@ impl GcPhaseTimes {
     }
 }
 
+/// One stop-the-world pause, positioned on the simulated timeline.
+///
+/// `RunGcStats::pauses_ns` keeps only durations; latency attribution
+/// (the scenario suite's SLO-violation windows) additionally needs
+/// *when* each pause ran and what kind of cycle caused it, so the app
+/// runner records one `PauseSpan` per cycle alongside the stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseSpan {
+    /// Simulated time the mutators stopped.
+    pub start_ns: Ns,
+    /// Simulated time the mutators resumed (`start_ns` + pause).
+    pub end_ns: Ns,
+    /// `true` for a mixed (young + old) collection, `false` for young.
+    pub mixed: bool,
+    /// `true` when this cycle resumed a crashed durable-mode evacuation.
+    pub recovered: bool,
+}
+
+impl PauseSpan {
+    /// The pause duration.
+    pub fn duration_ns(&self) -> Ns {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether this span overlaps the half-open window `[start, end)`.
+    pub fn overlaps(&self, start: Ns, end: Ns) -> bool {
+        self.start_ns < end && start < self.end_ns
+    }
+
+    /// The canonical label the scenario suite attributes violations to.
+    pub fn kind(&self) -> &'static str {
+        match (self.recovered, self.mixed) {
+            (true, _) => "gc-recovery",
+            (false, true) => "gc-mixed",
+            (false, false) => "gc-young",
+        }
+    }
+}
+
 /// Statistics for one young-GC cycle.
 #[derive(Debug, Clone, Default)]
 pub struct GcStats {

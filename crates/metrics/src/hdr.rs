@@ -1,0 +1,405 @@
+//! Deterministic HDR-style latency histogram.
+//!
+//! The open-loop scenario suite records one latency sample per simulated
+//! request — potentially tens of thousands of requests charged in bulk
+//! for million-client cohorts — and reports full distributions
+//! (p50/p99/p99.9/p99.99). Keeping every sample would cost memory
+//! proportional to the request count and force a sort per quantile;
+//! this histogram instead keeps log-bucketed counts the way
+//! HdrHistogram does:
+//!
+//! - values below `2^sub_bucket_bits` are counted exactly (one bucket
+//!   per integer value);
+//! - above that, each power-of-two octave splits into
+//!   `2^sub_bucket_bits` linear sub-buckets, so every bucket's width is
+//!   at most `value / 2^sub_bucket_bits` — a fixed relative error bound
+//!   (≈3% at the default 5 bits) at any magnitude.
+//!
+//! Everything here is integer arithmetic on `u64` nanoseconds: recording
+//! order cannot change the counts, [`HdrHistogram::merge`] is exact
+//! (element-wise addition), and the [`HdrHistogram::encode`] rendering is
+//! byte-identical across hosts and runs — the scenario-matrix JSON
+//! embeds it so CI can diff distributions, not just headline quantiles.
+//!
+//! Quantiles are *exact over the recorded buckets*: `quantile(q)`
+//! returns the highest value of the bucket holding the ⌈q·n⌉-th sample,
+//! clamped into the exact recorded `[min, max]` range, so p100 is the
+//! true maximum and every other quantile is within one bucket width of
+//! the true order statistic.
+
+use serde::Serialize;
+
+/// Default sub-bucket precision: 32 linear sub-buckets per octave,
+/// bounding quantile error at ~3.1% of the value.
+pub const DEFAULT_SUB_BUCKET_BITS: u32 = 5;
+
+/// A deterministic, mergeable, log-bucketed latency histogram over
+/// `u64` values (nanoseconds by convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdrHistogram {
+    /// Linear sub-buckets per octave = `2^sub_bucket_bits`.
+    sub_bucket_bits: u32,
+    /// Dense bucket counts, grown on demand.
+    counts: Vec<u64>,
+    /// Total recorded samples.
+    total: u64,
+    /// Exact smallest recorded value (`u64::MAX` when empty).
+    min: u64,
+    /// Exact largest recorded value (0 when empty).
+    max: u64,
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram::new()
+    }
+}
+
+impl HdrHistogram {
+    /// An empty histogram at the default precision.
+    pub fn new() -> HdrHistogram {
+        HdrHistogram::with_precision(DEFAULT_SUB_BUCKET_BITS)
+    }
+
+    /// An empty histogram with `2^bits` sub-buckets per octave.
+    /// `bits` is clamped to `[1, 16]`.
+    pub fn with_precision(bits: u32) -> HdrHistogram {
+        HdrHistogram {
+            sub_bucket_bits: bits.clamp(1, 16),
+            counts: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `value`. Values below `2^bits` map to
+    /// themselves; a value in octave `m ≥ bits` maps to
+    /// `(m - bits) · 2^bits + (value >> (m - bits))`, which is dense and
+    /// monotone in `value`.
+    fn index_of(&self, value: u64) -> usize {
+        let bits = self.sub_bucket_bits;
+        let sub = 1u64 << bits;
+        if value < sub {
+            return value as usize;
+        }
+        let m = 63 - value.leading_zeros(); // value ∈ [2^m, 2^{m+1})
+        let shift = m - bits;
+        ((shift as u64) * sub + (value >> shift)) as usize
+    }
+
+    /// The largest value mapping to bucket `index` — the quantile
+    /// representative (HdrHistogram's "highest equivalent value").
+    fn highest_of(&self, index: usize) -> u64 {
+        let bits = self.sub_bucket_bits;
+        let sub = 1usize << bits;
+        if index < sub {
+            return index as u64;
+        }
+        let shift = (index / sub - 1) as u32 + 1;
+        let top = (index - (shift as usize - 1) * sub) as u64;
+        ((top + 1) << (shift - 1)) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` samples of the same value in one step — the bulk
+    /// charge a whole cohort batch lands with.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let i = self.index_of(value);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += count;
+        self.total += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every count of `other` into `self`. Exact: the result is
+    /// identical to having recorded both sample sets into one histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different precisions — their
+    /// bucket grids would not line up.
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        assert_eq!(
+            self.sub_bucket_bits, other.sub_bucket_bits,
+            "cannot merge histograms of different precision"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact smallest recorded value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the highest value of the
+    /// bucket containing the `⌈q·n⌉`-th smallest sample, clamped into
+    /// the exact recorded `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ⌈q·n⌉ without float rounding surprises at the top: a target of
+        // 0 (q = 0) means the first sample.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                return self.highest_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard latency quantile set in milliseconds, for reports.
+    pub fn quantiles_ms(&self) -> LatencyQuantiles {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        LatencyQuantiles {
+            count: self.total,
+            min_ms: ms(self.min()),
+            p50_ms: ms(self.quantile(0.50)),
+            p99_ms: ms(self.quantile(0.99)),
+            p999_ms: ms(self.quantile(0.999)),
+            p9999_ms: ms(self.quantile(0.9999)),
+            max_ms: ms(self.max()),
+        }
+    }
+
+    /// A canonical compact rendering: precision, totals, exact min/max,
+    /// then every nonzero bucket as `index:count` in ascending index
+    /// order. Two histograms are equal iff their encodings are equal,
+    /// and the encoding of a given sample set is byte-identical across
+    /// hosts, runs and recording orders.
+    pub fn encode(&self) -> String {
+        let mut s = format!(
+            "hdr1;bits={};count={};min={};max={}",
+            self.sub_bucket_bits,
+            self.total,
+            self.min(),
+            self.max
+        );
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                s.push_str(&format!(";{i}:{c}"));
+            }
+        }
+        s
+    }
+}
+
+impl Serialize for HdrHistogram {
+    /// Serializes as the canonical [`HdrHistogram::encode`] string, so a
+    /// histogram embedded in experiment JSON is diffable byte-for-byte.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.encode())
+    }
+}
+
+/// The standard report quantile set, in milliseconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyQuantiles {
+    /// Sample count.
+    pub count: u64,
+    /// Exact minimum, ms.
+    pub min_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+    /// 99.99th percentile, ms.
+    pub p9999_ms: f64,
+    /// Exact maximum, ms.
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = HdrHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.encode(), "hdr1;bits=5;count=0;min=0;max=0");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HdrHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        // Below 2^bits every value has its own bucket: quantiles are the
+        // true order statistics.
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_dense() {
+        let h = HdrHistogram::new();
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..50u32 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << exp) + off);
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        // Across sorted magnitudes the index must never decrease, and
+        // every bucket must cover the value that mapped to it.
+        let mut last = 0usize;
+        for v in values {
+            let i = h.index_of(v);
+            assert!(h.highest_of(i) >= v, "v={v} i={i}");
+            assert!(i >= last, "index decreased at v={v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn highest_of_inverts_index_of() {
+        let h = HdrHistogram::new();
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, (1 << 40) + 7] {
+            let i = h.index_of(v);
+            let hi = h.highest_of(i);
+            assert!(hi >= v);
+            assert_eq!(h.index_of(hi), i, "v={v}");
+            // The bucket's width is within the relative error bound.
+            assert!(hi - v <= (v >> DEFAULT_SUB_BUCKET_BITS), "v={v} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = HdrHistogram::new();
+        bulk.record_n(12_345, 1000);
+        let mut loops = HdrHistogram::new();
+        for _ in 0..1000 {
+            loops.record(12_345);
+        }
+        assert_eq!(bulk, loops);
+        assert_eq!(bulk.encode(), loops.encode());
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let xs = [5u64, 900, 1 << 22, 77, 3_000_000];
+        let ys = [1u64, 900, 1 << 30];
+        let mut a = HdrHistogram::new();
+        xs.iter().for_each(|&v| a.record(v));
+        let mut b = HdrHistogram::new();
+        ys.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        let mut all = HdrHistogram::new();
+        xs.iter().chain(ys.iter()).for_each(|&v| all.record(v));
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = HdrHistogram::with_precision(5);
+        a.merge(&HdrHistogram::with_precision(6));
+    }
+
+    #[test]
+    fn quantiles_bounded_and_monotone() {
+        let mut h = HdrHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(1_000 + i * 37);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= h.min() && v <= h.max(), "q={q} v={v}");
+            assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+        // q=1 is the exact recorded maximum; q=0 lands in the min's
+        // bucket (highest-equivalent convention, clamped above min).
+        assert_eq!(h.quantile(1.0), h.max());
+        let min_bucket_top = h.highest_of(h.index_of(h.min()));
+        assert!(h.quantile(0.0) >= h.min() && h.quantile(0.0) <= min_bucket_top);
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_sub_bucket() {
+        // Uniform samples: the bucket-resolution quantile must stay
+        // within the documented relative error of the true statistic.
+        let n = 50_000u64;
+        let mut h = HdrHistogram::new();
+        for i in 0..n {
+            h.record(1_000_000 + i * 100);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            let approx = h.quantile(q) as f64;
+            let true_rank = (q * n as f64).ceil().max(1.0) - 1.0;
+            let exact = 1_000_000.0 + true_rank * 100.0;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= 1.0 / 32.0 + 1e-9, "q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn serializes_as_the_canonical_string() {
+        let mut h = HdrHistogram::new();
+        h.record_n(10, 3);
+        let json = serde_json::to_string(&h).expect("serialize");
+        assert_eq!(json, format!("\"{}\"", h.encode()));
+        assert!(json.contains("count=3"));
+        assert!(json.contains(";10:3"));
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod hdr;
 pub mod report;
 pub mod series;
 pub mod stats;
@@ -16,6 +17,7 @@ pub mod table;
 pub mod trace;
 
 pub use cost::gc_improvement_per_dollar;
+pub use hdr::{HdrHistogram, LatencyQuantiles};
 pub use report::{write_json, ExperimentReport};
 pub use series::BandwidthSeries;
 pub use stats::{geomean, mean, percentile, stddev, stddev_population, Summary};

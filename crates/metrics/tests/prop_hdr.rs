@@ -1,0 +1,125 @@
+//! Properties of the deterministic HDR-style histogram.
+//!
+//! The scenario suite leans on three invariants: quantiles never leave
+//! the recorded value range, merging histograms is exactly equivalent to
+//! recording all their samples into one, and the canonical encoding is a
+//! pure function of the recorded multiset — two identically-fed
+//! histograms serialize byte-identically.
+
+use nvmgc_memsim::fault::splitmix64;
+use nvmgc_metrics::HdrHistogram;
+use proptest::prelude::*;
+
+/// (value, repeat) pairs keep the sample streams small while still
+/// exercising multi-count buckets.
+fn arb_samples(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..1 << 48, 1u64..64), min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every quantile of a non-empty histogram lies within
+    /// `[min, max]`, `quantile(1.0)` is the exact maximum, and the
+    /// tracked extremes match the fed samples exactly.
+    #[test]
+    fn quantiles_stay_within_recorded_extremes(
+        samples in arb_samples(1, 64),
+        qs in prop::collection::vec(0u64..1001, 1..8),
+    ) {
+        let mut h = HdrHistogram::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut n = 0u64;
+        for &(v, reps) in &samples {
+            h.record_n(v, reps);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            n += reps;
+        }
+        prop_assert_eq!(h.count(), n);
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        prop_assert_eq!(h.quantile(1.0), hi);
+        for &per_mille in &qs {
+            let q = per_mille as f64 / 1000.0;
+            let v = h.quantile(q);
+            prop_assert!(
+                (lo..=hi).contains(&v),
+                "quantile({q}) = {v} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// Merging two histograms is exactly bulk-recording both sample
+    /// streams into one: identical canonical encoding, hence identical
+    /// counts, extremes and every quantile.
+    #[test]
+    fn merge_equals_bulk_record(
+        a in arb_samples(0, 48),
+        b in arb_samples(0, 48),
+    ) {
+        let mut ha = HdrHistogram::new();
+        for &(v, reps) in &a {
+            ha.record_n(v, reps);
+        }
+        let mut hb = HdrHistogram::new();
+        for &(v, reps) in &b {
+            hb.record_n(v, reps);
+        }
+        ha.merge(&hb);
+
+        let mut bulk = HdrHistogram::new();
+        for &(v, reps) in a.iter().chain(b.iter()) {
+            bulk.record_n(v, reps);
+        }
+        prop_assert_eq!(ha.encode(), bulk.encode());
+        prop_assert_eq!(ha, bulk);
+    }
+
+    /// The canonical encoding is a pure function of the sample stream:
+    /// two histograms fed the same seeded stream serialize
+    /// byte-identically, and recording order does not matter.
+    #[test]
+    fn same_seed_serialization_is_byte_identical(
+        seed in any::<u64>(),
+        len in 0usize..256,
+    ) {
+        let build = |seed: u64| {
+            let mut state = seed;
+            let mut h = HdrHistogram::new();
+            for _ in 0..len {
+                h.record(splitmix64(&mut state) >> 16);
+            }
+            h
+        };
+        prop_assert_eq!(build(seed).encode(), build(seed).encode());
+
+        // Order independence: the same samples recorded back to front.
+        let mut state = seed;
+        let values: Vec<u64> = (0..len).map(|_| splitmix64(&mut state) >> 16).collect();
+        let mut rev = HdrHistogram::new();
+        for &v in values.iter().rev() {
+            rev.record(v);
+        }
+        prop_assert_eq!(build(seed).encode(), rev.encode());
+    }
+
+    /// Precision is part of the contract: any legal sub-bucket width
+    /// keeps quantiles in range and round-trips the total count.
+    #[test]
+    fn any_precision_is_sound(
+        bits in 1u32..17,
+        samples in arb_samples(1, 32),
+    ) {
+        let mut h = HdrHistogram::with_precision(bits);
+        let mut n = 0u64;
+        for &(v, reps) in &samples {
+            h.record_n(v, reps);
+            n += reps;
+        }
+        prop_assert_eq!(h.count(), n);
+        let p999 = h.quantile(0.999);
+        prop_assert!((h.min()..=h.max()).contains(&p999));
+    }
+}

@@ -17,6 +17,8 @@
 //!   configuration and gathers the measurements experiments need.
 //! - [`profiles`] — the 26 paper applications.
 //! - [`cassandra`] — the open-loop request/latency workload of Fig. 8.
+//! - [`scenario`] — million-client open-loop cohorts with shaped load,
+//!   HDR latency distributions and attributed SLO-violation windows.
 //! - [`prefetch_micro`] — the §4.3 software-prefetch microbenchmark.
 
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod mutator;
 pub mod prefetch_micro;
 pub mod profiles;
 pub mod runner;
+pub mod scenario;
 pub mod spec;
 
 pub use mutator::Mutator;
@@ -33,4 +36,5 @@ pub use profiles::{all_apps, app, fig1_apps, renaissance_apps, spark_apps};
 pub use runner::{
     fault_names, run_app, AppRunConfig, AppRunResult, RunError, RunFailure, RunPhase, SimSnapshot,
 };
+pub use scenario::{run_scenario, ScenarioKind, ScenarioResult, ScenarioSpec, SloWindow};
 pub use spec::{ClassMix, WorkloadSpec};

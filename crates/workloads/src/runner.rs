@@ -10,7 +10,7 @@ use crate::mutator::{Mutator, MutatorStep};
 use crate::spec::WorkloadSpec;
 use nvmgc_core::fault::FaultPlan;
 use nvmgc_core::gclog::{GcKind, GcLog};
-use nvmgc_core::stats::RunGcStats;
+use nvmgc_core::stats::{PauseSpan, RunGcStats};
 use nvmgc_core::{G1Collector, GcConfig, GcError, GcStats};
 use nvmgc_heap::verify::{verify_heap, GraphDigest, VerifyError};
 use nvmgc_heap::{DevicePlacement, Heap, HeapConfig, RegionId, RegionKind};
@@ -270,6 +270,10 @@ pub struct AppRunResult {
     pub bin_ns: Ns,
     /// GC pause intervals `(start, end)` in simulated time.
     pub pause_intervals: Vec<(Ns, Ns)>,
+    /// The same pauses as typed spans carrying cycle kind (young, mixed,
+    /// crash-recovery) — what the latency scenario suite attributes
+    /// SLO-violation windows to.
+    pub pause_spans: Vec<PauseSpan>,
     /// How many of the cycles were mixed collections.
     pub mixed_cycles: usize,
     /// The HotSpot-style GC log (empty unless requested).
@@ -533,6 +537,7 @@ fn finish_run(
     let mut gc = G1Collector::new(cfg.gc.clone());
     let mut cycles: Vec<GcStats> = Vec::new();
     let mut pause_intervals = Vec::new();
+    let mut pause_spans: Vec<PauseSpan> = Vec::new();
     let mut mixed_cycles = 0usize;
     let mut peak_old_regions = 0usize;
     let mut digest_checks = 0usize;
@@ -687,6 +692,12 @@ fn finish_run(
                 }
                 peak_old_regions = peak_old_regions.max(heap.old().len());
                 pause_intervals.push((gc_start, outcome.end_ns));
+                pause_spans.push(PauseSpan {
+                    start_ns: gc_start,
+                    end_ns: outcome.end_ns,
+                    mixed,
+                    recovered: outcome.stats.recovered_cycles > 0,
+                });
                 cycles.push(outcome.stats);
                 mutator.on_gc_complete(outcome.end_ns);
                 phase_start = outcome.end_ns;
@@ -733,6 +744,7 @@ fn finish_run(
         dram_series,
         bin_ns,
         pause_intervals,
+        pause_spans,
         mixed_cycles,
         gc_log,
         trace: mem.trace_mut().take_sorted(),
@@ -836,6 +848,14 @@ mod tests {
         assert!(r.mutator_ns < r.total_ns);
         assert_eq!(r.pause_intervals.len(), r.gc.cycles());
         assert!(r.allocated_objects > 1000);
+        // The typed spans mirror the raw intervals exactly; a young-only
+        // trigger with no fault plan produces only young pauses.
+        assert_eq!(r.pause_spans.len(), r.pause_intervals.len());
+        for (span, &(start, end)) in r.pause_spans.iter().zip(&r.pause_intervals) {
+            assert_eq!((span.start_ns, span.end_ns), (start, end));
+            assert_eq!(span.kind(), "gc-young");
+            assert!(span.duration_ns() > 0);
+        }
     }
 
     #[test]
